@@ -1,0 +1,69 @@
+// Ablation study (ours, motivated by DESIGN.md): contribution of each
+// N-TADOC design decision on dataset C:
+//  * pruning + pool layout (Algorithm 1) on/off;
+//  * bottom-up summation (Algorithm 2) on/off (off = grow-and-rebuild);
+//  * device-buffer (XPBuffer) size sweep — locality sensitivity.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ntadoc;
+  using namespace ntadoc::bench;
+  BenchConfig config = ParseArgs(argc, argv);
+  if (config.datasets.empty()) config.datasets = {"C"};
+  const auto datasets = LoadDatasets(config);
+  const AnalyticsOptions opts;
+
+  for (const auto& d : datasets) {
+    PrintTitle("Ablation on dataset " + d.spec.name,
+               "DESIGN.md ablation index");
+
+    PrintRow({"Benchmark", "Full", "NoPruning", "NoSummation", "PruneCost",
+              "SumCost"});
+    for (Task task : tadoc::kAllTasks) {
+      NTadocOptions full;
+      const RunResult f = RunNTadoc(d.corpus, task, opts, full,
+                                    nvm::OptaneProfile(),
+                                    d.device_capacity);
+      NTadocOptions noprune;
+      noprune.enable_pruning = false;
+      const RunResult np = RunNTadoc(d.corpus, task, opts, noprune,
+                                     nvm::OptaneProfile(),
+                                     d.device_capacity);
+      NTadocOptions nosum;
+      nosum.enable_summation = false;
+      core::NTadocRunInfo info;
+      const RunResult ns = RunNTadoc(d.corpus, task, opts, nosum,
+                                     nvm::OptaneProfile(),
+                                     d.device_capacity, &info);
+      PrintRow({tadoc::TaskToString(task), Secs(f.cost_ns()),
+                Secs(np.cost_ns()), Secs(ns.cost_ns()),
+                Ratio(static_cast<double>(np.cost_ns()) / f.cost_ns()),
+                Ratio(static_cast<double>(ns.cost_ns()) / f.cost_ns())});
+    }
+
+    std::printf("\nDevice-buffer (XPBuffer) sweep, word count:\n");
+    PrintRow({"Buffer size", "Cost (s)", "Miss rate"});
+    for (uint64_t kib : {64ull, 256ull, 1024ull, 4096ull, 16384ull}) {
+      auto profile = nvm::OptaneProfile();
+      profile.buffer_blocks = (kib << 10) / profile.block_size;
+      nvm::DeviceOptions dopts;
+      dopts.capacity = d.device_capacity;
+      dopts.profile = profile;
+      auto device = nvm::NvmDevice::Create(dopts);
+      NTADOC_CHECK(device.ok());
+      core::NTadocEngine engine(&d.corpus, device->get(), NTadocOptions());
+      tadoc::RunMetrics m;
+      auto got = engine.Run(Task::kWordCount, opts, &m);
+      NTADOC_CHECK(got.ok()) << got.status();
+      char miss[32];
+      std::snprintf(miss, sizeof(miss), "%.1f%%",
+                    100.0 * (*device)->stats().MissRate());
+      PrintRow({HumanBytes(kib << 10), Secs(m.TotalCostNs()), miss});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "bench/bench_common.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "compress/format.h"
+#include "util/dram_tracker.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ntadoc::bench {
+
+BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      config.scale = std::stod(arg.substr(8));
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      for (auto part : SplitTokens(arg.substr(11), ",")) {
+        config.datasets.emplace_back(part);
+      }
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      config.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--device-mb=", 0) == 0) {
+      config.device_capacity = std::stoull(arg.substr(12)) << 20;
+    } else if (arg == "--help") {
+      std::printf(
+          "flags: --scale=F --datasets=A,B --cache-dir=DIR --device-mb=N\n");
+    }
+  }
+  return config;
+}
+
+std::vector<DatasetBundle> LoadDatasets(const BenchConfig& config) {
+  ::mkdir(config.cache_dir.c_str(), 0755);
+  std::vector<DatasetBundle> out;
+  for (const auto& spec : textgen::AllDatasets(config.scale)) {
+    if (!config.datasets.empty() &&
+        std::find(config.datasets.begin(), config.datasets.end(),
+                  spec.name) == config.datasets.end()) {
+      continue;
+    }
+    DatasetBundle bundle;
+    bundle.spec = spec;
+    char scale_buf[32];
+    std::snprintf(scale_buf, sizeof(scale_buf), "%.4f", config.scale);
+    const std::string path = config.cache_dir + "/dataset_" + spec.name +
+                             "_" + scale_buf + ".ntdc";
+    auto cached = compress::LoadCorpus(path);
+    if (cached.ok()) {
+      bundle.corpus = std::move(cached).value();
+    } else {
+      NTADOC_LOG(Info) << "generating + compressing dataset " << spec.name
+                       << " (scale " << config.scale << ")";
+      const auto files = textgen::GenerateCorpus(spec);
+      for (const auto& f : files) bundle.raw_text_bytes += f.content.size();
+      auto compressed = compress::Compress(files);
+      NTADOC_CHECK(compressed.ok()) << compressed.status();
+      bundle.corpus = std::move(compressed).value();
+      NTADOC_CHECK_OK(compress::SaveCorpus(bundle.corpus, path));
+    }
+    if (bundle.raw_text_bytes == 0) {
+      // Loaded from cache: reconstruct the raw size estimate.
+      for (const auto& text : compress::DecodeToText(bundle.corpus)) {
+        bundle.raw_text_bytes += text.size();
+      }
+    }
+    bundle.token_count = bundle.corpus.grammar.ExpandedLength();
+    bundle.device_capacity =
+        std::max<uint64_t>(config.device_capacity, bundle.token_count * 48);
+    out.push_back(std::move(bundle));
+  }
+  return out;
+}
+
+uint64_t CorpusDramBytes(const CompressedCorpus& corpus) {
+  uint64_t bytes =
+      corpus.grammar.TotalSymbols() * sizeof(compress::Symbol) +
+      corpus.grammar.NumRules() * sizeof(void*) * 3;  // vector headers
+  for (compress::WordId w = 0; w < corpus.dict.size(); ++w) {
+    bytes += corpus.dict.Spell(w).size() + 48;  // string + index entry
+  }
+  return bytes;
+}
+
+uint64_t DictDramBytes(const CompressedCorpus& corpus) {
+  uint64_t bytes = 0;
+  for (compress::WordId w = 0; w < corpus.dict.size(); ++w) {
+    bytes += corpus.dict.Spell(w).size() + 48;  // string + index entry
+  }
+  return bytes;
+}
+
+RunResult RunNTadoc(const CompressedCorpus& corpus, Task task,
+                    const AnalyticsOptions& opts,
+                    const NTadocOptions& engine_opts,
+                    const nvm::DeviceProfile& profile,
+                    uint64_t device_capacity, core::NTadocRunInfo* info) {
+  nvm::DeviceOptions dopts;
+  dopts.capacity = device_capacity;
+  dopts.profile = profile;
+  auto device = nvm::NvmDevice::Create(dopts);
+  NTADOC_CHECK(device.ok()) << device.status();
+  core::NTadocEngine engine(&corpus, device->get(), engine_opts);
+  RunResult result;
+  DramUsageScope dram;
+  auto got = engine.Run(task, opts, &result.metrics);
+  NTADOC_CHECK(got.ok()) << got.status();
+  result.dram_peak_bytes = dram.PeakDelta();
+  if (info != nullptr) *info = engine.run_info();
+  return result;
+}
+
+RunResult RunBaseline(const CompressedCorpus& corpus, Task task,
+                      const AnalyticsOptions& opts,
+                      const nvm::DeviceProfile& profile,
+                      uint64_t device_capacity) {
+  nvm::DeviceOptions dopts;
+  dopts.capacity = device_capacity;
+  dopts.profile = profile;
+  auto device = nvm::NvmDevice::Create(dopts);
+  NTADOC_CHECK(device.ok()) << device.status();
+  // Host counters are charged at DRAM cost on the same simulated clock.
+  nvm::MemoryModel host_model(nvm::DramProfile(), (*device)->clock_ptr());
+  baseline::UncompressedAnalytics::Options bopts;
+  bopts.dram_model = &host_model;
+  baseline::UncompressedAnalytics engine(&corpus, device->get(), bopts);
+  RunResult result;
+  DramUsageScope dram;
+  auto got = engine.Run(task, opts, &result.metrics);
+  NTADOC_CHECK(got.ok()) << got.status();
+  result.dram_peak_bytes = dram.PeakDelta();
+  return result;
+}
+
+RunResult RunTadocDram(const CompressedCorpus& corpus, Task task,
+                       const AnalyticsOptions& opts,
+                       TraversalStrategy strategy) {
+  auto clock = nvm::MakeSimClock();
+  nvm::MemoryModel model(nvm::DramProfile(), clock);
+  tadoc::EngineOptions eopts;
+  eopts.model = &model;
+  eopts.traversal = strategy;
+  eopts.charge_source_disk = true;
+  tadoc::TadocEngine engine(&corpus, eopts);
+  RunResult result;
+  DramUsageScope dram;
+  auto got = engine.Run(task, opts, &result.metrics);
+  NTADOC_CHECK(got.ok()) << got.status();
+  result.dram_peak_bytes = dram.PeakDelta();
+  return result;
+}
+
+RunResult RunNaiveNvmTadoc(const CompressedCorpus& corpus, Task task,
+                           const AnalyticsOptions& opts) {
+  auto clock = nvm::MakeSimClock();
+  // The naive port scatters TADOC's structures across a PMDK pool with no
+  // locality, so cache reuse collapses: only the device's own XPBuffer
+  // fronts the media.
+  auto profile = nvm::OptaneProfile();
+  profile.buffer_blocks = 64;  // 16 KiB XPBuffer only
+  nvm::MemoryModel model(profile, clock);
+  tadoc::EngineOptions eopts;
+  eopts.model = &model;
+  eopts.charge_source_disk = true;
+  tadoc::TadocEngine engine(&corpus, eopts);
+  RunResult result;
+  DramUsageScope dram;
+  auto got = engine.Run(task, opts, &result.metrics);
+  NTADOC_CHECK(got.ok()) << got.status();
+  result.dram_peak_bytes = dram.PeakDelta();
+  return result;
+}
+
+double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void PrintTitle(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("     (reproduces %s; shapes, not absolute times)\n\n",
+              paper_ref.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 24 : width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+std::string Secs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) * 1e-9);
+  return buf;
+}
+
+}  // namespace ntadoc::bench

@@ -1,0 +1,137 @@
+// Shared infrastructure for the paper-reproduction benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Common pieces here:
+// dataset generation + compression (cached on disk), engine run wrappers
+// that meter simulated device time, wall time and tracked DRAM, and
+// fixed-width table printers.
+//
+// Reported "cost" = simulated device nanoseconds (deterministic, from
+// the calibrated profiles) + host wall nanoseconds. Ratios are the
+// reproduction target; absolute values are not comparable to the paper's
+// Optane testbed.
+
+#ifndef NTADOC_BENCH_BENCH_COMMON_H_
+#define NTADOC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/uncompressed.h"
+#include "core/engine.h"
+#include "tadoc/engine.h"
+#include "textgen/generator.h"
+
+namespace ntadoc::bench {
+
+using compress::CompressedCorpus;
+using core::NTadocOptions;
+using core::PersistenceMode;
+using tadoc::AnalyticsOptions;
+using tadoc::RunMetrics;
+using tadoc::Task;
+using tadoc::TraversalStrategy;
+
+/// One generated-and-compressed dataset.
+struct DatasetBundle {
+  textgen::CorpusSpec spec;
+  CompressedCorpus corpus;
+  uint64_t raw_text_bytes = 0;
+  uint64_t token_count = 0;  // including separators
+
+  /// Device capacity sized for this dataset.
+  uint64_t device_capacity = 128ull << 20;
+};
+
+/// Command-line configuration shared by all bench binaries.
+struct BenchConfig {
+  /// Dataset scale factor (1.0 = the sizes in textgen).
+  double scale = 0.25;
+
+  /// Restrict to these dataset names (empty = all of A..D).
+  std::vector<std::string> datasets;
+
+  /// Directory for cached compressed containers.
+  std::string cache_dir = "bench_cache";
+
+  /// Minimum device capacity for emulated-NVM runs (each dataset gets
+  /// max(this, 12x its token-stream bytes)).
+  uint64_t device_capacity = 128ull << 20;
+};
+
+/// Parses --scale=, --datasets=A,C, --cache-dir=, --device-mb= flags.
+BenchConfig ParseArgs(int argc, char** argv);
+
+/// Generates (or loads from cache) the requested datasets.
+std::vector<DatasetBundle> LoadDatasets(const BenchConfig& config);
+
+/// DRAM bytes the compressed corpus itself occupies when held in host
+/// memory (rule bodies + dictionary) — TADOC keeps this resident; N-TADOC
+/// moves it to the NVM pool.
+uint64_t CorpusDramBytes(const CompressedCorpus& corpus);
+
+/// DRAM bytes of the dictionary alone — N-TADOC keeps the dictionary
+/// resident for result materialization (the paper's init phase "ends
+/// with reading the dictionary of compressed data").
+uint64_t DictDramBytes(const CompressedCorpus& corpus);
+
+/// Metered result of one engine run.
+struct RunResult {
+  RunMetrics metrics;
+  uint64_t dram_peak_bytes = 0;
+
+  uint64_t cost_ns() const { return metrics.TotalCostNs(); }
+  uint64_t init_ns() const {
+    return metrics.init_wall_ns + metrics.init_sim_ns;
+  }
+  uint64_t traversal_ns() const {
+    return metrics.traversal_wall_ns + metrics.traversal_sim_ns;
+  }
+};
+
+/// N-TADOC on a fresh emulated device with `profile`.
+RunResult RunNTadoc(const CompressedCorpus& corpus, Task task,
+                    const AnalyticsOptions& opts,
+                    const NTadocOptions& engine_opts,
+                    const nvm::DeviceProfile& profile,
+                    uint64_t device_capacity,
+                    core::NTadocRunInfo* info = nullptr);
+
+/// Uncompressed baseline on a fresh emulated device with `profile`; host
+/// counters charged at DRAM cost on the same clock.
+RunResult RunBaseline(const CompressedCorpus& corpus, Task task,
+                      const AnalyticsOptions& opts,
+                      const nvm::DeviceProfile& profile,
+                      uint64_t device_capacity);
+
+/// Classic TADOC on DRAM (the paper's efficiency upper bound).
+RunResult RunTadocDram(const CompressedCorpus& corpus, Task task,
+                       const AnalyticsOptions& opts,
+                       TraversalStrategy strategy = TraversalStrategy::kAuto);
+
+/// Naive TADOC port to NVM: same DRAM engine, every data access charged
+/// at NVM cost against scattered heap addresses (Section III-B).
+RunResult RunNaiveNvmTadoc(const CompressedCorpus& corpus, Task task,
+                           const AnalyticsOptions& opts);
+
+/// Geometric mean of ratios.
+double GeoMean(const std::vector<double>& values);
+
+// ---- table printing ----
+
+/// Prints "== <title> ==" with the reproduction context line.
+void PrintTitle(const std::string& title, const std::string& paper_ref);
+
+/// Prints one row of fixed-width cells.
+void PrintRow(const std::vector<std::string>& cells, int width = 14);
+
+/// Formats a ratio as "2.04x".
+std::string Ratio(double v);
+
+/// Formats nanoseconds as seconds with 3 decimals.
+std::string Secs(uint64_t ns);
+
+}  // namespace ntadoc::bench
+
+#endif  // NTADOC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Reproduces the cross-evaluation numbers:
+//  * Section III-B: naively porting TADOC to NVM (allocator pointed at
+//    NVM, algorithms unchanged) costs ~13.37x vs TADOC on DRAM;
+//  * Section VI-F: N-TADOC is ~5x faster than that naive TADOC-on-NVM.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ntadoc;
+  using namespace ntadoc::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const auto datasets = LoadDatasets(config);
+  const AnalyticsOptions opts;
+
+  PrintTitle("Cross-evaluation: naive NVM port vs TADOC vs N-TADOC",
+             "paper III-B (13.37x overhead) and VI-F (5x speedup)");
+  PrintRow({"Dataset/Benchmark", "TADOC-DRAM", "Naive-NVM", "N-TADOC",
+            "NaiveOvhd", "N-TADOCspd"});
+  std::vector<double> overheads;
+  std::vector<double> speedups;
+  for (const auto& d : datasets) {
+    for (Task task : tadoc::kAllTasks) {
+      const RunResult dram = RunTadocDram(d.corpus, task, opts);
+      const RunResult naive = RunNaiveNvmTadoc(d.corpus, task, opts);
+      NTadocOptions nopts;
+      const RunResult nt = RunNTadoc(d.corpus, task, opts, nopts,
+                                     nvm::OptaneProfile(),
+                                     d.device_capacity);
+      const double overhead = static_cast<double>(naive.cost_ns()) /
+                              static_cast<double>(dram.cost_ns());
+      const double speedup = static_cast<double>(naive.cost_ns()) /
+                             static_cast<double>(nt.cost_ns());
+      overheads.push_back(overhead);
+      speedups.push_back(speedup);
+      PrintRow({d.spec.name + " " + tadoc::TaskToString(task),
+                Secs(dram.cost_ns()), Secs(naive.cost_ns()),
+                Secs(nt.cost_ns()), Ratio(overhead), Ratio(speedup)});
+    }
+  }
+  std::printf(
+      "\nnaive NVM port overhead vs DRAM TADOC: geomean %s (paper: 13.37x)\n"
+      "N-TADOC speedup over naive NVM port:   geomean %s (paper: ~5x)\n",
+      Ratio(GeoMean(overheads)).c_str(), Ratio(GeoMean(speedups)).c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 5: N-TADOC speedup over uncompressed text analytics
+// on NVM, for (a) phase-level and (b) operation-level persistence.
+// Paper headline: 2.04x (phase) and 1.40x (operation) on average.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ntadoc;
+  using namespace ntadoc::bench;
+  const BenchConfig config = ParseArgs(argc, argv);
+  const auto datasets = LoadDatasets(config);
+  const auto profile = nvm::OptaneProfile();
+  const AnalyticsOptions opts;
+
+  for (const PersistenceMode mode :
+       {PersistenceMode::kPhase, PersistenceMode::kOperation}) {
+    const bool phase = mode == PersistenceMode::kPhase;
+    PrintTitle(std::string("Figure 5(") + (phase ? "a" : "b") +
+                   "): N-TADOC speedup over NVM uncompressed analytics, " +
+                   core::PersistenceModeToString(mode) + " persistence",
+               phase ? "paper Fig. 5(a), avg 2.04x"
+                     : "paper Fig. 5(b), avg 1.40x");
+    std::vector<std::string> header = {"Benchmark"};
+    for (const auto& d : datasets) header.push_back("Dataset " + d.spec.name);
+    header.push_back("geomean");
+    PrintRow(header);
+
+    std::vector<double> all;
+    for (Task task : tadoc::kAllTasks) {
+      std::vector<std::string> row = {tadoc::TaskToString(task)};
+      std::vector<double> task_speedups;
+      for (const auto& d : datasets) {
+        const RunResult base =
+            RunBaseline(d.corpus, task, opts, profile, d.device_capacity);
+        NTadocOptions nopts;
+        nopts.persistence = mode;
+        const RunResult ntadoc_run = RunNTadoc(
+            d.corpus, task, opts, nopts, profile, d.device_capacity);
+        const double speedup = static_cast<double>(base.cost_ns()) /
+                               static_cast<double>(ntadoc_run.cost_ns());
+        task_speedups.push_back(speedup);
+        all.push_back(speedup);
+        row.push_back(Ratio(speedup));
+      }
+      row.push_back(Ratio(GeoMean(task_speedups)));
+      PrintRow(row);
+    }
+    std::printf("\noverall geomean speedup: %s   (paper: %s)\n",
+                Ratio(GeoMean(all)).c_str(), phase ? "2.04x" : "1.40x");
+  }
+  return 0;
+}

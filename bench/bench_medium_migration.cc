@@ -1,0 +1,45 @@
+// Section VI-F vision: migrating N-TADOC to other NVM architectures.
+// Runs the full task suite on ReRAM-like and PCM-like profiles and
+// compares against the Optane-like baseline medium.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ntadoc;
+  using namespace ntadoc::bench;
+  BenchConfig config = ParseArgs(argc, argv);
+  if (config.datasets.empty()) config.datasets = {"C"};
+  const auto datasets = LoadDatasets(config);
+  const AnalyticsOptions opts;
+
+  for (const auto& d : datasets) {
+    PrintTitle("Medium migration on dataset " + d.spec.name,
+               "paper VI-F (ReRAM / PCM migration vision)");
+    PrintRow({"Benchmark", "Optane", "ReRAM", "PCM", "ReRAM spd",
+              "PCM spd"});
+    for (Task task : tadoc::kAllTasks) {
+      NTadocOptions nopts;
+      const RunResult optane = RunNTadoc(d.corpus, task, opts, nopts,
+                                         nvm::OptaneProfile(),
+                                         d.device_capacity);
+      const RunResult reram = RunNTadoc(d.corpus, task, opts, nopts,
+                                        nvm::ReRamProfile(),
+                                        d.device_capacity);
+      const RunResult pcm = RunNTadoc(d.corpus, task, opts, nopts,
+                                      nvm::PcmProfile(), d.device_capacity);
+      PrintRow({tadoc::TaskToString(task), Secs(optane.cost_ns()),
+                Secs(reram.cost_ns()), Secs(pcm.cost_ns()),
+                Ratio(static_cast<double>(optane.cost_ns()) /
+                      reram.cost_ns()),
+                Ratio(static_cast<double>(optane.cost_ns()) /
+                      pcm.cost_ns())});
+    }
+  }
+  std::printf(
+      "\nPCM's steeper write penalty shows as a consistent slowdown;\n"
+      "ReRAM's finer granularity helps the random-access-heavy tasks\n"
+      "(sequence count) most — at this scale host time damps the rest.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) for the substrates: Sequitur
+// compression throughput, device cost-model overhead, and boundary-window
+// scanning.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.h"
+#include "compress/sequitur.h"
+#include "nvm/memory_model.h"
+#include "tadoc/head_tail.h"
+#include "tadoc/windows.h"
+#include "textgen/generator.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace ntadoc;
+
+/// Sequitur tokens/second on Zipfian text with phrase redundancy.
+void BM_SequiturThroughput(benchmark::State& state) {
+  auto spec = textgen::DatasetA(0.1);
+  spec.total_tokens = static_cast<uint64_t>(state.range(0));
+  const auto files = textgen::GenerateCorpus(spec);
+  compress::Dictionary dict;
+  const auto tokens = compress::EncodeTokens(files[0].content, &dict);
+  for (auto _ : state) {
+    compress::Sequitur seq;
+    seq.AppendFile(tokens);
+    benchmark::DoNotOptimize(seq.Finish(1, dict.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tokens.size()));
+}
+BENCHMARK(BM_SequiturThroughput)->Arg(10000)->Arg(100000);
+
+/// Raw cost-model touch overhead (host-side ns/op of the simulator).
+void BM_MemoryModelTouch(benchmark::State& state) {
+  auto clock = nvm::MakeSimClock();
+  nvm::MemoryModel model(nvm::OptaneProfile(), clock);
+  Rng rng(1);
+  for (auto _ : state) {
+    model.TouchRead(rng.Uniform(1ull << 30), 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryModelTouch);
+
+/// Boundary-window scan rate over compressed rule bodies.
+void BM_WindowScan(benchmark::State& state) {
+  auto spec = textgen::DatasetA(0.1);
+  const auto files = textgen::GenerateCorpus(spec);
+  auto corpus = compress::Compress(files);
+  NTADOC_CHECK(corpus.ok());
+  const auto ht = tadoc::HeadTailTable::Build(corpus->grammar, 3);
+  tadoc::WindowScanner scanner(&ht, 3);
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    for (uint32_t r = 1; r < corpus->grammar.NumRules(); ++r) {
+      scanner.Scan(corpus->grammar.rules[r],
+                   [&](const tadoc::NgramKey&) { ++windows; });
+    }
+  }
+  benchmark::DoNotOptimize(windows);
+  state.SetItemsProcessed(static_cast<int64_t>(windows));
+}
+BENCHMARK(BM_WindowScan);
+
+/// Grammar expansion rate (decompression speed for reference).
+void BM_GrammarExpand(benchmark::State& state) {
+  auto spec = textgen::DatasetA(0.2);
+  const auto files = textgen::GenerateCorpus(spec);
+  auto corpus = compress::Compress(files);
+  NTADOC_CHECK(corpus.ok());
+  uint64_t total = 0;
+  for (auto _ : state) {
+    const auto tokens = corpus->grammar.ExpandAll();
+    total += tokens.size();
+    benchmark::DoNotOptimize(tokens.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_GrammarExpand);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Reproduces Table II + Section VI-D: per-phase time breakdown of
+// N-TADOC on datasets C and D, and per-phase speedups vs the
+// uncompressed-on-NVM baseline (paper: init 1.96x / 1.23x, traversal
+// 2.53x / 2.87x for C / D).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ntadoc;
+  using namespace ntadoc::bench;
+  BenchConfig config = ParseArgs(argc, argv);
+  if (config.datasets.empty()) config.datasets = {"C", "D"};
+  const auto datasets = LoadDatasets(config);
+  const auto profile = nvm::OptaneProfile();
+  const AnalyticsOptions opts;
+
+  PrintTitle("Table II: time breakdown (seconds, simulated + host)",
+             "paper Table II");
+  PrintRow({"Dataset/Benchmark", "Init", "Traversal", "Init spd",
+            "Trav spd"});
+  for (const auto& d : datasets) {
+    std::vector<double> init_spd;
+    std::vector<double> trav_spd;
+    for (Task task : tadoc::kAllTasks) {
+      NTadocOptions nopts;
+      const RunResult nt = RunNTadoc(d.corpus, task, opts, nopts, profile,
+                                     d.device_capacity);
+      const RunResult base =
+          RunBaseline(d.corpus, task, opts, profile, d.device_capacity);
+      const double is =
+          static_cast<double>(base.init_ns()) / nt.init_ns();
+      const double ts =
+          static_cast<double>(base.traversal_ns()) / nt.traversal_ns();
+      init_spd.push_back(is);
+      trav_spd.push_back(ts);
+      PrintRow({d.spec.name + " " + tadoc::TaskToString(task),
+                Secs(nt.init_ns()), Secs(nt.traversal_ns()), Ratio(is),
+                Ratio(ts)});
+    }
+    std::printf(
+        "  dataset %s phase speedup geomeans: init %s, traversal %s\n",
+        d.spec.name.c_str(), Ratio(GeoMean(init_spd)).c_str(),
+        Ratio(GeoMean(trav_spd)).c_str());
+  }
+  std::printf(
+      "\npaper reference: C init 1.96x / traversal 2.53x; D init 1.23x /\n"
+      "traversal 2.87x; traversal speedup should exceed overall speedup.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Section VI-E: top-down vs bottom-up traversal on the
+// many-small-files dataset B. Paper: top-down is ~1000x slower than
+// bottom-up there, because it re-traverses the DAG once per file.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ntadoc;
+  using namespace ntadoc::bench;
+  BenchConfig config = ParseArgs(argc, argv);
+  if (config.datasets.empty()) config.datasets = {"B"};
+  const auto datasets = LoadDatasets(config);
+  const auto profile = nvm::OptaneProfile();
+  const AnalyticsOptions opts;
+
+  PrintTitle("Section VI-E: traversal strategy on many-file dataset B",
+             "paper VI-E, top-down ~1000x slower than bottom-up");
+  PrintRow({"Benchmark", "Bottom-up", "Top-down", "Slowdown"});
+  for (const auto& d : datasets) {
+    std::vector<double> ratios;
+    for (Task task :
+         {Task::kTermVector, Task::kInvertedIndex,
+          Task::kRankedInvertedIndex}) {
+      NTadocOptions bu;
+      bu.traversal = TraversalStrategy::kBottomUp;
+      const RunResult bottom = RunNTadoc(d.corpus, task, opts, bu, profile,
+                                         d.device_capacity);
+      NTadocOptions td;
+      td.traversal = TraversalStrategy::kTopDown;
+      const RunResult top = RunNTadoc(d.corpus, task, opts, td, profile,
+                                      d.device_capacity);
+      const double ratio = static_cast<double>(top.cost_ns()) /
+                           static_cast<double>(bottom.cost_ns());
+      ratios.push_back(ratio);
+      PrintRow({tadoc::TaskToString(task), Secs(bottom.cost_ns()),
+                Secs(top.cost_ns()), Ratio(ratio)});
+    }
+    std::printf(
+        "\ndataset %s (%u files): top-down geomean slowdown %s "
+        "(paper: ~1000x on 134k files; scales with file count)\n",
+        d.spec.name.c_str(), d.corpus.num_files(),
+        Ratio(GeoMean(ratios)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Crash-recovery demo: run N-TADOC with operation-level persistence,
+// inject a power failure mid-traversal (losing all unflushed CPU-cache
+// lines), then recover on the same device — the completed initialization
+// phase is reused and the traversal resumes from the durable cursor.
+//
+//   ./crash_recovery
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "textgen/generator.h"
+#include "util/string_util.h"
+
+using namespace ntadoc;
+
+int main() {
+  // A small synthetic corpus.
+  auto spec = textgen::DatasetA(0.1);
+  auto files = textgen::GenerateCorpus(spec);
+  auto corpus = compress::Compress(files);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // Strict persistence: the device really discards unflushed lines on a
+  // crash, like losing the CPU cache on power failure.
+  nvm::DeviceOptions dev_opts;
+  dev_opts.capacity = 128ull << 20;
+  dev_opts.strict_persistence = true;
+  auto device = nvm::NvmDevice::Create(dev_opts);
+  if (!device.ok()) return 1;
+
+  core::NTadocOptions opts;
+  opts.persistence = core::PersistenceMode::kOperation;
+  opts.crash_after_traversal_steps = 40;
+
+  std::printf("running word count; a power failure is scheduled after 40 "
+              "traversal steps...\n");
+  {
+    core::NTadocEngine engine(&*corpus, device->get(), opts);
+    auto crashed = engine.Run(tadoc::Task::kWordCount);
+    std::printf("first run:  %s\n", crashed.status().ToString().c_str());
+  }
+
+  std::printf("restarting on the same device (recovery)...\n");
+  opts.crash_after_traversal_steps = 0;
+  core::NTadocEngine engine(&*corpus, device->get(), opts);
+  auto result = engine.Run(tadoc::Task::kWordCount);
+  if (!result.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& info = engine.run_info();
+  std::printf(
+      "second run: OK — %zu distinct words counted\n"
+      "  init phase reused:   %s\n"
+      "  resumed at step:     %llu (operation-level durable cursor)\n"
+      "  redo-logged bytes:   %s\n",
+      result->word_counts.size(), info.init_phase_reused ? "yes" : "no",
+      (unsigned long long)info.resumed_at_step,
+      HumanBytes(info.redo_logged_bytes).c_str());
+
+  // Sanity: recovered result matches a clean run on a fresh device.
+  auto fresh_dev = nvm::NvmDevice::Create(dev_opts);
+  core::NTadocEngine fresh(&*corpus, fresh_dev->get());
+  auto clean = fresh.Run(tadoc::Task::kWordCount);
+  std::printf("matches a never-crashed run: %s\n",
+              (clean.ok() && *clean == *result) ? "yes" : "NO (bug!)");
+  return 0;
+}

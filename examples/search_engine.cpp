@@ -1,0 +1,114 @@
+// Mini search engine over compressed documents: builds an inverted index
+// and per-file term vectors with N-TADOC (never decompressing the
+// corpus), then answers a few conjunctive keyword queries and shows
+// ranked phrase lookups from the ranked inverted index.
+//
+//   ./search_engine
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/engine.h"
+#include "textgen/generator.h"
+#include "util/string_util.h"
+
+using namespace ntadoc;
+
+namespace {
+
+/// Intersects sorted posting lists.
+std::vector<uint32_t> Intersect(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // A many-small-files corpus, like a crawl of short documents.
+  auto spec = textgen::DatasetB(0.05);
+  auto files = textgen::GenerateCorpus(spec);
+  auto corpus = compress::Compress(files);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %u documents (%s of text, %llu grammar rules)\n",
+              corpus->num_files(),
+              HumanBytes(corpus->grammar.ExpandedLength() * 6).c_str(),
+              (unsigned long long)corpus->grammar.NumRules());
+
+  nvm::DeviceOptions dev_opts;
+  dev_opts.capacity = 256ull << 20;
+  auto device = nvm::NvmDevice::Create(dev_opts);
+  if (!device.ok()) return 1;
+
+  // Build the inverted index on NVM directly from the compressed corpus;
+  // with this many files the engine picks the bottom-up traversal.
+  core::NTadocEngine engine(&*corpus, device->get());
+  auto index = engine.Run(tadoc::Task::kInvertedIndex);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::map<compress::WordId, const std::vector<uint32_t>*> postings;
+  for (const auto& [w, docs] : index->inverted_index) {
+    postings[w] = &docs;
+  }
+
+  // Conjunctive queries over the two most common words and a rarer one.
+  std::vector<std::pair<std::string, std::string>> queries = {
+      {"wa", "wb"}, {"wa", "wz"}, {"wb", "wcb"}};
+  for (const auto& [q1, q2] : queries) {
+    auto id1 = corpus->dict.Find(q1);
+    auto id2 = corpus->dict.Find(q2);
+    std::printf("\nquery: \"%s %s\" -> ", q1.c_str(), q2.c_str());
+    if (!id1.ok() || !id2.ok()) {
+      std::printf("(a term is not in the corpus)\n");
+      continue;
+    }
+    auto it1 = postings.find(*id1);
+    auto it2 = postings.find(*id2);
+    if (it1 == postings.end() || it2 == postings.end()) {
+      std::printf("0 documents\n");
+      continue;
+    }
+    const auto docs = Intersect(*it1->second, *it2->second);
+    std::printf("%zu documents", docs.size());
+    for (size_t i = 0; i < docs.size() && i < 5; ++i) {
+      std::printf(" %s", corpus->file_names[docs[i]].c_str());
+    }
+    std::printf("%s\n", docs.size() > 5 ? " ..." : "");
+  }
+
+  // Ranked phrase lookup: which documents contain the most frequent
+  // 3-gram, ranked by occurrence count (the ranked inverted index task).
+  auto ranked = engine.Run(tadoc::Task::kRankedInvertedIndex);
+  if (!ranked.ok()) {
+    std::fprintf(stderr, "%s\n", ranked.status().ToString().c_str());
+    return 1;
+  }
+  const auto* best = &ranked->ranked_index.front();
+  for (const auto& entry : ranked->ranked_index) {
+    if (!entry.second.empty() && !best->second.empty() &&
+        entry.second.front().second > best->second.front().second) {
+      best = &entry;
+    }
+  }
+  std::printf("\nhottest phrase: \"");
+  for (uint32_t i = 0; i < 3; ++i) {
+    std::printf("%s%s", i ? " " : "",
+                corpus->dict.Spell(best->first.words[i]).c_str());
+  }
+  std::printf("\" — top documents by count:\n");
+  for (size_t i = 0; i < best->second.size() && i < 5; ++i) {
+    std::printf("  %-24s %llu occurrences\n",
+                corpus->file_names[best->second[i].first].c_str(),
+                (unsigned long long)best->second[i].second);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Uncompressed text analytics on a storage device — the paper's baseline.
+//
+// The baseline stores the dictionary-converted token stream (no
+// compression) on the device and scans it per task. Counters and results
+// live in host DRAM and are charged to a DRAM-profile MemoryModel sharing
+// the run's clock, so baseline and N-TADOC costs are directly comparable.
+
+#ifndef NTADOC_BASELINE_UNCOMPRESSED_H_
+#define NTADOC_BASELINE_UNCOMPRESSED_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "compress/compressor.h"
+#include "nvm/nvm_device.h"
+#include "tadoc/analytics.h"
+#include "tadoc/charge.h"
+#include "tadoc/engine.h"
+#include "util/status.h"
+
+namespace ntadoc::baseline {
+
+using compress::CompressedCorpus;
+using tadoc::AnalyticsOptions;
+using tadoc::AnalyticsOutput;
+using tadoc::RunMetrics;
+using tadoc::Task;
+
+/// Uncompressed scan-based analytics over a device-resident token stream.
+class UncompressedAnalytics {
+ public:
+  /// Construction options.
+  struct Options {
+    /// Device offset where the token stream is written.
+    uint64_t base = 0;
+
+    /// DRAM-side cost model for host counters (nullable).
+    nvm::MemoryModel* dram_model = nullptr;
+  };
+
+  /// `device` must outlive the engine; the corpus token stream is
+  /// expanded and written to the device during each Run()'s init phase
+  /// (the paper times dataset loading as part of initialization).
+  UncompressedAnalytics(const CompressedCorpus* corpus,
+                        nvm::NvmDevice* device, Options options);
+
+  /// Defaults: stream at device offset 0, no DRAM-side charging.
+  UncompressedAnalytics(const CompressedCorpus* corpus,
+                        nvm::NvmDevice* device)
+      : UncompressedAnalytics(corpus, device, Options()) {}
+
+  /// Runs one analytics task; fills `metrics` if non-null.
+  Result<AnalyticsOutput> Run(Task task, const AnalyticsOptions& opts = {},
+                              RunMetrics* metrics = nullptr);
+
+  /// Bytes the token stream occupies on the device.
+  uint64_t StreamBytes() const { return stream_bytes_; }
+
+ private:
+  /// Writes the expanded token stream to the device; returns its length
+  /// in symbols.
+  Result<uint64_t> LoadStream();
+
+  const CompressedCorpus* corpus_;
+  nvm::NvmDevice* device_;
+  Options options_;
+  uint64_t stream_bytes_ = 0;
+};
+
+}  // namespace ntadoc::baseline
+
+#endif  // NTADOC_BASELINE_UNCOMPRESSED_H_

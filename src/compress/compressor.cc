@@ -1,0 +1,68 @@
+#include "compress/compressor.h"
+
+#include "compress/sequitur.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ntadoc::compress {
+
+std::vector<WordId> EncodeTokens(const std::string& content,
+                                 Dictionary* dict) {
+  std::vector<WordId> out;
+  for (std::string_view tok : SplitTokens(content)) {
+    out.push_back(dict->GetOrAdd(tok));
+  }
+  return out;
+}
+
+Result<CompressedCorpus> Compress(const std::vector<InputFile>& files) {
+  if (files.empty()) {
+    return Status::InvalidArgument("no input files to compress");
+  }
+  CompressedCorpus corpus;
+  Sequitur seq;
+  for (const auto& f : files) {
+    corpus.file_names.push_back(f.name);
+    seq.AppendFile(EncodeTokens(f.content, &corpus.dict));
+  }
+  corpus.grammar = seq.Finish(static_cast<uint32_t>(files.size()),
+                              corpus.dict.size());
+  NTADOC_RETURN_IF_ERROR(corpus.grammar.Validate());
+  return corpus;
+}
+
+std::vector<std::vector<WordId>> DecodeToTokens(
+    const CompressedCorpus& corpus) {
+  const std::vector<Symbol> stream = corpus.grammar.ExpandAll();
+  std::vector<std::vector<WordId>> files;
+  files.emplace_back();
+  for (Symbol s : stream) {
+    NTADOC_DCHECK(IsWord(s));
+    if (IsFileSep(s)) {
+      files.emplace_back();
+    } else {
+      files.back().push_back(s);
+    }
+  }
+  // The stream ends with a separator, leaving one empty trailing entry.
+  if (!files.empty() && files.back().empty() &&
+      files.size() == corpus.num_files() + 1) {
+    files.pop_back();
+  }
+  return files;
+}
+
+std::vector<std::string> DecodeToText(const CompressedCorpus& corpus) {
+  std::vector<std::string> out;
+  for (const auto& tokens : DecodeToTokens(corpus)) {
+    std::string text;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) text.push_back(' ');
+      text.append(corpus.dict.Spell(tokens[i]));
+    }
+    out.push_back(std::move(text));
+  }
+  return out;
+}
+
+}  // namespace ntadoc::compress

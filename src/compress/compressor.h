@@ -1,0 +1,40 @@
+// End-to-end TADOC compression: tokenize -> dictionary-encode -> Sequitur.
+
+#ifndef NTADOC_COMPRESS_COMPRESSOR_H_
+#define NTADOC_COMPRESS_COMPRESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "compress/format.h"
+#include "util/status.h"
+
+namespace ntadoc::compress {
+
+/// One input document.
+struct InputFile {
+  std::string name;
+  std::string content;
+};
+
+/// Tokenizes `content` on whitespace and encodes words into `dict`.
+std::vector<WordId> EncodeTokens(const std::string& content,
+                                 Dictionary* dict);
+
+/// Compresses a set of documents into a CompressedCorpus. Files keep their
+/// order; a separator is placed after each file's tokens in the root rule.
+Result<CompressedCorpus> Compress(const std::vector<InputFile>& files);
+
+/// Decompresses the corpus back to per-file token id sequences
+/// (separators stripped) — used by the uncompressed baseline and by
+/// round-trip tests.
+std::vector<std::vector<WordId>> DecodeToTokens(
+    const CompressedCorpus& corpus);
+
+/// Fully reconstructs the documents' text (words joined by single spaces;
+/// TADOC tokenization is lossy about whitespace only).
+std::vector<std::string> DecodeToText(const CompressedCorpus& corpus);
+
+}  // namespace ntadoc::compress
+
+#endif  // NTADOC_COMPRESS_COMPRESSOR_H_

@@ -1,0 +1,54 @@
+// Word dictionary: the TADOC "dictionary conversion" that digitizes text.
+
+#ifndef NTADOC_COMPRESS_DICTIONARY_H_
+#define NTADOC_COMPRESS_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/symbols.h"
+#include "util/status.h"
+
+namespace ntadoc::compress {
+
+/// Bidirectional word <-> id mapping. Id 0 is the reserved file separator
+/// (rendered as "<file-sep>"); real words get ids from kFirstWordId up.
+class Dictionary {
+ public:
+  Dictionary();
+
+  Dictionary(const Dictionary&) = default;
+  Dictionary& operator=(const Dictionary&) = default;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `word`, inserting it if new.
+  WordId GetOrAdd(std::string_view word);
+
+  /// Returns the id of `word` or NotFound.
+  Result<WordId> Find(std::string_view word) const;
+
+  /// Returns the spelling of `id`; CHECK-fails on out-of-range ids.
+  const std::string& Spell(WordId id) const;
+
+  /// Total ids assigned, including the reserved separator.
+  uint32_t size() const { return static_cast<uint32_t>(words_.size()); }
+
+  /// Distinct real words (excludes the separator).
+  uint32_t vocabulary_size() const { return size() - kFirstWordId; }
+
+  /// Re-registers a word under a known id during deserialization; ids must
+  /// arrive densely in increasing order.
+  Status AddWithId(std::string_view word, WordId id);
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, WordId> index_;
+};
+
+}  // namespace ntadoc::compress
+
+#endif  // NTADOC_COMPRESS_DICTIONARY_H_

@@ -1,0 +1,46 @@
+// On-disk container format for TADOC-compressed corpora.
+//
+// Layout (little-endian):
+//   magic "NTDC" | version u32 | num_files u64 | dict_size u64 |
+//   num_rules u64 | file names (len u32 + bytes)* |
+//   dictionary words (len u32 + bytes)*, ids kFirstWordId.. in order |
+//   rules: (len u64 + Symbol[len])* |
+//   trailer checksum u64 (FNV-1a over everything before it)
+
+#ifndef NTADOC_COMPRESS_FORMAT_H_
+#define NTADOC_COMPRESS_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "compress/dictionary.h"
+#include "compress/grammar.h"
+#include "util/status.h"
+
+namespace ntadoc::compress {
+
+/// A compressed corpus: grammar + dictionary + file names.
+struct CompressedCorpus {
+  Grammar grammar;
+  Dictionary dict;
+  std::vector<std::string> file_names;
+
+  uint32_t num_files() const { return grammar.num_files; }
+};
+
+/// Serializes `corpus` into a byte buffer.
+std::string SerializeCorpus(const CompressedCorpus& corpus);
+
+/// Parses a buffer produced by SerializeCorpus; validates the checksum
+/// and the grammar structure.
+Result<CompressedCorpus> DeserializeCorpus(const std::string& bytes);
+
+/// Writes the serialized corpus to `path`.
+Status SaveCorpus(const CompressedCorpus& corpus, const std::string& path);
+
+/// Loads a corpus container from `path`.
+Result<CompressedCorpus> LoadCorpus(const std::string& path);
+
+}  // namespace ntadoc::compress
+
+#endif  // NTADOC_COMPRESS_FORMAT_H_

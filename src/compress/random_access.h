@@ -1,0 +1,65 @@
+// Random access into hierarchically-compressed data.
+//
+// The TADOC line of work includes efficient random access without full
+// decompression (Zhang et al., "Enabling Efficient Random Access to
+// Hierarchically-Compressed Data", ICDE 2020). This module provides that
+// capability for our grammars: a one-time index of per-rule expansion
+// lengths allows extracting any token range of any file in
+// O(grammar depth + range length), never expanding unrelated parts.
+
+#ifndef NTADOC_COMPRESS_RANDOM_ACCESS_H_
+#define NTADOC_COMPRESS_RANDOM_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/format.h"
+#include "util/status.h"
+
+namespace ntadoc::compress {
+
+/// Random-access reader over a compressed corpus. Construction is
+/// O(grammar size); every extraction afterwards touches only the rules
+/// on the path to the requested range.
+class RandomAccessReader {
+ public:
+  /// `corpus` must outlive the reader.
+  explicit RandomAccessReader(const CompressedCorpus* corpus);
+
+  /// Number of tokens in file `f`.
+  Result<uint64_t> FileLength(uint32_t file) const;
+
+  /// Extracts tokens [offset, offset+count) of file `file` without
+  /// expanding anything outside the range. Returns OutOfRange if the
+  /// range exceeds the file.
+  Result<std::vector<WordId>> ExtractTokens(uint32_t file, uint64_t offset,
+                                            uint64_t count) const;
+
+  /// Extracts the whole file.
+  Result<std::vector<WordId>> ExtractFile(uint32_t file) const;
+
+  /// Extracts a range and joins the spellings with single spaces.
+  Result<std::string> ExtractText(uint32_t file, uint64_t offset,
+                                  uint64_t count) const;
+
+  /// Expanded length of rule `r` (exposed for tests and the engines).
+  uint64_t RuleExpandedLength(uint32_t rule) const {
+    return rule_len_[rule];
+  }
+
+ private:
+  /// Appends tokens [skip, skip+want) of `symbols`' expansion to out.
+  void ExtractFromSpan(const std::vector<Symbol>& body, uint64_t begin,
+                       uint64_t end, uint64_t skip, uint64_t want,
+                       std::vector<WordId>* out) const;
+
+  const CompressedCorpus* corpus_;
+  std::vector<uint64_t> rule_len_;  // expansion length per rule
+  // Per file: (begin, end) span in the root body, and token length.
+  std::vector<std::pair<uint32_t, uint32_t>> segments_;
+  std::vector<uint64_t> file_len_;
+};
+
+}  // namespace ntadoc::compress
+
+#endif  // NTADOC_COMPRESS_RANDOM_ACCESS_H_

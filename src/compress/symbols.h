@@ -1,0 +1,54 @@
+// Symbol model of the TADOC grammar.
+//
+// After dictionary conversion, text is a stream of 32-bit symbols. A
+// symbol is either a word id or a rule reference (high bit set). Word id 0
+// is reserved for the file separator TADOC inserts at file boundaries so
+// that cross-file redundancy can be exploited while per-file results stay
+// recoverable; separators never participate in digrams, so they only ever
+// appear at the top level of the root rule.
+
+#ifndef NTADOC_COMPRESS_SYMBOLS_H_
+#define NTADOC_COMPRESS_SYMBOLS_H_
+
+#include <cstdint>
+
+namespace ntadoc::compress {
+
+/// Dictionary-assigned word identifier.
+using WordId = uint32_t;
+
+/// Grammar symbol: a word id, or a rule reference with the high bit set.
+using Symbol = uint32_t;
+
+/// High bit marks rule references.
+inline constexpr Symbol kRuleFlag = 0x80000000u;
+
+/// Reserved word id: file boundary separator.
+inline constexpr WordId kFileSepWord = 0;
+
+/// First id handed out for real words.
+inline constexpr WordId kFirstWordId = 1;
+
+/// True if `s` references a rule.
+inline constexpr bool IsRule(Symbol s) { return (s & kRuleFlag) != 0; }
+
+/// True if `s` is a word (including the file separator).
+inline constexpr bool IsWord(Symbol s) { return (s & kRuleFlag) == 0; }
+
+/// True if `s` is the file separator.
+inline constexpr bool IsFileSep(Symbol s) { return s == kFileSepWord; }
+
+/// Rule index of a rule symbol.
+inline constexpr uint32_t RuleIndex(Symbol s) { return s & ~kRuleFlag; }
+
+/// Rule symbol for rule index `idx`.
+inline constexpr Symbol MakeRuleSymbol(uint32_t idx) {
+  return idx | kRuleFlag;
+}
+
+/// Word symbol for word id `w` (identity; for readability).
+inline constexpr Symbol MakeWordSymbol(WordId w) { return w; }
+
+}  // namespace ntadoc::compress
+
+#endif  // NTADOC_COMPRESS_SYMBOLS_H_

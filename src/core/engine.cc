@@ -1,0 +1,1618 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/summation.h"
+#include "tadoc/canonical.h"
+#include "tadoc/epoch_counts.h"
+#include "tadoc/head_tail.h"
+#include "tadoc/windows.h"
+#include "util/dram_tracker.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ntadoc::core {
+
+using compress::IsFileSep;
+using compress::IsRule;
+using compress::IsWord;
+using compress::RuleIndex;
+using compress::Symbol;
+using compress::WordId;
+using tadoc::CanonicalSort;
+using tadoc::CanonicalTopK;
+using tadoc::MergeSortedCounts;
+using tadoc::NgramKeyHash;
+using tadoc::RankPostings;
+using tadoc::SortAndCombine;
+
+namespace {
+
+constexpr uint64_t kMarkerOffset = 0;
+constexpr uint64_t kMarkerSlot = 64;
+
+/// Pool-resident entry of a bottom-up word list.
+struct WordEntry {
+  uint32_t word;
+  uint32_t pad;
+  uint64_t count;
+};
+
+/// Pool-resident entry of a gram list (local windows or merged).
+struct GramEntry {
+  NgramKey key;
+  uint64_t count;
+};
+
+/// Descriptor of one growable pool list.
+struct ListMeta {
+  uint64_t off;
+  uint64_t capacity;  // in entries
+  uint64_t size;      // in entries
+};
+
+/// Descriptor of one immutable local-gram payload.
+struct GramMeta {
+  uint64_t off;
+  uint64_t count;
+};
+
+/// Durable traversal cursor (operation-level persistence).
+struct CursorSlot {
+  uint64_t magic;
+  uint64_t stage;  // 0 fresh, 1/2 strategy-specific, 3 done
+  uint64_t a;
+  uint64_t b;
+  uint64_t checksum;
+};
+constexpr uint64_t kCursorMagic = 0x4E54414443435253ULL;  // "NTADCCRS"
+
+uint64_t CursorChecksum(const CursorSlot& c) {
+  return Fnv1a64(&c, offsetof(CursorSlot, checksum));
+}
+
+/// Pool catalog: every offset needed to re-attach after a restart.
+struct Catalog {
+  uint64_t magic;
+  uint64_t signature;
+  uint64_t rule_meta_off;
+  uint64_t seg_meta_off;
+  uint64_t queue_off;
+  uint64_t indeg_off;
+  uint64_t word_status, word_keys, word_vals, word_cap;
+  uint64_t gram_status, gram_keys, gram_vals, gram_cap;
+  uint64_t ftbl_status, ftbl_keys, ftbl_vals, ftbl_cap;
+  uint64_t fgram_status, fgram_keys, fgram_vals, fgram_cap;
+  uint64_t word_list_meta_off;
+  uint64_t gram_list_meta_off;
+  uint64_t local_gram_meta_off;
+  uint64_t seg_gram_meta_off;
+  uint64_t cursor_off;
+  uint64_t pruned;
+  uint64_t checksum;
+};
+constexpr uint64_t kCatalogMagic = 0x4E5441444343544CULL;  // "NTADCCTL"
+
+uint64_t CatalogChecksum(const Catalog& c) {
+  return Fnv1a64(&c, offsetof(Catalog, checksum));
+}
+
+struct U32Hash {
+  size_t operator()(uint32_t v) const { return Mix64(v); }
+};
+
+using WordTable = NvmHashTable<uint32_t, uint64_t, U32Hash>;
+using GramTable = NvmHashTable<NgramKey, uint64_t, NgramKeyHash>;
+
+/// Direct-or-transactional writer for one traversal step.
+class StepWriter {
+ public:
+  StepWriter(nvm::NvmDevice* device, nvm::RedoLog* log)
+      : device_(device), log_(log) {}
+
+  bool transactional() const { return log_ != nullptr; }
+  nvm::RedoLog* log() { return log_; }
+
+  void Begin() {
+    if (log_ != nullptr) log_->Begin();
+  }
+
+  void Write(uint64_t off, const void* data, uint32_t len) {
+    if (log_ != nullptr) {
+      log_->Stage(off, data, len);
+    } else {
+      device_->WriteBytes(off, data, len);
+    }
+  }
+
+  template <typename T>
+  void WriteValue(uint64_t off, const T& v) {
+    Write(off, &v, sizeof(T));
+  }
+
+  Status Commit() { return log_ != nullptr ? log_->Commit() : Status::OK(); }
+
+ private:
+  nvm::NvmDevice* device_;
+  nvm::RedoLog* log_;
+};
+
+
+/// No-summation ablation: rebuilds a full table into a doubled
+/// allocation, paying the redundant NVM reads/writes Algorithm 2 avoids.
+template <typename Table>
+Status GrowTable(Table* table, nvm::NvmPool* pool, uint64_t* rebuilds) {
+  NTADOC_ASSIGN_OR_RETURN(Table bigger,
+                          Table::Create(pool, table->capacity()));
+  NTADOC_RETURN_IF_ERROR(table->RebuildInto(&bigger));
+  *table = bigger;
+  ++*rebuilds;
+  return Status::OK();
+}
+
+/// Writes one bottom-up list to its pool allocation. With summation the
+/// bound always holds and the list is written once, sequentially; in the
+/// ablation the list is appended incrementally with allocate-copy-grow
+/// reconstructions on overflow.
+template <typename Entry, typename Vec>
+Status WriteList(NvmVector<ListMeta>* metas, nvm::NvmPool* pool,
+                 nvm::NvmDevice* device, uint32_t r, const Vec& acc,
+                 StepWriter* writer, bool summation, uint64_t* rebuilds) {
+  auto make_entry = [](const auto& kv) {
+    if constexpr (std::is_same_v<Entry, WordEntry>) {
+      return WordEntry{kv.first, 0, kv.second};
+    } else {
+      return GramEntry{kv.first, kv.second};
+    }
+  };
+  ListMeta m = metas->Get(r);
+  if (acc.size() <= m.capacity) {
+    std::vector<Entry> buf;
+    buf.reserve(acc.size());
+    for (const auto& kv : acc) buf.push_back(make_entry(kv));
+    if (!buf.empty()) {
+      device->WriteBytes(m.off, buf.data(), buf.size() * sizeof(Entry));
+      if (writer->transactional()) {
+        // List data bypasses the redo log (large objects are written in
+        // place); it must be durable before the meta/cursor commit.
+        device->FlushRange(m.off, buf.size() * sizeof(Entry));
+        device->Drain();
+      }
+    }
+  } else {
+    if (summation) {
+      return Status::Internal("bottom-up summation bound violated for R" +
+                              std::to_string(r));
+    }
+    uint64_t cap = m.capacity;
+    uint64_t off = m.off;
+    if (cap == 0) {
+      cap = 8;
+      NTADOC_ASSIGN_OR_RETURN(off, pool->AllocArray<Entry>(cap));
+    }
+    uint64_t written = 0;
+    std::vector<Entry> tmp;
+    for (const auto& kv : acc) {
+      if (written == cap) {
+        const uint64_t new_cap = cap * 2;
+        NTADOC_ASSIGN_OR_RETURN(const nvm::PoolOffset new_off,
+                                pool->AllocArray<Entry>(new_cap));
+        tmp.resize(written);
+        device->ReadBytes(off, tmp.data(), written * sizeof(Entry));
+        device->WriteBytes(new_off, tmp.data(), written * sizeof(Entry));
+        off = new_off;
+        cap = new_cap;
+        ++*rebuilds;
+      }
+      const Entry e = make_entry(kv);
+      device->WriteBytes(off + written * sizeof(Entry), &e, sizeof(Entry));
+      ++written;
+    }
+    if (writer->transactional() && written > 0) {
+      device->FlushRange(off, written * sizeof(Entry));
+      device->Drain();
+    }
+    m.off = off;
+    m.capacity = cap;
+  }
+  m.size = acc.size();
+  writer->WriteValue(metas->ElementOffset(r), m);
+  return Status::OK();
+}
+
+/// Combines duplicate (id, freq) pairs (needed when pruning is disabled).
+void CombineEntries(std::vector<std::pair<uint32_t, uint32_t>>* v) {
+  std::sort(v->begin(), v->end());
+  size_t out = 0;
+  for (size_t i = 0; i < v->size();) {
+    size_t j = i;
+    uint64_t total = 0;
+    while (j < v->size() && (*v)[j].first == (*v)[i].first) {
+      total += (*v)[j].second;
+      ++j;
+    }
+    (*v)[out++] = {(*v)[i].first, static_cast<uint32_t>(total)};
+    i = j;
+  }
+  v->resize(out);
+}
+
+}  // namespace
+
+const char* PersistenceModeToString(PersistenceMode m) {
+  switch (m) {
+    case PersistenceMode::kNone:
+      return "none";
+    case PersistenceMode::kPhase:
+      return "phase-level";
+    case PersistenceMode::kOperation:
+      return "operation-level";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+struct NTadocEngine::State {
+  Task task = Task::kWordCount;
+  AnalyticsOptions opts;
+  TraversalStrategy strategy = TraversalStrategy::kTopDown;
+  uint64_t signature = 0;
+
+  std::optional<nvm::NvmPool> pool;
+  std::optional<nvm::RedoLog> log;
+
+  PrunedDag dag;
+  NvmVector<uint32_t> queue;
+  NvmVector<uint32_t> indeg;
+  WordTable word_table;       // global word counts
+  GramTable gram_table;       // global gram counts
+  WordTable file_table;       // shared per-file word counts
+  GramTable file_gram_table;  // shared per-file gram counts
+  NvmVector<ListMeta> word_list_meta;
+  NvmVector<ListMeta> gram_list_meta;
+  NvmVector<GramMeta> local_gram_meta;
+  NvmVector<GramMeta> seg_gram_meta;
+  uint64_t cursor_off = 0;
+
+  // Volatile traversal state (mirrored into the cursor in op mode).
+  uint64_t qhead = 0;
+  uint64_t qtail = 0;
+
+  // Pending table mutations of the current transaction.
+  WordTable::Pending word_pending;
+  GramTable::Pending gram_pending;
+
+  // Which structures this task uses.
+  bool use_queue = false;
+  bool use_word_table = false;
+  bool use_gram_table = false;
+  bool use_file_table = false;
+  bool use_file_gram_table = false;
+  bool use_word_lists = false;
+  bool use_gram_lists = false;
+  bool use_local_grams = false;
+
+  nvm::RedoLog* tx_log() { return log ? &*log : nullptr; }
+};
+
+namespace {
+
+/// Phase-level persistence at the end of the traversal phase: flush only
+/// the traversal-phase data (weights, working arrays, counters, lists) —
+/// the init-phase data was persisted at the init boundary already.
+template <typename StateT>
+void PersistTraversalState(nvm::NvmDevice* device, StateT* st) {
+  const uint32_t nr = st->dag.num_rules;
+  device->FlushRange(st->dag.rule_meta.offset(), nr * sizeof(RuleMeta));
+  if (st->use_queue) {
+    device->FlushRange(st->indeg.offset(), nr * sizeof(uint32_t));
+    device->FlushRange(st->queue.offset(), nr * sizeof(uint32_t));
+  }
+  auto flush_table = [&](const auto& t, auto key_tag, auto val_tag) {
+    device->FlushRange(t.status_offset(), t.capacity());
+    device->FlushRange(t.keys_offset(),
+                       t.capacity() * sizeof(decltype(key_tag)));
+    device->FlushRange(t.values_offset(),
+                       t.capacity() * sizeof(decltype(val_tag)));
+  };
+  if (st->use_word_table) {
+    flush_table(st->word_table, uint32_t{}, uint64_t{});
+  }
+  if (st->use_gram_table) {
+    flush_table(st->gram_table, NgramKey{}, uint64_t{});
+  }
+  if (st->use_file_table) {
+    flush_table(st->file_table, uint32_t{}, uint64_t{});
+  }
+  if (st->use_file_gram_table) {
+    flush_table(st->file_gram_table, NgramKey{}, uint64_t{});
+  }
+  if (st->use_word_lists) {
+    device->FlushRange(st->word_list_meta.offset(), nr * sizeof(ListMeta));
+    for (uint32_t r = 0; r < nr; ++r) {
+      const ListMeta m = st->word_list_meta.Get(r);
+      if (m.size > 0) device->FlushRange(m.off, m.size * sizeof(WordEntry));
+    }
+  }
+  if (st->use_gram_lists) {
+    device->FlushRange(st->gram_list_meta.offset(), nr * sizeof(ListMeta));
+    for (uint32_t r = 0; r < nr; ++r) {
+      const ListMeta m = st->gram_list_meta.Get(r);
+      if (m.size > 0) device->FlushRange(m.off, m.size * sizeof(GramEntry));
+    }
+  }
+  device->Drain();
+}
+
+/// Commits a step transaction; on a full log performs the group
+/// checkpoint (flush home state, truncate) and retries.
+template <typename StateT, typename Writer>
+Status CommitWithCheckpoint(nvm::NvmDevice* device, StateT* st,
+                            Writer* writer) {
+  Status s = writer->Commit();
+  if (s.code() != StatusCode::kResourceExhausted) return s;
+  PersistTraversalState(device, st);
+  device->FlushRange(st->cursor_off, 64);
+  device->Drain();
+  if (st->log) st->log->Truncate();
+  return writer->Commit();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / signature
+// ---------------------------------------------------------------------------
+
+NTadocEngine::NTadocEngine(const CompressedCorpus* corpus,
+                           nvm::NvmDevice* device, NTadocOptions options)
+    : corpus_(corpus), device_(device), options_(options) {
+  NTADOC_CHECK(corpus != nullptr);
+  NTADOC_CHECK(device != nullptr);
+}
+
+NTadocEngine::~NTadocEngine() = default;
+
+TraversalStrategy NTadocEngine::ResolveStrategy(Task task) const {
+  if (options_.traversal != TraversalStrategy::kAuto) {
+    return options_.traversal;
+  }
+  if (tadoc::IsPerFileTask(task) &&
+      corpus_->num_files() > options_.many_files_threshold) {
+    return TraversalStrategy::kBottomUp;
+  }
+  return TraversalStrategy::kTopDown;
+}
+
+namespace {
+
+uint64_t ComputeSignature(const CompressedCorpus& corpus, Task task,
+                          const AnalyticsOptions& opts,
+                          TraversalStrategy strategy,
+                          const NTadocOptions& options) {
+  uint64_t h = Mix64(static_cast<uint64_t>(task));
+  h = HashCombine(h, opts.ngram);
+  h = HashCombine(h, opts.top_k);
+  h = HashCombine(h, static_cast<uint64_t>(strategy));
+  h = HashCombine(h, static_cast<uint64_t>(options.persistence));
+  h = HashCombine(h, options.enable_pruning ? 1 : 0);
+  h = HashCombine(h, options.enable_summation ? 1 : 0);
+  h = HashCombine(h, corpus.grammar.NumRules());
+  h = HashCombine(h, corpus.grammar.num_files);
+  h = HashCombine(h, corpus.grammar.dict_size);
+  h = HashCombine(h, corpus.grammar.TotalSymbols());
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Persistence helpers
+// ---------------------------------------------------------------------------
+
+void NTadocEngine::CommitPhase(uint64_t phase) {
+  if (options_.persistence == PersistenceMode::kNone) return;
+  nvm::PhaseMarker marker(device_, kMarkerOffset);
+  marker.CommitPhase(phase);
+}
+
+Status NTadocEngine::MaybeInjectCrash(State* st) {
+  if (options_.crash_after_traversal_steps != 0 &&
+      run_info_.traversal_steps >= options_.crash_after_traversal_steps) {
+    device_->SimulateCrash();
+    return Status::Internal("injected crash after " +
+                            std::to_string(run_info_.traversal_steps) +
+                            " traversal steps");
+  }
+  (void)st;
+  return Status::OK();
+}
+
+namespace {
+
+/// Writes the durable cursor through the step writer.
+void StageCursor(StepWriter* w, uint64_t cursor_off, uint64_t stage,
+                 uint64_t a, uint64_t b) {
+  CursorSlot c{kCursorMagic, stage, a, b, 0};
+  c.checksum = CursorChecksum(c);
+  w->WriteValue(cursor_off, c);
+}
+
+/// Reads the cursor; stage 0 if torn/unwritten.
+CursorSlot ReadCursor(nvm::NvmDevice* device, uint64_t cursor_off) {
+  CursorSlot c = device->Read<CursorSlot>(cursor_off);
+  if (c.magic != kCursorMagic || c.checksum != CursorChecksum(c)) {
+    return CursorSlot{kCursorMagic, 0, 0, 0, 0};
+  }
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Initialization phase
+// ---------------------------------------------------------------------------
+
+Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
+                               State* st) {
+  const auto& grammar = corpus_->grammar;
+  st->task = task;
+  st->opts = opts;
+  st->strategy = ResolveStrategy(task);
+  st->signature =
+      ComputeSignature(*corpus_, task, opts, st->strategy, options_);
+
+  const bool seq = tadoc::IsSequenceTask(task);
+  const bool per_file = tadoc::IsPerFileTask(task);
+  const bool bottom_up = st->strategy == TraversalStrategy::kBottomUp;
+
+  st->use_local_grams = seq;
+  if (bottom_up) {
+    st->use_word_lists = !seq;
+    st->use_gram_lists = seq;
+    st->use_word_table = task == Task::kWordCount || task == Task::kSort;
+    st->use_gram_table = task == Task::kSequenceCount;
+  } else {
+    st->use_queue = !per_file;
+    st->use_word_table = task == Task::kWordCount || task == Task::kSort;
+    st->use_gram_table = task == Task::kSequenceCount;
+    st->use_file_table =
+        task == Task::kTermVector || task == Task::kInvertedIndex;
+    st->use_file_gram_table = task == Task::kRankedInvertedIndex;
+  }
+
+  const uint64_t pool_base =
+      kMarkerSlot + (options_.persistence == PersistenceMode::kOperation
+                         ? options_.redo_log_bytes
+                         : 0);
+  const uint64_t pool_size = device_->capacity() - pool_base;
+
+  // ---- Attach path: a completed, signature-matching init is reused ----
+  nvm::PhaseMarker marker(device_, kMarkerOffset);
+  const uint64_t committed = marker.LastCommittedPhase();
+  if (committed >= 1 && committed < 2) {
+    auto pool = nvm::NvmPool::Open(device_, pool_base);
+    if (pool.ok()) {
+      st->pool.emplace(std::move(pool).value());
+      const uint64_t catalog_off = pool_base + 64;  // first allocation
+      const Catalog cat = device_->Read<Catalog>(catalog_off);
+      if (cat.magic == kCatalogMagic &&
+          cat.checksum == CatalogChecksum(cat) &&
+          cat.signature == st->signature) {
+        const uint32_t nr = grammar.NumRules();
+        const uint32_t nf = grammar.num_files;
+        st->dag.pruned = cat.pruned != 0;
+        st->dag.num_rules = nr;
+        st->dag.num_files = nf;
+        st->dag.layout_order = grammar.TopologicalOrder();
+        st->dag.rule_meta = NvmVector<RuleMeta>::Attach(
+            &*st->pool, cat.rule_meta_off, nr, nr);
+        st->dag.seg_meta = NvmVector<SegmentMeta>::Attach(
+            &*st->pool, cat.seg_meta_off, nf, nf);
+        if (st->use_queue) {
+          st->queue =
+              NvmVector<uint32_t>::Attach(&*st->pool, cat.queue_off, nr, nr);
+          st->indeg =
+              NvmVector<uint32_t>::Attach(&*st->pool, cat.indeg_off, nr, nr);
+        }
+        if (st->use_word_table) {
+          st->word_table = WordTable::Attach(&*st->pool, cat.word_status,
+                                             cat.word_keys, cat.word_vals,
+                                             cat.word_cap);
+        }
+        if (st->use_gram_table) {
+          st->gram_table = GramTable::Attach(&*st->pool, cat.gram_status,
+                                             cat.gram_keys, cat.gram_vals,
+                                             cat.gram_cap);
+        }
+        if (st->use_file_table) {
+          st->file_table = WordTable::Attach(&*st->pool, cat.ftbl_status,
+                                             cat.ftbl_keys, cat.ftbl_vals,
+                                             cat.ftbl_cap);
+        }
+        if (st->use_file_gram_table) {
+          st->file_gram_table = GramTable::Attach(
+              &*st->pool, cat.fgram_status, cat.fgram_keys, cat.fgram_vals,
+              cat.fgram_cap);
+        }
+        if (st->use_word_lists) {
+          st->word_list_meta = NvmVector<ListMeta>::Attach(
+              &*st->pool, cat.word_list_meta_off, nr, nr);
+        }
+        if (st->use_gram_lists) {
+          st->gram_list_meta = NvmVector<ListMeta>::Attach(
+              &*st->pool, cat.gram_list_meta_off, nr, nr);
+        }
+        if (st->use_local_grams) {
+          st->local_gram_meta = NvmVector<GramMeta>::Attach(
+              &*st->pool, cat.local_gram_meta_off, nr, nr);
+          st->seg_gram_meta = NvmVector<GramMeta>::Attach(
+              &*st->pool, cat.seg_gram_meta_off, nf, nf);
+        }
+        st->cursor_off = cat.cursor_off;
+        if (options_.persistence == PersistenceMode::kOperation) {
+          NTADOC_ASSIGN_OR_RETURN(auto log,
+                                  nvm::RedoLog::Open(device_, kMarkerSlot));
+          st->log.emplace(std::move(log));
+          NTADOC_ASSIGN_OR_RETURN(const uint64_t replayed,
+                                  st->log->Recover());
+          (void)replayed;
+        }
+        run_info_.init_phase_reused = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  // ---- Fresh initialization ----
+  // Reading the compressed container from the source disk (the paper
+  // times dataset loading; N-TADOC reads the compressed representation).
+  {
+    uint64_t container_bytes =
+        grammar.TotalSymbols() * sizeof(Symbol) + 16 * grammar.NumRules();
+    for (compress::WordId w = 0; w < corpus_->dict.size(); ++w) {
+      container_bytes += corpus_->dict.Spell(w).size() + 4;
+    }
+    device_->clock().Charge(static_cast<uint64_t>(
+        container_bytes * nvm::kSourceDiskNsPerByte));
+  }
+  marker.Format();
+  if (options_.persistence == PersistenceMode::kOperation) {
+    NTADOC_ASSIGN_OR_RETURN(
+        auto log,
+        nvm::RedoLog::Create(device_, kMarkerSlot, options_.redo_log_bytes));
+    st->log.emplace(std::move(log));
+  }
+  NTADOC_ASSIGN_OR_RETURN(auto pool,
+                          nvm::NvmPool::Create(device_, pool_base, pool_size));
+  st->pool.emplace(std::move(pool));
+
+  Catalog cat{};
+  cat.magic = kCatalogMagic;
+  cat.signature = st->signature;
+  cat.pruned = options_.enable_pruning ? 1 : 0;
+  NTADOC_ASSIGN_OR_RETURN(const uint64_t catalog_off,
+                          st->pool->Alloc(sizeof(Catalog), 64));
+
+  // Pruning with NVM pool management (Algorithm 1).
+  NTADOC_ASSIGN_OR_RETURN(
+      st->dag, BuildPrunedDag(grammar, &*st->pool, options_.enable_pruning,
+                              &run_info_.prune));
+  cat.rule_meta_off = st->dag.rule_meta.offset();
+  cat.seg_meta_off = st->dag.seg_meta.offset();
+
+  const uint32_t nr = grammar.NumRules();
+  const uint32_t nf = grammar.num_files;
+
+  // Host-side adjacency and per-rule item counts for the estimator.
+  DagChildren children(nr);
+  std::vector<uint64_t> own_words(nr, 0);
+  std::vector<uint64_t> own_len(nr, 0);  // occurrences, not distinct
+  for (uint32_t r = 1; r < nr; ++r) {
+    const DecodedPayload p = ReadRulePayload(st->dag, &*st->pool, r);
+    children[r] = p.subrules;
+    if (!st->dag.pruned) CombineEntries(&children[r]);
+    // Distinct own words (pruned payloads are already unique).
+    if (st->dag.pruned) {
+      own_words[r] = p.words.size();
+      for (const auto& [w, f] : p.words) {
+        (void)w;
+        own_len[r] += f;
+      }
+    } else {
+      auto w = p.words;
+      own_len[r] = w.size();
+      CombineEntries(&w);
+      own_words[r] = w.size();
+    }
+  }
+
+  // Expansion lengths (occurrence counts), children first: a structure
+  // can never hold more entries than the expansion has tokens, so these
+  // sharpen the distinct-item bounds below.
+  std::vector<uint64_t> explen(nr, 0);
+  for (auto it = st->dag.layout_order.rbegin();
+       it != st->dag.layout_order.rend(); ++it) {
+    const uint32_t r = *it;
+    if (r == 0) continue;
+    explen[r] = own_len[r];
+    for (const auto& [child, freq] : children[r]) {
+      explen[r] += explen[child] * freq;
+    }
+  }
+
+  // Bottom-up summation (Algorithm 2): distinct-word upper bounds,
+  // capped by the expansion length and the dictionary size.
+  std::vector<uint64_t> word_ub = BottomUpSummation(children, own_words);
+  for (uint32_t r = 0; r < nr; ++r) {
+    word_ub[r] = std::min<uint64_t>(
+        std::min<uint64_t>(word_ub[r], grammar.dict_size),
+        r == 0 ? word_ub[r] : std::max<uint64_t>(explen[r], 1));
+  }
+
+  // Segment bounds, capped by the segment's expansion length.
+  std::vector<uint64_t> seg_word_ub(nf, 0);
+  std::vector<uint64_t> seg_explen(nf, 0);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> seg_children(nf);
+  for (uint32_t f = 0; f < nf; ++f) {
+    DecodedPayload p = ReadSegmentPayload(st->dag, &*st->pool, f);
+    if (!st->dag.pruned) {
+      CombineEntries(&p.subrules);
+      CombineEntries(&p.words);
+    }
+    seg_children[f] = p.subrules;
+    uint64_t own = 0;
+    for (const auto& [w, freq] : p.words) {
+      (void)w;
+      own += freq;
+    }
+    seg_explen[f] = own;
+    for (const auto& [child, freq] : p.subrules) {
+      seg_explen[f] += explen[child] * freq;
+    }
+    seg_word_ub[f] = std::min<uint64_t>(
+        std::min<uint64_t>(
+            SpanUpperBound(p.subrules, p.words.size(), word_ub),
+            grammar.dict_size),
+        std::max<uint64_t>(seg_explen[f], 1));
+  }
+
+  // Sequence support: local boundary windows per rule / segment, stored
+  // as pool payloads (order information preserved via head/tail
+  // preprocessing — Section IV-D).
+  std::vector<uint64_t> gram_ub;
+  if (st->use_local_grams) {
+    const tadoc::HeadTailTable ht =
+        tadoc::HeadTailTable::Build(grammar, opts.ngram);
+    tadoc::WindowScanner scanner(&ht, opts.ngram);
+    NTADOC_ASSIGN_OR_RETURN(st->local_gram_meta,
+                            NvmVector<GramMeta>::Create(&*st->pool, nr));
+    st->local_gram_meta.Resize(nr);
+    NTADOC_ASSIGN_OR_RETURN(st->seg_gram_meta,
+                            NvmVector<GramMeta>::Create(&*st->pool, nf));
+    st->seg_gram_meta.Resize(nf);
+    std::vector<uint64_t> own_grams(nr, 0);
+
+    auto write_local = [&](std::span<const Symbol> seq)
+        -> Result<std::pair<uint64_t, uint64_t>> {
+      std::vector<std::pair<NgramKey, uint64_t>> local;
+      scanner.Scan(seq, [&](const NgramKey& k) { local.emplace_back(k, 1); });
+      SortAndCombine(&local);
+      NTADOC_ASSIGN_OR_RETURN(
+          const nvm::PoolOffset off,
+          st->pool->template AllocArray<GramEntry>(local.size()));
+      for (size_t i = 0; i < local.size(); ++i) {
+        const GramEntry e{local[i].first, local[i].second};
+        device_->WriteBytes(off + i * sizeof(GramEntry), &e, sizeof(e));
+      }
+      return std::make_pair(static_cast<uint64_t>(off),
+                            static_cast<uint64_t>(local.size()));
+    };
+
+    for (uint32_t r : st->dag.layout_order) {
+      if (r == 0) continue;
+      NTADOC_ASSIGN_OR_RETURN(const auto loc, write_local(grammar.rules[r]));
+      st->local_gram_meta.Set(r, GramMeta{loc.first, loc.second});
+      own_grams[r] = loc.second;
+    }
+    // Root segments.
+    const auto& root = grammar.rules[0];
+    uint32_t begin = 0;
+    uint32_t f = 0;
+    for (uint32_t i = 0; i < root.size(); ++i) {
+      if (IsWord(root[i]) && IsFileSep(root[i])) {
+        NTADOC_ASSIGN_OR_RETURN(
+            const auto loc,
+            write_local(std::span<const Symbol>(root.data() + begin,
+                                                i - begin)));
+        st->seg_gram_meta.Set(f, GramMeta{loc.first, loc.second});
+        begin = i + 1;
+        ++f;
+      }
+    }
+    cat.local_gram_meta_off = st->local_gram_meta.offset();
+    cat.seg_gram_meta_off = st->seg_gram_meta.offset();
+    gram_ub = BottomUpSummation(children, own_grams);
+    for (uint32_t r = 1; r < nr; ++r) {
+      gram_ub[r] = std::min<uint64_t>(gram_ub[r],
+                                      std::max<uint64_t>(explen[r], 1));
+    }
+  }
+
+  // Traversal structures, allocated once at their estimated bounds.
+  if (st->use_queue) {
+    NTADOC_ASSIGN_OR_RETURN(st->queue,
+                            NvmVector<uint32_t>::Create(&*st->pool, nr));
+    st->queue.Resize(nr);
+    NTADOC_ASSIGN_OR_RETURN(st->indeg,
+                            NvmVector<uint32_t>::Create(&*st->pool, nr));
+    st->indeg.Resize(nr);
+    cat.queue_off = st->queue.offset();
+    cat.indeg_off = st->indeg.offset();
+  }
+
+  const uint64_t small = options_.enable_summation ? 0 : 8;
+  uint64_t total_tokens = 0;
+  for (uint64_t e : seg_explen) total_tokens += e;
+
+  // Tight per-file bound: sum of per-rule item counts over the file's
+  // *reachable rule set* (a rule contributes distinct items once, no
+  // matter how often it occurs).
+  std::vector<uint8_t> reach_seen(nr, 0);
+  uint64_t reach_epoch_guard = 0;
+  (void)reach_epoch_guard;
+  auto reachable_sum =
+      [&](const std::vector<std::pair<uint32_t, uint32_t>>& roots,
+          const std::vector<uint64_t>& own) {
+        std::vector<uint32_t> stack;
+        std::vector<uint32_t> visited;
+        uint64_t total = 0;
+        for (const auto& [c, f] : roots) {
+          (void)f;
+          if (!reach_seen[c]) {
+            reach_seen[c] = 1;
+            stack.push_back(c);
+            visited.push_back(c);
+          }
+        }
+        while (!stack.empty()) {
+          const uint32_t r = stack.back();
+          stack.pop_back();
+          total += own[r];
+          for (const auto& [c, f] : children[r]) {
+            (void)f;
+            if (!reach_seen[c]) {
+              reach_seen[c] = 1;
+              stack.push_back(c);
+              visited.push_back(c);
+            }
+          }
+        }
+        for (uint32_t v : visited) reach_seen[v] = 0;
+        return total;
+      };
+  if (st->use_word_table) {
+    uint64_t expected = 0;
+    for (uint64_t ub : seg_word_ub) expected += ub;
+    expected = std::min<uint64_t>(
+        std::min<uint64_t>(expected, grammar.dict_size), total_tokens);
+    NTADOC_ASSIGN_OR_RETURN(
+        st->word_table,
+        WordTable::Create(&*st->pool, small ? small : expected));
+    cat.word_status = st->word_table.status_offset();
+    cat.word_keys = st->word_table.keys_offset();
+    cat.word_vals = st->word_table.values_offset();
+    cat.word_cap = st->word_table.capacity();
+  }
+  if (st->use_gram_table) {
+    uint64_t expected = 0;
+    for (uint32_t r = 1; r < nr; ++r) {
+      expected += st->local_gram_meta.Get(r).count;
+    }
+    for (uint32_t f = 0; f < nf; ++f) {
+      expected += st->seg_gram_meta.Get(f).count;
+    }
+    expected = std::min<uint64_t>(expected, total_tokens);
+    NTADOC_ASSIGN_OR_RETURN(
+        st->gram_table,
+        GramTable::Create(&*st->pool, small ? small : expected));
+    cat.gram_status = st->gram_table.status_offset();
+    cat.gram_keys = st->gram_table.keys_offset();
+    cat.gram_vals = st->gram_table.values_offset();
+    cat.gram_cap = st->gram_table.capacity();
+  }
+  if (st->use_file_table) {
+    uint64_t expected = 0;
+    for (uint32_t f = 0; f < nf; ++f) {
+      DecodedPayload p = ReadSegmentPayload(st->dag, &*st->pool, f);
+      if (!st->dag.pruned) {
+        CombineEntries(&p.subrules);
+        CombineEntries(&p.words);
+      }
+      const uint64_t file_bound = std::min<uint64_t>(
+          std::min<uint64_t>(
+              reachable_sum(p.subrules, own_words) + p.words.size(),
+              seg_word_ub[f]),
+          std::max<uint64_t>(seg_explen[f], 1));
+      expected = std::max(expected, file_bound);
+    }
+    NTADOC_ASSIGN_OR_RETURN(
+        st->file_table,
+        WordTable::Create(&*st->pool, small ? small : expected));
+    cat.ftbl_status = st->file_table.status_offset();
+    cat.ftbl_keys = st->file_table.keys_offset();
+    cat.ftbl_vals = st->file_table.values_offset();
+    cat.ftbl_cap = st->file_table.capacity();
+  }
+  if (st->use_file_gram_table) {
+    std::vector<uint64_t> own_grams_counts(nr, 0);
+    for (uint32_t r = 1; r < nr; ++r) {
+      own_grams_counts[r] = st->local_gram_meta.Get(r).count;
+    }
+    uint64_t expected = 0;
+    for (uint32_t f = 0; f < nf; ++f) {
+      const uint64_t file_bound = std::min<uint64_t>(
+          reachable_sum(seg_children[f], own_grams_counts) +
+              st->seg_gram_meta.Get(f).count,
+          std::max<uint64_t>(seg_explen[f], 1));
+      expected = std::max(expected, file_bound);
+    }
+    NTADOC_ASSIGN_OR_RETURN(
+        st->file_gram_table,
+        GramTable::Create(&*st->pool, small ? small : expected));
+    cat.fgram_status = st->file_gram_table.status_offset();
+    cat.fgram_keys = st->file_gram_table.keys_offset();
+    cat.fgram_vals = st->file_gram_table.values_offset();
+    cat.fgram_cap = st->file_gram_table.capacity();
+  }
+  if (st->use_word_lists) {
+    NTADOC_ASSIGN_OR_RETURN(st->word_list_meta,
+                            NvmVector<ListMeta>::Create(&*st->pool, nr));
+    st->word_list_meta.Resize(nr);
+    for (uint32_t r = 0; r < nr; ++r) {
+      const uint64_t capn =
+          r == 0 ? 0
+                 : (options_.enable_summation
+                        ? word_ub[r]
+                        : std::min<uint64_t>(8, std::max<uint64_t>(
+                                                    1, word_ub[r])));
+      nvm::PoolOffset off = nvm::kNullPoolOffset;
+      if (capn > 0) {
+        NTADOC_ASSIGN_OR_RETURN(
+            off, st->pool->template AllocArray<WordEntry>(capn));
+      }
+      st->word_list_meta.Set(r, ListMeta{off, capn, 0});
+    }
+    cat.word_list_meta_off = st->word_list_meta.offset();
+  }
+  if (st->use_gram_lists) {
+    NTADOC_ASSIGN_OR_RETURN(st->gram_list_meta,
+                            NvmVector<ListMeta>::Create(&*st->pool, nr));
+    st->gram_list_meta.Resize(nr);
+    for (uint32_t r = 0; r < nr; ++r) {
+      const uint64_t capn =
+          r == 0 ? 0
+                 : (options_.enable_summation
+                        ? gram_ub[r]
+                        : std::min<uint64_t>(8, std::max<uint64_t>(
+                                                    1, gram_ub[r])));
+      nvm::PoolOffset off = nvm::kNullPoolOffset;
+      if (capn > 0) {
+        NTADOC_ASSIGN_OR_RETURN(
+            off, st->pool->template AllocArray<GramEntry>(capn));
+      }
+      st->gram_list_meta.Set(r, ListMeta{off, capn, 0});
+    }
+    cat.gram_list_meta_off = st->gram_list_meta.offset();
+  }
+
+  NTADOC_ASSIGN_OR_RETURN(st->cursor_off,
+                          st->pool->Alloc(sizeof(CursorSlot), 64));
+  cat.cursor_off = st->cursor_off;
+  CursorSlot fresh{kCursorMagic, 0, 0, 0, 0};
+  fresh.checksum = CursorChecksum(fresh);
+  device_->Write(st->cursor_off, fresh);
+
+  cat.checksum = CatalogChecksum(cat);
+  device_->Write(catalog_off, cat);
+
+  if (options_.crash_in_init) {
+    device_->SimulateCrash();
+    return Status::Internal("injected crash during initialization");
+  }
+
+  // Phase boundary: persist everything written so far, then the marker.
+  if (options_.persistence != PersistenceMode::kNone) {
+    st->pool->PersistAll();
+    CommitPhase(1);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Traversal phase
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reads a bottom-up list back into a host vector.
+template <typename Entry, typename Vec>
+void ReadList(nvm::NvmDevice* device, const ListMeta& m, Vec* out) {
+  out->resize(m.size);
+  std::vector<Entry> buf(m.size);
+  if (m.size > 0) {
+    device->ReadBytes(m.off, buf.data(), m.size * sizeof(Entry));
+  }
+  for (uint64_t i = 0; i < m.size; ++i) {
+    if constexpr (std::is_same_v<Entry, WordEntry>) {
+      (*out)[i] = {buf[i].word, buf[i].count};
+    } else {
+      (*out)[i] = {buf[i].key, buf[i].count};
+    }
+  }
+}
+
+}  // namespace
+
+Result<AnalyticsOutput> NTadocEngine::TraversalPhase(
+    Task task, const AnalyticsOptions& opts, State* st) {
+  if (st->strategy == TraversalStrategy::kBottomUp) {
+    return BottomUp(task, opts, st);
+  }
+  if (tadoc::IsPerFileTask(task)) {
+    return TopDownPerFile(task, opts, st);
+  }
+  return TopDownGlobal(task, opts, st);
+}
+
+Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
+    Task task, const AnalyticsOptions& opts, State* st) {
+  (void)opts;  // global tasks take no task parameters beyond the defaults
+  const uint32_t nr = st->dag.num_rules;
+  const uint32_t nf = st->dag.num_files;
+  const bool op = options_.persistence == PersistenceMode::kOperation;
+  StepWriter writer(device_, op ? st->tx_log() : nullptr);
+
+  // Resume point (operation level) or fresh working state.
+  CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
+                      : CursorSlot{kCursorMagic, 0, 0, 0, 0};
+  if (cur.stage == 3) cur.stage = 0;  // stale completed run: start over
+  uint64_t seg_start = 0;
+  if (cur.stage == 0) {
+    // Working state: in-degrees from metadata, weights zeroed, counters
+    // cleared, queue empty (phase isolation: traversal-phase data is
+    // rebuilt from init-phase data).
+    for (uint32_t r = 0; r < nr; ++r) {
+      RuleMeta m = st->dag.rule_meta.Get(r);
+      st->indeg.Set(r, m.in_degree);
+      if (m.weight != 0) {
+        m.weight = 0;
+        st->dag.rule_meta.Set(r, m);
+      }
+    }
+    if (st->use_word_table) st->word_table.Clear();
+    if (st->use_gram_table) st->gram_table.Clear();
+    st->qhead = st->qtail = 0;
+    if (op) {
+      // The reset must be durable before the cursor says "stage 1", or a
+      // crash would resume against rolled-back working state.
+      device_->FlushRange(st->indeg.offset(), nr * sizeof(uint32_t));
+      device_->FlushRange(st->dag.rule_meta.offset(), nr * sizeof(RuleMeta));
+      if (st->use_word_table) st->word_table.Persist();
+      if (st->use_gram_table) st->gram_table.Persist();
+      device_->Drain();
+      writer.Begin();
+      StageCursor(&writer, st->cursor_off, 1, 0, 0);
+      NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    }
+  } else if (cur.stage == 1) {
+    seg_start = cur.a;
+    st->qhead = 0;
+    st->qtail = cur.b;
+    run_info_.resumed_at_step = cur.a;
+  } else if (cur.stage == 2) {
+    seg_start = nf;
+    st->qhead = cur.a;
+    st->qtail = cur.b;
+    run_info_.resumed_at_step = cur.a;
+  }
+
+  const uint64_t weight_field = offsetof(RuleMeta, weight);
+
+  // One traversal step: apply a payload's edges with multiplier `wr`.
+  auto apply_edges = [&](const DecodedPayload& payload, uint64_t wr,
+                         StepWriter* w) -> Status {
+    auto subs = payload.subrules;
+    if (!st->dag.pruned) CombineEntries(&subs);
+    for (const auto& [child, freq] : subs) {
+      const RuleMeta cm = st->dag.rule_meta.Get(child);
+      const uint64_t new_weight = cm.weight + wr * freq;
+      w->WriteValue(st->dag.rule_meta.ElementOffset(child) + weight_field,
+                    new_weight);
+      const uint32_t dec = st->dag.pruned ? 1u : freq;
+      const uint32_t in = st->indeg.Get(child);
+      NTADOC_CHECK_GE(in, dec);
+      w->WriteValue(st->indeg.ElementOffset(child), in - dec);
+      if (in - dec == 0) {
+        w->WriteValue(st->queue.ElementOffset(st->qtail),
+                      static_cast<uint32_t>(child));
+        ++st->qtail;
+      }
+    }
+    return Status::OK();
+  };
+
+  auto add_words = [&](const DecodedPayload& payload, uint64_t wr,
+                       StepWriter* w) -> Status {
+    if (!st->use_word_table) return Status::OK();
+    auto words = payload.words;
+    if (!st->dag.pruned) CombineEntries(&words);
+    for (const auto& [word, freq] : words) {
+      Status s;
+      if (w->transactional()) {
+        s = st->word_table.AddDeltaTx(word, wr * freq, w->log(),
+                                      &st->word_pending);
+      } else {
+        s = st->word_table.AddDelta(word, wr * freq);
+      }
+      if (!s.ok()) {
+        NTADOC_RETURN_IF_ERROR(GrowTable(&st->word_table, &*st->pool,
+                                          &run_info_.counter_rebuilds));
+        NTADOC_RETURN_IF_ERROR(st->word_table.AddDelta(word, wr * freq));
+      }
+    }
+    return Status::OK();
+  };
+
+  auto add_grams = [&](const GramMeta& gm, uint64_t wr,
+                       StepWriter* w) -> Status {
+    if (!st->use_gram_table || gm.count == 0) return Status::OK();
+    std::vector<GramEntry> buf(gm.count);
+    device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
+    for (const auto& e : buf) {
+      Status s;
+      if (w->transactional()) {
+        s = st->gram_table.AddDeltaTx(e.key, wr * e.count, w->log(),
+                                      &st->gram_pending);
+      } else {
+        s = st->gram_table.AddDelta(e.key, wr * e.count);
+      }
+      if (!s.ok()) {
+        NTADOC_RETURN_IF_ERROR(GrowTable(&st->gram_table, &*st->pool,
+                                          &run_info_.counter_rebuilds));
+        NTADOC_RETURN_IF_ERROR(st->gram_table.AddDelta(e.key, wr * e.count));
+      }
+    }
+    return Status::OK();
+  };
+
+  // Stage 1: seed from the root's file segments (weight 1 each).
+  for (uint64_t f = seg_start; f < nf; ++f) {
+    writer.Begin();
+    st->word_pending.Clear();
+    st->gram_pending.Clear();
+    const DecodedPayload payload =
+        ReadSegmentPayload(st->dag, &*st->pool, static_cast<uint32_t>(f));
+    NTADOC_RETURN_IF_ERROR(apply_edges(payload, 1, &writer));
+    NTADOC_RETURN_IF_ERROR(add_words(payload, 1, &writer));
+    if (st->use_gram_table) {
+      NTADOC_RETURN_IF_ERROR(add_grams(
+          st->seg_gram_meta.Get(static_cast<uint32_t>(f)), 1, &writer));
+    }
+    if (op) StageCursor(&writer, st->cursor_off, 1, f + 1, st->qtail);
+    ++run_info_.traversal_steps;
+    NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+  }
+
+  // Stage 2: Kahn queue over the pruned DAG.
+  while (st->qhead < st->qtail) {
+    writer.Begin();
+    st->word_pending.Clear();
+    st->gram_pending.Clear();
+    const uint32_t r = st->queue.Get(st->qhead);
+    ++st->qhead;
+    const uint64_t wr = st->dag.rule_meta.Get(r).weight;
+    const DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
+    NTADOC_RETURN_IF_ERROR(apply_edges(payload, wr, &writer));
+    NTADOC_RETURN_IF_ERROR(add_words(payload, wr, &writer));
+    if (st->use_gram_table) {
+      NTADOC_RETURN_IF_ERROR(add_grams(st->local_gram_meta.Get(r), wr,
+                                       &writer));
+    }
+    if (op) StageCursor(&writer, st->cursor_off, 2, st->qhead, st->qtail);
+    ++run_info_.traversal_steps;
+    NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+  }
+
+  // Results.
+  AnalyticsOutput out;
+  out.task = task;
+  if (task == Task::kWordCount || task == Task::kSort) {
+    tadoc::WordCountResult counts;
+    st->word_table.Extract(&counts);
+    std::sort(counts.begin(), counts.end());
+    if (task == Task::kSort) {
+      out.sorted_words = CanonicalSort(counts, corpus_->dict);
+    } else {
+      out.word_counts = std::move(counts);
+    }
+  } else {  // sequence count
+    std::vector<std::pair<NgramKey, uint64_t>> counts;
+    st->gram_table.Extract(&counts);
+    std::sort(counts.begin(), counts.end());
+    out.sequence_counts = std::move(counts);
+  }
+
+  // Phase boundary.
+  if (op) {
+    writer.Begin();
+    StageCursor(&writer, st->cursor_off, 3, 0, 0);
+    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+  } else if (options_.persistence == PersistenceMode::kPhase) {
+    PersistTraversalState(device_, st);
+  }
+  CommitPhase(2);
+  return out;
+}
+
+Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
+    Task task, const AnalyticsOptions& opts, State* st) {
+  const uint32_t nf = st->dag.num_files;
+  const bool rii = task == Task::kRankedInvertedIndex;
+  AnalyticsOutput out;
+  out.task = task;
+  if (task == Task::kTermVector) out.term_vectors.resize(nf);
+  std::vector<std::vector<uint32_t>> postings;
+  if (task == Task::kInvertedIndex) {
+    postings.resize(corpus_->grammar.dict_size);
+  }
+  std::unordered_map<NgramKey, uint32_t, NgramKeyHash> gram_slot;
+  std::vector<NgramKey> gram_keys;
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> gram_postings;
+
+  // Per-file top-down traversal: rule weights live in the pool-resident
+  // metadata (the paper's "weight of the rule"), so every file walks the
+  // whole DAG on NVM — zeroing, seeding and propagating weights rule by
+  // rule. This is exactly why top-down degrades with many files
+  // (Section VI-E). Per-file counters live in the shared pool table,
+  // cleared per file (a restarted file is idempotent).
+  const uint64_t weight_field = offsetof(RuleMeta, weight);
+  auto read_weight = [&](uint32_t r) {
+    return device_->Read<uint64_t>(st->dag.rule_meta.ElementOffset(r) +
+                                   weight_field);
+  };
+  auto write_weight = [&](uint32_t r, uint64_t w) {
+    device_->Write(st->dag.rule_meta.ElementOffset(r) + weight_field, w);
+  };
+
+  for (uint32_t f = 0; f < nf; ++f) {
+    // Zero the weights of every rule for this file's walk.
+    for (uint32_t r : st->dag.layout_order) {
+      if (r != 0 && read_weight(r) != 0) write_weight(r, 0);
+    }
+    if (rii) {
+      st->file_gram_table.Clear();
+    } else {
+      st->file_table.Clear();
+    }
+
+    auto add_word = [&](uint32_t word, uint64_t delta) -> Status {
+      Status s = st->file_table.AddDelta(word, delta);
+      if (!s.ok()) {
+        NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_table, &*st->pool,
+                                          &run_info_.counter_rebuilds));
+        NTADOC_RETURN_IF_ERROR(st->file_table.AddDelta(word, delta));
+      }
+      return Status::OK();
+    };
+    auto add_gram_payload = [&](const GramMeta& gm,
+                                uint64_t wr) -> Status {
+      if (gm.count == 0) return Status::OK();
+      std::vector<GramEntry> buf(gm.count);
+      device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
+      for (const auto& e : buf) {
+        Status s = st->file_gram_table.AddDelta(e.key, wr * e.count);
+        if (!s.ok()) {
+          NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_gram_table, &*st->pool,
+                                            &run_info_.counter_rebuilds));
+          NTADOC_RETURN_IF_ERROR(
+              st->file_gram_table.AddDelta(e.key, wr * e.count));
+        }
+      }
+      return Status::OK();
+    };
+
+    // Seed from the file's segment.
+    DecodedPayload seg = ReadSegmentPayload(st->dag, &*st->pool, f);
+    if (!st->dag.pruned) {
+      CombineEntries(&seg.subrules);
+      CombineEntries(&seg.words);
+    }
+    for (const auto& [child, freq] : seg.subrules) {
+      write_weight(child, read_weight(child) + freq);
+    }
+    if (rii) {
+      NTADOC_RETURN_IF_ERROR(add_gram_payload(st->seg_gram_meta.Get(f), 1));
+    } else {
+      for (const auto& [word, freq] : seg.words) {
+        NTADOC_RETURN_IF_ERROR(add_word(word, freq));
+      }
+    }
+
+    // Propagate through the DAG in layout (topological) order; every
+    // rule's weight is checked on NVM whether it participates or not.
+    for (uint32_t r : st->dag.layout_order) {
+      if (r == 0) continue;
+      const uint64_t w = read_weight(r);
+      if (w == 0) continue;
+      DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
+      if (!st->dag.pruned) {
+        CombineEntries(&payload.subrules);
+        CombineEntries(&payload.words);
+      }
+      for (const auto& [child, freq] : payload.subrules) {
+        write_weight(child, read_weight(child) + w * freq);
+      }
+      if (rii) {
+        NTADOC_RETURN_IF_ERROR(
+            add_gram_payload(st->local_gram_meta.Get(r), w));
+      } else {
+        for (const auto& [word, freq] : payload.words) {
+          NTADOC_RETURN_IF_ERROR(add_word(word, w * freq));
+        }
+      }
+    }
+
+    // Harvest this file's results.
+    if (task == Task::kTermVector) {
+      tadoc::WordCountResult counts;
+      st->file_table.Extract(&counts);
+      out.term_vectors[f] = CanonicalTopK(std::move(counts), opts.top_k);
+    } else if (task == Task::kInvertedIndex) {
+      tadoc::WordCountResult counts;
+      st->file_table.Extract(&counts);
+      std::sort(counts.begin(), counts.end());
+      for (const auto& [w, c] : counts) {
+        if (c != 0) postings[w].push_back(f);
+      }
+    } else {
+      std::vector<std::pair<NgramKey, uint64_t>> counts;
+      st->file_gram_table.Extract(&counts);
+      std::sort(counts.begin(), counts.end());
+      for (const auto& [k, c] : counts) {
+        if (c == 0) continue;
+        auto [it, inserted] = gram_slot.try_emplace(
+            k, static_cast<uint32_t>(gram_keys.size()));
+        if (inserted) {
+          gram_keys.push_back(k);
+          gram_postings.emplace_back();
+        }
+        gram_postings[it->second].emplace_back(f, c);
+      }
+    }
+    ++run_info_.traversal_steps;
+    NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+  }
+
+  if (task == Task::kInvertedIndex) {
+    for (WordId w = compress::kFirstWordId; w < postings.size(); ++w) {
+      if (!postings[w].empty()) {
+        out.inverted_index.emplace_back(w, std::move(postings[w]));
+      }
+    }
+  } else if (rii) {
+    std::vector<uint32_t> order(gram_keys.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return gram_keys[a] < gram_keys[b];
+    });
+    for (uint32_t idx : order) {
+      RankPostings(&gram_postings[idx]);
+      out.ranked_index.emplace_back(gram_keys[idx],
+                                    std::move(gram_postings[idx]));
+    }
+  }
+
+  if (options_.persistence == PersistenceMode::kPhase) {
+    PersistTraversalState(device_, st);
+  }
+  CommitPhase(2);
+  return out;
+}
+
+Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
+                                               const AnalyticsOptions& opts,
+                                               State* st) {
+  const uint32_t nr = st->dag.num_rules;
+  const uint32_t nf = st->dag.num_files;
+  const bool op = options_.persistence == PersistenceMode::kOperation;
+  const bool seq = tadoc::IsSequenceTask(task);
+  StepWriter writer(device_, op ? st->tx_log() : nullptr);
+
+  CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
+                      : CursorSlot{kCursorMagic, 0, 0, 0, 0};
+  if (cur.stage == 3) cur.stage = 0;
+  uint64_t rule_start = 0;
+  uint64_t file_start = 0;
+  if (cur.stage == 1) {
+    rule_start = cur.a;
+    run_info_.resumed_at_step = cur.a;
+  } else if (cur.stage == 2) {
+    rule_start = nr;  // list building complete
+    // Per-file host results cannot survive a crash; only global tasks
+    // resume mid-aggregation.
+    file_start = tadoc::IsPerFileTask(task) ? 0 : cur.a;
+    run_info_.resumed_at_step = cur.a;
+  } else {
+    if (st->use_word_table) st->word_table.Clear();
+    if (st->use_gram_table) st->gram_table.Clear();
+    if (op) {
+      // Same durability requirement as the top-down reset.
+      if (st->use_word_table) st->word_table.Persist();
+      if (st->use_gram_table) st->gram_table.Persist();
+      writer.Begin();
+      StageCursor(&writer, st->cursor_off, 1, 0, 0);
+      NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    }
+  }
+
+  // ---- Stage 1: per-rule lists, reverse layout order ----
+  // layout_order is topological (parents first); children are therefore
+  // visited first when iterating from the back.
+  for (uint64_t p = rule_start; p + 1 < nr; ++p) {
+    const uint32_t r = st->dag.layout_order[nr - 1 - static_cast<uint32_t>(p)];
+    if (r == 0) {
+      // Root is handled per segment in stage 2; keep step numbering
+      // stable by treating it as a no-op step.
+      continue;
+    }
+    writer.Begin();
+    DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
+    if (!st->dag.pruned) {
+      CombineEntries(&payload.subrules);
+      CombineEntries(&payload.words);
+    }
+    if (!seq) {
+      tracked::vector<std::pair<uint32_t, uint64_t>> acc;
+      acc.reserve(payload.words.size());
+      for (const auto& [w, c] : payload.words) acc.emplace_back(w, c);
+      // Pruned payload words are sorted by id already; raw were combined.
+      for (const auto& [child, freq] : payload.subrules) {
+        tracked::vector<std::pair<uint32_t, uint64_t>> child_list;
+        ReadList<WordEntry>(device_, st->word_list_meta.Get(child),
+                            &child_list);
+        MergeSortedCounts(&acc, child_list, freq);
+      }
+      NTADOC_RETURN_IF_ERROR(WriteList<WordEntry>(
+          &st->word_list_meta, &*st->pool, device_, r, acc, &writer,
+          options_.enable_summation, &run_info_.counter_rebuilds));
+    } else {
+      tracked::vector<std::pair<NgramKey, uint64_t>> acc;
+      const GramMeta gm = st->local_gram_meta.Get(r);
+      acc.resize(gm.count);
+      if (gm.count > 0) {
+        std::vector<GramEntry> buf(gm.count);
+        device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
+        for (uint64_t i = 0; i < gm.count; ++i) {
+          acc[i] = {buf[i].key, buf[i].count};
+        }
+      }
+      for (const auto& [child, freq] : payload.subrules) {
+        tracked::vector<std::pair<NgramKey, uint64_t>> child_list;
+        ReadList<GramEntry>(device_, st->gram_list_meta.Get(child),
+                            &child_list);
+        MergeSortedCounts(&acc, child_list, freq);
+      }
+      NTADOC_RETURN_IF_ERROR(WriteList<GramEntry>(
+          &st->gram_list_meta, &*st->pool, device_, r, acc, &writer,
+          options_.enable_summation, &run_info_.counter_rebuilds));
+    }
+    if (op) StageCursor(&writer, st->cursor_off, 1, p + 1, 0);
+    ++run_info_.traversal_steps;
+    NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+  }
+
+  // ---- Stage 2: per-file aggregation from the root's segments ----
+  AnalyticsOutput out;
+  out.task = task;
+  if (task == Task::kTermVector) out.term_vectors.resize(nf);
+  std::vector<std::vector<uint32_t>> postings;
+  if (task == Task::kInvertedIndex) {
+    postings.resize(corpus_->grammar.dict_size);
+  }
+  std::unordered_map<NgramKey, uint32_t, NgramKeyHash> gram_slot;
+  std::vector<NgramKey> gram_keys;
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> gram_postings;
+
+  for (uint64_t f = file_start; f < nf; ++f) {
+    writer.Begin();
+    st->word_pending.Clear();
+    st->gram_pending.Clear();
+    DecodedPayload seg =
+        ReadSegmentPayload(st->dag, &*st->pool, static_cast<uint32_t>(f));
+    if (!st->dag.pruned) {
+      CombineEntries(&seg.subrules);
+      CombineEntries(&seg.words);
+    }
+    if (!seq) {
+      tracked::vector<std::pair<uint32_t, uint64_t>> acc;
+      for (const auto& [w, c] : seg.words) acc.emplace_back(w, c);
+      for (const auto& [child, freq] : seg.subrules) {
+        tracked::vector<std::pair<uint32_t, uint64_t>> child_list;
+        ReadList<WordEntry>(device_, st->word_list_meta.Get(child),
+                            &child_list);
+        MergeSortedCounts(&acc, child_list, freq);
+      }
+      if (task == Task::kWordCount || task == Task::kSort) {
+        for (const auto& [w, c] : acc) {
+          Status s;
+          if (writer.transactional()) {
+            s = st->word_table.AddDeltaTx(w, c, writer.log(),
+                                          &st->word_pending);
+          } else {
+            s = st->word_table.AddDelta(w, c);
+          }
+          if (!s.ok()) {
+            NTADOC_RETURN_IF_ERROR(GrowTable(&st->word_table, &*st->pool,
+                                          &run_info_.counter_rebuilds));
+            NTADOC_RETURN_IF_ERROR(st->word_table.AddDelta(w, c));
+          }
+        }
+      } else if (task == Task::kTermVector) {
+        out.term_vectors[f] = CanonicalTopK(acc, opts.top_k);
+      } else {  // inverted index
+        for (const auto& [w, c] : acc) {
+          if (c != 0) postings[w].push_back(static_cast<uint32_t>(f));
+        }
+      }
+    } else {
+      tracked::vector<std::pair<NgramKey, uint64_t>> acc;
+      const GramMeta gm = st->seg_gram_meta.Get(static_cast<uint32_t>(f));
+      acc.resize(gm.count);
+      if (gm.count > 0) {
+        std::vector<GramEntry> buf(gm.count);
+        device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
+        for (uint64_t i = 0; i < gm.count; ++i) {
+          acc[i] = {buf[i].key, buf[i].count};
+        }
+      }
+      for (const auto& [child, freq] : seg.subrules) {
+        tracked::vector<std::pair<NgramKey, uint64_t>> child_list;
+        ReadList<GramEntry>(device_, st->gram_list_meta.Get(child),
+                            &child_list);
+        MergeSortedCounts(&acc, child_list, freq);
+      }
+      if (task == Task::kSequenceCount) {
+        for (const auto& [k, c] : acc) {
+          Status s;
+          if (writer.transactional()) {
+            s = st->gram_table.AddDeltaTx(k, c, writer.log(),
+                                          &st->gram_pending);
+          } else {
+            s = st->gram_table.AddDelta(k, c);
+          }
+          if (!s.ok()) {
+            NTADOC_RETURN_IF_ERROR(GrowTable(&st->gram_table, &*st->pool,
+                                          &run_info_.counter_rebuilds));
+            NTADOC_RETURN_IF_ERROR(st->gram_table.AddDelta(k, c));
+          }
+        }
+      } else {  // ranked inverted index
+        for (const auto& [k, c] : acc) {
+          if (c == 0) continue;
+          auto [it, inserted] = gram_slot.try_emplace(
+              k, static_cast<uint32_t>(gram_keys.size()));
+          if (inserted) {
+            gram_keys.push_back(k);
+            gram_postings.emplace_back();
+          }
+          gram_postings[it->second].emplace_back(static_cast<uint32_t>(f),
+                                                 c);
+        }
+      }
+    }
+    if (op) StageCursor(&writer, st->cursor_off, 2, f + 1, 0);
+    ++run_info_.traversal_steps;
+    NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+  }
+
+  // ---- Results ----
+  if (task == Task::kWordCount || task == Task::kSort) {
+    tadoc::WordCountResult counts;
+    st->word_table.Extract(&counts);
+    std::sort(counts.begin(), counts.end());
+    if (task == Task::kSort) {
+      out.sorted_words = CanonicalSort(counts, corpus_->dict);
+    } else {
+      out.word_counts = std::move(counts);
+    }
+  } else if (task == Task::kSequenceCount) {
+    std::vector<std::pair<NgramKey, uint64_t>> counts;
+    st->gram_table.Extract(&counts);
+    std::sort(counts.begin(), counts.end());
+    out.sequence_counts = std::move(counts);
+  } else if (task == Task::kInvertedIndex) {
+    for (WordId w = compress::kFirstWordId; w < postings.size(); ++w) {
+      if (!postings[w].empty()) {
+        out.inverted_index.emplace_back(w, std::move(postings[w]));
+      }
+    }
+  } else if (task == Task::kRankedInvertedIndex) {
+    std::vector<uint32_t> order(gram_keys.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return gram_keys[a] < gram_keys[b];
+    });
+    for (uint32_t idx : order) {
+      RankPostings(&gram_postings[idx]);
+      out.ranked_index.emplace_back(gram_keys[idx],
+                                    std::move(gram_postings[idx]));
+    }
+  }
+
+  if (op) {
+    writer.Begin();
+    StageCursor(&writer, st->cursor_off, 3, 0, 0);
+    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+  } else if (options_.persistence == PersistenceMode::kPhase) {
+    PersistTraversalState(device_, st);
+  }
+  CommitPhase(2);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
+Result<AnalyticsOutput> NTadocEngine::Run(Task task,
+                                          const AnalyticsOptions& opts,
+                                          RunMetrics* metrics) {
+  if (opts.ngram < 2 || opts.ngram > NgramKey::kMaxNgram) {
+    return Status::InvalidArgument("ngram must be in [2, 4]");
+  }
+  if (opts.top_k == 0) {
+    return Status::InvalidArgument("top_k must be > 0");
+  }
+  if (options_.persistence == PersistenceMode::kOperation &&
+      !options_.enable_summation) {
+    return Status::InvalidArgument(
+        "operation-level persistence requires the summation estimator");
+  }
+  run_info_ = NTadocRunInfo();
+  state_ = std::make_unique<State>();
+
+  WallTimer timer;
+  const uint64_t sim0 = device_->clock().NowNanos();
+  NTADOC_RETURN_IF_ERROR(InitPhase(task, opts, state_.get()));
+  const uint64_t init_wall = timer.ElapsedNanos();
+  const uint64_t init_sim = device_->clock().NowNanos() - sim0;
+
+  timer.Reset();
+  auto result = TraversalPhase(task, opts, state_.get());
+  run_info_.pool_used_bytes = state_->pool ? state_->pool->UsedBytes() : 0;
+  if (state_->log) {
+    run_info_.redo_logged_bytes = state_->log->logged_payload_bytes();
+  }
+  if (metrics != nullptr) {
+    metrics->init_wall_ns = init_wall;
+    metrics->init_sim_ns = init_sim;
+    metrics->traversal_wall_ns = timer.ElapsedNanos();
+    metrics->traversal_sim_ns =
+        device_->clock().NowNanos() - sim0 - init_sim;
+    metrics->used_traversal = state_->strategy;
+  }
+  return result;
+}
+
+}  // namespace ntadoc::core

@@ -1,0 +1,156 @@
+// N-TADOC: NVM-based text analytics directly on compressed data.
+//
+// The paper's system (Section IV). A run has two phases:
+//   1. Initialization — the compressed grammar is pruned (Algorithm 1)
+//      into a contiguous DAG pool on the NVM device, per-structure upper
+//      bounds are estimated bottom-up (Algorithm 2), and every
+//      variable-length analytics structure (hash tables, word lists,
+//      local n-gram lists) is allocated exactly once at its bound.
+//   2. Graph traversal — top-down weight propagation over the pruned DAG
+//      (Kahn queue resident in the pool) or bottom-up list merging in
+//      reverse layout order; counters live in pool-resident hash tables.
+//
+// Persistence (Section IV-E):
+//   * kNone       — volatile run, no flushes (used for ablations);
+//   * kPhase      — libpmem-style: bulk flush + durable phase marker at
+//                   each phase boundary; recovery restarts the
+//                   interrupted phase, reusing completed ones;
+//   * kOperation  — libpmemobj-style: every traversal step's mutations
+//                   commit through a redo-log transaction with a durable
+//                   cursor, so recovery resumes mid-phase at the last
+//                   completed step (at the cost of write amplification).
+
+#ifndef NTADOC_CORE_ENGINE_H_
+#define NTADOC_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "compress/compressor.h"
+#include "core/nvm_hash_table.h"
+#include "core/nvm_vector.h"
+#include "core/pruning.h"
+#include "nvm/nvm_device.h"
+#include "nvm/nvm_pool.h"
+#include "nvm/obj_log.h"
+#include "nvm/pmem.h"
+#include "tadoc/analytics.h"
+#include "tadoc/engine.h"
+#include "util/status.h"
+
+namespace ntadoc::core {
+
+using compress::CompressedCorpus;
+using tadoc::AnalyticsOptions;
+using tadoc::AnalyticsOutput;
+using tadoc::NgramKey;
+using tadoc::RunMetrics;
+using tadoc::Task;
+using tadoc::TraversalStrategy;
+
+/// Persistence cost levels (Section IV-E).
+enum class PersistenceMode : uint8_t { kNone = 0, kPhase, kOperation };
+
+const char* PersistenceModeToString(PersistenceMode m);
+
+/// N-TADOC configuration.
+struct NTadocOptions {
+  PersistenceMode persistence = PersistenceMode::kPhase;
+
+  TraversalStrategy traversal = TraversalStrategy::kAuto;
+
+  /// Ablation: disable Algorithm 1 (payloads stay raw and unaggregated).
+  bool enable_pruning = true;
+
+  /// Ablation: disable Algorithm 2 (structures start small and are
+  /// rebuilt/doubled on overflow — the redundant NVM traffic the paper
+  /// measures against).
+  bool enable_summation = true;
+
+  /// kAuto switches per-file tasks to bottom-up above this file count.
+  uint32_t many_files_threshold = 32;
+
+  /// Redo-log region size for operation-level persistence.
+  uint64_t redo_log_bytes = 8ull << 20;
+
+  /// Test hook: simulate a power failure (discard unflushed lines) after
+  /// this many traversal steps; 0 disables. The run then fails with
+  /// Internal("injected crash").
+  uint64_t crash_after_traversal_steps = 0;
+
+  /// Test hook: crash during the initialization phase.
+  bool crash_in_init = false;
+};
+
+/// Aggregate accounting of one run, beyond RunMetrics.
+struct NTadocRunInfo {
+  PruneStats prune;
+  uint64_t pool_used_bytes = 0;
+  uint64_t traversal_steps = 0;
+  bool init_phase_reused = false;  // recovery skipped a completed init
+  uint64_t counter_rebuilds = 0;   // no-summation ablation: table rebuilds
+  uint64_t redo_logged_bytes = 0;  // operation-level write amplification
+  uint64_t resumed_at_step = 0;    // operation-level recovery resume point
+};
+
+/// The N-TADOC engine. One engine instance owns the layout of one device
+/// (phase marker, optional redo log, DAG pool) and can re-attach to a
+/// device that already holds a persisted run (crash recovery).
+class NTadocEngine {
+ public:
+  /// `corpus` and `device` must outlive the engine.
+  NTadocEngine(const CompressedCorpus* corpus, nvm::NvmDevice* device,
+               NTadocOptions options = NTadocOptions());
+  ~NTadocEngine();
+
+  NTadocEngine(const NTadocEngine&) = delete;
+  NTadocEngine& operator=(const NTadocEngine&) = delete;
+
+  /// Runs one analytics task end to end, including recovery: if the
+  /// device holds a matching persisted run (same task/options signature),
+  /// completed phases are reused; with operation-level persistence the
+  /// traversal resumes at the last durable step.
+  Result<AnalyticsOutput> Run(Task task, const AnalyticsOptions& opts = {},
+                              RunMetrics* metrics = nullptr);
+
+  /// Accounting for the most recent Run().
+  const NTadocRunInfo& run_info() const { return run_info_; }
+
+  /// Resolves kAuto for a task (mirrors the DRAM engine's policy).
+  TraversalStrategy ResolveStrategy(Task task) const;
+
+ private:
+  struct State;  // pool-resident structure handles + host scratch
+
+  // Phase 1: build (or re-attach) all pool structures for `task`.
+  Status InitPhase(Task task, const AnalyticsOptions& opts, State* st);
+
+  // Phase 2 dispatchers.
+  Result<AnalyticsOutput> TraversalPhase(Task task,
+                                         const AnalyticsOptions& opts,
+                                         State* st);
+  Result<AnalyticsOutput> TopDownGlobal(Task task,
+                                        const AnalyticsOptions& opts,
+                                        State* st);
+  Result<AnalyticsOutput> TopDownPerFile(Task task,
+                                         const AnalyticsOptions& opts,
+                                         State* st);
+  Result<AnalyticsOutput> BottomUp(Task task, const AnalyticsOptions& opts,
+                                   State* st);
+
+  // Persistence helpers.
+  void CommitPhase(uint64_t phase);
+  Status StepCommit(State* st);  // operation-level: commit current txn
+  Status MaybeInjectCrash(State* st);
+
+  const CompressedCorpus* corpus_;
+  nvm::NvmDevice* device_;
+  NTadocOptions options_;
+  NTadocRunInfo run_info_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace ntadoc::core
+
+#endif  // NTADOC_CORE_ENGINE_H_

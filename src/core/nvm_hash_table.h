@@ -1,0 +1,302 @@
+// Pool-resident open-addressing hash table (Figure 4).
+//
+// Layout: three adjacent pool buffers — status bytes (empty/occupied),
+// keys, values — with power-of-two capacity for mask-based slot mapping
+// and pseudo-random (double-hash) probing on collision, exactly as the
+// paper describes. The capacity is fixed at creation from the bottom-up
+// upper bound; when the summation ablation is off, the engine rebuilds
+// the table into a doubled allocation on overflow, paying the redundant
+// NVM reads and writes the paper's design eliminates.
+
+#ifndef NTADOC_CORE_NVM_HASH_TABLE_H_
+#define NTADOC_CORE_NVM_HASH_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <unordered_map>
+
+#include "nvm/nvm_pool.h"
+#include "nvm/obj_log.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace ntadoc::core {
+
+/// Fixed-capacity counting hash table in an NVM pool. K and V must be
+/// trivially copyable; KHash must be stateless.
+template <typename K, typename V, typename KHash>
+class NvmHashTable {
+ public:
+  static_assert(std::is_trivially_copyable_v<K>);
+  static_assert(std::is_trivially_copyable_v<V>);
+
+  NvmHashTable() = default;
+
+  /// Creates a table that can hold `expected_entries` at ~50% load. The
+  /// capacity is rounded up to a power of two (cache alignment, paper
+  /// Section IV-D); the status buffer is zero-filled (charged).
+  static Result<NvmHashTable> Create(nvm::NvmPool* pool,
+                                     uint64_t expected_entries) {
+    const uint64_t cap = NextPowerOfTwo(std::max<uint64_t>(
+        8, expected_entries + expected_entries / 4));
+    NTADOC_ASSIGN_OR_RETURN(const nvm::PoolOffset status_off,
+                            pool->Alloc(cap, /*align=*/64));
+    NTADOC_ASSIGN_OR_RETURN(const nvm::PoolOffset keys_off,
+                            pool->template AllocArray<K>(cap));
+    NTADOC_ASSIGN_OR_RETURN(const nvm::PoolOffset vals_off,
+                            pool->template AllocArray<V>(cap));
+    NvmHashTable t(pool, status_off, keys_off, vals_off, cap);
+    t.ClearStatus();
+    return t;
+  }
+
+  /// Re-attaches to an existing table after recovery; the entry count is
+  /// recomputed with a charged status scan.
+  static NvmHashTable Attach(nvm::NvmPool* pool, nvm::PoolOffset status_off,
+                             nvm::PoolOffset keys_off,
+                             nvm::PoolOffset vals_off, uint64_t capacity) {
+    NvmHashTable t(pool, status_off, keys_off, vals_off, capacity);
+    t.RecountSize();
+    return t;
+  }
+
+  bool valid() const { return pool_ != nullptr; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t size() const { return size_; }
+  nvm::PoolOffset status_offset() const { return status_off_; }
+  nvm::PoolOffset keys_offset() const { return keys_off_; }
+  nvm::PoolOffset values_offset() const { return vals_off_; }
+
+  /// Pending (staged, not yet durable) inserts/updates of one
+  /// operation-level transaction, keyed by slot.
+  struct Pending {
+    std::unordered_map<uint64_t, std::pair<K, V>> inserts;
+    std::unordered_map<uint64_t, V> updates;
+    void Clear() {
+      inserts.clear();
+      updates.clear();
+    }
+  };
+
+  /// Transactional AddDelta: stages the mutation into `log` (to be
+  /// applied at commit) while keeping probe consistency via `pending`.
+  /// Within one transaction each staged slot is tracked so later ops see
+  /// earlier staged state.
+  Status AddDeltaTx(const K& key, const V& delta, nvm::RedoLog* log,
+                    Pending* pending) {
+    const uint64_t mask = capacity_ - 1;
+    const uint64_t h = KHash()(key);
+    const uint64_t step = (Mix64(h) << 1) | 1;
+    uint64_t slot = h & mask;
+    for (uint64_t probe = 0; probe < capacity_; ++probe) {
+      auto pit = pending->inserts.find(slot);
+      if (pit != pending->inserts.end()) {
+        if (pit->second.first == key) {
+          pit->second.second = static_cast<V>(pit->second.second + delta);
+          log->StageValue(ValOff(slot), pit->second.second);
+          return Status::OK();
+        }
+        slot = (slot + step) & mask;
+        continue;
+      }
+      const uint8_t st =
+          pool_->device().template Read<uint8_t>(StatusOff(slot));
+      if (st == 0) {
+        if (size_ + 1 > MaxEntries()) {
+          return Status::ResourceExhausted("NvmHashTable over max load");
+        }
+        pending->inserts.emplace(slot, std::make_pair(key, delta));
+        log->StageValue(StatusOff(slot), uint8_t{1});
+        log->StageValue(KeyOff(slot), key);
+        log->StageValue(ValOff(slot), delta);
+        ++size_;
+        return Status::OK();
+      }
+      if (pool_->device().template Read<K>(KeyOff(slot)) == key) {
+        auto uit = pending->updates.find(slot);
+        const V base =
+            uit != pending->updates.end()
+                ? uit->second
+                : pool_->device().template Read<V>(ValOff(slot));
+        const V next = static_cast<V>(base + delta);
+        pending->updates[slot] = next;
+        log->StageValue(ValOff(slot), next);
+        return Status::OK();
+      }
+      slot = (slot + step) & mask;
+    }
+    NTADOC_LOG(Fatal) << "NvmHashTable probe cycle exhausted";
+    return Status::Internal("unreachable");
+  }
+
+  /// Recomputes size() by scanning the status buffer (charged).
+  void RecountSize() {
+    uint64_t n = 0;
+    for (uint64_t slot = 0; slot < capacity_; ++slot) {
+      if (pool_->device().template Read<uint8_t>(StatusOff(slot)) != 0) ++n;
+    }
+    size_ = n;
+  }
+
+  /// Adds `delta` to the value of `key`, inserting (with value = delta)
+  /// if absent. Returns ResourceExhausted when the table would exceed its
+  /// maximum load factor — callers rebuild in that case.
+  Status AddDelta(const K& key, const V& delta) {
+    uint64_t slot = 0;
+    if (FindSlot(key, &slot)) {
+      const V cur = pool_->device().template Read<V>(ValOff(slot));
+      pool_->device().Write(ValOff(slot), static_cast<V>(cur + delta));
+      return Status::OK();
+    }
+    if (size_ + 1 > MaxEntries()) {
+      return Status::ResourceExhausted("NvmHashTable over max load");
+    }
+    pool_->device().Write(StatusOff(slot), uint8_t{1});
+    pool_->device().Write(KeyOff(slot), key);
+    pool_->device().Write(ValOff(slot), delta);
+    ++size_;
+    return Status::OK();
+  }
+
+  /// Overwrites (or inserts) key -> value.
+  Status Put(const K& key, const V& value) {
+    uint64_t slot = 0;
+    if (FindSlot(key, &slot)) {
+      pool_->device().Write(ValOff(slot), value);
+      return Status::OK();
+    }
+    if (size_ + 1 > MaxEntries()) {
+      return Status::ResourceExhausted("NvmHashTable over max load");
+    }
+    pool_->device().Write(StatusOff(slot), uint8_t{1});
+    pool_->device().Write(KeyOff(slot), key);
+    pool_->device().Write(ValOff(slot), value);
+    ++size_;
+    return Status::OK();
+  }
+
+  /// Looks up `key`; NotFound if absent.
+  Result<V> Get(const K& key) const {
+    uint64_t slot = 0;
+    if (!FindSlot(key, &slot)) {
+      return Status::NotFound("key not in NvmHashTable");
+    }
+    return pool_->device().template Read<V>(ValOff(slot));
+  }
+
+  /// Charged scan of all occupied entries into a host vector. Reads the
+  /// three buffers with bulk sequential transfers.
+  template <typename Alloc>
+  void Extract(std::vector<std::pair<K, V>, Alloc>* out) const {
+    std::vector<uint8_t> status(capacity_);
+    pool_->device().ReadBytes(status_off_, status.data(), capacity_);
+    std::vector<K> keys(capacity_);
+    pool_->device().ReadBytes(keys_off_, keys.data(), capacity_ * sizeof(K));
+    std::vector<V> vals(capacity_);
+    pool_->device().ReadBytes(vals_off_, vals.data(), capacity_ * sizeof(V));
+    for (uint64_t slot = 0; slot < capacity_; ++slot) {
+      if (status[slot] != 0) out->emplace_back(keys[slot], vals[slot]);
+    }
+  }
+
+  /// Re-zeroes the status buffer, logically emptying the table.
+  void Clear() {
+    ClearStatus();
+    size_ = 0;
+  }
+
+  /// Copies all entries into `dst` (used by the no-summation rebuild
+  /// path). `dst` must be large enough.
+  Status RebuildInto(NvmHashTable* dst) const {
+    for (uint64_t slot = 0; slot < capacity_; ++slot) {
+      const uint8_t st =
+          pool_->device().template Read<uint8_t>(StatusOff(slot));
+      if (st != 0) {
+        NTADOC_RETURN_IF_ERROR(
+            dst->Put(pool_->device().template Read<K>(KeyOff(slot)),
+                     pool_->device().template Read<V>(ValOff(slot))));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Flushes status/key/value buffers for persistence.
+  void Persist() {
+    pool_->device().FlushRange(status_off_, capacity_);
+    pool_->device().FlushRange(keys_off_, capacity_ * sizeof(K));
+    pool_->device().FlushRange(vals_off_, capacity_ * sizeof(V));
+    pool_->device().Drain();
+  }
+
+  /// Total pool bytes occupied.
+  uint64_t FootprintBytes() const {
+    return capacity_ * (1 + sizeof(K) + sizeof(V));
+  }
+
+ private:
+  NvmHashTable(nvm::NvmPool* pool, nvm::PoolOffset status_off,
+               nvm::PoolOffset keys_off, nvm::PoolOffset vals_off,
+               uint64_t capacity)
+      : pool_(pool),
+        status_off_(status_off),
+        keys_off_(keys_off),
+        vals_off_(vals_off),
+        capacity_(capacity) {}
+
+  uint64_t MaxEntries() const { return capacity_ - capacity_ / 8; }
+
+  uint64_t StatusOff(uint64_t slot) const { return status_off_ + slot; }
+  uint64_t KeyOff(uint64_t slot) const {
+    return keys_off_ + slot * sizeof(K);
+  }
+  uint64_t ValOff(uint64_t slot) const {
+    return vals_off_ + slot * sizeof(V);
+  }
+
+  /// Double-hash probe. Returns true and the slot if the key is present;
+  /// false and the first free slot otherwise.
+  bool FindSlot(const K& key, uint64_t* out) const {
+    const uint64_t mask = capacity_ - 1;
+    const uint64_t h = KHash()(key);
+    const uint64_t step = (Mix64(h) << 1) | 1;  // odd => full cycle
+    uint64_t slot = h & mask;
+    for (uint64_t probe = 0; probe < capacity_; ++probe) {
+      const uint8_t st =
+          pool_->device().template Read<uint8_t>(StatusOff(slot));
+      if (st == 0) {
+        *out = slot;
+        return false;
+      }
+      if (pool_->device().template Read<K>(KeyOff(slot)) == key) {
+        *out = slot;
+        return true;
+      }
+      slot = (slot + step) & mask;
+    }
+    NTADOC_LOG(Fatal) << "NvmHashTable probe cycle exhausted";
+    return false;
+  }
+
+  void ClearStatus() {
+    static constexpr uint64_t kChunk = 512;
+    uint8_t zeros[kChunk] = {};
+    for (uint64_t i = 0; i < capacity_; i += kChunk) {
+      const uint64_t n = std::min(kChunk, capacity_ - i);
+      pool_->device().WriteBytes(status_off_ + i, zeros, n);
+    }
+  }
+
+  nvm::NvmPool* pool_ = nullptr;
+  nvm::PoolOffset status_off_ = 0;
+  nvm::PoolOffset keys_off_ = 0;
+  nvm::PoolOffset vals_off_ = 0;
+  uint64_t capacity_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace ntadoc::core
+
+#endif  // NTADOC_CORE_NVM_HASH_TABLE_H_

@@ -1,0 +1,259 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <span>
+
+#include "compress/symbols.h"
+#include "util/logging.h"
+
+namespace ntadoc::core {
+
+using compress::IsFileSep;
+using compress::IsRule;
+using compress::IsWord;
+using compress::RuleIndex;
+
+namespace {
+
+/// Algorithm 1's bucket step: unique ids with frequencies, sorted by id
+/// for deterministic layout.
+void BucketCount(std::span<const Symbol> seq,
+                 std::vector<PrunedEntry>* subrules,
+                 std::vector<PrunedEntry>* words) {
+  std::vector<uint32_t> subs;
+  std::vector<uint32_t> ws;
+  for (Symbol s : seq) {
+    if (IsRule(s)) {
+      subs.push_back(RuleIndex(s));
+    } else if (!IsFileSep(s)) {
+      ws.push_back(s);
+    }
+  }
+  auto fold = [](std::vector<uint32_t>* ids, std::vector<PrunedEntry>* out) {
+    std::sort(ids->begin(), ids->end());
+    for (size_t i = 0; i < ids->size();) {
+      size_t j = i;
+      while (j < ids->size() && (*ids)[j] == (*ids)[i]) ++j;
+      out->push_back({(*ids)[i], static_cast<uint32_t>(j - i)});
+      i = j;
+    }
+  };
+  fold(&subs, subrules);
+  fold(&ws, words);
+}
+
+/// Writes one payload (pruned entries or raw symbols) and fills meta
+/// counts. Returns the payload device offset.
+Result<uint64_t> WritePrunedPayload(nvm::NvmPool* pool,
+                                    const std::vector<PrunedEntry>& subrules,
+                                    const std::vector<PrunedEntry>& words) {
+  const uint64_t n = subrules.size() + words.size();
+  NTADOC_ASSIGN_OR_RETURN(const nvm::PoolOffset off,
+                          pool->AllocArray<PrunedEntry>(n));
+  if (!subrules.empty()) {
+    pool->device().WriteBytes(off, subrules.data(),
+                              subrules.size() * sizeof(PrunedEntry));
+  }
+  if (!words.empty()) {
+    pool->device().WriteBytes(off + subrules.size() * sizeof(PrunedEntry),
+                              words.data(),
+                              words.size() * sizeof(PrunedEntry));
+  }
+  return static_cast<uint64_t>(off);
+}
+
+Result<uint64_t> WriteRawPayload(nvm::NvmPool* pool,
+                                 std::span<const Symbol> seq) {
+  NTADOC_ASSIGN_OR_RETURN(const nvm::PoolOffset off,
+                          pool->AllocArray<Symbol>(seq.size()));
+  if (!seq.empty()) {
+    pool->device().WriteBytes(off, seq.data(), seq.size() * sizeof(Symbol));
+  }
+  return static_cast<uint64_t>(off);
+}
+
+}  // namespace
+
+Result<PrunedDag> BuildPrunedDag(const Grammar& grammar, nvm::NvmPool* pool,
+                                 bool enable_pruning, PruneStats* stats) {
+  NTADOC_RETURN_IF_ERROR(grammar.Validate());
+  PrunedDag dag;
+  dag.pruned = enable_pruning;
+  dag.num_rules = grammar.NumRules();
+  dag.num_files = grammar.num_files;
+  dag.layout_order = grammar.TopologicalOrder();
+
+  NTADOC_ASSIGN_OR_RETURN(dag.rule_meta,
+                          NvmVector<RuleMeta>::Create(pool, dag.num_rules));
+  dag.rule_meta.Resize(dag.num_rules);
+  NTADOC_ASSIGN_OR_RETURN(dag.seg_meta,
+                          NvmVector<SegmentMeta>::Create(pool, dag.num_files));
+  dag.seg_meta.Resize(dag.num_files);
+
+  const uint64_t payload_begin = pool->top();
+  std::vector<uint32_t> in_degree(dag.num_rules, 0);
+  std::vector<RuleMeta> metas(dag.num_rules, RuleMeta{});
+  uint64_t raw_symbols = 0;
+  uint64_t pruned_entries = 0;
+
+  // Root segments (separator-delimited spans of the root body).
+  const auto& root = grammar.rules[0];
+  std::vector<std::pair<uint32_t, uint32_t>> segments;
+  {
+    uint32_t begin = 0;
+    for (uint32_t i = 0; i < root.size(); ++i) {
+      if (IsWord(root[i]) && IsFileSep(root[i])) {
+        segments.emplace_back(begin, i);
+        begin = i + 1;
+      }
+    }
+  }
+  NTADOC_CHECK_EQ(segments.size(), dag.num_files);
+
+  // Rule payloads, adjacent, in topological (traversal) order. The root's
+  // content lives in the segment payloads instead.
+  for (uint32_t r : dag.layout_order) {
+    if (r == 0) continue;
+    const auto& body = grammar.rules[r];
+    raw_symbols += body.size();
+    RuleMeta& m = metas[r];
+    m.raw_len = static_cast<uint32_t>(body.size());
+    if (enable_pruning) {
+      std::vector<PrunedEntry> subrules;
+      std::vector<PrunedEntry> words;
+      BucketCount(body, &subrules, &words);
+      NTADOC_ASSIGN_OR_RETURN(m.payload_off,
+                              WritePrunedPayload(pool, subrules, words));
+      m.num_subrules = static_cast<uint32_t>(subrules.size());
+      m.num_words = static_cast<uint32_t>(words.size());
+      pruned_entries += subrules.size() + words.size();
+      for (const auto& e : subrules) ++in_degree[e.id];
+    } else {
+      NTADOC_ASSIGN_OR_RETURN(m.payload_off, WriteRawPayload(pool, body));
+      uint32_t subs = 0;
+      uint32_t ws = 0;
+      for (Symbol s : body) {
+        if (IsRule(s)) {
+          ++subs;
+          ++in_degree[RuleIndex(s)];
+        } else {
+          ++ws;
+        }
+      }
+      m.num_subrules = subs;
+      m.num_words = ws;
+      pruned_entries += body.size();
+    }
+    m.out_degree = m.num_subrules;
+    m.weight = 0;
+  }
+
+  // Segment payloads (the pruned root).
+  for (uint32_t f = 0; f < dag.num_files; ++f) {
+    const auto [begin, end] = segments[f];
+    const std::span<const Symbol> seg(root.data() + begin, end - begin);
+    raw_symbols += seg.size();
+    SegmentMeta sm{};
+    if (enable_pruning) {
+      std::vector<PrunedEntry> subrules;
+      std::vector<PrunedEntry> words;
+      BucketCount(seg, &subrules, &words);
+      NTADOC_ASSIGN_OR_RETURN(sm.payload_off,
+                              WritePrunedPayload(pool, subrules, words));
+      sm.num_subrules = static_cast<uint32_t>(subrules.size());
+      sm.num_words = static_cast<uint32_t>(words.size());
+      pruned_entries += subrules.size() + words.size();
+      for (const auto& e : subrules) ++in_degree[e.id];
+    } else {
+      NTADOC_ASSIGN_OR_RETURN(sm.payload_off, WriteRawPayload(pool, seg));
+      uint32_t subs = 0;
+      uint32_t ws = 0;
+      for (Symbol s : seg) {
+        if (IsRule(s)) {
+          ++subs;
+          ++in_degree[RuleIndex(s)];
+        } else {
+          ++ws;
+        }
+      }
+      sm.num_subrules = subs;
+      sm.num_words = ws;
+      pruned_entries += seg.size();
+    }
+    dag.seg_meta.Set(f, sm);
+  }
+
+  for (uint32_t r = 0; r < dag.num_rules; ++r) {
+    metas[r].in_degree = in_degree[r];
+    dag.rule_meta.Set(r, metas[r]);
+  }
+
+  dag.payload_bytes = pool->top() - payload_begin;
+  dag.raw_bytes = raw_symbols * sizeof(Symbol);
+  if (stats != nullptr) {
+    stats->rules = dag.num_rules;
+    stats->raw_symbols = raw_symbols;
+    stats->pruned_entries = pruned_entries;
+    stats->redundancy_eliminated =
+        raw_symbols == 0 ? 0.0
+                         : 1.0 - static_cast<double>(pruned_entries) /
+                                     static_cast<double>(raw_symbols);
+  }
+  return dag;
+}
+
+namespace {
+
+DecodedPayload DecodePayload(const PrunedDag& dag, nvm::NvmPool* pool,
+                             uint64_t payload_off, uint32_t num_subrules,
+                             uint32_t num_words) {
+  DecodedPayload out;
+  if (dag.pruned) {
+    const uint64_t n = static_cast<uint64_t>(num_subrules) + num_words;
+    std::vector<PrunedEntry> buf(n);
+    if (n > 0) {
+      pool->device().ReadBytes(payload_off, buf.data(),
+                               n * sizeof(PrunedEntry));
+    }
+    out.subrules.reserve(num_subrules);
+    for (uint32_t i = 0; i < num_subrules; ++i) {
+      out.subrules.emplace_back(buf[i].id, buf[i].freq);
+    }
+    out.words.reserve(num_words);
+    for (uint32_t i = num_subrules; i < n; ++i) {
+      out.words.emplace_back(buf[i].id, buf[i].freq);
+    }
+  } else {
+    const uint64_t n = static_cast<uint64_t>(num_subrules) + num_words;
+    std::vector<Symbol> buf(n);
+    if (n > 0) {
+      pool->device().ReadBytes(payload_off, buf.data(), n * sizeof(Symbol));
+    }
+    for (Symbol s : buf) {
+      if (IsRule(s)) {
+        out.subrules.emplace_back(RuleIndex(s), 1);
+      } else if (!IsFileSep(s)) {
+        out.words.emplace_back(s, 1);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DecodedPayload ReadRulePayload(const PrunedDag& dag, nvm::NvmPool* pool,
+                               uint32_t r) {
+  const RuleMeta m = dag.rule_meta.Get(r);
+  return DecodePayload(dag, pool, m.payload_off, m.num_subrules,
+                       m.num_words);
+}
+
+DecodedPayload ReadSegmentPayload(const PrunedDag& dag, nvm::NvmPool* pool,
+                                  uint32_t f) {
+  const SegmentMeta m = dag.seg_meta.Get(f);
+  return DecodePayload(dag, pool, m.payload_off, m.num_subrules,
+                       m.num_words);
+}
+
+}  // namespace ntadoc::core

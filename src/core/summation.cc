@@ -1,0 +1,65 @@
+#include "core/summation.h"
+
+#include "util/logging.h"
+
+namespace ntadoc::core {
+
+std::vector<uint64_t> BottomUpSummation(
+    const DagChildren& children, const std::vector<uint64_t>& own_count) {
+  NTADOC_CHECK_EQ(children.size(), own_count.size());
+  const uint32_t n = static_cast<uint32_t>(children.size());
+  std::vector<uint64_t> ub(n, 0);
+  std::vector<uint8_t> determined(n, 0);
+
+  // Explicit DFS stack; each frame revisits a rule after its children.
+  struct Frame {
+    uint32_t rule;
+    uint32_t next_child;
+  };
+  std::vector<Frame> stack;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (determined[start]) continue;
+    stack.push_back({start, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (determined[f.rule]) {
+        stack.pop_back();
+        continue;
+      }
+      bool descended = false;
+      while (f.next_child < children[f.rule].size()) {
+        const uint32_t child = children[f.rule][f.next_child].first;
+        ++f.next_child;
+        if (!determined[child]) {
+          stack.push_back({child, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      // All subrules determined: l <- sum of bounds + own word count.
+      uint64_t l = own_count[f.rule];
+      for (const auto& [child, freq] : children[f.rule]) {
+        (void)freq;  // distinct-item bounds are per unique child
+        l += ub[child];
+      }
+      ub[f.rule] = l;
+      determined[f.rule] = 1;
+      stack.pop_back();
+    }
+  }
+  return ub;
+}
+
+uint64_t SpanUpperBound(
+    const std::vector<std::pair<uint32_t, uint32_t>>& child_entries,
+    uint64_t own_count, const std::vector<uint64_t>& rule_bounds) {
+  uint64_t l = own_count;
+  for (const auto& [child, freq] : child_entries) {
+    (void)freq;
+    l += rule_bounds[child];
+  }
+  return l;
+}
+
+}  // namespace ntadoc::core

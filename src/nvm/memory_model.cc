@@ -1,0 +1,105 @@
+#include "nvm/memory_model.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace ntadoc::nvm {
+
+MemoryModel::MemoryModel(DeviceProfile profile, SimClockPtr clock)
+    : profile_(std::move(profile)), clock_(std::move(clock)) {
+  NTADOC_CHECK(clock_ != nullptr);
+  NTADOC_CHECK_GE(profile_.block_size, 1u);
+  sets_ = profile_.buffer_blocks / kWays;
+  if (sets_ == 0) sets_ = 1;
+  // Power-of-two sets so block->set mapping is a cheap mask.
+  sets_ = NextPowerOfTwo(sets_);
+  buffer_.assign(sets_ * kWays, BufferEntry{});
+}
+
+bool MemoryModel::TouchBlock(uint64_t block) {
+  const uint64_t set = Mix64(block) & (sets_ - 1);
+  BufferEntry* entries = &buffer_[set * kWays];
+  ++tick_;
+  uint32_t victim = 0;
+  uint64_t oldest = ~0ULL;
+  for (uint32_t w = 0; w < kWays; ++w) {
+    if (entries[w].block == block) {
+      entries[w].last_used = tick_;
+      return true;
+    }
+    if (entries[w].last_used < oldest) {
+      oldest = entries[w].last_used;
+      victim = w;
+    }
+  }
+  entries[victim].block = block;
+  entries[victim].last_used = tick_;
+  return false;
+}
+
+void MemoryModel::Access(uint64_t addr, uint64_t len, bool is_write) {
+  if (len == 0) return;
+  const uint64_t bs = profile_.block_size;
+  const uint64_t first = addr / bs;
+  const uint64_t last = (addr + len - 1) / bs;
+  uint64_t charge = 0;
+  for (uint64_t b = first; b <= last; ++b) {
+    const bool hit = TouchBlock(b);
+    if (hit) {
+      charge += profile_.buffer_hit_ns;
+      if (is_write) {
+        ++stats_.write_hits;
+      } else {
+        ++stats_.read_hits;
+      }
+    } else {
+      charge += is_write ? profile_.write_miss_ns : profile_.read_miss_ns;
+      if (is_write) {
+        ++stats_.write_misses;
+      } else {
+        ++stats_.read_misses;
+      }
+      // Rotational seek: charged when a missing block is not adjacent to
+      // the previously accessed one.
+      if (profile_.seek_ns != 0 && last_block_ != ~0ULL &&
+          b != last_block_ && b != last_block_ + 1) {
+        charge += profile_.seek_ns;
+        ++stats_.seeks;
+      }
+    }
+    last_block_ = b;
+  }
+  if (is_write) {
+    stats_.bytes_written += len;
+  } else {
+    stats_.bytes_read += len;
+  }
+  clock_->Charge(charge);
+}
+
+void MemoryModel::TouchRead(uint64_t addr, uint64_t len) {
+  Access(addr, len, /*is_write=*/false);
+}
+
+void MemoryModel::TouchWrite(uint64_t addr, uint64_t len) {
+  Access(addr, len, /*is_write=*/true);
+}
+
+void MemoryModel::ChargeFlush(uint64_t len) {
+  if (len == 0 || profile_.flush_line_ns == 0) return;
+  const uint64_t lines = (len + 63) / 64;
+  stats_.flushed_lines += lines;
+  clock_->Charge(lines * profile_.flush_line_ns);
+}
+
+void MemoryModel::ChargeDrain() {
+  ++stats_.drains;
+  clock_->Charge(profile_.drain_ns);
+}
+
+void MemoryModel::InvalidateBuffer() {
+  for (auto& e : buffer_) e = BufferEntry{};
+  last_block_ = ~0ULL;
+}
+
+}  // namespace ntadoc::nvm

@@ -1,0 +1,134 @@
+#include "nvm/nvm_device.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ntadoc::nvm {
+
+Result<std::unique_ptr<NvmDevice>> NvmDevice::Create(DeviceOptions options) {
+  if (options.capacity == 0) {
+    return Status::InvalidArgument("device capacity must be > 0");
+  }
+  if (options.clock == nullptr) options.clock = MakeSimClock();
+  return std::unique_ptr<NvmDevice>(new NvmDevice(std::move(options)));
+}
+
+NvmDevice::NvmDevice(DeviceOptions options)
+    : capacity_(options.capacity),
+      model_(options.profile, options.clock),
+      strict_(options.strict_persistence),
+      random_evict_probability_(options.random_evict_probability),
+      evict_rng_(options.evict_seed),
+      data_(options.capacity, 0) {}
+
+void NvmDevice::ReadBytes(uint64_t offset, void* dst, uint64_t len) {
+  NTADOC_DCHECK_LE(offset + len, capacity_);
+  model_.TouchRead(offset, len);
+  std::memcpy(dst, data_.data() + offset, len);
+}
+
+void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len) {
+  NTADOC_DCHECK_LE(offset + len, capacity_);
+  model_.TouchWrite(offset, len);
+  if (strict_) TrackDirty(offset, len);
+  std::memcpy(data_.data() + offset, src, len);
+}
+
+void NvmDevice::TrackDirty(uint64_t offset, uint64_t len) {
+  const uint64_t first = offset / kLine;
+  const uint64_t last = (offset + len - 1) / kLine;
+  for (uint64_t line = first; line <= last; ++line) {
+    auto it = dirty_lines_.find(line);
+    if (it == dirty_lines_.end()) {
+      std::array<uint8_t, kLine> pre;
+      std::memcpy(pre.data(), data_.data() + line * kLine, kLine);
+      dirty_lines_.emplace(line, pre);
+    }
+  }
+  // CPU caches may write dirty lines back at arbitrary times; model that
+  // as a random eviction, which simply makes the line durable early.
+  if (random_evict_probability_ > 0.0 && !dirty_lines_.empty() &&
+      evict_rng_.Bernoulli(random_evict_probability_)) {
+    auto it = dirty_lines_.begin();
+    std::advance(it, evict_rng_.Uniform(dirty_lines_.size()));
+    dirty_lines_.erase(it);
+  }
+}
+
+void NvmDevice::FlushRange(uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  NTADOC_DCHECK_LE(offset + len, capacity_);
+  model_.ChargeFlush(len);
+  if (!strict_) return;
+  const uint64_t first = offset / kLine;
+  const uint64_t last = (offset + len - 1) / kLine;
+  if (last - first + 1 >= dirty_lines_.size()) {
+    // Large flush: iterate the (smaller) dirty set instead of the range.
+    for (auto it = dirty_lines_.begin(); it != dirty_lines_.end();) {
+      if (it->first >= first && it->first <= last) {
+        it = dirty_lines_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    for (uint64_t line = first; line <= last; ++line) {
+      dirty_lines_.erase(line);
+    }
+  }
+}
+
+void NvmDevice::Drain() { model_.ChargeDrain(); }
+
+void NvmDevice::SimulateCrash() {
+  if (strict_) {
+    for (const auto& [line, pre] : dirty_lines_) {
+      std::memcpy(data_.data() + line * kLine, pre.data(), kLine);
+    }
+    dirty_lines_.clear();
+  }
+  model_.InvalidateBuffer();
+}
+
+Status NvmDevice::SaveImage(const std::string& path) const {
+  // Persisted image = current data with unflushed lines rolled back.
+  std::vector<uint8_t> image = data_;
+  for (const auto& [line, pre] : dirty_lines_) {
+    std::memcpy(image.data() + line * kLine, pre.data(), kLine);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  if (written != image.size()) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Status NvmDevice::LoadImage(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0 || static_cast<uint64_t>(size) > capacity_) {
+    std::fclose(f);
+    return Status::InvalidArgument("image does not fit device: " + path);
+  }
+  const size_t read = std::fread(data_.data(), 1, static_cast<size_t>(size), f);
+  std::fclose(f);
+  if (read != static_cast<size_t>(size)) {
+    return Status::IoError("short read: " + path);
+  }
+  dirty_lines_.clear();
+  model_.InvalidateBuffer();
+  return Status::OK();
+}
+
+}  // namespace ntadoc::nvm

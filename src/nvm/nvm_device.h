@@ -1,0 +1,145 @@
+// Emulated byte-addressable non-volatile memory device.
+//
+// NvmDevice provides the direct-access (DAX-like) programming model the
+// paper uses on Intel Optane: loads/stores at byte granularity, explicit
+// cache-line flushes (clwb) and fences (sfence) for persistence, and
+// crash semantics. Every access is charged to the run's SimClock through
+// a MemoryModel with the device's cost profile.
+//
+// Persistence model (strict mode): stores first land in the "CPU cache"
+// — tracked as an undo map of dirtied 64 B lines holding their last
+// persisted contents. FlushRange() makes lines durable; SimulateCrash()
+// rolls every unflushed line back to its persisted content, exactly like
+// losing the CPU cache on power failure. Tests use this to verify the
+// recovery protocols. In relaxed mode (default for benchmarks) stores are
+// considered durable immediately and only the costs are charged.
+
+#ifndef NTADOC_NVM_NVM_DEVICE_H_
+#define NTADOC_NVM_NVM_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nvm/memory_model.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ntadoc::nvm {
+
+/// Construction options for NvmDevice.
+struct DeviceOptions {
+  /// Device capacity in bytes.
+  uint64_t capacity = 64ull << 20;
+
+  /// Cost profile (OptaneProfile(), SsdProfile(), ...).
+  DeviceProfile profile = OptaneProfile();
+
+  /// Shared simulated clock; one per experiment run. Created if null.
+  SimClockPtr clock;
+
+  /// Strict persistence: track unflushed lines so SimulateCrash() can
+  /// discard them. Slower; enable in correctness tests and examples.
+  bool strict_persistence = false;
+
+  /// In strict mode, probability that any given store additionally evicts
+  /// one random dirty line to the media (CPU caches may write back dirty
+  /// lines at any time). Used by adversarial recovery tests.
+  double random_evict_probability = 0.0;
+
+  /// Seed for adversarial eviction.
+  uint64_t evict_seed = 1;
+};
+
+/// Emulated NVM device (see file comment).
+class NvmDevice {
+ public:
+  /// Creates a zero-initialized device.
+  static Result<std::unique_ptr<NvmDevice>> Create(DeviceOptions options);
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  uint64_t capacity() const { return capacity_; }
+  MemoryModel& model() { return model_; }
+  const AccessStats& stats() const { return model_.stats(); }
+  SimClock& clock() { return model_.clock(); }
+  const SimClockPtr& clock_ptr() const { return model_.clock_ptr(); }
+  const DeviceProfile& profile() const { return model_.profile(); }
+  bool strict_persistence() const { return strict_; }
+
+  /// Typed load. T must be trivially copyable.
+  template <typename T>
+  T Read(uint64_t offset) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    ReadBytes(offset, &out, sizeof(T));
+    return out;
+  }
+
+  /// Typed store. T must be trivially copyable.
+  template <typename T>
+  void Write(uint64_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(offset, &value, sizeof(T));
+  }
+
+  /// Charged bulk load.
+  void ReadBytes(uint64_t offset, void* dst, uint64_t len);
+
+  /// Charged bulk store.
+  void WriteBytes(uint64_t offset, const void* src, uint64_t len);
+
+  /// Makes [offset, offset+len) durable (clwb of covered lines) and
+  /// charges the flush cost.
+  void FlushRange(uint64_t offset, uint64_t len);
+
+  /// Persistence fence (sfence); charges the drain cost.
+  void Drain();
+
+  /// Power failure: every line dirtied since its last flush reverts to its
+  /// persisted content; the device buffer is invalidated. No-op unless the
+  /// device was created with strict_persistence.
+  void SimulateCrash();
+
+  /// Number of currently unflushed dirty lines (strict mode only).
+  uint64_t DirtyLineCount() const { return dirty_lines_.size(); }
+
+  /// Writes the persisted image to `path` (for cross-process restart
+  /// demos). In strict mode the unflushed lines are NOT included, i.e. the
+  /// snapshot is exactly the post-crash state.
+  Status SaveImage(const std::string& path) const;
+
+  /// Loads a persisted image produced by SaveImage. The image must not be
+  /// larger than the device capacity.
+  Status LoadImage(const std::string& path);
+
+  /// Uncharged direct access for test assertions only.
+  const uint8_t* raw_for_testing() const { return data_.data(); }
+
+ private:
+  static constexpr uint64_t kLine = 64;
+
+  explicit NvmDevice(DeviceOptions options);
+
+  /// Records pre-image of every line covered by [offset, offset+len) that
+  /// is not yet dirty, then maybe performs adversarial evictions.
+  void TrackDirty(uint64_t offset, uint64_t len);
+
+  uint64_t capacity_;
+  MemoryModel model_;
+  bool strict_;
+  double random_evict_probability_;
+  Rng evict_rng_;
+  std::vector<uint8_t> data_;
+  // line index -> persisted (pre-write) content of that line
+  std::unordered_map<uint64_t, std::array<uint8_t, kLine>> dirty_lines_;
+};
+
+}  // namespace ntadoc::nvm
+
+#endif  // NTADOC_NVM_NVM_DEVICE_H_

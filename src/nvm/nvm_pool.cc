@@ -1,0 +1,84 @@
+#include "nvm/nvm_pool.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace ntadoc::nvm {
+
+uint64_t NvmPool::HeaderChecksum(const Header& h) {
+  return Fnv1a64(&h, offsetof(Header, checksum));
+}
+
+Result<NvmPool> NvmPool::Create(NvmDevice* device, uint64_t base,
+                                uint64_t size) {
+  NTADOC_CHECK(device != nullptr);
+  if (size < 2 * kHeaderSlot) {
+    return Status::InvalidArgument("pool size too small");
+  }
+  if (base + size > device->capacity()) {
+    return Status::InvalidArgument("pool exceeds device capacity");
+  }
+  NvmPool pool(device, base, size, base + kHeaderSlot);
+  pool.PersistHeader();
+  return pool;
+}
+
+Result<NvmPool> NvmPool::Open(NvmDevice* device, uint64_t base) {
+  NTADOC_CHECK(device != nullptr);
+  if (base + sizeof(Header) > device->capacity()) {
+    return Status::InvalidArgument("pool base out of range");
+  }
+  const Header h = device->Read<Header>(base);
+  if (h.magic != kMagic) {
+    return Status::DataLoss("pool header magic mismatch");
+  }
+  if (h.version != kVersion) {
+    return Status::DataLoss("pool header version mismatch");
+  }
+  if (h.checksum != HeaderChecksum(h)) {
+    return Status::DataLoss("pool header checksum mismatch");
+  }
+  if (base + h.size > device->capacity() || h.top < base + kHeaderSlot ||
+      h.top > base + h.size) {
+    return Status::DataLoss("pool header bounds corrupt");
+  }
+  return NvmPool(device, base, h.size, h.top);
+}
+
+Result<PoolOffset> NvmPool::Alloc(uint64_t size, uint64_t align) {
+  NTADOC_DCHECK((align & (align - 1)) == 0) << "alignment not a power of 2";
+  uint64_t start = (top_ + align - 1) & ~(align - 1);
+  if (start + size > base_ + size_) {
+    return Status::ResourceExhausted(
+        "NVM pool exhausted: need " + std::to_string(size) + " bytes, " +
+        std::to_string(Remaining()) + " remaining");
+  }
+  top_ = start + size;
+  return start;
+}
+
+void NvmPool::PersistHeader() {
+  Header h{};
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.reserved = 0;
+  h.size = size_;
+  h.top = top_;
+  h.checksum = HeaderChecksum(h);
+  device_->Write(base_, h);
+  device_->FlushRange(base_, sizeof(Header));
+  device_->Drain();
+}
+
+void NvmPool::PersistAll() {
+  device_->FlushRange(data_start(), UsedBytes());
+  device_->Drain();
+  PersistHeader();
+}
+
+void NvmPool::Reset() {
+  top_ = data_start();
+  PersistHeader();
+}
+
+}  // namespace ntadoc::nvm

@@ -1,0 +1,105 @@
+// NVM pool: the paper's bump-allocated region on the device.
+//
+// N-TADOC lays the pruned DAG, rule metadata, traversal queue and result
+// counters out contiguously in one pool (Section IV-B), which is what
+// gives the traversal its locality. The pool is a monotonic (bump)
+// allocator over a region of an NvmDevice with a small persistent header;
+// allocation never moves existing objects, matching the paper's
+// "upper-bound first, then allocate once" discipline (Section IV-C).
+
+#ifndef NTADOC_NVM_NVM_POOL_H_
+#define NTADOC_NVM_NVM_POOL_H_
+
+#include <cstdint>
+
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace ntadoc::nvm {
+
+/// Offset-based handle into the pool's device. 0 is never a valid
+/// allocation (the header lives there).
+using PoolOffset = uint64_t;
+inline constexpr PoolOffset kNullPoolOffset = 0;
+
+/// Bump allocator over a device region. Not thread-safe (the paper's
+/// engine is sequential).
+class NvmPool {
+ public:
+  /// Formats a new pool covering [base, base+size) of `device` and
+  /// persists the header. `device` must outlive the pool.
+  static Result<NvmPool> Create(NvmDevice* device, uint64_t base,
+                                uint64_t size);
+
+  /// Opens an existing pool previously formatted at `base`; validates the
+  /// header (magic/version/bounds) and restores the bump pointer.
+  static Result<NvmPool> Open(NvmDevice* device, uint64_t base);
+
+  NvmPool(NvmPool&&) = default;
+  NvmPool& operator=(NvmPool&&) = default;
+  NvmPool(const NvmPool&) = delete;
+  NvmPool& operator=(const NvmPool&) = delete;
+
+  /// Allocates `size` bytes aligned to `align` (power of two). Returns the
+  /// device offset, or ResourceExhausted when the pool is full.
+  Result<PoolOffset> Alloc(uint64_t size, uint64_t align = 8);
+
+  /// Allocates an array of `count` trivially-copyable Ts.
+  template <typename T>
+  Result<PoolOffset> AllocArray(uint64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Alloc(count * sizeof(T), alignof(T) < 8 ? 8 : alignof(T));
+  }
+
+  /// Persists the header (bump pointer + checksum) with flush + drain.
+  void PersistHeader();
+
+  /// Flushes the entire allocated data region and the header; used by the
+  /// phase-level persistence strategy at phase boundaries.
+  void PersistAll();
+
+  /// Resets the bump pointer, logically freeing everything.
+  void Reset();
+
+  NvmDevice& device() { return *device_; }
+  uint64_t base() const { return base_; }
+  uint64_t size() const { return size_; }
+
+  /// Next allocation offset (the paper's pool_top).
+  PoolOffset top() const { return top_; }
+
+  /// Bytes still available.
+  uint64_t Remaining() const { return base_ + size_ - top_; }
+
+  /// Bytes handed out so far (excluding the header block).
+  uint64_t UsedBytes() const { return top_ - data_start(); }
+
+ private:
+  struct Header {
+    uint64_t magic;
+    uint32_t version;
+    uint32_t reserved;
+    uint64_t size;
+    uint64_t top;
+    uint64_t checksum;  // over the preceding fields
+  };
+  static constexpr uint64_t kMagic = 0x4E54414443504F4FULL;  // "NTADCPOO"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr uint64_t kHeaderSlot = 64;  // header block size
+
+  NvmPool(NvmDevice* device, uint64_t base, uint64_t size, uint64_t top)
+      : device_(device), base_(base), size_(size), top_(top) {}
+
+  uint64_t data_start() const { return base_ + kHeaderSlot; }
+
+  static uint64_t HeaderChecksum(const Header& h);
+
+  NvmDevice* device_;
+  uint64_t base_;
+  uint64_t size_;
+  PoolOffset top_;
+};
+
+}  // namespace ntadoc::nvm
+
+#endif  // NTADOC_NVM_NVM_POOL_H_

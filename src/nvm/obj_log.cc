@@ -1,0 +1,170 @@
+#include "nvm/obj_log.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace ntadoc::nvm {
+
+uint64_t RedoLog::HeaderChecksum(const Header& h) {
+  return Fnv1a64(&h, offsetof(Header, checksum));
+}
+
+Result<RedoLog> RedoLog::Create(NvmDevice* device, uint64_t base,
+                                uint64_t size) {
+  NTADOC_CHECK(device != nullptr);
+  if (size < 2 * kHeaderSlot) {
+    return Status::InvalidArgument("redo log region too small");
+  }
+  if (base + size > device->capacity()) {
+    return Status::InvalidArgument("redo log exceeds device capacity");
+  }
+  RedoLog log(device, base, size);
+  log.WriteHeader(/*state=*/0, /*used=*/0);
+  return log;
+}
+
+Result<RedoLog> RedoLog::Open(NvmDevice* device, uint64_t base) {
+  NTADOC_CHECK(device != nullptr);
+  if (base + sizeof(Header) > device->capacity()) {
+    return Status::InvalidArgument("redo log base out of range");
+  }
+  const Header h = device->Read<Header>(base);
+  if (h.magic != kMagic || h.version != kVersion) {
+    return Status::DataLoss("redo log header mismatch");
+  }
+  if (h.checksum != HeaderChecksum(h)) {
+    return Status::DataLoss("redo log header checksum mismatch");
+  }
+  RedoLog log(device, base, h.size);
+  log.tail_ = h.state == 1 ? h.used : 0;
+  return log;
+}
+
+void RedoLog::WriteHeader(uint32_t state, uint64_t used) {
+  Header h{};
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.state = state;
+  h.size = size_;
+  h.used = used;
+  h.checksum = HeaderChecksum(h);
+  device_->Write(base_, h);
+  device_->FlushRange(base_, sizeof(Header));
+  device_->Drain();
+}
+
+void RedoLog::Begin() {
+  NTADOC_CHECK(!in_txn_) << "nested transaction";
+  in_txn_ = true;
+  staged_.clear();
+  stage_buf_.clear();
+}
+
+void RedoLog::Stage(uint64_t target, const void* data, uint32_t len) {
+  NTADOC_CHECK(in_txn_) << "Stage outside transaction";
+  const uint64_t off = stage_buf_.size();
+  stage_buf_.insert(stage_buf_.end(), static_cast<const uint8_t*>(data),
+                    static_cast<const uint8_t*>(data) + len);
+  staged_.push_back(StagedWrite{target, off, len});
+}
+
+Status RedoLog::Commit() {
+  NTADOC_CHECK(in_txn_) << "Commit outside transaction";
+  if (staged_.empty()) {
+    in_txn_ = false;
+    return Status::OK();
+  }
+
+  // Space check first: on a full log the staged writes are kept so the
+  // caller can checkpoint, Truncate() and retry.
+  uint64_t need = 0;
+  for (const auto& w : staged_) {
+    need += sizeof(EntryHeader) + ((static_cast<uint64_t>(w.len) + 7) & ~7ull);
+  }
+  if (need > data_capacity()) {
+    in_txn_ = false;
+    staged_.clear();
+    return Status::InvalidArgument("transaction exceeds redo log size");
+  }
+  if (tail_ + need > data_capacity()) {
+    return Status::ResourceExhausted("redo log full: checkpoint required");
+  }
+  in_txn_ = false;
+
+  // 1. Append entries at the tail.
+  uint64_t off = data_start() + tail_;
+  for (const auto& w : staged_) {
+    EntryHeader eh{w.target, w.len, 0};
+    device_->Write(off, eh);
+    device_->WriteBytes(off + sizeof(EntryHeader),
+                        stage_buf_.data() + w.buf_offset, w.len);
+    logged_payload_bytes_ += w.len;
+    off += sizeof(EntryHeader) +
+           ((static_cast<uint64_t>(w.len) + 7) & ~7ull);
+  }
+  const uint64_t new_tail = off - data_start();
+  device_->FlushRange(data_start() + tail_, new_tail - tail_);
+  device_->Drain();
+
+  // 2. Durability point: advance the commit record.
+  WriteHeader(/*state=*/1, new_tail);
+
+  // 3. Apply to home locations without flushing (the log is durable; the
+  //    home side is flushed in bulk at checkpoint time).
+  ApplyEntries(tail_, new_tail, /*flush_home=*/false);
+  tail_ = new_tail;
+  staged_.clear();
+  ++committed_txns_;
+  return Status::OK();
+}
+
+void RedoLog::Truncate() {
+  WriteHeader(/*state=*/0, 0);
+  tail_ = 0;
+}
+
+void RedoLog::Abort() {
+  in_txn_ = false;
+  staged_.clear();
+}
+
+uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to,
+                               bool flush_home) {
+  uint64_t off = data_start() + from;
+  const uint64_t end = data_start() + to;
+  uint64_t applied = 0;
+  std::vector<uint8_t> buf;
+  while (off + sizeof(EntryHeader) <= end) {
+    const EntryHeader eh = device_->Read<EntryHeader>(off);
+    const uint64_t payload = off + sizeof(EntryHeader);
+    if (payload + eh.len > end) break;  // torn tail; stop
+    buf.resize(eh.len);
+    device_->ReadBytes(payload, buf.data(), eh.len);
+    device_->WriteBytes(eh.target, buf.data(), eh.len);
+    if (flush_home) device_->FlushRange(eh.target, eh.len);
+    ++applied;
+    off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
+  }
+  if (flush_home) device_->Drain();
+  return applied;
+}
+
+Result<uint64_t> RedoLog::Recover() {
+  const Header h = device_->Read<Header>(base_);
+  if (h.magic != kMagic || h.checksum != HeaderChecksum(h)) {
+    return Status::DataLoss("redo log header corrupt during recovery");
+  }
+  if (h.state == 0) {
+    // Nothing committed: any partially written entries are dead.
+    tail_ = 0;
+    return uint64_t{0};
+  }
+  // Replay the committed prefix in order; later txns overwrite earlier
+  // values, converging to the newest durable state.
+  const uint64_t replayed =
+      ApplyEntries(0, h.used, /*flush_home=*/true);
+  Truncate();
+  return replayed;
+}
+
+}  // namespace ntadoc::nvm

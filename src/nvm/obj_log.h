@@ -1,0 +1,139 @@
+// Redo-log transactions: the operation-level persistence substrate.
+//
+// The paper's operation-level strategy uses PMDK libpmemobj-cpp, whose
+// transactions make every mutation failure-atomic at the cost of write
+// amplification (each store is written twice — log then home — plus
+// flushes and fences). RedoLog reproduces that protocol on NvmDevice:
+//
+//   Begin() -> Stage(off, data) ... -> Commit()
+//
+// Commit appends staged entries at the log tail, flushes them, advances
+// the durable commit record (the durability point), then applies the
+// writes to their home locations WITHOUT flushing them — the log itself
+// guarantees durability. When the log fills, the caller flushes the home
+// regions and calls Truncate() (group checkpoint), amortizing home-side
+// flushes the way PMDK transaction logs do. Recovery() replays the whole
+// committed prefix in order (values are absolute, so replay converges to
+// the latest state) and discards any torn tail.
+
+#ifndef NTADOC_NVM_OBJ_LOG_H_
+#define NTADOC_NVM_OBJ_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace ntadoc::nvm {
+
+/// Failure-atomic redo log over a dedicated device region.
+class RedoLog {
+ public:
+  /// Formats a log over [base, base+size) of `device`. `device` must
+  /// outlive the log. Size must hold at least one maximal transaction.
+  static Result<RedoLog> Create(NvmDevice* device, uint64_t base,
+                                uint64_t size);
+
+  /// Opens an existing log (after restart); does NOT run recovery.
+  static Result<RedoLog> Open(NvmDevice* device, uint64_t base);
+
+  RedoLog(RedoLog&&) = default;
+  RedoLog& operator=(RedoLog&&) = default;
+  RedoLog(const RedoLog&) = delete;
+  RedoLog& operator=(const RedoLog&) = delete;
+
+  /// Begins a transaction. Only one may be open at a time.
+  void Begin();
+
+  /// Stages a write of `len` bytes to device offset `target`. The home
+  /// location is untouched until Commit().
+  void Stage(uint64_t target, const void* data, uint32_t len);
+
+  /// Convenience for trivially copyable values.
+  template <typename T>
+  void StageValue(uint64_t target, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Stage(target, &value, sizeof(T));
+  }
+
+  /// Durably commits and applies all staged writes. Returns
+  /// ResourceExhausted when the staged data does not fit the remaining
+  /// log space — the staged writes are KEPT; the caller must flush its
+  /// home state, call Truncate(), and retry Commit().
+  Status Commit();
+
+  /// Discards all committed entries. The caller must have flushed every
+  /// home location the log covers (group checkpoint) beforehand.
+  void Truncate();
+
+  /// Bytes of committed entries currently in the log.
+  uint64_t used_bytes() const { return tail_; }
+
+  /// Drops staged writes without touching the device.
+  void Abort();
+
+  /// Replays the committed prefix in order (with home flushes), then
+  /// truncates. Returns the number of replayed writes.
+  Result<uint64_t> Recover();
+
+  /// Sum of payload bytes durably logged since creation (write
+  /// amplification accounting).
+  uint64_t logged_payload_bytes() const { return logged_payload_bytes_; }
+
+  /// Committed transactions since creation.
+  uint64_t committed_txns() const { return committed_txns_; }
+
+  bool in_transaction() const { return in_txn_; }
+
+ private:
+  struct Header {
+    uint64_t magic;
+    uint32_t version;
+    uint32_t state;     // 0 = empty, 1 = committed (apply pending)
+    uint64_t size;
+    uint64_t used;      // bytes of valid entries when state == 1
+    uint64_t checksum;  // over the preceding fields
+  };
+  struct EntryHeader {
+    uint64_t target;
+    uint32_t len;
+    uint32_t reserved;
+  };
+  static constexpr uint64_t kMagic = 0x4E544144434C4F47ULL;  // "NTADCLOG"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr uint64_t kHeaderSlot = 64;
+
+  struct StagedWrite {
+    uint64_t target;
+    uint64_t buf_offset;
+    uint32_t len;
+  };
+
+  RedoLog(NvmDevice* device, uint64_t base, uint64_t size)
+      : device_(device), base_(base), size_(size) {}
+
+  uint64_t data_start() const { return base_ + kHeaderSlot; }
+  uint64_t data_capacity() const { return size_ - kHeaderSlot; }
+
+  void WriteHeader(uint32_t state, uint64_t used);
+  static uint64_t HeaderChecksum(const Header& h);
+
+  /// Applies log entries in [from, to) to their home locations,
+  /// optionally flushing them.
+  uint64_t ApplyEntries(uint64_t from, uint64_t to, bool flush_home);
+
+  NvmDevice* device_;
+  uint64_t base_;
+  uint64_t size_;
+  bool in_txn_ = false;
+  uint64_t tail_ = 0;  // committed bytes (mirrors the durable header)
+  std::vector<StagedWrite> staged_;
+  std::vector<uint8_t> stage_buf_;  // reused across transactions
+  uint64_t logged_payload_bytes_ = 0;
+  uint64_t committed_txns_ = 0;
+};
+
+}  // namespace ntadoc::nvm
+
+#endif  // NTADOC_NVM_OBJ_LOG_H_

@@ -1,0 +1,85 @@
+// Phase-level persistence: the libpmem-analog layer.
+//
+// The paper's phase-level strategy maps NVM directly (libpmem) and flushes
+// at the end of each N-TADOC phase, amortizing persistence cost. This file
+// provides the thin flush/drain helpers plus PhaseMarker — a tiny
+// checksummed record that durably names the last completed phase, so
+// recovery after a crash restarts from that phase boundary.
+
+#ifndef NTADOC_NVM_PMEM_H_
+#define NTADOC_NVM_PMEM_H_
+
+#include <cstdint>
+
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace ntadoc::nvm {
+
+/// pmem_memcpy_persist analog: write + flush + drain in one call.
+inline void PmemMemcpyPersist(NvmDevice& device, uint64_t offset,
+                              const void* src, uint64_t len) {
+  device.WriteBytes(offset, src, len);
+  device.FlushRange(offset, len);
+  device.Drain();
+}
+
+/// pmem_persist analog for data already stored.
+inline void PmemPersist(NvmDevice& device, uint64_t offset, uint64_t len) {
+  device.FlushRange(offset, len);
+  device.Drain();
+}
+
+/// Durable "last completed phase" record at a fixed device offset.
+///
+/// The record is written atomically with respect to crashes: the checksum
+/// covers the phase id, so a torn write is detected and treated as "no
+/// phase completed after the previous marker".
+class PhaseMarker {
+ public:
+  /// `device` must outlive the marker; `offset` names a 64-byte slot.
+  PhaseMarker(NvmDevice* device, uint64_t offset)
+      : device_(device), offset_(offset) {}
+
+  /// Size of the device slot the marker occupies.
+  static constexpr uint64_t kSlotSize = 64;
+
+  /// Formats the slot to "no phase completed" (phase 0) durably.
+  void Format() { CommitPhase(0); }
+
+  /// Durably records that `phase` has fully completed.
+  void CommitPhase(uint64_t phase) {
+    Record r{kMagic, phase, 0};
+    r.checksum = Checksum(r);
+    device_->Write(offset_, r);
+    device_->FlushRange(offset_, sizeof(Record));
+    device_->Drain();
+  }
+
+  /// Last durably completed phase; a torn or unformatted record reads as
+  /// phase 0 ("start from scratch").
+  uint64_t LastCommittedPhase() const {
+    const Record r = device_->Read<Record>(offset_);
+    if (r.magic != kMagic || r.checksum != Checksum(r)) return 0;
+    return r.phase;
+  }
+
+ private:
+  struct Record {
+    uint64_t magic;
+    uint64_t phase;
+    uint64_t checksum;
+  };
+  static constexpr uint64_t kMagic = 0x4E54414443504853ULL;  // "NTADCPHS"
+
+  static uint64_t Checksum(const Record& r) {
+    return (r.magic * 0x9E3779B97F4A7C15ULL) ^ (r.phase + 0xA5A5A5A5A5A5A5A5ULL);
+  }
+
+  NvmDevice* device_;
+  uint64_t offset_;
+};
+
+}  // namespace ntadoc::nvm
+
+#endif  // NTADOC_NVM_PMEM_H_

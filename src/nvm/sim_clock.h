@@ -1,0 +1,38 @@
+// Simulated-time accumulator shared by all memory models of one run.
+//
+// Every charged device access adds simulated nanoseconds here. Because the
+// charges are deterministic functions of the access trace, experiment
+// results are reproducible on any host hardware.
+
+#ifndef NTADOC_NVM_SIM_CLOCK_H_
+#define NTADOC_NVM_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace ntadoc::nvm {
+
+/// Monotonic simulated clock (nanoseconds).
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  void Charge(uint64_t ns) { now_ns_ += ns; }
+
+  uint64_t NowNanos() const { return now_ns_; }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+using SimClockPtr = std::shared_ptr<SimClock>;
+
+inline SimClockPtr MakeSimClock() { return std::make_shared<SimClock>(); }
+
+}  // namespace ntadoc::nvm
+
+#endif  // NTADOC_NVM_SIM_CLOCK_H_

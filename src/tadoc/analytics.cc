@@ -1,0 +1,106 @@
+#include "tadoc/analytics.h"
+
+#include <sstream>
+
+namespace ntadoc::tadoc {
+
+const char* TaskToString(Task task) {
+  switch (task) {
+    case Task::kWordCount:
+      return "word count";
+    case Task::kSort:
+      return "sort";
+    case Task::kTermVector:
+      return "term vector";
+    case Task::kInvertedIndex:
+      return "inverted index";
+    case Task::kSequenceCount:
+      return "sequence count";
+    case Task::kRankedInvertedIndex:
+      return "ranked inverted index";
+  }
+  return "?";
+}
+
+bool IsPerFileTask(Task task) {
+  return task == Task::kTermVector || task == Task::kInvertedIndex ||
+         task == Task::kRankedInvertedIndex;
+}
+
+bool IsSequenceTask(Task task) {
+  return task == Task::kSequenceCount || task == Task::kRankedInvertedIndex;
+}
+
+std::string SummarizeOutput(const AnalyticsOutput& out) {
+  std::ostringstream os;
+  os << TaskToString(out.task) << ": ";
+  switch (out.task) {
+    case Task::kWordCount:
+      os << out.word_counts.size() << " distinct words";
+      break;
+    case Task::kSort:
+      os << out.sorted_words.size() << " sorted words";
+      break;
+    case Task::kTermVector:
+      os << out.term_vectors.size() << " files";
+      break;
+    case Task::kInvertedIndex:
+      os << out.inverted_index.size() << " indexed words";
+      break;
+    case Task::kSequenceCount:
+      os << out.sequence_counts.size() << " distinct grams";
+      break;
+    case Task::kRankedInvertedIndex:
+      os << out.ranked_index.size() << " indexed grams";
+      break;
+  }
+  os << ", fingerprint=" << FingerprintOutput(out);
+  return os.str();
+}
+
+uint64_t FingerprintOutput(const AnalyticsOutput& out) {
+  uint64_t h = Mix64(static_cast<uint64_t>(out.task));
+  switch (out.task) {
+    case Task::kWordCount:
+      for (const auto& [w, c] : out.word_counts) {
+        h = HashCombine(h, HashCombine(w, c));
+      }
+      break;
+    case Task::kSort:
+      for (const auto& [s, c] : out.sorted_words) {
+        h = HashCombine(h, HashCombine(HashString(s), c));
+      }
+      break;
+    case Task::kTermVector:
+      for (const auto& file : out.term_vectors) {
+        h = HashCombine(h, 0x5F);
+        for (const auto& [w, c] : file) {
+          h = HashCombine(h, HashCombine(w, c));
+        }
+      }
+      break;
+    case Task::kInvertedIndex:
+      for (const auto& [w, files] : out.inverted_index) {
+        h = HashCombine(h, w);
+        for (uint32_t f : files) h = HashCombine(h, f);
+      }
+      break;
+    case Task::kSequenceCount:
+      for (const auto& [g, c] : out.sequence_counts) {
+        h = HashCombine(h, NgramKeyHash()(g));
+        h = HashCombine(h, c);
+      }
+      break;
+    case Task::kRankedInvertedIndex:
+      for (const auto& [g, postings] : out.ranked_index) {
+        h = HashCombine(h, NgramKeyHash()(g));
+        for (const auto& [f, c] : postings) {
+          h = HashCombine(h, HashCombine(f, c));
+        }
+      }
+      break;
+  }
+  return h;
+}
+
+}  // namespace ntadoc::tadoc

@@ -1,0 +1,129 @@
+// Task definitions and result types shared by every analytics engine
+// (DRAM TADOC, N-TADOC, uncompressed baseline).
+//
+// The six benchmarks are the ones the paper evaluates (Section VI-A):
+// word count, sort, term vector, inverted index, sequence count and
+// ranked inverted index. All engines must produce identical canonical
+// results; the integration tests enforce it.
+
+#ifndef NTADOC_TADOC_ANALYTICS_H_
+#define NTADOC_TADOC_ANALYTICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/symbols.h"
+#include "util/hash.h"
+
+namespace ntadoc::tadoc {
+
+using compress::WordId;
+
+/// The six text-analytics benchmarks.
+enum class Task : uint8_t {
+  kWordCount = 0,
+  kSort,
+  kTermVector,
+  kInvertedIndex,
+  kSequenceCount,
+  kRankedInvertedIndex,
+};
+
+/// All six tasks, in paper order.
+inline constexpr std::array<Task, 6> kAllTasks = {
+    Task::kWordCount,     Task::kSort,
+    Task::kTermVector,    Task::kInvertedIndex,
+    Task::kSequenceCount, Task::kRankedInvertedIndex,
+};
+
+/// Stable display name ("word count", ...).
+const char* TaskToString(Task task);
+
+/// True for tasks whose results are per-file (term vector, inverted
+/// index, ranked inverted index).
+bool IsPerFileTask(Task task);
+
+/// True for tasks that depend on word order (sequence count, ranked
+/// inverted index) and therefore need the head/tail structures.
+bool IsSequenceTask(Task task);
+
+/// Task parameters.
+struct AnalyticsOptions {
+  /// Words kept per file by term vector.
+  uint32_t top_k = 10;
+
+  /// Sequence length for sequence count / ranked inverted index. 2..4.
+  uint32_t ngram = 3;
+};
+
+/// Fixed-capacity n-gram key (n in 2..kMaxNgram), padded with zeros
+/// (word id 0 is the file separator and never appears in a gram).
+struct NgramKey {
+  static constexpr uint32_t kMaxNgram = 4;
+
+  std::array<WordId, kMaxNgram> words{};
+
+  friend bool operator==(const NgramKey&, const NgramKey&) = default;
+  friend auto operator<=>(const NgramKey&, const NgramKey&) = default;
+};
+
+struct NgramKeyHash {
+  size_t operator()(const NgramKey& k) const {
+    uint64_t h = 0x243F6A8885A308D3ULL;
+    for (WordId w : k.words) h = HashCombine(h, Mix64(w));
+    return static_cast<size_t>(h);
+  }
+};
+
+// ---- Canonical result forms (all deterministically ordered) ----
+
+/// word count: (word, count) sorted by word id.
+using WordCountResult = std::vector<std::pair<WordId, uint64_t>>;
+
+/// sort: (spelling, count) sorted lexicographically by spelling.
+using SortResult = std::vector<std::pair<std::string, uint64_t>>;
+
+/// term vector: per file, top-k (word, count) sorted by count descending,
+/// ties by word id ascending.
+using TermVectorResult =
+    std::vector<std::vector<std::pair<WordId, uint64_t>>>;
+
+/// inverted index: (word, sorted file ids) sorted by word id; only words
+/// that occur.
+using InvertedIndexResult =
+    std::vector<std::pair<WordId, std::vector<uint32_t>>>;
+
+/// sequence count: (gram, count) sorted by gram.
+using SequenceCountResult = std::vector<std::pair<NgramKey, uint64_t>>;
+
+/// ranked inverted index: per gram, (file, count) sorted by count
+/// descending, ties by file ascending; grams sorted by key.
+using RankedInvertedIndexResult = std::vector<
+    std::pair<NgramKey, std::vector<std::pair<uint32_t, uint64_t>>>>;
+
+/// Union-ish output: the member matching the task is populated.
+struct AnalyticsOutput {
+  Task task = Task::kWordCount;
+  WordCountResult word_counts;
+  SortResult sorted_words;
+  TermVectorResult term_vectors;
+  InvertedIndexResult inverted_index;
+  SequenceCountResult sequence_counts;
+  RankedInvertedIndexResult ranked_index;
+
+  friend bool operator==(const AnalyticsOutput&,
+                         const AnalyticsOutput&) = default;
+};
+
+/// Compact summary for logging/diffing in tests ("wc: 123 words, ...").
+std::string SummarizeOutput(const AnalyticsOutput& out);
+
+/// 64-bit fingerprint of the populated result (order-sensitive); two
+/// engines agreeing on the fingerprint agree on the full result.
+uint64_t FingerprintOutput(const AnalyticsOutput& out);
+
+}  // namespace ntadoc::tadoc
+
+#endif  // NTADOC_TADOC_ANALYTICS_H_

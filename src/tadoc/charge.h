@@ -1,0 +1,43 @@
+// Optional access charging for DRAM-resident engines.
+//
+// The DRAM TADOC engine (and the naive TADOC-on-NVM comparator) charge
+// their primary data accesses to a MemoryModel using the real addresses
+// they touch; passing a null model disables charging entirely.
+
+#ifndef NTADOC_TADOC_CHARGE_H_
+#define NTADOC_TADOC_CHARGE_H_
+
+#include <cstdint>
+
+#include "nvm/memory_model.h"
+
+namespace ntadoc::tadoc {
+
+/// Nullable wrapper over MemoryModel for pointer-addressed charging.
+class AccessCharger {
+ public:
+  explicit AccessCharger(nvm::MemoryModel* model = nullptr)
+      : model_(model) {}
+
+  void Read(const void* p, uint64_t n) const {
+    if (model_ != nullptr) {
+      model_->TouchRead(reinterpret_cast<uintptr_t>(p), n);
+    }
+  }
+
+  void Write(const void* p, uint64_t n) const {
+    if (model_ != nullptr) {
+      model_->TouchWrite(reinterpret_cast<uintptr_t>(p), n);
+    }
+  }
+
+  bool enabled() const { return model_ != nullptr; }
+  nvm::MemoryModel* model() const { return model_; }
+
+ private:
+  nvm::MemoryModel* model_;
+};
+
+}  // namespace ntadoc::tadoc
+
+#endif  // NTADOC_TADOC_CHARGE_H_

@@ -1,0 +1,62 @@
+// Epoch-reset sparse accumulator over a dense id space — O(1) logical
+// reset between files during per-file top-down traversal.
+
+#ifndef NTADOC_TADOC_EPOCH_COUNTS_H_
+#define NTADOC_TADOC_EPOCH_COUNTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tadoc/charge.h"
+#include "util/dram_tracker.h"
+
+namespace ntadoc::tadoc {
+
+/// Dense array of counters with epoch-based reset: NewEpoch() logically
+/// zeroes everything in O(1); touched() lists ids written this epoch.
+/// Accesses are charged through `charger` (these arrays are part of the
+/// engine's working state — on a naive NVM port they live on NVM too).
+class EpochCounts {
+ public:
+  explicit EpochCounts(size_t n, const AccessCharger* charger = nullptr)
+      : charger_(charger), val_(n, 0), epoch_(n, 0) {}
+
+  void NewEpoch() {
+    ++cur_;
+    touched_.clear();
+  }
+
+  void Add(uint32_t id, uint64_t delta) {
+    if (charger_ != nullptr) {
+      charger_->Read(&epoch_[id], sizeof(uint64_t));
+      charger_->Write(&val_[id], sizeof(uint64_t));
+    }
+    if (epoch_[id] != cur_) {
+      epoch_[id] = cur_;
+      val_[id] = 0;
+      touched_.push_back(id);
+    }
+    val_[id] += delta;
+  }
+
+  uint64_t Get(uint32_t id) const {
+    if (charger_ != nullptr) {
+      charger_->Read(&val_[id], sizeof(uint64_t));
+    }
+    return epoch_[id] == cur_ ? val_[id] : 0;
+  }
+
+  /// Ids touched this epoch (unsorted, unique).
+  const tracked::vector<uint32_t>& touched() const { return touched_; }
+
+ private:
+  const AccessCharger* charger_;
+  tracked::vector<uint64_t> val_;
+  tracked::vector<uint64_t> epoch_;
+  tracked::vector<uint32_t> touched_;
+  uint64_t cur_ = 0;
+};
+
+}  // namespace ntadoc::tadoc
+
+#endif  // NTADOC_TADOC_EPOCH_COUNTS_H_

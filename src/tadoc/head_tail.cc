@@ -1,0 +1,99 @@
+#include "tadoc/head_tail.h"
+
+#include <algorithm>
+
+#include "tadoc/analytics.h"
+#include "util/logging.h"
+
+namespace ntadoc::tadoc {
+
+using compress::IsRule;
+using compress::RuleIndex;
+
+HeadTailTable HeadTailTable::Build(const Grammar& grammar, uint32_t n,
+                                   const AccessCharger& charger) {
+  NTADOC_CHECK_GE(n, 2u);
+  NTADOC_CHECK_LE(n, NgramKey::kMaxNgram);
+  HeadTailTable t;
+  t.n_ = n;
+  const uint32_t num_rules = grammar.NumRules();
+  t.explen_.assign(num_rules, 0);
+  t.heads_.resize(num_rules);
+  t.tails_.resize(num_rules);
+  t.shorts_.resize(num_rules);
+
+  const uint32_t keep = n - 1;
+  const std::vector<uint32_t> topo = grammar.TopologicalOrder();
+  // Children before parents.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const uint32_t r = *it;
+    const auto& body = grammar.rules[r];
+    charger.Read(body.data(), body.size() * sizeof(Symbol));
+
+    uint64_t len = 0;
+    for (Symbol s : body) {
+      len += IsRule(s) ? t.explen_[RuleIndex(s)] : 1;
+    }
+    t.explen_[r] = len;
+
+    // Head: first min(keep, len) expanded words.
+    auto& head = t.heads_[r];
+    const uint64_t head_want = std::min<uint64_t>(keep, len);
+    for (size_t i = 0; i < body.size() && head.size() < head_want; ++i) {
+      const Symbol s = body[i];
+      if (IsRule(s)) {
+        const auto& child = t.heads_[RuleIndex(s)];
+        for (WordId w : child) {
+          if (head.size() >= head_want) break;
+          head.push_back(w);
+        }
+      } else {
+        head.push_back(s);
+      }
+    }
+
+    // Tail: last min(keep, len) expanded words, assembled right-to-left.
+    auto& tail = t.tails_[r];
+    const uint64_t tail_want = std::min<uint64_t>(keep, len);
+    std::vector<WordId> rev;
+    for (size_t i = body.size(); i-- > 0 && rev.size() < tail_want;) {
+      const Symbol s = body[i];
+      if (IsRule(s)) {
+        const auto& child = t.tails_[RuleIndex(s)];
+        for (size_t j = child.size(); j-- > 0 && rev.size() < tail_want;) {
+          rev.push_back(child[j]);
+        }
+      } else {
+        rev.push_back(s);
+      }
+    }
+    tail.assign(rev.rbegin(), rev.rend());
+
+    // Short rules additionally store the full expansion.
+    if (len <= 2ull * keep) {
+      auto& full = t.shorts_[r];
+      full.reserve(len);
+      for (Symbol s : body) {
+        if (IsRule(s)) {
+          const auto& child = t.shorts_[RuleIndex(s)];
+          full.insert(full.end(), child.begin(), child.end());
+        } else {
+          full.push_back(s);
+        }
+      }
+    }
+    charger.Write(t.heads_[r].data(), t.heads_[r].size() * sizeof(WordId));
+    charger.Write(t.tails_[r].data(), t.tails_[r].size() * sizeof(WordId));
+  }
+  return t;
+}
+
+uint64_t HeadTailTable::StoredWords() const {
+  uint64_t total = 0;
+  for (const auto& v : heads_) total += v.size();
+  for (const auto& v : tails_) total += v.size();
+  for (const auto& v : shorts_) total += v.size();
+  return total;
+}
+
+}  // namespace ntadoc::tadoc

@@ -1,0 +1,69 @@
+// Head/tail structures for sequence analytics (Section IV-D).
+//
+// For n-gram tasks, every rule stores the first and last n-1 words of its
+// expansion (plus the full expansion when it is short), so that n-grams
+// crossing rule boundaries can be formed without expanding whole rules.
+// G-TADOC introduced the structure for GPUs; N-TADOC keeps it and lays it
+// out in the NVM pool. This DRAM-side builder computes the values; the
+// N-TADOC engine copies them into pool-resident buffers.
+
+#ifndef NTADOC_TADOC_HEAD_TAIL_H_
+#define NTADOC_TADOC_HEAD_TAIL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/grammar.h"
+#include "tadoc/charge.h"
+
+namespace ntadoc::tadoc {
+
+using compress::Grammar;
+using compress::Symbol;
+using compress::WordId;
+
+/// Per-rule head/tail word buffers for one sequence length n.
+class HeadTailTable {
+ public:
+  /// Builds the table bottom-up in one pass over a reverse topological
+  /// order. `n` is the sequence length (2..NgramKey::kMaxNgram).
+  /// A rule is "short" when its expansion has at most 2*(n-1) words; for
+  /// short rules the full expansion is stored instead of head/tail.
+  static HeadTailTable Build(const Grammar& grammar, uint32_t n,
+                             const AccessCharger& charger = AccessCharger());
+
+  uint32_t n() const { return n_; }
+
+  /// Expanded word count of rule `r` (separators never occur in rules
+  /// except the root; the root's value includes them — do not use it).
+  uint64_t explen(uint32_t r) const { return explen_[r]; }
+
+  /// True if rule `r` stores its full (short) expansion.
+  bool is_short(uint32_t r) const { return explen_[r] <= 2ull * (n_ - 1); }
+
+  /// First min(n-1, explen) words of the expansion.
+  std::span<const WordId> head(uint32_t r) const { return heads_[r]; }
+
+  /// Last min(n-1, explen) words of the expansion.
+  std::span<const WordId> tail(uint32_t r) const { return tails_[r]; }
+
+  /// Full expansion; valid only when is_short(r).
+  std::span<const WordId> short_expansion(uint32_t r) const {
+    return shorts_[r];
+  }
+
+  /// Total words stored across all buffers (space accounting).
+  uint64_t StoredWords() const;
+
+ private:
+  uint32_t n_ = 3;
+  std::vector<uint64_t> explen_;
+  std::vector<std::vector<WordId>> heads_;
+  std::vector<std::vector<WordId>> tails_;
+  std::vector<std::vector<WordId>> shorts_;
+};
+
+}  // namespace ntadoc::tadoc
+
+#endif  // NTADOC_TADOC_HEAD_TAIL_H_

@@ -1,0 +1,106 @@
+// Boundary-window n-gram counting over compressed rule bodies.
+//
+// Every n-gram instance in the original text is fully contained in a
+// unique *minimal* rule occurrence (the deepest rule whose expansion
+// contains it). CountBoundaryWindows enumerates, for one rule body (or one
+// root-rule file segment), exactly the n-grams whose minimal rule is that
+// rule: it builds a local view where each subrule occurrence is replaced
+// by its head/tail snippet (its full expansion if short), and emits every
+// window of n words that is not wholly inside a single occurrence's
+// snippet. Multiplying by the rule's weight and summing over rules yields
+// exact global counts; the proof obligations are:
+//   * a window crossing an occurrence boundary uses at most n-1 words
+//     from that occurrence, so head/tail (n-1 words each) suffice;
+//   * a window cannot use both head and tail words of one *long*
+//     occurrence (it would need expansion length <= n-2 < 2*(n-1)), so
+//     the gap marker between head and tail never hides a real window;
+//   * windows wholly inside one occurrence belong to a deeper rule and
+//     are skipped here (the all-same-occurrence check).
+
+#ifndef NTADOC_TADOC_WINDOWS_H_
+#define NTADOC_TADOC_WINDOWS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tadoc/analytics.h"
+#include "tadoc/head_tail.h"
+
+namespace ntadoc::tadoc {
+
+/// Reusable scratch buffers for window scanning (avoids reallocating per
+/// rule).
+class WindowScanner {
+ public:
+  /// `table` must outlive the scanner and have been built with the same n.
+  WindowScanner(const HeadTailTable* table, uint32_t n)
+      : table_(table), n_(n) {}
+
+  /// Scans one symbol sequence (a rule body or a root-rule file segment —
+  /// it must not contain file separators) and invokes emit(NgramKey) for
+  /// every boundary window. `emit` may be called with the same gram
+  /// multiple times (once per instance).
+  template <typename EmitFn>
+  void Scan(std::span<const Symbol> seq, EmitFn&& emit) {
+    BuildTokens(seq);
+    const size_t total = toks_.size();
+    if (total < n_) return;
+    for (size_t start = 0; start + n_ <= total; ++start) {
+      bool has_gap = false;
+      bool all_same_occ = true;
+      const uint32_t occ0 = toks_[start].occ;
+      for (uint32_t j = 0; j < n_; ++j) {
+        const Tok& t = toks_[start + j];
+        if (t.occ == kGapOcc) {
+          has_gap = true;
+          break;
+        }
+        if (t.occ != occ0 || occ0 == kTopOcc) all_same_occ = false;
+      }
+      if (has_gap || (all_same_occ && occ0 != kTopOcc)) continue;
+      NgramKey key{};
+      for (uint32_t j = 0; j < n_; ++j) key.words[j] = toks_[start + j].word;
+      emit(key);
+    }
+  }
+
+ private:
+  static constexpr uint32_t kTopOcc = 0;
+  static constexpr uint32_t kGapOcc = ~0u;
+
+  struct Tok {
+    WordId word;
+    uint32_t occ;
+  };
+
+  void BuildTokens(std::span<const Symbol> seq) {
+    toks_.clear();
+    uint32_t next_occ = 1;
+    for (Symbol s : seq) {
+      if (compress::IsWord(s)) {
+        toks_.push_back({s, kTopOcc});
+        continue;
+      }
+      const uint32_t r = compress::RuleIndex(s);
+      const uint32_t occ = next_occ++;
+      if (table_->is_short(r)) {
+        for (WordId w : table_->short_expansion(r)) {
+          toks_.push_back({w, occ});
+        }
+      } else {
+        for (WordId w : table_->head(r)) toks_.push_back({w, occ});
+        toks_.push_back({0, kGapOcc});
+        for (WordId w : table_->tail(r)) toks_.push_back({w, occ});
+      }
+    }
+  }
+
+  const HeadTailTable* table_;
+  uint32_t n_;
+  std::vector<Tok> toks_;
+};
+
+}  // namespace ntadoc::tadoc
+
+#endif  // NTADOC_TADOC_WINDOWS_H_

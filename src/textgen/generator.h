@@ -1,0 +1,64 @@
+// Synthetic corpus generation for the paper's four datasets.
+//
+// The originals (Yelp COVID-19, NSFRAA, two Wikipedia dumps) are not
+// redistributable here, so we generate corpora with matched *shape*:
+// file-count profile, Zipfian vocabulary, and phrase-level redundancy
+// (sentence templates) that gives Sequitur real structure to find —
+// which is what the evaluation actually depends on.
+
+#ifndef NTADOC_TEXTGEN_GENERATOR_H_
+#define NTADOC_TEXTGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace ntadoc::textgen {
+
+/// Generation parameters for one corpus.
+struct CorpusSpec {
+  /// Display name ("A", "B", "C", "D").
+  std::string name;
+
+  uint32_t num_files = 1;
+
+  /// Distinct words available to the generator.
+  uint32_t vocabulary = 10000;
+
+  /// Total tokens across all files.
+  uint64_t total_tokens = 100000;
+
+  /// Zipf skew of word-rank sampling.
+  double zipf_theta = 1.0;
+
+  /// Shared sentence templates (phrase redundancy for the compressor).
+  uint32_t num_templates = 200;
+
+  /// Words per sentence/template.
+  uint32_t template_len = 12;
+
+  /// Probability a sentence is emitted verbatim from a template.
+  double template_prob = 0.7;
+
+  uint64_t seed = 42;
+};
+
+/// Paper-dataset analogues, scaled by `scale` (1.0 = default CI scale).
+/// A': one file (Yelp-like); B': many small files (NSFRAA-like);
+/// C': few large documents (Wiki 4-doc); D': the large corpus.
+CorpusSpec DatasetA(double scale = 1.0);
+CorpusSpec DatasetB(double scale = 1.0);
+CorpusSpec DatasetC(double scale = 1.0);
+CorpusSpec DatasetD(double scale = 1.0);
+
+/// All four specs in order.
+std::vector<CorpusSpec> AllDatasets(double scale = 1.0);
+
+/// Generates the corpus deterministically from spec.seed.
+std::vector<compress::InputFile> GenerateCorpus(const CorpusSpec& spec);
+
+}  // namespace ntadoc::textgen
+
+#endif  // NTADOC_TEXTGEN_GENERATOR_H_

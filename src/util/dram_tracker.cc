@@ -1,0 +1,8 @@
+#include "util/dram_tracker.h"
+
+namespace ntadoc {
+
+std::atomic<uint64_t> DramTracker::current_{0};
+std::atomic<uint64_t> DramTracker::peak_{0};
+
+}  // namespace ntadoc

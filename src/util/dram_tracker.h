@@ -1,0 +1,118 @@
+// DRAM usage accounting.
+//
+// The paper's Section VI-C measures DRAM space savings (RSS) of N-TADOC vs
+// TADOC. We reproduce this deterministically: every DRAM-resident analytics
+// structure in the engines allocates through TrackingAllocator, which
+// maintains process-wide current/peak byte counters. N-TADOC's large
+// structures live in the NVM pool instead and thus do not count.
+
+#ifndef NTADOC_UTIL_DRAM_TRACKER_H_
+#define NTADOC_UTIL_DRAM_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ntadoc {
+
+/// Process-wide DRAM byte accounting for tracked containers.
+class DramTracker {
+ public:
+  /// Currently live tracked bytes.
+  static uint64_t CurrentBytes() { return current_.load(); }
+
+  /// High-water mark since the last ResetPeak().
+  static uint64_t PeakBytes() { return peak_.load(); }
+
+  /// Resets the peak to the current live amount.
+  static void ResetPeak() { peak_.store(current_.load()); }
+
+  static void Add(uint64_t n) {
+    const uint64_t now = current_.fetch_add(n) + n;
+    uint64_t prev = peak_.load();
+    while (now > prev && !peak_.compare_exchange_weak(prev, now)) {
+    }
+  }
+
+  static void Sub(uint64_t n) { current_.fetch_sub(n); }
+
+ private:
+  static std::atomic<uint64_t> current_;
+  static std::atomic<uint64_t> peak_;
+};
+
+/// STL-compatible allocator that reports (de)allocations to DramTracker.
+template <typename T>
+class TrackingAllocator {
+ public:
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    DramTracker::Add(n * sizeof(T));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) {
+    DramTracker::Sub(n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const TrackingAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const TrackingAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// Container aliases used by the DRAM-resident engines.
+namespace tracked {
+
+template <typename T>
+using vector = std::vector<T, TrackingAllocator<T>>;
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+using unordered_map =
+    std::unordered_map<K, V, Hash, Eq,
+                       TrackingAllocator<std::pair<const K, V>>>;
+
+template <typename K, typename V, typename Cmp = std::less<K>>
+using map = std::map<K, V, Cmp, TrackingAllocator<std::pair<const K, V>>>;
+
+using string =
+    std::basic_string<char, std::char_traits<char>, TrackingAllocator<char>>;
+
+}  // namespace tracked
+
+/// RAII scope that resets the peak on entry; PeakDelta() reports the
+/// high-water mark of tracked DRAM reached inside the scope.
+class DramUsageScope {
+ public:
+  DramUsageScope() : base_(DramTracker::CurrentBytes()) {
+    DramTracker::ResetPeak();
+  }
+
+  /// Peak tracked bytes above the level at scope entry.
+  uint64_t PeakDelta() const {
+    const uint64_t peak = DramTracker::PeakBytes();
+    return peak > base_ ? peak - base_ : 0;
+  }
+
+ private:
+  uint64_t base_;
+};
+
+}  // namespace ntadoc
+
+#endif  // NTADOC_UTIL_DRAM_TRACKER_H_

@@ -1,0 +1,64 @@
+// Hash primitives used across the project (dictionary, digram index,
+// NVM hash table). Deterministic across platforms and runs.
+
+#ifndef NTADOC_UTIL_HASH_H_
+#define NTADOC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ntadoc {
+
+/// 64-bit FNV-1a over arbitrary bytes. Deterministic; good enough for the
+/// string dictionary and container checksums.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 1469598103934665603ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Strong 64-bit integer mix (splitmix64 finalizer). Used to hash symbol
+/// ids and to derive probe sequences in the NVM hash table.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (order-dependent).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Hashes a (first, second) symbol pair — the Sequitur digram key.
+inline uint64_t HashPair(uint32_t first, uint32_t second) {
+  return Mix64((static_cast<uint64_t>(first) << 32) | second);
+}
+
+/// Rounds `v` up to the next power of two (returns 1 for v == 0).
+inline uint64_t NextPowerOfTwo(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+}  // namespace ntadoc
+
+#endif  // NTADOC_UTIL_HASH_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ntadoc {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel SetLogLevel(LogLevel level) {
+  return g_min_level.exchange(level);
+}
+
+LogLevel GetLogLevel() { return g_min_level.load(); }
+
+namespace internal_logging {
+
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message) {
+  if (level >= g_min_level.load() || level == LogLevel::kFatal) {
+    // Strip directories for readability.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+                 message.c_str());
+  }
+  if (level == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace ntadoc

@@ -1,0 +1,96 @@
+// Minimal logging and assertion macros.
+//
+// NTADOC_CHECK* terminate the process on violated invariants (programming
+// errors); recoverable conditions use Status instead (see util/status.h).
+
+#ifndef NTADOC_UTIL_LOGGING_H_
+#define NTADOC_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ntadoc {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Emits one formatted log line to stderr; aborts if level is kFatal.
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+/// Stream-style log capture; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLogMessage(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum level emitted (default kInfo). Returns previous level.
+LogLevel SetLogLevel(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+}  // namespace ntadoc
+
+#define NTADOC_LOG(level)                                              \
+  ::ntadoc::internal_logging::LogMessage(::ntadoc::LogLevel::k##level, \
+                                         __FILE__, __LINE__)           \
+      .stream()
+
+#define NTADOC_CHECK(cond)                                      \
+  if (!(cond))                                                   \
+  ::ntadoc::internal_logging::LogMessage(::ntadoc::LogLevel::kFatal, \
+                                         __FILE__, __LINE__)     \
+          .stream()                                              \
+      << "Check failed: " #cond " "
+
+#define NTADOC_CHECK_OP(a, b, op) \
+  NTADOC_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define NTADOC_CHECK_EQ(a, b) NTADOC_CHECK_OP(a, b, ==)
+#define NTADOC_CHECK_NE(a, b) NTADOC_CHECK_OP(a, b, !=)
+#define NTADOC_CHECK_LT(a, b) NTADOC_CHECK_OP(a, b, <)
+#define NTADOC_CHECK_LE(a, b) NTADOC_CHECK_OP(a, b, <=)
+#define NTADOC_CHECK_GT(a, b) NTADOC_CHECK_OP(a, b, >)
+#define NTADOC_CHECK_GE(a, b) NTADOC_CHECK_OP(a, b, >=)
+
+/// Check that a Status-returning expression is OK; fatal otherwise.
+#define NTADOC_CHECK_OK(expr)                              \
+  do {                                                     \
+    ::ntadoc::Status _s = (expr);                          \
+    NTADOC_CHECK(_s.ok()) << _s.ToString();                \
+  } while (0)
+
+#ifndef NDEBUG
+#define NTADOC_DCHECK(cond) NTADOC_CHECK(cond)
+#define NTADOC_DCHECK_LT(a, b) NTADOC_CHECK_LT(a, b)
+#define NTADOC_DCHECK_LE(a, b) NTADOC_CHECK_LE(a, b)
+#define NTADOC_DCHECK_EQ(a, b) NTADOC_CHECK_EQ(a, b)
+#else
+#define NTADOC_DCHECK(cond) \
+  while (false) NTADOC_CHECK(cond)
+#define NTADOC_DCHECK_LT(a, b) \
+  while (false) NTADOC_CHECK_LT(a, b)
+#define NTADOC_DCHECK_LE(a, b) \
+  while (false) NTADOC_CHECK_LE(a, b)
+#define NTADOC_DCHECK_EQ(a, b) \
+  while (false) NTADOC_CHECK_EQ(a, b)
+#endif
+
+#endif  // NTADOC_UTIL_LOGGING_H_

@@ -1,0 +1,72 @@
+// Deterministic, fast pseudo-random generator (xoshiro256**) used by the
+// corpus generator and property tests. Seeded explicitly everywhere so
+// every experiment is reproducible.
+
+#ifndef NTADOC_UTIL_RANDOM_H_
+#define NTADOC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace ntadoc {
+
+/// xoshiro256** PRNG. Not cryptographic; excellent statistical quality for
+/// workload generation. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds all four lanes from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 42) {
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      lane = Mix64(x);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ntadoc
+
+#endif  // NTADOC_UTIL_RANDOM_H_

@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+namespace ntadoc {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : code_(code), message_(std::move(message)) {
+  if (code_ == StatusCode::kOk) {
+    // Error constructor misused with kOk: keep the invariant that an OK
+    // status has no message by downgrading to Internal.
+    code_ = StatusCode::kInternal;
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status Status::DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+Status Status::IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+}  // namespace ntadoc

@@ -1,0 +1,146 @@
+// Status / Result error model for the ntadoc library.
+//
+// The library does not throw exceptions (per the project style). Fallible
+// operations return `Status` or `Result<T>`; callers propagate errors with
+// the NTADOC_RETURN_IF_ERROR / NTADOC_ASSIGN_OR_RETURN macros.
+
+#ifndef NTADOC_UTIL_STATUS_H_
+#define NTADOC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ntadoc {
+
+/// Broad machine-inspectable error categories, modeled after the
+/// Arrow/Abseil canonical codes that the project guides use.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,   // e.g. NVM pool exhausted
+  kFailedPrecondition,  // e.g. engine phase called out of order
+  kDataLoss,            // e.g. corrupt container / torn checkpoint
+  kIoError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error value. An OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status DataLoss(std::string msg);
+  static Status IoError(std::string msg);
+  static Status Internal(std::string msg);
+  static Status Unimplemented(std::string msg);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder. Exactly one of value / status(error) is set.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status; CHECK-fails if the status is OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; constructing a Result from it is a bug.
+    if (std::get<Status>(var_).ok()) {
+      var_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// Value access; undefined behaviour if !ok() (asserted in debug builds).
+  T& value() & { return std::get<T>(var_); }
+  const T& value() const& { return std::get<T>(var_); }
+  T&& value() && { return std::move(std::get<T>(var_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+}  // namespace ntadoc
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define NTADOC_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::ntadoc::Status _ntadoc_status = (expr);       \
+    if (!_ntadoc_status.ok()) return _ntadoc_status; \
+  } while (0)
+
+#define NTADOC_CONCAT_IMPL(x, y) x##y
+#define NTADOC_CONCAT(x, y) NTADOC_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define NTADOC_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  NTADOC_ASSIGN_OR_RETURN_IMPL(                                      \
+      NTADOC_CONCAT(_ntadoc_result_, __LINE__), lhs, rexpr)
+
+#define NTADOC_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+#endif  // NTADOC_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared by the tokenizer, the container format and
+// the benchmark report printers.
+
+#ifndef NTADOC_UTIL_STRING_UTIL_H_
+#define NTADOC_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntadoc {
+
+/// Splits `text` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitTokens(std::string_view text,
+                                          std::string_view delims = " \t\r\n");
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// "1234567" -> "1,234,567".
+std::string WithThousandsSeparators(uint64_t v);
+
+/// Human-readable byte count: "3.2 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Human-readable duration from nanoseconds: "1.23 s", "45.1 ms", ...
+std::string HumanDuration(uint64_t nanos);
+
+/// Fixed-precision double formatting ("%.*f").
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace ntadoc
+
+#endif  // NTADOC_UTIL_STRING_UTIL_H_

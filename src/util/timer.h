@@ -1,0 +1,38 @@
+// Wall-clock timers for the benchmark harness.
+
+#ifndef NTADOC_UTIL_TIMER_H_
+#define NTADOC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ntadoc {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction / last Reset().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ntadoc
+
+#endif  // NTADOC_UTIL_TIMER_H_

@@ -1,0 +1,30 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ntadoc {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  NTADOC_CHECK_GE(n, 1u);
+  NTADOC_CHECK_GT(theta, 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (double& v : cdf_) v *= inv;
+  cdf_.back() = 1.0;  // guard against FP round-off at the tail
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace ntadoc

@@ -1,0 +1,38 @@
+// Zipfian rank sampler for synthetic vocabularies.
+//
+// Real text follows a Zipf distribution over word ranks; the corpus
+// generator (src/textgen) uses this to reproduce the vocabulary shape of
+// the paper's datasets.
+
+#ifndef NTADOC_UTIL_ZIPF_H_
+#define NTADOC_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ntadoc {
+
+/// Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^theta.
+/// Uses a precomputed inverse-CDF table: O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `theta` in (0, ~2] is the skew (1.0 = classic Zipf).
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace ntadoc
+
+#endif  // NTADOC_UTIL_ZIPF_H_

@@ -1,0 +1,204 @@
+// Unit tests for the compression substrate beyond Sequitur itself:
+// dictionary, grammar utilities, container format, end-to-end compressor,
+// and the synthetic corpus generator.
+
+#include <gtest/gtest.h>
+
+#include "compress/compressor.h"
+#include "compress/format.h"
+#include "compress/grammar.h"
+#include "textgen/generator.h"
+
+namespace ntadoc::compress {
+namespace {
+
+TEST(DictionaryTest, ReservedSeparatorAndDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.size(), kFirstWordId);
+  EXPECT_EQ(d.Spell(kFileSepWord), "<file-sep>");
+  const WordId a = d.GetOrAdd("alpha");
+  const WordId b = d.GetOrAdd("beta");
+  EXPECT_EQ(a, kFirstWordId);
+  EXPECT_EQ(b, kFirstWordId + 1);
+  EXPECT_EQ(d.GetOrAdd("alpha"), a);  // idempotent
+  EXPECT_EQ(d.Spell(a), "alpha");
+  EXPECT_EQ(d.vocabulary_size(), 2u);
+}
+
+TEST(DictionaryTest, FindMissing) {
+  Dictionary d;
+  EXPECT_EQ(d.Find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, AddWithIdRequiresDenseOrder) {
+  Dictionary d;
+  EXPECT_TRUE(d.AddWithId("w1", 1).ok());
+  EXPECT_FALSE(d.AddWithId("w5", 5).ok());
+}
+
+Grammar TinyGrammar() {
+  // R0 -> R1 R1 <sep> ; R1 -> w1 w2
+  Grammar g;
+  g.rules = {{MakeRuleSymbol(1), MakeRuleSymbol(1), kFileSepWord},
+             {1, 2}};
+  g.num_files = 1;
+  g.dict_size = 3;
+  return g;
+}
+
+TEST(GrammarTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(TinyGrammar().Validate().ok());
+}
+
+TEST(GrammarTest, ValidateRejectsBadReferences) {
+  Grammar g = TinyGrammar();
+  g.rules[1].push_back(MakeRuleSymbol(9));
+  EXPECT_EQ(g.Validate().code(), StatusCode::kDataLoss);
+}
+
+TEST(GrammarTest, ValidateRejectsCycles) {
+  Grammar g = TinyGrammar();
+  g.rules[1].push_back(MakeRuleSymbol(1));  // self-cycle
+  EXPECT_EQ(g.Validate().code(), StatusCode::kDataLoss);
+}
+
+TEST(GrammarTest, ValidateRejectsSeparatorInsideRule) {
+  Grammar g = TinyGrammar();
+  g.rules[1].push_back(kFileSepWord);
+  EXPECT_EQ(g.Validate().code(), StatusCode::kDataLoss);
+}
+
+TEST(GrammarTest, ValidateRejectsUnreferencedRule) {
+  Grammar g = TinyGrammar();
+  g.rules.push_back({1});
+  EXPECT_EQ(g.Validate().code(), StatusCode::kDataLoss);
+}
+
+TEST(GrammarTest, ExpandAndLengths) {
+  const Grammar g = TinyGrammar();
+  EXPECT_EQ(g.ExpandAll(),
+            (std::vector<Symbol>{1, 2, 1, 2, kFileSepWord}));
+  EXPECT_EQ(g.ExpandedLength(), 5u);
+  EXPECT_EQ(g.TotalSymbols(), 5u);
+}
+
+TEST(GrammarTest, TopologicalOrderParentsFirst) {
+  const Grammar g = TinyGrammar();
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(GrammarTest, StatsComputeRatio) {
+  const auto stats = ComputeStats(TinyGrammar());
+  EXPECT_EQ(stats.num_rules, 2u);
+  EXPECT_EQ(stats.expanded_tokens, 5u);
+  EXPECT_EQ(stats.root_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.compression_ratio, 1.0);
+}
+
+TEST(CompressorTest, RoundTripsText) {
+  const std::vector<InputFile> files = {
+      {"a.txt", "to be or not to be that is the question"},
+      {"b.txt", "to be or not to be whether tis nobler"},
+  };
+  auto corpus = Compress(files);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  const auto texts = DecodeToText(*corpus);
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0], "to be or not to be that is the question");
+  EXPECT_EQ(texts[1], "to be or not to be whether tis nobler");
+}
+
+TEST(CompressorTest, EmptyInputRejected) {
+  EXPECT_EQ(Compress({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompressorTest, HandlesEmptyAndWhitespaceFiles) {
+  const std::vector<InputFile> files = {
+      {"empty.txt", ""}, {"spaces.txt", "   \n\t "}, {"one.txt", "word"}};
+  auto corpus = Compress(files);
+  ASSERT_TRUE(corpus.ok());
+  const auto tokens = DecodeToTokens(*corpus);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].empty());
+  EXPECT_TRUE(tokens[1].empty());
+  EXPECT_EQ(tokens[2].size(), 1u);
+}
+
+TEST(FormatTest, SerializeDeserializeRoundTrip) {
+  const std::vector<InputFile> files = {
+      {"x", "a b c a b c a b c"}, {"y", "c b a c b a"}};
+  auto corpus = Compress(files);
+  ASSERT_TRUE(corpus.ok());
+  const std::string bytes = SerializeCorpus(*corpus);
+  auto restored = DeserializeCorpus(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->grammar.rules, corpus->grammar.rules);
+  EXPECT_EQ(restored->file_names, corpus->file_names);
+  EXPECT_EQ(restored->dict.size(), corpus->dict.size());
+  for (WordId w = 0; w < corpus->dict.size(); ++w) {
+    EXPECT_EQ(restored->dict.Spell(w), corpus->dict.Spell(w));
+  }
+}
+
+TEST(FormatTest, DetectsCorruption) {
+  auto corpus = Compress({{"x", "a b c d e f g"}});
+  ASSERT_TRUE(corpus.ok());
+  std::string bytes = SerializeCorpus(*corpus);
+  // Flip one byte in the middle.
+  bytes[bytes.size() / 2] ^= 0x5A;
+  EXPECT_EQ(DeserializeCorpus(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FormatTest, DetectsTruncation) {
+  auto corpus = Compress({{"x", "a b c d e f g"}});
+  ASSERT_TRUE(corpus.ok());
+  std::string bytes = SerializeCorpus(*corpus);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeCorpus(bytes).ok());
+}
+
+TEST(FormatTest, FileRoundTrip) {
+  auto corpus = Compress({{"x", "the rain in spain stays mainly"}});
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_TRUE(SaveCorpus(*corpus, "/tmp/ntadoc_fmt_test.ntdc").ok());
+  auto loaded = LoadCorpus("/tmp/ntadoc_fmt_test.ntdc");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->grammar.rules, corpus->grammar.rules);
+}
+
+TEST(FormatTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadCorpus("/tmp/definitely_not_here.ntdc").status().code(),
+            StatusCode::kIoError);
+}
+
+class TextgenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextgenTest, GeneratedCorporaCompressAndValidate) {
+  const auto specs = textgen::AllDatasets(0.02);
+  const auto& spec = specs[GetParam()];
+  const auto files = textgen::GenerateCorpus(spec);
+  EXPECT_EQ(files.size(), spec.num_files);
+  auto corpus = Compress(files);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_TRUE(corpus->grammar.Validate().ok());
+  const auto stats = ComputeStats(corpus->grammar);
+  // Template redundancy must yield real compression.
+  EXPECT_GT(stats.compression_ratio, 1.5) << "dataset " << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, TextgenTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(TextgenTest, DeterministicForSeed) {
+  const auto spec = textgen::DatasetA(0.02);
+  const auto a = textgen::GenerateCorpus(spec);
+  const auto b = textgen::GenerateCorpus(spec);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].content, b[0].content);
+}
+
+}  // namespace
+}  // namespace ntadoc::compress

@@ -1,0 +1,104 @@
+// Property sweep: inject a power failure at every early traversal step,
+// for both persistence levels and both traversal strategies, and require
+// exact recovery. This is the strongest evidence that the persistence
+// protocols are correct at every step boundary.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "reference_impl.h"
+
+namespace ntadoc::core {
+namespace {
+
+using tests::RandomCorpus;
+using tests::ReferenceRun;
+
+struct SweepCase {
+  PersistenceMode persistence;
+  tadoc::TraversalStrategy strategy;
+  tadoc::Task task;
+};
+
+class CrashSweepTest
+    : public ::testing::TestWithParam<std::tuple<SweepCase, uint64_t>> {};
+
+TEST_P(CrashSweepTest, ExactRecoveryAtEveryStep) {
+  const auto& [c, step] = GetParam();
+  const auto corpus = RandomCorpus(909, 20, 4, 220);
+  const auto expected = ReferenceRun(corpus, c.task, {});
+
+  nvm::DeviceOptions dopts;
+  dopts.capacity = 192ull << 20;
+  dopts.strict_persistence = true;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+
+  NTadocOptions opts;
+  opts.persistence = c.persistence;
+  opts.traversal = c.strategy;
+  opts.crash_after_traversal_steps = step;
+  {
+    NTadocEngine engine(&corpus, device->get(), opts);
+    auto crashed = engine.Run(c.task);
+    ASSERT_FALSE(crashed.ok());
+  }
+  opts.crash_after_traversal_steps = 0;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  auto got = engine.Run(c.task);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, expected)
+      << "persistence=" << PersistenceModeToString(c.persistence)
+      << " strategy=" << tadoc::TraversalStrategyToString(c.strategy)
+      << " task=" << tadoc::TaskToString(c.task) << " crash step=" << step;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Steps, CrashSweepTest,
+    ::testing::Combine(
+        ::testing::Values(
+            SweepCase{PersistenceMode::kPhase,
+                      tadoc::TraversalStrategy::kTopDown,
+                      tadoc::Task::kWordCount},
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kTopDown,
+                      tadoc::Task::kWordCount},
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kTopDown,
+                      tadoc::Task::kSequenceCount},
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kBottomUp,
+                      tadoc::Task::kWordCount},
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kBottomUp,
+                      tadoc::Task::kTermVector},
+            SweepCase{PersistenceMode::kPhase,
+                      tadoc::TraversalStrategy::kBottomUp,
+                      tadoc::Task::kRankedInvertedIndex}),
+        ::testing::Values(1, 2, 3, 5, 8, 13, 21)));
+
+TEST(CrashSweepTest, DoubleCrashStillRecovers) {
+  // Crash, recover partially by crashing again later, then finish.
+  const auto corpus = RandomCorpus(910, 20, 4, 300);
+  const auto expected = ReferenceRun(corpus, tadoc::Task::kWordCount, {});
+  nvm::DeviceOptions dopts;
+  dopts.capacity = 192ull << 20;
+  dopts.strict_persistence = true;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kOperation;
+  for (uint64_t crash_at : {4ull, 9ull}) {
+    opts.crash_after_traversal_steps = crash_at;
+    NTadocEngine engine(&corpus, device->get(), opts);
+    ASSERT_FALSE(engine.Run(tadoc::Task::kWordCount).ok());
+  }
+  opts.crash_after_traversal_steps = 0;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  auto got = engine.Run(tadoc::Task::kWordCount);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, expected);
+}
+
+}  // namespace
+}  // namespace ntadoc::core

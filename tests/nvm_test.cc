@@ -1,0 +1,318 @@
+// Unit tests for the NVM emulation substrate: profiles, memory model,
+// device persistence semantics, pool allocator, redo log, phase marker.
+
+#include <gtest/gtest.h>
+
+#include "nvm/device_profile.h"
+#include "nvm/memory_model.h"
+#include "nvm/nvm_device.h"
+#include "nvm/nvm_pool.h"
+#include "nvm/obj_log.h"
+#include "nvm/pmem.h"
+#include "util/logging.h"
+
+namespace ntadoc::nvm {
+namespace {
+
+std::unique_ptr<NvmDevice> MakeDevice(DeviceOptions opts = {}) {
+  auto dev = NvmDevice::Create(opts);
+  NTADOC_CHECK(dev.ok());
+  return std::move(dev).value();
+}
+
+TEST(DeviceProfileTest, ShapesAreSane) {
+  const auto dram = DramProfile();
+  const auto optane = OptaneProfile();
+  const auto ssd = SsdProfile();
+  const auto hdd = HddProfile();
+  EXPECT_LT(dram.read_miss_ns, optane.read_miss_ns);
+  EXPECT_LT(optane.read_miss_ns, ssd.read_miss_ns);
+  EXPECT_LT(ssd.read_miss_ns, hdd.read_miss_ns + hdd.seek_ns);
+  // NVM write asymmetry.
+  EXPECT_GT(optane.write_miss_ns, optane.read_miss_ns);
+  // Media granularities.
+  EXPECT_EQ(dram.block_size, 64u);
+  EXPECT_EQ(optane.block_size, 256u);
+  EXPECT_EQ(ssd.block_size, 4096u);
+  EXPECT_FALSE(dram.persistent);
+  EXPECT_TRUE(optane.persistent);
+}
+
+TEST(MemoryModelTest, HitsAfterMisses) {
+  auto clock = MakeSimClock();
+  MemoryModel model(OptaneProfile(), clock);
+  model.TouchRead(0, 256);
+  EXPECT_EQ(model.stats().read_misses, 1u);
+  model.TouchRead(0, 256);
+  EXPECT_EQ(model.stats().read_hits, 1u);
+  EXPECT_EQ(clock->NowNanos(), OptaneProfile().read_miss_ns +
+                                   OptaneProfile().buffer_hit_ns);
+}
+
+TEST(MemoryModelTest, AccessSpanningBlocksTouchesEach) {
+  auto clock = MakeSimClock();
+  MemoryModel model(OptaneProfile(), clock);
+  model.TouchRead(200, 200);  // crosses the 256-byte boundary
+  EXPECT_EQ(model.stats().read_misses, 2u);
+}
+
+TEST(MemoryModelTest, HddChargesSeeksOnNonSequentialMisses) {
+  auto clock = MakeSimClock();
+  MemoryModel model(HddProfile(/*cache_bytes=*/4096), clock);
+  model.TouchRead(0, 4096);
+  model.TouchRead(4096, 4096);  // sequential: no seek
+  EXPECT_EQ(model.stats().seeks, 0u);
+  model.TouchRead(40 << 20, 4096);  // far away: seek
+  EXPECT_EQ(model.stats().seeks, 1u);
+}
+
+TEST(MemoryModelTest, BufferEvictionWithTinyBuffer) {
+  auto profile = OptaneProfile();
+  profile.buffer_blocks = 4;
+  auto clock = MakeSimClock();
+  MemoryModel model(profile, clock);
+  // Touch far more blocks than fit, then re-touch the first: must miss.
+  for (uint64_t b = 0; b < 64; ++b) model.TouchRead(b * 256, 1);
+  const uint64_t misses = model.stats().read_misses;
+  model.TouchRead(0, 1);
+  EXPECT_EQ(model.stats().read_misses, misses + 1);
+}
+
+TEST(NvmDeviceTest, ReadBackWrites) {
+  auto dev = MakeDevice();
+  dev->Write<uint64_t>(128, 0xDEADBEEFull);
+  EXPECT_EQ(dev->Read<uint64_t>(128), 0xDEADBEEFull);
+  const char buf[] = "hello nvm";
+  dev->WriteBytes(4096, buf, sizeof(buf));
+  char out[sizeof(buf)];
+  dev->ReadBytes(4096, out, sizeof(buf));
+  EXPECT_STREQ(out, "hello nvm");
+}
+
+TEST(NvmDeviceTest, CrashDiscardsUnflushedWrites) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  dev->Write<uint32_t>(0, 111);
+  dev->FlushRange(0, 4);
+  dev->Drain();
+  dev->Write<uint32_t>(0, 222);    // unflushed overwrite
+  dev->Write<uint32_t>(1024, 333);  // unflushed fresh write
+  EXPECT_GT(dev->DirtyLineCount(), 0u);
+  dev->SimulateCrash();
+  EXPECT_EQ(dev->Read<uint32_t>(0), 111u);  // rolled back to flushed value
+  EXPECT_EQ(dev->Read<uint32_t>(1024), 0u);
+  EXPECT_EQ(dev->DirtyLineCount(), 0u);
+}
+
+TEST(NvmDeviceTest, FlushMakesWritesDurable) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  dev->Write<uint32_t>(64, 7);
+  dev->FlushRange(64, 4);
+  dev->SimulateCrash();
+  EXPECT_EQ(dev->Read<uint32_t>(64), 7u);
+}
+
+TEST(NvmDeviceTest, RelaxedModeCrashKeepsData) {
+  auto dev = MakeDevice();  // strict off: writes durable immediately
+  dev->Write<uint32_t>(0, 5);
+  dev->SimulateCrash();
+  EXPECT_EQ(dev->Read<uint32_t>(0), 5u);
+}
+
+TEST(NvmDeviceTest, SaveAndLoadImage) {
+  DeviceOptions opts;
+  opts.capacity = 1 << 20;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  dev->Write<uint64_t>(0, 42);
+  dev->FlushRange(0, 8);
+  dev->Write<uint64_t>(8, 43);  // unflushed: must NOT survive the image
+  ASSERT_TRUE(dev->SaveImage("/tmp/ntadoc_test.img").ok());
+  auto dev2 = MakeDevice(opts);
+  ASSERT_TRUE(dev2->LoadImage("/tmp/ntadoc_test.img").ok());
+  EXPECT_EQ(dev2->Read<uint64_t>(0), 42u);
+  EXPECT_EQ(dev2->Read<uint64_t>(8), 0u);
+}
+
+TEST(NvmDeviceTest, InvalidOptionsRejected) {
+  DeviceOptions opts;
+  opts.capacity = 0;
+  EXPECT_FALSE(NvmDevice::Create(opts).ok());
+}
+
+TEST(NvmPoolTest, AllocAlignmentAndExhaustion) {
+  auto dev = MakeDevice();
+  auto pool = NvmPool::Create(dev.get(), 0, 4096);
+  ASSERT_TRUE(pool.ok());
+  auto a = pool->Alloc(10, 8);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a % 8, 0u);
+  auto b = pool->Alloc(100, 64);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b % 64, 0u);
+  EXPECT_GT(*b, *a);
+  auto too_big = pool->Alloc(1 << 20);
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NvmPoolTest, PersistAndReopen) {
+  auto dev = MakeDevice();
+  uint64_t top;
+  {
+    auto pool = NvmPool::Create(dev.get(), 4096, 64 * 1024);
+    ASSERT_TRUE(pool.ok());
+    ASSERT_TRUE(pool->Alloc(1000).ok());
+    pool->PersistHeader();
+    top = pool->top();
+  }
+  auto reopened = NvmPool::Open(dev.get(), 4096);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->top(), top);
+  EXPECT_EQ(reopened->size(), 64u * 1024u);
+}
+
+TEST(NvmPoolTest, OpenRejectsCorruptHeader) {
+  auto dev = MakeDevice();
+  auto pool = NvmPool::Create(dev.get(), 0, 4096);
+  ASSERT_TRUE(pool.ok());
+  dev->Write<uint64_t>(0, 0x1234);  // clobber the magic
+  EXPECT_EQ(NvmPool::Open(dev.get(), 0).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(RedoLogTest, CommitAppliesWrites) {
+  auto dev = MakeDevice();
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 99);
+  log->StageValue<uint32_t>(2 << 20, 7);
+  ASSERT_TRUE(log->Commit().ok());
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 99u);
+  EXPECT_EQ(dev->Read<uint32_t>(2 << 20), 7u);
+  EXPECT_EQ(log->committed_txns(), 1u);
+  EXPECT_GT(log->logged_payload_bytes(), 0u);
+}
+
+TEST(RedoLogTest, AbortDiscardsStagedWrites) {
+  auto dev = MakeDevice();
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 99);
+  log->Abort();
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 0u);
+}
+
+TEST(RedoLogTest, RecoveryReplaysCommittedPrefixAfterCrash) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  // Two committed txns to the same location (absolute values).
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 10);
+  ASSERT_TRUE(log->Commit().ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 20);
+  ASSERT_TRUE(log->Commit().ok());
+  // Home writes are applied but NOT flushed: the crash discards them.
+  dev->SimulateCrash();
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 0u);
+  auto reopened = RedoLog::Open(dev.get(), 0);
+  ASSERT_TRUE(reopened.ok());
+  auto replayed = reopened->Recover();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 2u);
+  // Replay in order converges to the newest committed value.
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 20u);
+}
+
+TEST(RedoLogTest, UncommittedTailDiscarded) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 55);
+  // No commit; crash.
+  dev->SimulateCrash();
+  auto reopened = RedoLog::Open(dev.get(), 0);
+  ASSERT_TRUE(reopened.ok());
+  auto replayed = reopened->Recover();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 0u);
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 0u);
+}
+
+TEST(RedoLogTest, FullLogRequiresCheckpoint) {
+  auto dev = MakeDevice();
+  auto log = RedoLog::Create(dev.get(), 0, 1024);  // tiny log
+  ASSERT_TRUE(log.ok());
+  std::vector<uint8_t> blob(384, 0xAB);
+  log->Begin();
+  log->Stage(1 << 20, blob.data(), blob.size());
+  ASSERT_TRUE(log->Commit().ok());
+  log->Begin();
+  log->Stage(2 << 20, blob.data(), blob.size());
+  ASSERT_TRUE(log->Commit().ok());
+  log->Begin();
+  log->Stage(3 << 20, blob.data(), blob.size());
+  // Third large txn does not fit: caller must checkpoint + truncate.
+  Status full = log->Commit();
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  log->Truncate();
+  EXPECT_TRUE(log->Commit().ok());
+  EXPECT_EQ(dev->Read<uint8_t>(3 << 20), 0xABu);
+}
+
+TEST(RedoLogTest, OversizedTransactionRejected) {
+  auto dev = MakeDevice();
+  auto log = RedoLog::Create(dev.get(), 0, 1024);
+  ASSERT_TRUE(log.ok());
+  std::vector<uint8_t> blob(4096, 1);
+  log->Begin();
+  log->Stage(1 << 20, blob.data(), blob.size());
+  EXPECT_EQ(log->Commit().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PhaseMarkerTest, CommitAndReadBack) {
+  auto dev = MakeDevice();
+  PhaseMarker marker(dev.get(), 0);
+  EXPECT_EQ(marker.LastCommittedPhase(), 0u);  // unformatted reads as 0
+  marker.Format();
+  EXPECT_EQ(marker.LastCommittedPhase(), 0u);
+  marker.CommitPhase(1);
+  EXPECT_EQ(marker.LastCommittedPhase(), 1u);
+  marker.CommitPhase(2);
+  EXPECT_EQ(marker.LastCommittedPhase(), 2u);
+}
+
+TEST(PhaseMarkerTest, TornMarkerReadsAsZero) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  PhaseMarker marker(dev.get(), 0);
+  marker.CommitPhase(3);
+  // Corrupt one byte of the record.
+  dev->Write<uint8_t>(4, 0xFF);
+  EXPECT_EQ(marker.LastCommittedPhase(), 0u);
+}
+
+TEST(PmemTest, MemcpyPersistSurvivesCrash) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  const uint64_t v = 0xABCD;
+  PmemMemcpyPersist(*dev, 256, &v, sizeof(v));
+  dev->SimulateCrash();
+  EXPECT_EQ(dev->Read<uint64_t>(256), 0xABCDu);
+}
+
+}  // namespace
+}  // namespace ntadoc::nvm

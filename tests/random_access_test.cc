@@ -1,0 +1,82 @@
+// Tests for random access into hierarchically-compressed corpora.
+
+#include "compress/random_access.h"
+
+#include <gtest/gtest.h>
+
+#include "reference_impl.h"
+
+namespace ntadoc::compress {
+namespace {
+
+TEST(RandomAccessTest, FileLengthsMatchDecode) {
+  const auto corpus = tests::RandomCorpus(501, 20, 5, 300);
+  RandomAccessReader reader(&corpus);
+  const auto files = DecodeToTokens(corpus);
+  ASSERT_EQ(files.size(), 5u);
+  for (uint32_t f = 0; f < files.size(); ++f) {
+    auto len = reader.FileLength(f);
+    ASSERT_TRUE(len.ok());
+    EXPECT_EQ(*len, files[f].size());
+  }
+  EXPECT_FALSE(reader.FileLength(99).ok());
+}
+
+TEST(RandomAccessTest, ExtractWholeFilesMatchDecode) {
+  const auto corpus = tests::RandomCorpus(502, 15, 4, 400);
+  RandomAccessReader reader(&corpus);
+  const auto files = DecodeToTokens(corpus);
+  for (uint32_t f = 0; f < files.size(); ++f) {
+    auto got = reader.ExtractFile(f);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, files[f]);
+  }
+}
+
+class RandomAccessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomAccessSweep, ArbitraryRangesMatchDecode) {
+  const auto corpus = tests::RandomCorpus(GetParam(), 12, 3, 500);
+  RandomAccessReader reader(&corpus);
+  const auto files = DecodeToTokens(corpus);
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t f = static_cast<uint32_t>(rng.Uniform(files.size()));
+    if (files[f].empty()) continue;
+    const uint64_t off = rng.Uniform(files[f].size());
+    const uint64_t count = rng.Uniform(files[f].size() - off + 1);
+    auto got = reader.ExtractTokens(f, off, count);
+    ASSERT_TRUE(got.ok()) << got.status();
+    const std::vector<WordId> want(files[f].begin() + off,
+                                   files[f].begin() + off + count);
+    EXPECT_EQ(*got, want) << "file " << f << " [" << off << ", "
+                          << off + count << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAccessSweep,
+                         ::testing::Values(601, 602, 603, 604));
+
+TEST(RandomAccessTest, RangeBeyondFileRejected) {
+  const auto corpus = tests::RandomCorpus(503, 10, 2, 100);
+  RandomAccessReader reader(&corpus);
+  const auto len = reader.FileLength(0);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(reader.ExtractTokens(0, *len, 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(reader.ExtractTokens(0, 0, *len + 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(reader.ExtractTokens(0, *len, 0).ok());  // empty tail ok
+}
+
+TEST(RandomAccessTest, TextExtractionSpellsWords) {
+  auto corpus = Compress({{"a", "alpha beta gamma delta"}});
+  ASSERT_TRUE(corpus.ok());
+  RandomAccessReader reader(&*corpus);
+  auto text = reader.ExtractText(0, 1, 2);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "beta gamma");
+}
+
+}  // namespace
+}  // namespace ntadoc::compress

@@ -1,0 +1,196 @@
+// Correctness tests for the Sequitur grammar builder.
+
+#include "compress/sequitur.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/compressor.h"
+#include "compress/grammar.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace ntadoc::compress {
+namespace {
+
+// Builds a grammar from one token file (no separator logic beyond
+// AppendFile) and returns it.
+Grammar BuildGrammar(const std::vector<std::vector<WordId>>& files,
+                     uint32_t dict_size) {
+  Sequitur seq;
+  for (const auto& f : files) seq.AppendFile(f);
+  EXPECT_TRUE(seq.CheckInvariants().ok()) << seq.CheckInvariants();
+  return seq.Finish(static_cast<uint32_t>(files.size()), dict_size);
+}
+
+// Expands the grammar and strips separators back into per-file tokens.
+std::vector<std::vector<WordId>> Expand(const Grammar& g) {
+  std::vector<std::vector<WordId>> files(1);
+  for (Symbol s : g.ExpandAll()) {
+    if (IsFileSep(s)) {
+      files.emplace_back();
+    } else {
+      files.back().push_back(s);
+    }
+  }
+  files.pop_back();  // stream ends with a separator
+  return files;
+}
+
+TEST(SequiturTest, EmptyFile) {
+  const std::vector<std::vector<WordId>> files = {{}};
+  Grammar g = BuildGrammar(files, 1);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files);
+}
+
+TEST(SequiturTest, SingleWord) {
+  const std::vector<std::vector<WordId>> files = {{5}};
+  Grammar g = BuildGrammar(files, 6);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(Expand(g), files);
+}
+
+TEST(SequiturTest, ClassicAbcdbc) {
+  // "a b c d b c" -> rule for (b c).
+  const std::vector<std::vector<WordId>> files = {{1, 2, 3, 4, 2, 3}};
+  Grammar g = BuildGrammar(files, 5);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files);
+  EXPECT_EQ(g.NumRules(), 2u);
+  EXPECT_EQ(g.rules[0].size(), 5u);  // a R d R <sep>
+}
+
+TEST(SequiturTest, NestedRules) {
+  // "a b c d a b c d" -> hierarchy.
+  const std::vector<std::vector<WordId>> files = {{1, 2, 3, 4, 1, 2, 3, 4}};
+  Grammar g = BuildGrammar(files, 5);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files);
+  // Root must be R(abcd) R(abcd) <sep>.
+  EXPECT_EQ(g.rules[0].size(), 3u);
+}
+
+TEST(SequiturTest, OverlappingRunsOfOneSymbol) {
+  for (int n = 1; n <= 40; ++n) {
+    std::vector<WordId> tokens(n, 7);
+    const std::vector<std::vector<WordId>> files = {tokens};
+    Grammar g = BuildGrammar(files, 8);
+    EXPECT_TRUE(g.Validate().ok()) << "n=" << n << ": " << g.Validate();
+    EXPECT_EQ(Expand(g), files) << "n=" << n;
+  }
+}
+
+TEST(SequiturTest, RuleUtilityInlining) {
+  // "a b a b a b" — rules are created then partially inlined; utility
+  // must hold in the final grammar: every non-root rule used >= 2 times.
+  const std::vector<std::vector<WordId>> files = {{1, 2, 1, 2, 1, 2}};
+  Grammar g = BuildGrammar(files, 3);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files);
+  std::vector<uint32_t> uses(g.NumRules(), 0);
+  for (const auto& body : g.rules) {
+    for (Symbol s : body) {
+      if (IsRule(s)) ++uses[RuleIndex(s)];
+    }
+  }
+  for (uint32_t r = 1; r < g.NumRules(); ++r) {
+    EXPECT_GE(uses[r], 2u) << "rule utility violated for R" << r;
+  }
+}
+
+TEST(SequiturTest, SeparatorsNeverEnterRules) {
+  // Identical files: huge cross-file redundancy, but separators must stay
+  // in the root.
+  std::vector<std::vector<WordId>> files;
+  for (int i = 0; i < 8; ++i) files.push_back({1, 2, 3, 4, 5, 6, 7, 8});
+  Grammar g = BuildGrammar(files, 9);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files);
+  for (uint32_t r = 1; r < g.NumRules(); ++r) {
+    for (Symbol s : g.rules[r]) {
+      EXPECT_FALSE(IsFileSep(s)) << "separator inside R" << r;
+    }
+  }
+}
+
+TEST(SequiturTest, CompressionActuallyCompresses) {
+  // 64 copies of the same 32-token block must compress far below input
+  // size.
+  std::vector<WordId> tokens;
+  for (int rep = 0; rep < 64; ++rep) {
+    for (WordId w = 1; w <= 32; ++w) tokens.push_back(w);
+  }
+  Grammar g = BuildGrammar({tokens}, 33);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_LT(g.TotalSymbols(), tokens.size() / 4);
+  EXPECT_EQ(g.ExpandedLength(), tokens.size() + 1);  // + separator
+}
+
+struct RandomCase {
+  uint64_t seed;
+  uint32_t vocab;
+  uint32_t len;
+  double zipf_theta;
+};
+
+class SequiturRandomTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(SequiturRandomTest, RoundTripAndInvariants) {
+  const RandomCase& c = GetParam();
+  Rng rng(c.seed);
+  ZipfSampler zipf(c.vocab, c.zipf_theta);
+  // 1-3 files of random zipfian tokens.
+  const int nfiles = 1 + static_cast<int>(rng.Uniform(3));
+  std::vector<std::vector<WordId>> files(nfiles);
+  for (auto& f : files) {
+    const uint32_t len = c.len / nfiles;
+    f.reserve(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      f.push_back(static_cast<WordId>(kFirstWordId + zipf.Sample(rng)));
+    }
+  }
+  Sequitur seq;
+  for (const auto& f : files) seq.AppendFile(f);
+  const Status inv = seq.CheckInvariants();
+  ASSERT_TRUE(inv.ok()) << inv;
+  Grammar g =
+      seq.Finish(static_cast<uint32_t>(files.size()), c.vocab + kFirstWordId);
+  ASSERT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files) << "seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SequiturRandomTest,
+    ::testing::Values(
+        RandomCase{1, 4, 200, 1.0}, RandomCase{2, 4, 2000, 1.0},
+        RandomCase{3, 2, 500, 0.8}, RandomCase{4, 2, 5000, 1.2},
+        RandomCase{5, 16, 2000, 1.0}, RandomCase{6, 16, 20000, 1.1},
+        RandomCase{7, 100, 5000, 1.0}, RandomCase{8, 100, 50000, 0.9},
+        RandomCase{9, 1000, 20000, 1.0}, RandomCase{10, 3, 10000, 1.0},
+        RandomCase{11, 8, 40000, 1.3}, RandomCase{12, 2, 64, 1.0},
+        RandomCase{13, 5, 33, 1.0}, RandomCase{14, 50, 100000, 1.05},
+        RandomCase{15, 7, 777, 0.7}, RandomCase{16, 9, 9999, 1.4}));
+
+TEST(SequiturTest, ManySmallIdenticalFiles) {
+  std::vector<std::vector<WordId>> files(100, {3, 1, 4, 1, 5, 9, 2, 6});
+  Grammar g = BuildGrammar(files, 10);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate();
+  EXPECT_EQ(Expand(g), files);
+  // Root should be ~100 rule refs + 100 separators; compression of the
+  // shared content into one rule is expected.
+  EXPECT_LE(g.rules[0].size(), 2u * 100u);
+}
+
+TEST(SequiturTest, TokensConsumedCountsSeparators) {
+  Sequitur seq;
+  seq.AppendFile({1, 2, 3});
+  seq.AppendFile({4, 5});
+  EXPECT_EQ(seq.tokens_consumed(), 7u);  // 5 words + 2 separators
+}
+
+}  // namespace
+}  // namespace ntadoc::compress

@@ -1,0 +1,298 @@
+// ntadoc — command-line front end for the library.
+//
+//   ntadoc compress  <out.ntdc> <file...>     compress text files
+//   ntadoc stats     <in.ntdc>                container statistics
+//   ntadoc extract   <in.ntdc> <file#> [off len]   random access
+//   ntadoc run       <in.ntdc> <task> [--medium=nvm|reram|pcm|ssd|hdd]
+//                    [--persistence=none|phase|operation]
+//                    [--traversal=auto|topdown|bottomup]
+//                    [--ngram=N] [--topk=K] [--limit=N]
+//
+// `run` executes one of the six analytics tasks with N-TADOC on an
+// emulated device and prints the first --limit result rows plus the
+// phase timing.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "compress/compressor.h"
+#include "compress/format.h"
+#include "compress/random_access.h"
+#include "core/engine.h"
+#include "util/string_util.h"
+
+using namespace ntadoc;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ntadoc compress <out.ntdc> <file...>\n"
+               "  ntadoc stats    <in.ntdc>\n"
+               "  ntadoc extract  <in.ntdc> <file#> [offset count]\n"
+               "  ntadoc run      <in.ntdc> <wordcount|sort|termvector|"
+               "invertedindex|sequencecount|rankedindex>\n"
+               "                  [--medium=nvm|reram|pcm|ssd|hdd] "
+               "[--persistence=none|phase|operation]\n"
+               "                  [--traversal=auto|topdown|bottomup] "
+               "[--ngram=N] [--topk=K] [--limit=N]\n");
+  return 2;
+}
+
+Result<compress::CompressedCorpus> LoadOrFail(const std::string& path) {
+  auto corpus = compress::LoadCorpus(path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 corpus.status().ToString().c_str());
+  }
+  return corpus;
+}
+
+int CmdCompress(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::vector<compress::InputFile> files;
+  for (int i = 3; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    files.push_back({argv[i], text.str()});
+  }
+  auto corpus = compress::Compress(files);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = compress::SaveCorpus(*corpus, argv[2]); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto stats = compress::ComputeStats(corpus->grammar);
+  std::printf("%s: %zu files, %llu tokens -> %llu rules (%llu symbols, "
+              "%.2f:1)\n",
+              argv[2], files.size(),
+              (unsigned long long)stats.expanded_tokens,
+              (unsigned long long)stats.num_rules,
+              (unsigned long long)stats.total_symbols,
+              stats.compression_ratio);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  auto corpus = LoadOrFail(argv[2]);
+  if (!corpus.ok()) return 1;
+  const auto stats = compress::ComputeStats(corpus->grammar);
+  std::printf("files:        %u\n", corpus->num_files());
+  std::printf("rules:        %s\n",
+              WithThousandsSeparators(stats.num_rules).c_str());
+  std::printf("vocabulary:   %s\n",
+              WithThousandsSeparators(corpus->dict.vocabulary_size()).c_str());
+  std::printf("tokens:       %s\n",
+              WithThousandsSeparators(stats.expanded_tokens).c_str());
+  std::printf("symbols:      %s\n",
+              WithThousandsSeparators(stats.total_symbols).c_str());
+  std::printf("root length:  %s\n",
+              WithThousandsSeparators(stats.root_length).c_str());
+  std::printf("max rule len: %s\n",
+              WithThousandsSeparators(stats.max_rule_length).c_str());
+  std::printf("compression:  %.2f:1\n", stats.compression_ratio);
+  return 0;
+}
+
+int CmdExtract(int argc, char** argv) {
+  if (argc != 4 && argc != 6) return Usage();
+  auto corpus = LoadOrFail(argv[2]);
+  if (!corpus.ok()) return 1;
+  const uint32_t file = static_cast<uint32_t>(std::stoul(argv[3]));
+  compress::RandomAccessReader reader(&*corpus);
+  auto len = reader.FileLength(file);
+  if (!len.ok()) {
+    std::fprintf(stderr, "%s\n", len.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t offset = argc == 6 ? std::stoull(argv[4]) : 0;
+  const uint64_t count = argc == 6 ? std::stoull(argv[5]) : *len;
+  auto text = reader.ExtractText(file, offset, count);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", text->c_str());
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto corpus = LoadOrFail(argv[2]);
+  if (!corpus.ok()) return 1;
+
+  tadoc::Task task;
+  const std::string task_name = argv[3];
+  if (task_name == "wordcount") {
+    task = tadoc::Task::kWordCount;
+  } else if (task_name == "sort") {
+    task = tadoc::Task::kSort;
+  } else if (task_name == "termvector") {
+    task = tadoc::Task::kTermVector;
+  } else if (task_name == "invertedindex") {
+    task = tadoc::Task::kInvertedIndex;
+  } else if (task_name == "sequencecount") {
+    task = tadoc::Task::kSequenceCount;
+  } else if (task_name == "rankedindex") {
+    task = tadoc::Task::kRankedInvertedIndex;
+  } else {
+    return Usage();
+  }
+
+  nvm::DeviceProfile profile = nvm::OptaneProfile();
+  core::NTadocOptions engine_opts;
+  tadoc::AnalyticsOptions opts;
+  uint64_t limit = 10;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--medium=", 0) == 0) {
+      const std::string m = arg.substr(9);
+      if (m == "nvm") {
+        profile = nvm::OptaneProfile();
+      } else if (m == "reram") {
+        profile = nvm::ReRamProfile();
+      } else if (m == "pcm") {
+        profile = nvm::PcmProfile();
+      } else if (m == "ssd") {
+        profile = nvm::SsdProfile();
+      } else if (m == "hdd") {
+        profile = nvm::HddProfile();
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--persistence=", 0) == 0) {
+      const std::string p = arg.substr(14);
+      engine_opts.persistence =
+          p == "none"        ? core::PersistenceMode::kNone
+          : p == "operation" ? core::PersistenceMode::kOperation
+                             : core::PersistenceMode::kPhase;
+    } else if (arg.rfind("--traversal=", 0) == 0) {
+      const std::string t = arg.substr(12);
+      engine_opts.traversal =
+          t == "topdown"    ? tadoc::TraversalStrategy::kTopDown
+          : t == "bottomup" ? tadoc::TraversalStrategy::kBottomUp
+                            : tadoc::TraversalStrategy::kAuto;
+    } else if (arg.rfind("--ngram=", 0) == 0) {
+      opts.ngram = static_cast<uint32_t>(std::stoul(arg.substr(8)));
+    } else if (arg.rfind("--topk=", 0) == 0) {
+      opts.top_k = static_cast<uint32_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      limit = std::stoull(arg.substr(8));
+    } else {
+      return Usage();
+    }
+  }
+
+  nvm::DeviceOptions dev_opts;
+  dev_opts.capacity = std::max<uint64_t>(
+      256ull << 20, corpus->grammar.ExpandedLength() * 48);
+  dev_opts.profile = profile;
+  auto device = nvm::NvmDevice::Create(dev_opts);
+  if (!device.ok()) {
+    std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
+    return 1;
+  }
+  core::NTadocEngine engine(&*corpus, device->get(), engine_opts);
+  tadoc::RunMetrics metrics;
+  auto out = engine.Run(task, opts, &metrics);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  auto spell_gram = [&](const tadoc::NgramKey& k) {
+    std::string s;
+    for (uint32_t i = 0; i < opts.ngram; ++i) {
+      if (i > 0) s.push_back(' ');
+      s += corpus->dict.Spell(k.words[i]);
+    }
+    return s;
+  };
+  uint64_t shown = 0;
+  switch (task) {
+    case tadoc::Task::kWordCount:
+      for (const auto& [w, c] : out->word_counts) {
+        if (shown++ >= limit) break;
+        std::printf("%-24s %llu\n", corpus->dict.Spell(w).c_str(),
+                    (unsigned long long)c);
+      }
+      break;
+    case tadoc::Task::kSort:
+      for (const auto& [w, c] : out->sorted_words) {
+        if (shown++ >= limit) break;
+        std::printf("%-24s %llu\n", w.c_str(), (unsigned long long)c);
+      }
+      break;
+    case tadoc::Task::kTermVector:
+      for (uint32_t f = 0; f < out->term_vectors.size() && f < limit; ++f) {
+        std::printf("%s:", corpus->file_names[f].c_str());
+        for (const auto& [w, c] : out->term_vectors[f]) {
+          std::printf(" %s(%llu)", corpus->dict.Spell(w).c_str(),
+                      (unsigned long long)c);
+        }
+        std::printf("\n");
+      }
+      break;
+    case tadoc::Task::kInvertedIndex:
+      for (const auto& [w, files] : out->inverted_index) {
+        if (shown++ >= limit) break;
+        std::printf("%-24s %zu files\n", corpus->dict.Spell(w).c_str(),
+                    files.size());
+      }
+      break;
+    case tadoc::Task::kSequenceCount:
+      for (const auto& [k, c] : out->sequence_counts) {
+        if (shown++ >= limit) break;
+        std::printf("%-40s %llu\n", spell_gram(k).c_str(),
+                    (unsigned long long)c);
+      }
+      break;
+    case tadoc::Task::kRankedInvertedIndex:
+      for (const auto& [k, postings] : out->ranked_index) {
+        if (shown++ >= limit) break;
+        std::printf("%-40s %zu files, top file %u (%llu)\n",
+                    spell_gram(k).c_str(), postings.size(),
+                    postings.empty() ? 0 : postings.front().first,
+                    (unsigned long long)(postings.empty()
+                                             ? 0
+                                             : postings.front().second));
+      }
+      break;
+  }
+  std::fprintf(stderr,
+               "[%s on %s, %s persistence] init %s + traversal %s "
+               "(simulated device time %s)\n",
+               tadoc::TaskToString(task), profile.name.c_str(),
+               core::PersistenceModeToString(engine_opts.persistence),
+               HumanDuration(metrics.init_wall_ns + metrics.init_sim_ns)
+                   .c_str(),
+               HumanDuration(metrics.traversal_wall_ns +
+                             metrics.traversal_sim_ns)
+                   .c_str(),
+               HumanDuration(metrics.TotalSimNs()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "compress") return CmdCompress(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "extract") return CmdExtract(argc, argv);
+  if (cmd == "run") return CmdRun(argc, argv);
+  return Usage();
+}
