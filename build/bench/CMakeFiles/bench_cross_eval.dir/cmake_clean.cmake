@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_eval.dir/bench_cross_eval.cc.o"
+  "CMakeFiles/bench_cross_eval.dir/bench_cross_eval.cc.o.d"
+  "bench_cross_eval"
+  "bench_cross_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

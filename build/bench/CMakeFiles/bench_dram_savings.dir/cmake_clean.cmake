@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dram_savings.dir/bench_dram_savings.cc.o"
+  "CMakeFiles/bench_dram_savings.dir/bench_dram_savings.cc.o.d"
+  "bench_dram_savings"
+  "bench_dram_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dram_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

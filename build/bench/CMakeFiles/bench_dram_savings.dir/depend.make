@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dram_savings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dram_gap.dir/bench_fig6_dram_gap.cc.o"
+  "CMakeFiles/bench_fig6_dram_gap.dir/bench_fig6_dram_gap.cc.o.d"
+  "bench_fig6_dram_gap"
+  "bench_fig6_dram_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dram_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ssd_hdd.dir/bench_fig7_ssd_hdd.cc.o"
+  "CMakeFiles/bench_fig7_ssd_hdd.dir/bench_fig7_ssd_hdd.cc.o.d"
+  "bench_fig7_ssd_hdd"
+  "bench_fig7_ssd_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ssd_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

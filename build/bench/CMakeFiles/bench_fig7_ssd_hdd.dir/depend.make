@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_ssd_hdd.
+# This may be replaced when dependencies are built.

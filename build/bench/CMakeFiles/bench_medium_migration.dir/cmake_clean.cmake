@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_medium_migration.dir/bench_medium_migration.cc.o"
+  "CMakeFiles/bench_medium_migration.dir/bench_medium_migration.cc.o.d"
+  "bench_medium_migration"
+  "bench_medium_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_medium_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traversal_opt.dir/bench_traversal_opt.cc.o"
+  "CMakeFiles/bench_traversal_opt.dir/bench_traversal_opt.cc.o.d"
+  "bench_traversal_opt"
+  "bench_traversal_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traversal_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ntadoc_bench_common.dir/bench_common.cc.o.d"
+  "libntadoc_bench_common.a"
+  "libntadoc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

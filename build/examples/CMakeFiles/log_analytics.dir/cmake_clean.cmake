@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_analytics.dir/log_analytics.cpp.o"
+  "CMakeFiles/log_analytics.dir/log_analytics.cpp.o.d"
+  "log_analytics"
+  "log_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_baseline.dir/uncompressed.cc.o"
+  "CMakeFiles/ntadoc_baseline.dir/uncompressed.cc.o.d"
+  "libntadoc_baseline.a"
+  "libntadoc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

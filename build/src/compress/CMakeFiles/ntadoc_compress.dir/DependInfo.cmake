@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/ntadoc_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/ntadoc_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/dictionary.cc" "src/compress/CMakeFiles/ntadoc_compress.dir/dictionary.cc.o" "gcc" "src/compress/CMakeFiles/ntadoc_compress.dir/dictionary.cc.o.d"
+  "/root/repo/src/compress/format.cc" "src/compress/CMakeFiles/ntadoc_compress.dir/format.cc.o" "gcc" "src/compress/CMakeFiles/ntadoc_compress.dir/format.cc.o.d"
+  "/root/repo/src/compress/grammar.cc" "src/compress/CMakeFiles/ntadoc_compress.dir/grammar.cc.o" "gcc" "src/compress/CMakeFiles/ntadoc_compress.dir/grammar.cc.o.d"
+  "/root/repo/src/compress/random_access.cc" "src/compress/CMakeFiles/ntadoc_compress.dir/random_access.cc.o" "gcc" "src/compress/CMakeFiles/ntadoc_compress.dir/random_access.cc.o.d"
+  "/root/repo/src/compress/sequitur.cc" "src/compress/CMakeFiles/ntadoc_compress.dir/sequitur.cc.o" "gcc" "src/compress/CMakeFiles/ntadoc_compress.dir/sequitur.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ntadoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_compress.dir/compressor.cc.o"
+  "CMakeFiles/ntadoc_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/ntadoc_compress.dir/dictionary.cc.o"
+  "CMakeFiles/ntadoc_compress.dir/dictionary.cc.o.d"
+  "CMakeFiles/ntadoc_compress.dir/format.cc.o"
+  "CMakeFiles/ntadoc_compress.dir/format.cc.o.d"
+  "CMakeFiles/ntadoc_compress.dir/grammar.cc.o"
+  "CMakeFiles/ntadoc_compress.dir/grammar.cc.o.d"
+  "CMakeFiles/ntadoc_compress.dir/random_access.cc.o"
+  "CMakeFiles/ntadoc_compress.dir/random_access.cc.o.d"
+  "CMakeFiles/ntadoc_compress.dir/sequitur.cc.o"
+  "CMakeFiles/ntadoc_compress.dir/sequitur.cc.o.d"
+  "libntadoc_compress.a"
+  "libntadoc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

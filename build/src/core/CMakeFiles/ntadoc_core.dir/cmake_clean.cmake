@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_core.dir/engine.cc.o"
+  "CMakeFiles/ntadoc_core.dir/engine.cc.o.d"
+  "CMakeFiles/ntadoc_core.dir/pruning.cc.o"
+  "CMakeFiles/ntadoc_core.dir/pruning.cc.o.d"
+  "CMakeFiles/ntadoc_core.dir/summation.cc.o"
+  "CMakeFiles/ntadoc_core.dir/summation.cc.o.d"
+  "libntadoc_core.a"
+  "libntadoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntadoc_core.a"
+)

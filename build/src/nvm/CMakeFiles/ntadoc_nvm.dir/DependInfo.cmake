@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/device_profile.cc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/device_profile.cc.o" "gcc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/device_profile.cc.o.d"
+  "/root/repo/src/nvm/memory_model.cc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/memory_model.cc.o" "gcc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/memory_model.cc.o.d"
+  "/root/repo/src/nvm/nvm_device.cc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/nvm_device.cc.o" "gcc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/nvm_device.cc.o.d"
+  "/root/repo/src/nvm/nvm_pool.cc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/nvm_pool.cc.o" "gcc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/nvm_pool.cc.o.d"
+  "/root/repo/src/nvm/obj_log.cc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/obj_log.cc.o" "gcc" "src/nvm/CMakeFiles/ntadoc_nvm.dir/obj_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ntadoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

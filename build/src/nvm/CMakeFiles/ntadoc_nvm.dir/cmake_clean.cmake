@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_nvm.dir/device_profile.cc.o"
+  "CMakeFiles/ntadoc_nvm.dir/device_profile.cc.o.d"
+  "CMakeFiles/ntadoc_nvm.dir/memory_model.cc.o"
+  "CMakeFiles/ntadoc_nvm.dir/memory_model.cc.o.d"
+  "CMakeFiles/ntadoc_nvm.dir/nvm_device.cc.o"
+  "CMakeFiles/ntadoc_nvm.dir/nvm_device.cc.o.d"
+  "CMakeFiles/ntadoc_nvm.dir/nvm_pool.cc.o"
+  "CMakeFiles/ntadoc_nvm.dir/nvm_pool.cc.o.d"
+  "CMakeFiles/ntadoc_nvm.dir/obj_log.cc.o"
+  "CMakeFiles/ntadoc_nvm.dir/obj_log.cc.o.d"
+  "libntadoc_nvm.a"
+  "libntadoc_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ntadoc_nvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_tadoc.dir/analytics.cc.o"
+  "CMakeFiles/ntadoc_tadoc.dir/analytics.cc.o.d"
+  "CMakeFiles/ntadoc_tadoc.dir/engine.cc.o"
+  "CMakeFiles/ntadoc_tadoc.dir/engine.cc.o.d"
+  "CMakeFiles/ntadoc_tadoc.dir/head_tail.cc.o"
+  "CMakeFiles/ntadoc_tadoc.dir/head_tail.cc.o.d"
+  "libntadoc_tadoc.a"
+  "libntadoc_tadoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_tadoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_textgen.dir/generator.cc.o"
+  "CMakeFiles/ntadoc_textgen.dir/generator.cc.o.d"
+  "libntadoc_textgen.a"
+  "libntadoc_textgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_textgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

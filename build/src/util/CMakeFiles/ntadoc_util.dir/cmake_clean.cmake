@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_util.dir/dram_tracker.cc.o"
+  "CMakeFiles/ntadoc_util.dir/dram_tracker.cc.o.d"
+  "CMakeFiles/ntadoc_util.dir/logging.cc.o"
+  "CMakeFiles/ntadoc_util.dir/logging.cc.o.d"
+  "CMakeFiles/ntadoc_util.dir/status.cc.o"
+  "CMakeFiles/ntadoc_util.dir/status.cc.o.d"
+  "CMakeFiles/ntadoc_util.dir/string_util.cc.o"
+  "CMakeFiles/ntadoc_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ntadoc_util.dir/zipf.cc.o"
+  "CMakeFiles/ntadoc_util.dir/zipf.cc.o.d"
+  "libntadoc_util.a"
+  "libntadoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_structures_test.dir/core_structures_test.cc.o"
+  "CMakeFiles/core_structures_test.dir/core_structures_test.cc.o.d"
+  "core_structures_test"
+  "core_structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_sweep_test.dir/crash_sweep_test.cc.o"
+  "CMakeFiles/crash_sweep_test.dir/crash_sweep_test.cc.o.d"
+  "crash_sweep_test"
+  "crash_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ntadoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ntadoc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/textgen/CMakeFiles/ntadoc_textgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tadoc/CMakeFiles/ntadoc_tadoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/ntadoc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ntadoc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ntadoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

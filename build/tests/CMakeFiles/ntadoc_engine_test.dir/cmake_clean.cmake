@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc_engine_test.dir/ntadoc_engine_test.cc.o"
+  "CMakeFiles/ntadoc_engine_test.dir/ntadoc_engine_test.cc.o.d"
+  "ntadoc_engine_test"
+  "ntadoc_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

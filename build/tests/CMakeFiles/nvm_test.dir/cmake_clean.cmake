@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_test.dir/nvm_test.cc.o"
+  "CMakeFiles/nvm_test.dir/nvm_test.cc.o.d"
+  "nvm_test"
+  "nvm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

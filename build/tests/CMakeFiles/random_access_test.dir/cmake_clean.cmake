@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_access_test.dir/random_access_test.cc.o"
+  "CMakeFiles/random_access_test.dir/random_access_test.cc.o.d"
+  "random_access_test"
+  "random_access_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

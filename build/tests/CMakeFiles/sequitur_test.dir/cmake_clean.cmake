@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequitur_test.dir/sequitur_test.cc.o"
+  "CMakeFiles/sequitur_test.dir/sequitur_test.cc.o.d"
+  "sequitur_test"
+  "sequitur_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequitur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tadoc_engine_test.dir/tadoc_engine_test.cc.o"
+  "CMakeFiles/tadoc_engine_test.dir/tadoc_engine_test.cc.o.d"
+  "tadoc_engine_test"
+  "tadoc_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tadoc_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sequitur_test "/root/repo/build/tests/sequitur_test")
+set_tests_properties(sequitur_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tadoc_engine_test "/root/repo/build/tests/tadoc_engine_test")
+set_tests_properties(tadoc_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ntadoc_engine_test "/root/repo/build/tests/ntadoc_engine_test")
+set_tests_properties(ntadoc_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nvm_test "/root/repo/build/tests/nvm_test")
+set_tests_properties(nvm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compress_test "/root/repo/build/tests/compress_test")
+set_tests_properties(compress_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;24;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_structures_test "/root/repo/build/tests/core_structures_test")
+set_tests_properties(core_structures_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;27;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;30;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(random_access_test "/root/repo/build/tests/random_access_test")
+set_tests_properties(random_access_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;33;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crash_sweep_test "/root/repo/build/tests/crash_sweep_test")
+set_tests_properties(crash_sweep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;36;ntadoc_add_test;/root/repo/tests/CMakeLists.txt;0;")

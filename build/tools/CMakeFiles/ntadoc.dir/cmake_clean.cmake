@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntadoc.dir/ntadoc_cli.cc.o"
+  "CMakeFiles/ntadoc.dir/ntadoc_cli.cc.o.d"
+  "ntadoc"
+  "ntadoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntadoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
