@@ -44,7 +44,7 @@ Status GrowGramTable(GramTable* table, nvm::NvmPool* pool) {
 
 Status GramAdd(GramTable* table, nvm::NvmPool* pool, const NgramKey& key) {
   Status s = table->AddDelta(key, 1);
-  if (s.ok()) return s;
+  if (s.code() != StatusCode::kResourceExhausted) return s;
   NTADOC_RETURN_IF_ERROR(GrowGramTable(table, pool));
   return table->AddDelta(key, 1);
 }

@@ -91,6 +91,7 @@ struct Catalog {
   uint64_t local_gram_meta_off;
   uint64_t seg_gram_meta_off;
   uint64_t cursor_off;
+  uint64_t integrity_off;
   uint64_t pruned;
   uint64_t checksum;
 };
@@ -99,6 +100,30 @@ constexpr uint64_t kCatalogMagic = 0x4E5441444343544CULL;  // "NTADCCTL"
 uint64_t CatalogChecksum(const Catalog& c) {
   return Fnv1a64(&c, offsetof(Catalog, checksum));
 }
+
+/// Checksummed record of the init phase's immutable pool content: the
+/// pool top at init completion and a hash of every byte in
+/// [data_start, init_top) that the traversal phase never mutates.
+/// Recovery recomputes the hash before trusting a re-attached init, so a
+/// torn flush or bit rot in payloads/metadata cannot produce a silently
+/// wrong answer.
+struct InitIntegrity {
+  uint64_t magic;
+  uint64_t init_top;
+  uint64_t region_hash;
+  uint64_t checksum;  // over the preceding fields
+};
+constexpr uint64_t kIntegrityMagic = 0x4E54414443494E54ULL;  // "NTADCINT"
+
+uint64_t IntegrityChecksum(const InitIntegrity& r) {
+  return Fnv1a64(&r, offsetof(InitIntegrity, checksum));
+}
+
+/// Half-open byte extent on the device.
+struct ByteRange {
+  uint64_t begin;
+  uint64_t end;
+};
 
 struct U32Hash {
   size_t operator()(uint32_t v) const { return Mix64(v); }
@@ -364,6 +389,93 @@ Status CommitWithCheckpoint(nvm::NvmDevice* device, StateT* st,
   return writer->Commit();
 }
 
+/// Byte extents of pool state that legitimately mutates during the
+/// traversal phase; everything else between the pool's data start and the
+/// init-time top is immutable after init and covered by the integrity
+/// hash. Metadata arrays are excluded field-wise: only RuleMeta::weight
+/// and ListMeta::size change under the summation estimator, so a torn
+/// flush in any other field is caught.
+template <typename StateT>
+std::vector<ByteRange> CollectMutableExtents(const StateT& st,
+                                             uint64_t integrity_off) {
+  std::vector<ByteRange> v;
+  auto add = [&v](uint64_t off, uint64_t len) {
+    if (len > 0) v.push_back(ByteRange{off, off + len});
+  };
+  const uint32_t nr = st.dag.num_rules;
+  for (uint32_t r = 0; r < nr; ++r) {
+    add(st.dag.rule_meta.ElementOffset(r) + offsetof(RuleMeta, weight),
+        sizeof(uint64_t));
+  }
+  if (st.use_queue) {
+    add(st.queue.offset(), nr * sizeof(uint32_t));
+    add(st.indeg.offset(), nr * sizeof(uint32_t));
+  }
+  auto add_table = [&](const auto& t, uint64_t key_size, uint64_t val_size) {
+    add(t.status_offset(), t.capacity());
+    add(t.keys_offset(), t.capacity() * key_size);
+    add(t.values_offset(), t.capacity() * val_size);
+  };
+  if (st.use_word_table) {
+    add_table(st.word_table, sizeof(uint32_t), sizeof(uint64_t));
+  }
+  if (st.use_gram_table) {
+    add_table(st.gram_table, sizeof(NgramKey), sizeof(uint64_t));
+  }
+  if (st.use_file_table) {
+    add_table(st.file_table, sizeof(uint32_t), sizeof(uint64_t));
+  }
+  if (st.use_file_gram_table) {
+    add_table(st.file_gram_table, sizeof(NgramKey), sizeof(uint64_t));
+  }
+  auto add_lists = [&](const NvmVector<ListMeta>& metas,
+                       uint64_t entry_size) {
+    for (uint32_t r = 0; r < nr; ++r) {
+      const ListMeta m = metas.Get(r);
+      add(m.off, m.capacity * entry_size);
+      add(metas.ElementOffset(r) + offsetof(ListMeta, size),
+          sizeof(uint64_t));
+    }
+  };
+  if (st.use_word_lists) add_lists(st.word_list_meta, sizeof(WordEntry));
+  if (st.use_gram_lists) add_lists(st.gram_list_meta, sizeof(GramEntry));
+  add(st.cursor_off, 64);
+  add(integrity_off, 64);
+  return v;
+}
+
+/// Hashes [begin, end) minus the excluded extents, reading through
+/// TryReadBytes so an unreadable media block surfaces as DataLoss rather
+/// than being hashed as poison.
+Result<uint64_t> HashImmutableRegion(nvm::NvmDevice* device, uint64_t begin,
+                                     uint64_t end,
+                                     std::vector<ByteRange> excluded) {
+  std::sort(excluded.begin(), excluded.end(),
+            [](const ByteRange& a, const ByteRange& b) {
+              return a.begin < b.begin;
+            });
+  uint64_t h = Fnv1a64(&begin, sizeof(begin));
+  std::vector<uint8_t> buf(4096);
+  auto hash_span = [&](uint64_t a, uint64_t b) -> Status {
+    while (a < b) {
+      const uint64_t n = std::min<uint64_t>(buf.size(), b - a);
+      NTADOC_RETURN_IF_ERROR(device->TryReadBytes(a, buf.data(), n));
+      h = Fnv1a64(buf.data(), n, h);
+      a += n;
+    }
+    return Status::OK();
+  };
+  uint64_t pos = begin;
+  for (const ByteRange& e : excluded) {
+    if (pos >= end) break;
+    const uint64_t gap_end = std::max(pos, std::min(e.begin, end));
+    NTADOC_RETURN_IF_ERROR(hash_span(pos, gap_end));
+    pos = std::max(pos, std::min(e.end, end));
+  }
+  NTADOC_RETURN_IF_ERROR(hash_span(pos, end));
+  return h;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -434,6 +546,16 @@ Status NTadocEngine::MaybeInjectCrash(State* st) {
   return Status::OK();
 }
 
+Status NTadocEngine::CheckMediaErrors() {
+  const uint64_t n = device_->media_error_count();
+  if (n != media_errors_seen_) {
+    media_errors_seen_ = n;
+    return Status::DataLoss(
+        "uncorrectable media error during traversal reads");
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Writes the durable cursor through the step writer.
@@ -459,8 +581,176 @@ CursorSlot ReadCursor(nvm::NvmDevice* device, uint64_t cursor_off) {
 // Initialization phase
 // ---------------------------------------------------------------------------
 
+Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
+  if (options_.persistence == PersistenceMode::kNone) return false;
+  const auto& grammar = corpus_->grammar;
+
+  // Every detected-corruption exit funnels through here: count it, log
+  // it, and fall back to a fresh init (which rewrites — and thereby
+  // heals — the damaged state).
+  auto corrupt = [&](const char* what) -> bool {
+    ++run_info_.corruption_detected;
+    NTADOC_LOG(Warning) << "recovery attach rejected: " << what
+                        << "; restarting from the compressed container";
+    return false;
+  };
+
+  {
+    uint8_t slot[kMarkerSlot];
+    if (!device_->TryReadBytes(kMarkerOffset, slot, sizeof(slot)).ok()) {
+      return corrupt("phase marker unreadable");
+    }
+  }
+  nvm::PhaseMarker marker(device_, kMarkerOffset);
+  const uint64_t committed = marker.LastCommittedPhase();
+  if (committed < 1 || committed >= 2) return false;  // nothing to reuse
+
+  auto pool = nvm::NvmPool::Open(device_, pool_base);
+  if (!pool.ok()) return corrupt("pool header corrupt");
+  st->pool.emplace(std::move(pool).value());
+
+  // Media scrub before trusting any pool content: every allocated byte
+  // must be readable.
+  const auto scrub = st->pool->Scrub();
+  if (!scrub.ok()) return corrupt("pool scrub failed");
+  if (scrub.value().bad_blocks > 0) {
+    run_info_.blocks_lost += scrub.value().bad_blocks;
+    return corrupt("unreadable media blocks in pool");
+  }
+
+  const uint64_t catalog_off = pool_base + 64;  // first allocation
+  Catalog cat;
+  if (!device_->TryReadBytes(catalog_off, &cat, sizeof(cat)).ok()) {
+    return corrupt("catalog unreadable");
+  }
+  if (cat.magic != kCatalogMagic || cat.checksum != CatalogChecksum(cat)) {
+    return corrupt("catalog checksum mismatch");
+  }
+  if (cat.signature != st->signature) {
+    return false;  // a different run's state — stale, not corrupt
+  }
+
+  const uint32_t nr = grammar.NumRules();
+  const uint32_t nf = grammar.num_files;
+  st->dag.pruned = cat.pruned != 0;
+  st->dag.num_rules = nr;
+  st->dag.num_files = nf;
+  st->dag.layout_order = grammar.TopologicalOrder();
+  st->dag.rule_meta =
+      NvmVector<RuleMeta>::Attach(&*st->pool, cat.rule_meta_off, nr, nr);
+  st->dag.seg_meta =
+      NvmVector<SegmentMeta>::Attach(&*st->pool, cat.seg_meta_off, nf, nf);
+  if (st->use_queue) {
+    st->queue =
+        NvmVector<uint32_t>::Attach(&*st->pool, cat.queue_off, nr, nr);
+    st->indeg =
+        NvmVector<uint32_t>::Attach(&*st->pool, cat.indeg_off, nr, nr);
+  }
+  if (st->use_word_table) {
+    st->word_table = WordTable::Attach(&*st->pool, cat.word_status,
+                                       cat.word_keys, cat.word_vals,
+                                       cat.word_cap);
+  }
+  if (st->use_gram_table) {
+    st->gram_table = GramTable::Attach(&*st->pool, cat.gram_status,
+                                       cat.gram_keys, cat.gram_vals,
+                                       cat.gram_cap);
+  }
+  if (st->use_file_table) {
+    st->file_table = WordTable::Attach(&*st->pool, cat.ftbl_status,
+                                       cat.ftbl_keys, cat.ftbl_vals,
+                                       cat.ftbl_cap);
+  }
+  if (st->use_file_gram_table) {
+    st->file_gram_table =
+        GramTable::Attach(&*st->pool, cat.fgram_status, cat.fgram_keys,
+                          cat.fgram_vals, cat.fgram_cap);
+  }
+  if (st->use_word_lists) {
+    st->word_list_meta = NvmVector<ListMeta>::Attach(
+        &*st->pool, cat.word_list_meta_off, nr, nr);
+  }
+  if (st->use_gram_lists) {
+    st->gram_list_meta = NvmVector<ListMeta>::Attach(
+        &*st->pool, cat.gram_list_meta_off, nr, nr);
+  }
+  if (st->use_local_grams) {
+    st->local_gram_meta = NvmVector<GramMeta>::Attach(
+        &*st->pool, cat.local_gram_meta_off, nr, nr);
+    st->seg_gram_meta = NvmVector<GramMeta>::Attach(
+        &*st->pool, cat.seg_gram_meta_off, nf, nf);
+  }
+  st->cursor_off = cat.cursor_off;
+
+  // Structural invariants: a torn flush in a list descriptor would
+  // otherwise send WriteList to a wild offset.
+  const uint64_t dev_cap = device_->capacity();
+  auto lists_ok = [&](const NvmVector<ListMeta>& metas,
+                      uint64_t entry_size) {
+    for (uint32_t r = 0; r < nr; ++r) {
+      const ListMeta m = metas.Get(r);
+      if (m.size > m.capacity) return false;
+      if (m.capacity > 0 &&
+          (m.off < pool_base + 64 || m.off + m.capacity * entry_size > dev_cap)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (st->use_word_lists && !lists_ok(st->word_list_meta, sizeof(WordEntry))) {
+    return corrupt("word list descriptor out of bounds");
+  }
+  if (st->use_gram_lists && !lists_ok(st->gram_list_meta, sizeof(GramEntry))) {
+    return corrupt("gram list descriptor out of bounds");
+  }
+  if (st->use_word_table && !st->word_table.Validate().ok()) {
+    return corrupt("word table buffers corrupt");
+  }
+  if (st->use_gram_table && !st->gram_table.Validate().ok()) {
+    return corrupt("gram table buffers corrupt");
+  }
+  if (st->use_file_table && !st->file_table.Validate().ok()) {
+    return corrupt("file table buffers corrupt");
+  }
+  if (st->use_file_gram_table && !st->file_gram_table.Validate().ok()) {
+    return corrupt("file gram table buffers corrupt");
+  }
+
+  // End-to-end integrity: recompute the hash of everything the traversal
+  // never mutates and compare with the record written at init commit.
+  InitIntegrity ii;
+  if (cat.integrity_off == 0 ||
+      !device_->TryReadBytes(cat.integrity_off, &ii, sizeof(ii)).ok()) {
+    return corrupt("init integrity record unreadable");
+  }
+  if (ii.magic != kIntegrityMagic || ii.checksum != IntegrityChecksum(ii)) {
+    return corrupt("init integrity record corrupt");
+  }
+  if (ii.init_top < pool_base + 128 || ii.init_top > st->pool->top()) {
+    return corrupt("init integrity bounds corrupt");
+  }
+  const auto hash =
+      HashImmutableRegion(device_, pool_base + 64, ii.init_top,
+                          CollectMutableExtents(*st, cat.integrity_off));
+  if (!hash.ok()) return corrupt("immutable region unreadable");
+  if (hash.value() != ii.region_hash) {
+    return corrupt("immutable region hash mismatch (torn write or bit rot)");
+  }
+
+  if (options_.persistence == PersistenceMode::kOperation) {
+    auto log = nvm::RedoLog::Open(device_, kMarkerSlot);
+    if (!log.ok()) return corrupt("redo log header corrupt");
+    st->log.emplace(std::move(log).value());
+    const auto replayed = st->log->Recover();
+    if (!replayed.ok()) return corrupt("redo log recovery failed");
+  }
+
+  run_info_.init_phase_reused = true;
+  return true;
+}
+
 Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
-                               State* st) {
+                               State* st, bool force_fresh) {
   const auto& grammar = corpus_->grammar;
   st->task = task;
   st->opts = opts;
@@ -494,83 +784,13 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   const uint64_t pool_size = device_->capacity() - pool_base;
 
   // ---- Attach path: a completed, signature-matching init is reused ----
-  nvm::PhaseMarker marker(device_, kMarkerOffset);
-  const uint64_t committed = marker.LastCommittedPhase();
-  if (committed >= 1 && committed < 2) {
-    auto pool = nvm::NvmPool::Open(device_, pool_base);
-    if (pool.ok()) {
-      st->pool.emplace(std::move(pool).value());
-      const uint64_t catalog_off = pool_base + 64;  // first allocation
-      const Catalog cat = device_->Read<Catalog>(catalog_off);
-      if (cat.magic == kCatalogMagic &&
-          cat.checksum == CatalogChecksum(cat) &&
-          cat.signature == st->signature) {
-        const uint32_t nr = grammar.NumRules();
-        const uint32_t nf = grammar.num_files;
-        st->dag.pruned = cat.pruned != 0;
-        st->dag.num_rules = nr;
-        st->dag.num_files = nf;
-        st->dag.layout_order = grammar.TopologicalOrder();
-        st->dag.rule_meta = NvmVector<RuleMeta>::Attach(
-            &*st->pool, cat.rule_meta_off, nr, nr);
-        st->dag.seg_meta = NvmVector<SegmentMeta>::Attach(
-            &*st->pool, cat.seg_meta_off, nf, nf);
-        if (st->use_queue) {
-          st->queue =
-              NvmVector<uint32_t>::Attach(&*st->pool, cat.queue_off, nr, nr);
-          st->indeg =
-              NvmVector<uint32_t>::Attach(&*st->pool, cat.indeg_off, nr, nr);
-        }
-        if (st->use_word_table) {
-          st->word_table = WordTable::Attach(&*st->pool, cat.word_status,
-                                             cat.word_keys, cat.word_vals,
-                                             cat.word_cap);
-        }
-        if (st->use_gram_table) {
-          st->gram_table = GramTable::Attach(&*st->pool, cat.gram_status,
-                                             cat.gram_keys, cat.gram_vals,
-                                             cat.gram_cap);
-        }
-        if (st->use_file_table) {
-          st->file_table = WordTable::Attach(&*st->pool, cat.ftbl_status,
-                                             cat.ftbl_keys, cat.ftbl_vals,
-                                             cat.ftbl_cap);
-        }
-        if (st->use_file_gram_table) {
-          st->file_gram_table = GramTable::Attach(
-              &*st->pool, cat.fgram_status, cat.fgram_keys, cat.fgram_vals,
-              cat.fgram_cap);
-        }
-        if (st->use_word_lists) {
-          st->word_list_meta = NvmVector<ListMeta>::Attach(
-              &*st->pool, cat.word_list_meta_off, nr, nr);
-        }
-        if (st->use_gram_lists) {
-          st->gram_list_meta = NvmVector<ListMeta>::Attach(
-              &*st->pool, cat.gram_list_meta_off, nr, nr);
-        }
-        if (st->use_local_grams) {
-          st->local_gram_meta = NvmVector<GramMeta>::Attach(
-              &*st->pool, cat.local_gram_meta_off, nr, nr);
-          st->seg_gram_meta = NvmVector<GramMeta>::Attach(
-              &*st->pool, cat.seg_gram_meta_off, nf, nf);
-        }
-        st->cursor_off = cat.cursor_off;
-        if (options_.persistence == PersistenceMode::kOperation) {
-          NTADOC_ASSIGN_OR_RETURN(auto log,
-                                  nvm::RedoLog::Open(device_, kMarkerSlot));
-          st->log.emplace(std::move(log));
-          NTADOC_ASSIGN_OR_RETURN(const uint64_t replayed,
-                                  st->log->Recover());
-          (void)replayed;
-        }
-        run_info_.init_phase_reused = true;
-        return Status::OK();
-      }
-    }
+  if (!force_fresh) {
+    NTADOC_ASSIGN_OR_RETURN(const bool attached, TryAttach(st, pool_base));
+    if (attached) return Status::OK();
   }
 
   // ---- Fresh initialization ----
+  nvm::PhaseMarker marker(device_, kMarkerOffset);
   // Reading the compressed container from the source disk (the paper
   // times dataset loading; N-TADOC reads the compressed representation).
   {
@@ -632,6 +852,9 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
       own_words[r] = w.size();
     }
   }
+  // Poisoned payload reads above would feed garbage rule ids into the
+  // estimator's index arithmetic; stop here if any read failed.
+  NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
 
   // Expansion lengths (occurrence counts), children first: a structure
   // can never hold more entries than the expansion has tokens, so these
@@ -662,6 +885,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> seg_children(nf);
   for (uint32_t f = 0; f < nf; ++f) {
     DecodedPayload p = ReadSegmentPayload(st->dag, &*st->pool, f);
+    NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (!st->dag.pruned) {
       CombineEntries(&p.subrules);
       CombineEntries(&p.words);
@@ -831,6 +1055,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     uint64_t expected = 0;
     for (uint32_t f = 0; f < nf; ++f) {
       DecodedPayload p = ReadSegmentPayload(st->dag, &*st->pool, f);
+      NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
       if (!st->dag.pruned) {
         CombineEntries(&p.subrules);
         CombineEntries(&p.words);
@@ -919,8 +1144,29 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   fresh.checksum = CursorChecksum(fresh);
   device_->Write(st->cursor_off, fresh);
 
+  NTADOC_ASSIGN_OR_RETURN(const uint64_t integrity_off,
+                          st->pool->Alloc(sizeof(InitIntegrity), 64));
+  cat.integrity_off = integrity_off;
+
   cat.checksum = CatalogChecksum(cat);
   device_->Write(catalog_off, cat);
+
+  // Seal the init phase: hash everything the traversal never mutates so
+  // recovery can prove the re-attached state is bit-exact.
+  if (options_.persistence != PersistenceMode::kNone) {
+    InitIntegrity ii{};
+    ii.magic = kIntegrityMagic;
+    ii.init_top = st->pool->top();
+    NTADOC_ASSIGN_OR_RETURN(
+        ii.region_hash,
+        HashImmutableRegion(device_, pool_base + 64, ii.init_top,
+                            CollectMutableExtents(*st, integrity_off)));
+    ii.checksum = IntegrityChecksum(ii);
+    device_->Write(integrity_off, ii);
+  }
+
+  // Never commit an init phase built from poisoned reads.
+  NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
 
   if (options_.crash_in_init) {
     device_->SimulateCrash();
@@ -944,6 +1190,13 @@ namespace {
 /// Reads a bottom-up list back into a host vector.
 template <typename Entry, typename Vec>
 void ReadList(nvm::NvmDevice* device, const ListMeta& m, Vec* out) {
+  // Corrupt descriptor: read nothing; the caller's media-error check
+  // turns the poisoned descriptor read into DataLoss.
+  if (m.off > device->capacity() ||
+      m.size > (device->capacity() - m.off) / sizeof(Entry)) {
+    out->clear();
+    return;
+  }
   out->resize(m.size);
   std::vector<Entry> buf(m.size);
   if (m.size > 0) {
@@ -983,6 +1236,11 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
   CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
                       : CursorSlot{kCursorMagic, 0, 0, 0, 0};
   if (cur.stage == 3) cur.stage = 0;  // stale completed run: start over
+  // A checksummed-but-impossible cursor means the persisted state lies.
+  if (cur.stage > 3 || (cur.stage == 1 && (cur.a > nf || cur.b > nr)) ||
+      (cur.stage == 2 && (cur.a > cur.b || cur.b > nr))) {
+    return Status::DataLoss("traversal cursor out of bounds");
+  }
   uint64_t seg_start = 0;
   if (cur.stage == 0) {
     // Working state: in-degrees from metadata, weights zeroed, counters
@@ -1031,15 +1289,23 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     auto subs = payload.subrules;
     if (!st->dag.pruned) CombineEntries(&subs);
     for (const auto& [child, freq] : subs) {
+      if (child == 0 || child >= nr) {
+        return Status::DataLoss("payload references rule out of range");
+      }
       const RuleMeta cm = st->dag.rule_meta.Get(child);
       const uint64_t new_weight = cm.weight + wr * freq;
       w->WriteValue(st->dag.rule_meta.ElementOffset(child) + weight_field,
                     new_weight);
       const uint32_t dec = st->dag.pruned ? 1u : freq;
       const uint32_t in = st->indeg.Get(child);
-      NTADOC_CHECK_GE(in, dec);
+      if (in < dec) {
+        return Status::DataLoss("in-degree underflow (corrupt metadata)");
+      }
       w->WriteValue(st->indeg.ElementOffset(child), in - dec);
       if (in - dec == 0) {
+        if (st->qtail >= nr) {
+          return Status::DataLoss("traversal queue overflow (corrupt state)");
+        }
         w->WriteValue(st->queue.ElementOffset(st->qtail),
                       static_cast<uint32_t>(child));
         ++st->qtail;
@@ -1061,11 +1327,12 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       } else {
         s = st->word_table.AddDelta(word, wr * freq);
       }
-      if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) {
         NTADOC_RETURN_IF_ERROR(GrowTable(&st->word_table, &*st->pool,
                                           &run_info_.counter_rebuilds));
-        NTADOC_RETURN_IF_ERROR(st->word_table.AddDelta(word, wr * freq));
+        s = st->word_table.AddDelta(word, wr * freq);
       }
+      NTADOC_RETURN_IF_ERROR(s);
     }
     return Status::OK();
   };
@@ -1073,6 +1340,10 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
   auto add_grams = [&](const GramMeta& gm, uint64_t wr,
                        StepWriter* w) -> Status {
     if (!st->use_gram_table || gm.count == 0) return Status::OK();
+    if (gm.off > device_->capacity() ||
+        gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+      return Status::DataLoss("gram payload descriptor out of bounds");
+    }
     std::vector<GramEntry> buf(gm.count);
     device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
     for (const auto& e : buf) {
@@ -1083,11 +1354,12 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       } else {
         s = st->gram_table.AddDelta(e.key, wr * e.count);
       }
-      if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) {
         NTADOC_RETURN_IF_ERROR(GrowTable(&st->gram_table, &*st->pool,
                                           &run_info_.counter_rebuilds));
-        NTADOC_RETURN_IF_ERROR(st->gram_table.AddDelta(e.key, wr * e.count));
+        s = st->gram_table.AddDelta(e.key, wr * e.count);
       }
+      NTADOC_RETURN_IF_ERROR(s);
     }
     return Status::OK();
   };
@@ -1105,6 +1377,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       NTADOC_RETURN_IF_ERROR(add_grams(
           st->seg_gram_meta.Get(static_cast<uint32_t>(f)), 1, &writer));
     }
+    NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 1, f + 1, st->qtail);
     ++run_info_.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
@@ -1117,6 +1390,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     st->word_pending.Clear();
     st->gram_pending.Clear();
     const uint32_t r = st->queue.Get(st->qhead);
+    if (r == 0 || r >= nr) {
+      return Status::DataLoss("traversal queue entry out of range");
+    }
     ++st->qhead;
     const uint64_t wr = st->dag.rule_meta.Get(r).weight;
     const DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
@@ -1126,6 +1402,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       NTADOC_RETURN_IF_ERROR(add_grams(st->local_gram_meta.Get(r), wr,
                                        &writer));
     }
+    NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 2, st->qhead, st->qtail);
     ++run_info_.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
@@ -1150,6 +1427,8 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     std::sort(counts.begin(), counts.end());
     out.sequence_counts = std::move(counts);
   }
+  // The extracted counters must be real data, not poison fill.
+  NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
 
   // Phase boundary.
   if (op) {
@@ -1206,26 +1485,30 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
 
     auto add_word = [&](uint32_t word, uint64_t delta) -> Status {
       Status s = st->file_table.AddDelta(word, delta);
-      if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) {
         NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_table, &*st->pool,
                                           &run_info_.counter_rebuilds));
-        NTADOC_RETURN_IF_ERROR(st->file_table.AddDelta(word, delta));
+        s = st->file_table.AddDelta(word, delta);
       }
-      return Status::OK();
+      return s;
     };
     auto add_gram_payload = [&](const GramMeta& gm,
                                 uint64_t wr) -> Status {
       if (gm.count == 0) return Status::OK();
+      if (gm.off > device_->capacity() ||
+          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+        return Status::DataLoss("gram payload descriptor out of bounds");
+      }
       std::vector<GramEntry> buf(gm.count);
       device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
       for (const auto& e : buf) {
         Status s = st->file_gram_table.AddDelta(e.key, wr * e.count);
-        if (!s.ok()) {
+        if (s.code() == StatusCode::kResourceExhausted) {
           NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_gram_table, &*st->pool,
                                             &run_info_.counter_rebuilds));
-          NTADOC_RETURN_IF_ERROR(
-              st->file_gram_table.AddDelta(e.key, wr * e.count));
+          s = st->file_gram_table.AddDelta(e.key, wr * e.count);
         }
+        NTADOC_RETURN_IF_ERROR(s);
       }
       return Status::OK();
     };
@@ -1237,6 +1520,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
       CombineEntries(&seg.words);
     }
     for (const auto& [child, freq] : seg.subrules) {
+      if (child == 0 || child >= st->dag.num_rules) {
+        return Status::DataLoss("payload references rule out of range");
+      }
       write_weight(child, read_weight(child) + freq);
     }
     if (rii) {
@@ -1259,6 +1545,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
         CombineEntries(&payload.words);
       }
       for (const auto& [child, freq] : payload.subrules) {
+        if (child == 0 || child >= st->dag.num_rules) {
+          return Status::DataLoss("payload references rule out of range");
+        }
         write_weight(child, read_weight(child) + w * freq);
       }
       if (rii) {
@@ -1298,6 +1587,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
         gram_postings[it->second].emplace_back(f, c);
       }
     }
+    NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     ++run_info_.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
   }
@@ -1340,6 +1630,10 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
   CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
                       : CursorSlot{kCursorMagic, 0, 0, 0, 0};
   if (cur.stage == 3) cur.stage = 0;
+  if (cur.stage > 3 || (cur.stage == 1 && cur.a > nr) ||
+      (cur.stage == 2 && cur.a > nf)) {
+    return Status::DataLoss("traversal cursor out of bounds");
+  }
   uint64_t rule_start = 0;
   uint64_t file_start = 0;
   if (cur.stage == 1) {
@@ -1386,6 +1680,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       for (const auto& [w, c] : payload.words) acc.emplace_back(w, c);
       // Pruned payload words are sorted by id already; raw were combined.
       for (const auto& [child, freq] : payload.subrules) {
+        if (child == 0 || child >= nr) {
+          return Status::DataLoss("payload references rule out of range");
+        }
         tracked::vector<std::pair<uint32_t, uint64_t>> child_list;
         ReadList<WordEntry>(device_, st->word_list_meta.Get(child),
                             &child_list);
@@ -1397,6 +1694,10 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     } else {
       tracked::vector<std::pair<NgramKey, uint64_t>> acc;
       const GramMeta gm = st->local_gram_meta.Get(r);
+      if (gm.off > device_->capacity() ||
+          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+        return Status::DataLoss("gram payload descriptor out of bounds");
+      }
       acc.resize(gm.count);
       if (gm.count > 0) {
         std::vector<GramEntry> buf(gm.count);
@@ -1406,6 +1707,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
         }
       }
       for (const auto& [child, freq] : payload.subrules) {
+        if (child == 0 || child >= nr) {
+          return Status::DataLoss("payload references rule out of range");
+        }
         tracked::vector<std::pair<NgramKey, uint64_t>> child_list;
         ReadList<GramEntry>(device_, st->gram_list_meta.Get(child),
                             &child_list);
@@ -1415,6 +1719,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
           &st->gram_list_meta, &*st->pool, device_, r, acc, &writer,
           options_.enable_summation, &run_info_.counter_rebuilds));
     }
+    NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 1, p + 1, 0);
     ++run_info_.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
@@ -1447,6 +1752,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       tracked::vector<std::pair<uint32_t, uint64_t>> acc;
       for (const auto& [w, c] : seg.words) acc.emplace_back(w, c);
       for (const auto& [child, freq] : seg.subrules) {
+        if (child == 0 || child >= nr) {
+          return Status::DataLoss("payload references rule out of range");
+        }
         tracked::vector<std::pair<uint32_t, uint64_t>> child_list;
         ReadList<WordEntry>(device_, st->word_list_meta.Get(child),
                             &child_list);
@@ -1461,11 +1769,12 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
           } else {
             s = st->word_table.AddDelta(w, c);
           }
-          if (!s.ok()) {
+          if (s.code() == StatusCode::kResourceExhausted) {
             NTADOC_RETURN_IF_ERROR(GrowTable(&st->word_table, &*st->pool,
                                           &run_info_.counter_rebuilds));
-            NTADOC_RETURN_IF_ERROR(st->word_table.AddDelta(w, c));
+            s = st->word_table.AddDelta(w, c);
           }
+          NTADOC_RETURN_IF_ERROR(s);
         }
       } else if (task == Task::kTermVector) {
         out.term_vectors[f] = CanonicalTopK(acc, opts.top_k);
@@ -1477,6 +1786,10 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     } else {
       tracked::vector<std::pair<NgramKey, uint64_t>> acc;
       const GramMeta gm = st->seg_gram_meta.Get(static_cast<uint32_t>(f));
+      if (gm.off > device_->capacity() ||
+          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+        return Status::DataLoss("gram payload descriptor out of bounds");
+      }
       acc.resize(gm.count);
       if (gm.count > 0) {
         std::vector<GramEntry> buf(gm.count);
@@ -1486,6 +1799,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
         }
       }
       for (const auto& [child, freq] : seg.subrules) {
+        if (child == 0 || child >= nr) {
+          return Status::DataLoss("payload references rule out of range");
+        }
         tracked::vector<std::pair<NgramKey, uint64_t>> child_list;
         ReadList<GramEntry>(device_, st->gram_list_meta.Get(child),
                             &child_list);
@@ -1500,11 +1816,12 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
           } else {
             s = st->gram_table.AddDelta(k, c);
           }
-          if (!s.ok()) {
+          if (s.code() == StatusCode::kResourceExhausted) {
             NTADOC_RETURN_IF_ERROR(GrowTable(&st->gram_table, &*st->pool,
                                           &run_info_.counter_rebuilds));
-            NTADOC_RETURN_IF_ERROR(st->gram_table.AddDelta(k, c));
+            s = st->gram_table.AddDelta(k, c);
           }
+          NTADOC_RETURN_IF_ERROR(s);
         }
       } else {  // ranked inverted index
         for (const auto& [k, c] : acc) {
@@ -1520,6 +1837,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
         }
       }
     }
+    NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 2, f + 1, 0);
     ++run_info_.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
@@ -1559,6 +1877,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
                                     std::move(gram_postings[idx]));
     }
   }
+  NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
 
   if (op) {
     writer.Begin();
@@ -1590,29 +1909,82 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
         "operation-level persistence requires the summation estimator");
   }
   run_info_ = NTadocRunInfo();
-  state_ = std::make_unique<State>();
 
+  // Salvage loop: detected corruption (DataLoss) discards the damaged
+  // persisted state and restarts from the still-valid compressed
+  // container. Injected crashes (Internal) are never salvaged — they
+  // model real power loss and must surface to the caller.
+  constexpr int kMaxSalvageRestarts = 2;
+  bool force_fresh = false;
   WallTimer timer;
-  const uint64_t sim0 = device_->clock().NowNanos();
-  NTADOC_RETURN_IF_ERROR(InitPhase(task, opts, state_.get()));
-  const uint64_t init_wall = timer.ElapsedNanos();
-  const uint64_t init_sim = device_->clock().NowNanos() - sim0;
+  for (int attempt = 0;; ++attempt) {
+    // Fault accounting accumulates across salvage attempts; everything
+    // else describes the final (successful) attempt only.
+    const uint64_t corruption = run_info_.corruption_detected;
+    const uint64_t salvages = run_info_.salvage_restarts;
+    const uint64_t lost = run_info_.blocks_lost;
+    run_info_ = NTadocRunInfo();
+    run_info_.corruption_detected = corruption;
+    run_info_.salvage_restarts = salvages;
+    run_info_.blocks_lost = lost;
+    state_ = std::make_unique<State>();
+    media_errors_seen_ = device_->media_error_count();
 
-  timer.Reset();
-  auto result = TraversalPhase(task, opts, state_.get());
-  run_info_.pool_used_bytes = state_->pool ? state_->pool->UsedBytes() : 0;
-  if (state_->log) {
-    run_info_.redo_logged_bytes = state_->log->logged_payload_bytes();
+    auto salvage = [&](const Status& s) {
+      ++run_info_.corruption_detected;
+      ++run_info_.salvage_restarts;
+      NTADOC_LOG(Warning) << "salvage restart " << (attempt + 1)
+                          << " after data loss: " << s.message();
+      // Invalidate the damaged persistence state so nothing re-attaches
+      // to it; the compressed container is the source of truth.
+      if (options_.persistence != PersistenceMode::kNone) {
+        nvm::PhaseMarker(device_, kMarkerOffset).Format();
+      }
+      force_fresh = true;
+    };
+
+    timer.Reset();
+    const uint64_t sim0 = device_->clock().NowNanos();
+    const Status init_status =
+        InitPhase(task, opts, state_.get(), force_fresh);
+    const uint64_t init_wall = timer.ElapsedNanos();
+    const uint64_t init_sim = device_->clock().NowNanos() - sim0;
+    if (!init_status.ok()) {
+      if (init_status.code() == StatusCode::kDataLoss &&
+          attempt < kMaxSalvageRestarts) {
+        salvage(init_status);
+        continue;
+      }
+      return init_status;
+    }
+    // Attach-path probes may have tripped media errors that were handled
+    // (counted, salvaged or healed); only errors from here on are fatal.
+    media_errors_seen_ = device_->media_error_count();
+
+    timer.Reset();
+    const uint64_t trav_sim0 = device_->clock().NowNanos();
+    auto result = TraversalPhase(task, opts, state_.get());
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kDataLoss &&
+          attempt < kMaxSalvageRestarts) {
+        salvage(result.status());
+        continue;
+      }
+      return result;
+    }
+    run_info_.pool_used_bytes = state_->pool ? state_->pool->UsedBytes() : 0;
+    if (state_->log) {
+      run_info_.redo_logged_bytes = state_->log->logged_payload_bytes();
+    }
+    if (metrics != nullptr) {
+      metrics->init_wall_ns = init_wall;
+      metrics->init_sim_ns = init_sim;
+      metrics->traversal_wall_ns = timer.ElapsedNanos();
+      metrics->traversal_sim_ns = device_->clock().NowNanos() - trav_sim0;
+      metrics->used_traversal = state_->strategy;
+    }
+    return result;
   }
-  if (metrics != nullptr) {
-    metrics->init_wall_ns = init_wall;
-    metrics->init_sim_ns = init_sim;
-    metrics->traversal_wall_ns = timer.ElapsedNanos();
-    metrics->traversal_sim_ns =
-        device_->clock().NowNanos() - sim0 - init_sim;
-    metrics->used_traversal = state_->strategy;
-  }
-  return result;
 }
 
 }  // namespace ntadoc::core

@@ -92,6 +92,11 @@ struct NTadocRunInfo {
   uint64_t counter_rebuilds = 0;   // no-summation ablation: table rebuilds
   uint64_t redo_logged_bytes = 0;  // operation-level write amplification
   uint64_t resumed_at_step = 0;    // operation-level recovery resume point
+
+  // Media-fault accounting (see DESIGN.md "Fault model").
+  uint64_t corruption_detected = 0;  // corrupt persisted state found
+  uint64_t salvage_restarts = 0;     // full restarts from the container
+  uint64_t blocks_lost = 0;          // unreadable media blocks scrubbed
 };
 
 /// The N-TADOC engine. One engine instance owns the layout of one device
@@ -123,8 +128,18 @@ class NTadocEngine {
  private:
   struct State;  // pool-resident structure handles + host scratch
 
-  // Phase 1: build (or re-attach) all pool structures for `task`.
-  Status InitPhase(Task task, const AnalyticsOptions& opts, State* st);
+  // Phase 1: build (or re-attach) all pool structures for `task`. With
+  // `force_fresh` the attach path is skipped (salvage restart after
+  // detected corruption).
+  Status InitPhase(Task task, const AnalyticsOptions& opts, State* st,
+                   bool force_fresh);
+
+  // Attempts to re-attach to a persisted, signature-matching run. Returns
+  // true on success; false means "no matching state, do a fresh init"
+  // (not an error). Detected corruption is counted in run_info_ and also
+  // falls back to fresh init, except for damage that only a restart can
+  // clear, which is returned as DataLoss.
+  Result<bool> TryAttach(State* st, uint64_t pool_base);
 
   // Phase 2 dispatchers.
   Result<AnalyticsOutput> TraversalPhase(Task task,
@@ -144,10 +159,15 @@ class NTadocEngine {
   Status StepCommit(State* st);  // operation-level: commit current txn
   Status MaybeInjectCrash(State* st);
 
+  // DataLoss if any read since the last call hit an unreadable block
+  // (the data the caller just consumed is poison, not real).
+  Status CheckMediaErrors();
+
   const CompressedCorpus* corpus_;
   nvm::NvmDevice* device_;
   NTadocOptions options_;
   NTadocRunInfo run_info_;
+  uint64_t media_errors_seen_ = 0;
   std::unique_ptr<State> state_;
 };
 

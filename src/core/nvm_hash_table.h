@@ -37,7 +37,9 @@ class NvmHashTable {
 
   /// Creates a table that can hold `expected_entries` at ~50% load. The
   /// capacity is rounded up to a power of two (cache alignment, paper
-  /// Section IV-D); the status buffer is zero-filled (charged).
+  /// Section IV-D). All three buffers are zero-filled (charged): bulk
+  /// readers (Extract, Validate) touch every slot, so never-written key
+  /// and value bytes must still be defined, readable media.
   static Result<NvmHashTable> Create(nvm::NvmPool* pool,
                                      uint64_t expected_entries) {
     const uint64_t cap = NextPowerOfTwo(std::max<uint64_t>(
@@ -50,6 +52,8 @@ class NvmHashTable {
                             pool->template AllocArray<V>(cap));
     NvmHashTable t(pool, status_off, keys_off, vals_off, cap);
     t.ClearStatus();
+    t.ZeroBuffer(keys_off, cap * sizeof(K));
+    t.ZeroBuffer(vals_off, cap * sizeof(V));
     return t;
   }
 
@@ -128,8 +132,31 @@ class NvmHashTable {
       }
       slot = (slot + step) & mask;
     }
-    NTADOC_LOG(Fatal) << "NvmHashTable probe cycle exhausted";
-    return Status::Internal("unreachable");
+    // Can only happen when poisoned status bytes masquerade as occupied
+    // slots (the load factor otherwise guarantees a free slot).
+    return Status::DataLoss("hash table probe cycle exhausted");
+  }
+
+  /// Media + invariant check used on the recovery re-attach path: the
+  /// three buffers must be readable and every status byte must be 0 or 1.
+  /// Returns DataLoss on an unreadable block or an impossible status
+  /// value (bit rot).
+  Status Validate() const {
+    std::vector<uint8_t> status(capacity_);
+    NTADOC_RETURN_IF_ERROR(pool_->device().TryReadBytes(
+        status_off_, status.data(), capacity_));
+    for (uint64_t slot = 0; slot < capacity_; ++slot) {
+      if (status[slot] > 1) {
+        return Status::DataLoss("hash table status byte corrupt at slot " +
+                                std::to_string(slot));
+      }
+    }
+    std::vector<uint8_t> buf(capacity_ * std::max(sizeof(K), sizeof(V)));
+    NTADOC_RETURN_IF_ERROR(pool_->device().TryReadBytes(
+        keys_off_, buf.data(), capacity_ * sizeof(K)));
+    NTADOC_RETURN_IF_ERROR(pool_->device().TryReadBytes(
+        vals_off_, buf.data(), capacity_ * sizeof(V)));
+    return Status::OK();
   }
 
   /// Recomputes size() by scanning the status buffer (charged).
@@ -143,10 +170,15 @@ class NvmHashTable {
 
   /// Adds `delta` to the value of `key`, inserting (with value = delta)
   /// if absent. Returns ResourceExhausted when the table would exceed its
-  /// maximum load factor — callers rebuild in that case.
+  /// maximum load factor — callers rebuild in that case — and DataLoss
+  /// when corrupt status bytes break the probe invariant.
   Status AddDelta(const K& key, const V& delta) {
     uint64_t slot = 0;
-    if (FindSlot(key, &slot)) {
+    const Probe p = FindSlot(key, &slot);
+    if (p == Probe::kExhausted) {
+      return Status::DataLoss("hash table probe cycle exhausted");
+    }
+    if (p == Probe::kFound) {
       const V cur = pool_->device().template Read<V>(ValOff(slot));
       pool_->device().Write(ValOff(slot), static_cast<V>(cur + delta));
       return Status::OK();
@@ -164,7 +196,11 @@ class NvmHashTable {
   /// Overwrites (or inserts) key -> value.
   Status Put(const K& key, const V& value) {
     uint64_t slot = 0;
-    if (FindSlot(key, &slot)) {
+    const Probe p = FindSlot(key, &slot);
+    if (p == Probe::kExhausted) {
+      return Status::DataLoss("hash table probe cycle exhausted");
+    }
+    if (p == Probe::kFound) {
       pool_->device().Write(ValOff(slot), value);
       return Status::OK();
     }
@@ -181,7 +217,7 @@ class NvmHashTable {
   /// Looks up `key`; NotFound if absent.
   Result<V> Get(const K& key) const {
     uint64_t slot = 0;
-    if (!FindSlot(key, &slot)) {
+    if (FindSlot(key, &slot) != Probe::kFound) {
       return Status::NotFound("key not in NvmHashTable");
     }
     return pool_->device().template Read<V>(ValOff(slot));
@@ -256,9 +292,13 @@ class NvmHashTable {
     return vals_off_ + slot * sizeof(V);
   }
 
-  /// Double-hash probe. Returns true and the slot if the key is present;
-  /// false and the first free slot otherwise.
-  bool FindSlot(const K& key, uint64_t* out) const {
+  enum class Probe { kFound, kFree, kExhausted };
+
+  /// Double-hash probe: the slot holding `key`, or the first free slot.
+  /// kExhausted means the probe visited every slot without finding either
+  /// — impossible under the load-factor invariant unless status bytes are
+  /// corrupt (poisoned media reads as 0xDB = occupied).
+  Probe FindSlot(const K& key, uint64_t* out) const {
     const uint64_t mask = capacity_ - 1;
     const uint64_t h = KHash()(key);
     const uint64_t step = (Mix64(h) << 1) | 1;  // odd => full cycle
@@ -268,24 +308,25 @@ class NvmHashTable {
           pool_->device().template Read<uint8_t>(StatusOff(slot));
       if (st == 0) {
         *out = slot;
-        return false;
+        return Probe::kFree;
       }
       if (pool_->device().template Read<K>(KeyOff(slot)) == key) {
         *out = slot;
-        return true;
+        return Probe::kFound;
       }
       slot = (slot + step) & mask;
     }
-    NTADOC_LOG(Fatal) << "NvmHashTable probe cycle exhausted";
-    return false;
+    return Probe::kExhausted;
   }
 
-  void ClearStatus() {
+  void ClearStatus() { ZeroBuffer(status_off_, capacity_); }
+
+  void ZeroBuffer(nvm::PoolOffset off, uint64_t bytes) {
     static constexpr uint64_t kChunk = 512;
     uint8_t zeros[kChunk] = {};
-    for (uint64_t i = 0; i < capacity_; i += kChunk) {
-      const uint64_t n = std::min(kChunk, capacity_ - i);
-      pool_->device().WriteBytes(status_off_ + i, zeros, n);
+    for (uint64_t i = 0; i < bytes; i += kChunk) {
+      const uint64_t n = std::min(kChunk, bytes - i);
+      pool_->device().WriteBytes(off + i, zeros, n);
     }
   }
 

@@ -208,6 +208,17 @@ DecodedPayload DecodePayload(const PrunedDag& dag, nvm::NvmPool* pool,
                              uint64_t payload_off, uint32_t num_subrules,
                              uint32_t num_words) {
   DecodedPayload out;
+  // Corrupt (e.g. poison-filled) metadata would request an absurd read;
+  // return empty instead — the caller's media-error check reports the
+  // damage, and this avoids allocating gigabytes for garbage counts.
+  {
+    const uint64_t cap = pool->device().capacity();
+    const uint64_t entry =
+        dag.pruned ? sizeof(PrunedEntry) : sizeof(Symbol);
+    const uint64_t n =
+        static_cast<uint64_t>(num_subrules) + num_words;
+    if (payload_off > cap || n > (cap - payload_off) / entry) return out;
+  }
   if (dag.pruned) {
     const uint64_t n = static_cast<uint64_t>(num_subrules) + num_words;
     std::vector<PrunedEntry> buf(n);

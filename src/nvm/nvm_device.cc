@@ -1,5 +1,6 @@
 #include "nvm/nvm_device.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/logging.h"
@@ -20,18 +21,41 @@ NvmDevice::NvmDevice(DeviceOptions options)
       strict_(options.strict_persistence),
       random_evict_probability_(options.random_evict_probability),
       evict_rng_(options.evict_seed),
-      data_(options.capacity, 0) {}
+      data_(options.capacity, 0) {
+  if (!options.fault_plan.empty()) {
+    injector_ = std::make_unique<FaultInjector>(std::move(options.fault_plan),
+                                                options.fault_seed, capacity_);
+  }
+}
 
 void NvmDevice::ReadBytes(uint64_t offset, void* dst, uint64_t len) {
   NTADOC_DCHECK_LE(offset + len, capacity_);
   model_.TouchRead(offset, len);
+  if (injector_ != nullptr && injector_->OnRead(offset, len)) {
+    // Uncorrectable media error: the caller gets a poison pattern, never
+    // stale plausible-looking data.
+    std::memset(dst, 0xDB, len);
+    ++media_errors_;
+    return;
+  }
   std::memcpy(dst, data_.data() + offset, len);
+}
+
+Status NvmDevice::TryReadBytes(uint64_t offset, void* dst, uint64_t len) {
+  const uint64_t errors_before = media_errors_;
+  ReadBytes(offset, dst, len);
+  if (media_errors_ != errors_before) {
+    return Status::DataLoss("uncorrectable media error at offset " +
+                            std::to_string(offset));
+  }
+  return Status::OK();
 }
 
 void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len) {
   NTADOC_DCHECK_LE(offset + len, capacity_);
   model_.TouchWrite(offset, len);
   if (strict_) TrackDirty(offset, len);
+  if (injector_ != nullptr) injector_->OnWrite(offset, len);
   std::memcpy(data_.data() + offset, src, len);
 }
 
@@ -63,10 +87,14 @@ void NvmDevice::FlushRange(uint64_t offset, uint64_t len) {
   if (!strict_) return;
   const uint64_t first = offset / kLine;
   const uint64_t last = (offset + len - 1) / kLine;
+  uint64_t torn_line = kNoTornLine;
+  if (injector_ != nullptr) {
+    torn_line = MaybeTearFlush(first, last);
+  }
   if (last - first + 1 >= dirty_lines_.size()) {
     // Large flush: iterate the (smaller) dirty set instead of the range.
     for (auto it = dirty_lines_.begin(); it != dirty_lines_.end();) {
-      if (it->first >= first && it->first <= last) {
+      if (it->first >= first && it->first <= last && it->first != torn_line) {
         it = dirty_lines_.erase(it);
       } else {
         ++it;
@@ -74,9 +102,33 @@ void NvmDevice::FlushRange(uint64_t offset, uint64_t len) {
     }
   } else {
     for (uint64_t line = first; line <= last; ++line) {
-      dirty_lines_.erase(line);
+      if (line != torn_line) dirty_lines_.erase(line);
     }
   }
+}
+
+uint64_t NvmDevice::MaybeTearFlush(uint64_t first, uint64_t last) {
+  // Collect the dirty lines covered by this flush, in deterministic
+  // (address) order; the flush ordinal only counts flushes that have at
+  // least one line to tear.
+  std::vector<uint64_t> covered;
+  for (const auto& [line, pre] : dirty_lines_) {
+    if (line >= first && line <= last) covered.push_back(line);
+  }
+  if (covered.empty()) return kNoTornLine;
+  const int spec = injector_->OnFlush(first * kLine, (last - first + 1) * kLine);
+  if (spec < 0) return kNoTornLine;
+  std::sort(covered.begin(), covered.end());
+  const uint64_t line = covered[injector_->PickIndex(covered.size())];
+  const uint32_t keep = injector_->TornKeepBytes(spec, line);
+  // The media persisted only the first `keep` bytes of the line's new
+  // content; the suffix still holds the old persisted bytes. Rewrite the
+  // line's pre-image accordingly and keep it dirty: if the caller crashes
+  // before this line is flushed again, the tear materializes; a later
+  // successful flush heals it.
+  auto& pre = dirty_lines_[line];
+  std::memcpy(pre.data(), data_.data() + line * kLine, keep);
+  return line;
 }
 
 void NvmDevice::Drain() { model_.ChargeDrain(); }
@@ -88,15 +140,26 @@ void NvmDevice::SimulateCrash() {
     }
     dirty_lines_.clear();
   }
+  if (injector_ != nullptr) {
+    // Bit rot strikes the persisted image at crash time.
+    injector_->OnCrash([this](uint64_t off, uint8_t mask) {
+      if (off < capacity_) data_[off] ^= mask;
+    });
+  }
   model_.InvalidateBuffer();
 }
 
-Status NvmDevice::SaveImage(const std::string& path) const {
+std::vector<uint8_t> NvmDevice::PersistedSnapshot() const {
   // Persisted image = current data with unflushed lines rolled back.
   std::vector<uint8_t> image = data_;
   for (const auto& [line, pre] : dirty_lines_) {
     std::memcpy(image.data() + line * kLine, pre.data(), kLine);
   }
+  return image;
+}
+
+Status NvmDevice::SaveImage(const std::string& path) const {
+  std::vector<uint8_t> image = PersistedSnapshot();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open for write: " + path);

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nvm/fault_injector.h"
 #include "nvm/memory_model.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -53,6 +54,15 @@ struct DeviceOptions {
 
   /// Seed for adversarial eviction.
   uint64_t evict_seed = 1;
+
+  /// Declarative media faults (torn flushes, crash-time bit flips,
+  /// unreadable blocks). Empty plan = perfect media. Requires
+  /// strict_persistence for torn-flush and bit-flip effects to matter.
+  FaultPlan fault_plan;
+
+  /// Seed for all randomized fault choices; the same plan + seed
+  /// reproduces byte-identical post-crash device states.
+  uint64_t fault_seed = 1;
 };
 
 /// Emulated NVM device (see file comment).
@@ -88,8 +98,16 @@ class NvmDevice {
     WriteBytes(offset, &value, sizeof(T));
   }
 
-  /// Charged bulk load.
+  /// Charged bulk load. If the range overlaps an unreadable block the
+  /// destination is filled with a poison pattern (0xDB) and the media
+  /// error counter is bumped; callers on recovery paths should prefer
+  /// TryReadBytes.
   void ReadBytes(uint64_t offset, void* dst, uint64_t len);
+
+  /// Charged bulk load that reports uncorrectable media errors: returns
+  /// Status::DataLoss (leaving dst poisoned) if the range overlaps an
+  /// unreadable block.
+  Status TryReadBytes(uint64_t offset, void* dst, uint64_t len);
 
   /// Charged bulk store.
   void WriteBytes(uint64_t offset, const void* src, uint64_t len);
@@ -121,14 +139,30 @@ class NvmDevice {
   /// Uncharged direct access for test assertions only.
   const uint8_t* raw_for_testing() const { return data_.data(); }
 
+  /// Uncharged copy of the persisted image: current data with every
+  /// unflushed line rolled back to its pre-image. This is exactly the
+  /// post-crash state; tests use it to assert fault-plan determinism.
+  std::vector<uint8_t> PersistedSnapshot() const;
+
+  /// Fault-injection state, if a plan was supplied (null otherwise).
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// Number of reads that hit an unreadable block since construction.
+  uint64_t media_error_count() const { return media_errors_; }
+
  private:
   static constexpr uint64_t kLine = 64;
+  static constexpr uint64_t kNoTornLine = ~0ull;
 
   explicit NvmDevice(DeviceOptions options);
 
   /// Records pre-image of every line covered by [offset, offset+len) that
   /// is not yet dirty, then maybe performs adversarial evictions.
   void TrackDirty(uint64_t offset, uint64_t len);
+
+  /// Consults the injector for a torn flush over lines [first, last].
+  /// Returns the torn line index (which must stay dirty) or kNoTornLine.
+  uint64_t MaybeTearFlush(uint64_t first, uint64_t last);
 
   uint64_t capacity_;
   MemoryModel model_;
@@ -138,6 +172,8 @@ class NvmDevice {
   std::vector<uint8_t> data_;
   // line index -> persisted (pre-write) content of that line
   std::unordered_map<uint64_t, std::array<uint8_t, kLine>> dirty_lines_;
+  std::unique_ptr<FaultInjector> injector_;
+  uint64_t media_errors_ = 0;
 };
 
 }  // namespace ntadoc::nvm

@@ -1,5 +1,7 @@
 #include "nvm/nvm_pool.h"
 
+#include <algorithm>
+
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -28,7 +30,8 @@ Result<NvmPool> NvmPool::Open(NvmDevice* device, uint64_t base) {
   if (base + sizeof(Header) > device->capacity()) {
     return Status::InvalidArgument("pool base out of range");
   }
-  const Header h = device->Read<Header>(base);
+  Header h;
+  NTADOC_RETURN_IF_ERROR(device->TryReadBytes(base, &h, sizeof(h)));
   if (h.magic != kMagic) {
     return Status::DataLoss("pool header magic mismatch");
   }
@@ -79,6 +82,35 @@ void NvmPool::PersistAll() {
 void NvmPool::Reset() {
   top_ = data_start();
   PersistHeader();
+}
+
+Result<NvmPool::ScrubReport> NvmPool::Scrub() {
+  // The header must itself be readable and consistent with our in-memory
+  // view before the data walk means anything.
+  Header h;
+  NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(base_, &h, sizeof(h)));
+  if (h.magic != kMagic || h.version != kVersion ||
+      h.checksum != HeaderChecksum(h)) {
+    return Status::DataLoss("pool header corrupt during scrub");
+  }
+  if (h.top < base_ + kHeaderSlot || h.top > base_ + h.size ||
+      base_ + h.size > device_->capacity()) {
+    return Status::DataLoss("pool header bounds corrupt during scrub");
+  }
+  ScrubReport report;
+  constexpr uint64_t kBlock = 256;  // media ECC block size
+  std::vector<uint8_t> buf(kBlock);
+  // Walk block-aligned chunks so bad_blocks counts distinct media
+  // blocks (data_start is only 64-aligned).
+  for (uint64_t off = data_start(); off < h.top;
+       off = (off / kBlock + 1) * kBlock) {
+    const uint64_t len = std::min((off / kBlock + 1) * kBlock, h.top) - off;
+    report.scanned_bytes += len;
+    if (!device_->TryReadBytes(off, buf.data(), len).ok()) {
+      ++report.bad_blocks;
+    }
+  }
+  return report;
 }
 
 }  // namespace ntadoc::nvm

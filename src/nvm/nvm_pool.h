@@ -74,6 +74,18 @@ class NvmPool {
   /// Bytes handed out so far (excluding the header block).
   uint64_t UsedBytes() const { return top_ - data_start(); }
 
+  /// Result of a media scrub over the allocated region.
+  struct ScrubReport {
+    uint64_t scanned_bytes = 0;
+    uint64_t bad_blocks = 0;  // unreadable 256 B media blocks
+  };
+
+  /// Re-validates the header and walks the allocated region in media
+  /// block units, counting unreadable blocks. Returns DataLoss if the
+  /// header itself is unreadable or corrupt; otherwise reports how much
+  /// of the region is damaged so the caller can decide to salvage.
+  Result<ScrubReport> Scrub();
+
  private:
   struct Header {
     uint64_t magic;

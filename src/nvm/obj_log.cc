@@ -9,6 +9,11 @@ uint64_t RedoLog::HeaderChecksum(const Header& h) {
   return Fnv1a64(&h, offsetof(Header, checksum));
 }
 
+uint32_t RedoLog::PayloadChecksum(const void* data, uint32_t len) {
+  const uint64_t h = Fnv1a64(data, len);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
 Result<RedoLog> RedoLog::Create(NvmDevice* device, uint64_t base,
                                 uint64_t size) {
   NTADOC_CHECK(device != nullptr);
@@ -94,7 +99,8 @@ Status RedoLog::Commit() {
   // 1. Append entries at the tail.
   uint64_t off = data_start() + tail_;
   for (const auto& w : staged_) {
-    EntryHeader eh{w.target, w.len, 0};
+    EntryHeader eh{w.target, w.len,
+                   PayloadChecksum(stage_buf_.data() + w.buf_offset, w.len)};
     device_->Write(off, eh);
     device_->WriteBytes(off + sizeof(EntryHeader),
                         stage_buf_.data() + w.buf_offset, w.len);
@@ -149,8 +155,42 @@ uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to,
   return applied;
 }
 
+Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
+  uint64_t off = data_start();
+  const uint64_t end = data_start() + to;
+  uint64_t applied = 0;
+  std::vector<uint8_t> buf;
+  while (off < end) {
+    if (off + sizeof(EntryHeader) > end) {
+      return Status::DataLoss("redo log record header past committed extent");
+    }
+    EntryHeader eh;
+    NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(off, &eh, sizeof(eh)));
+    const uint64_t payload = off + sizeof(EntryHeader);
+    if (payload + eh.len > end) {
+      return Status::DataLoss("redo log record length exceeds extent");
+    }
+    if (eh.target + eh.len > device_->capacity() ||
+        eh.target + eh.len < eh.target) {
+      return Status::DataLoss("redo log record target out of range");
+    }
+    buf.resize(eh.len);
+    NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(payload, buf.data(), eh.len));
+    if (PayloadChecksum(buf.data(), eh.len) != eh.checksum) {
+      return Status::DataLoss("redo log payload checksum mismatch");
+    }
+    device_->WriteBytes(eh.target, buf.data(), eh.len);
+    device_->FlushRange(eh.target, eh.len);
+    ++applied;
+    off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
+  }
+  device_->Drain();
+  return applied;
+}
+
 Result<uint64_t> RedoLog::Recover() {
-  const Header h = device_->Read<Header>(base_);
+  Header h;
+  NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(base_, &h, sizeof(h)));
   if (h.magic != kMagic || h.checksum != HeaderChecksum(h)) {
     return Status::DataLoss("redo log header corrupt during recovery");
   }
@@ -159,10 +199,13 @@ Result<uint64_t> RedoLog::Recover() {
     tail_ = 0;
     return uint64_t{0};
   }
+  if (h.used > data_capacity()) {
+    return Status::DataLoss("redo log committed extent exceeds region");
+  }
   // Replay the committed prefix in order; later txns overwrite earlier
-  // values, converging to the newest durable state.
-  const uint64_t replayed =
-      ApplyEntries(0, h.used, /*flush_home=*/true);
+  // values, converging to the newest durable state. Every record is
+  // bounds- and checksum-validated before its home copy.
+  NTADOC_ASSIGN_OR_RETURN(const uint64_t replayed, VerifiedApply(h.used));
   Truncate();
   return replayed;
 }

@@ -98,7 +98,7 @@ class RedoLog {
   struct EntryHeader {
     uint64_t target;
     uint32_t len;
-    uint32_t reserved;
+    uint32_t checksum;  // of the payload bytes; verified on recovery
   };
   static constexpr uint64_t kMagic = 0x4E544144434C4F47ULL;  // "NTADCLOG"
   static constexpr uint32_t kVersion = 1;
@@ -118,10 +118,17 @@ class RedoLog {
 
   void WriteHeader(uint32_t state, uint64_t used);
   static uint64_t HeaderChecksum(const Header& h);
+  static uint32_t PayloadChecksum(const void* data, uint32_t len);
 
-  /// Applies log entries in [from, to) to their home locations,
-  /// optionally flushing them.
+  /// Applies freshly committed log entries in [from, to) to their home
+  /// locations without verification (we just wrote them).
   uint64_t ApplyEntries(uint64_t from, uint64_t to, bool flush_home);
+
+  /// Recovery-path apply of [0, to): validates every record's extent,
+  /// target, and payload checksum before copying; any violation or
+  /// unreadable log block returns DataLoss without touching further
+  /// home locations.
+  Result<uint64_t> VerifiedApply(uint64_t to);
 
   NvmDevice* device_;
   uint64_t base_;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "nvm/device_profile.h"
 #include "nvm/memory_model.h"
 #include "nvm/nvm_device.h"
@@ -302,6 +304,189 @@ TEST(PhaseMarkerTest, TornMarkerReadsAsZero) {
   // Corrupt one byte of the record.
   dev->Write<uint8_t>(4, 0xFF);
   EXPECT_EQ(marker.LastCommittedPhase(), 0u);
+}
+
+TEST(FaultInjectionTest, NthReadPoisonsOneBlockAndWriteHeals) {
+  DeviceOptions opts;
+  opts.capacity = 1 << 20;
+  FaultSpec s;
+  s.effect = FaultEffect::kUnreadableBlock;
+  s.trigger = FaultTrigger::kNthRead;
+  s.n = 3;
+  opts.fault_plan.faults.push_back(s);
+  auto dev = MakeDevice(opts);
+
+  std::vector<uint8_t> buf(1024, 0x5A);
+  dev->WriteBytes(0, buf.data(), buf.size());
+  std::vector<uint8_t> out(1024);
+  ASSERT_TRUE(dev->TryReadBytes(0, out.data(), out.size()).ok());
+  ASSERT_TRUE(dev->TryReadBytes(0, out.data(), out.size()).ok());
+  // The third read fires: exactly one 256 B block under it goes bad, and
+  // the triggering read itself fails.
+  EXPECT_EQ(dev->TryReadBytes(0, out.data(), out.size()).code(),
+            StatusCode::kDataLoss);
+  const auto* inj = dev->fault_injector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->poisoned_block_count(), 1u);
+
+  // Locate the bad block (reads do not heal).
+  int bad = -1;
+  for (int b = 0; b < 4; ++b) {
+    if (!dev->TryReadBytes(b * 256, out.data(), 256).ok()) {
+      ASSERT_EQ(bad, -1) << "more than one block poisoned";
+      bad = b;
+    }
+  }
+  ASSERT_NE(bad, -1);
+
+  // The non-reporting read path poison-fills and counts a media error.
+  const uint64_t errors_before = dev->media_error_count();
+  dev->ReadBytes(bad * 256, out.data(), 256);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(out[i], 0xDB);
+  EXPECT_GT(dev->media_error_count(), errors_before);
+
+  // Any store touching the block remaps it; reads work again.
+  dev->Write<uint8_t>(bad * 256 + 17, 0x77);
+  EXPECT_EQ(inj->poisoned_block_count(), 0u);
+  ASSERT_TRUE(dev->TryReadBytes(bad * 256, out.data(), 256).ok());
+}
+
+TEST(FaultInjectionTest, TornFlushKeepsAlignedPrefix) {
+  DeviceOptions opts;
+  opts.capacity = 1 << 20;
+  opts.strict_persistence = true;
+  opts.fault_seed = 7;
+  FaultSpec s;
+  s.effect = FaultEffect::kTornFlush;
+  s.trigger = FaultTrigger::kNthFlush;
+  s.n = 2;
+  opts.fault_plan.faults.push_back(s);
+  auto dev = MakeDevice(opts);
+
+  std::vector<uint8_t> oldv(64, 0xAA);
+  std::vector<uint8_t> newv(64, 0xBB);
+  dev->WriteBytes(128, oldv.data(), 64);
+  dev->FlushRange(128, 64);  // flush #1: intact
+  dev->Drain();
+  dev->WriteBytes(128, newv.data(), 64);
+  dev->FlushRange(128, 64);  // flush #2: torn
+  dev->Drain();
+  EXPECT_EQ(dev->fault_injector()->stats().torn_flushes, 1u);
+
+  // The tear is invisible until power is lost.
+  uint8_t cur[64];
+  dev->ReadBytes(128, cur, 64);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(cur[i], 0xBB);
+
+  dev->SimulateCrash();
+  dev->ReadBytes(128, cur, 64);
+  size_t keep = 0;
+  while (keep < 64 && cur[keep] == 0xBB) ++keep;
+  EXPECT_EQ(keep % 8, 0u) << "tear must respect the 8 B atomic unit";
+  EXPECT_GE(keep, 8u);
+  EXPECT_LE(keep, 56u);
+  for (size_t i = keep; i < 64; ++i) ASSERT_EQ(cur[i], 0xAA);
+}
+
+TEST(FaultInjectionTest, CrashBitFlipsAreSeededAndDeterministic) {
+  auto build = [](uint64_t seed) {
+    DeviceOptions opts;
+    opts.capacity = 1 << 20;
+    opts.strict_persistence = true;
+    opts.fault_seed = seed;
+    FaultSpec s;
+    s.effect = FaultEffect::kCrashBitFlip;
+    s.trigger = FaultTrigger::kAddressRange;
+    s.range_begin = 0;
+    s.range_end = 4096;
+    s.bit_flips = 4;
+    opts.fault_plan.faults.push_back(s);
+    auto dev = MakeDevice(opts);
+    std::vector<uint8_t> buf(4096);
+    for (size_t i = 0; i < buf.size(); ++i) buf[i] = i & 0xFF;
+    dev->WriteBytes(0, buf.data(), buf.size());
+    dev->FlushRange(0, buf.size());
+    dev->Drain();
+    dev->SimulateCrash();
+    return dev;
+  };
+
+  auto a = build(42);
+  auto b = build(42);
+  EXPECT_EQ(a->fault_injector()->stats().bits_flipped, 4u);
+  EXPECT_TRUE(a->PersistedSnapshot() == b->PersistedSnapshot());
+
+  // The damage is real: some bits differ from the written pattern.
+  std::vector<uint8_t> out(4096);
+  a->ReadBytes(0, out.data(), out.size());
+  int damaged_bits = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    damaged_bits += __builtin_popcount(out[i] ^ static_cast<uint8_t>(i));
+  }
+  EXPECT_GT(damaged_bits, 0);
+  EXPECT_LE(damaged_bits, 4);
+
+  auto c = build(43);
+  EXPECT_FALSE(a->PersistedSnapshot() == c->PersistedSnapshot());
+}
+
+TEST(NvmPoolTest, ScrubReportsUnreadableBlocks) {
+  DeviceOptions opts;
+  opts.capacity = 1 << 20;
+  FaultSpec s;
+  s.effect = FaultEffect::kUnreadableBlock;
+  s.trigger = FaultTrigger::kAddressRange;
+  s.range_begin = 8192;
+  s.range_end = 8192 + 256;  // one media block inside the pool
+  opts.fault_plan.faults.push_back(s);
+  auto dev = MakeDevice(opts);
+
+  auto pool = NvmPool::Create(dev.get(), 4096, (1 << 20) - 4096);
+  ASSERT_TRUE(pool.ok());
+  // Allocate past the bad block without writing it: the poison persists.
+  ASSERT_TRUE(pool->Alloc(8192).ok());
+  pool->PersistHeader();
+  auto report = pool->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->bad_blocks, 1u);
+  EXPECT_GT(report->scanned_bytes, 0u);
+}
+
+TEST(NvmPoolTest, ScrubCleanPoolFindsNothing) {
+  auto dev = MakeDevice();
+  auto pool = NvmPool::Create(dev.get(), 4096, 1 << 20);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->Alloc(10000).ok());
+  pool->PersistHeader();
+  auto report = pool->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->bad_blocks, 0u);
+}
+
+TEST(RedoLogTest, RecoveryRejectsCorruptPayload) {
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 0x1122334455667788ull);
+  ASSERT_TRUE(log->Commit().ok());
+
+  // Durably flip one byte of the logged payload (header slot is 64 B,
+  // the entry header is 16 B, the payload follows).
+  const uint64_t payload_off = 64 + 16;
+  const uint8_t byte = dev->Read<uint8_t>(payload_off);
+  dev->Write<uint8_t>(payload_off, byte ^ 0xFF);
+  dev->FlushRange(payload_off, 1);
+  dev->Drain();
+  dev->SimulateCrash();
+
+  auto reopened = RedoLog::Open(dev.get(), 0);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Recover().status().code(), StatusCode::kDataLoss);
+  // The corrupt record must not have been applied to its home location.
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 0u);
 }
 
 TEST(PmemTest, MemcpyPersistSurvivesCrash) {

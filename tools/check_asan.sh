@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the tier-1 test suite under them. Any sanitizer report fails the
+# run (halt_on_error / abort_on_error below).
+#
+# Usage: tools/check_asan.sh [ctest args...]
+#   e.g. tools/check_asan.sh -R fault_injection_test
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-asan"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNTADOC_SANITIZE=address,undefined
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:check_initialization_order=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"
+echo "check_asan: all tests passed under ASan+UBSan"
