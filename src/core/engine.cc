@@ -32,7 +32,9 @@ using tadoc::SortAndCombine;
 namespace {
 
 constexpr uint64_t kMarkerOffset = 0;
-constexpr uint64_t kMarkerSlot = 64;
+// Dual-slot marker region; the redo log (operation mode) or pool starts
+// right after it.
+constexpr uint64_t kMarkerRegion = nvm::PhaseMarker::kRegionSize;
 
 /// Pool-resident entry of a bottom-up word list.
 struct WordEntry {
@@ -313,6 +315,11 @@ struct NTadocEngine::State {
   WordTable::Pending word_pending;
   GramTable::Pending gram_pending;
 
+  // Whether the traversal phase wrote any RuleMeta weight (a fresh run
+  // over an edge-free grammar never does); gates the phase-end flush of
+  // the metadata array.
+  bool rule_meta_dirty = false;
+
   // Which structures this task uses.
   bool use_queue = false;
   bool use_word_table = false;
@@ -334,58 +341,109 @@ namespace {
 template <typename StateT>
 void PersistTraversalState(nvm::NvmDevice* device, StateT* st) {
   const uint32_t nr = st->dag.num_rules;
-  device->FlushRange(st->dag.rule_meta.offset(), nr * sizeof(RuleMeta));
-  if (st->use_queue) {
-    device->FlushRange(st->indeg.offset(), nr * sizeof(uint32_t));
-    device->FlushRange(st->queue.offset(), nr * sizeof(uint32_t));
-  }
-  auto flush_table = [&](const auto& t, auto key_tag, auto val_tag) {
-    device->FlushRange(t.status_offset(), t.capacity());
-    device->FlushRange(t.keys_offset(),
-                       t.capacity() * sizeof(decltype(key_tag)));
-    device->FlushRange(t.values_offset(),
-                       t.capacity() * sizeof(decltype(val_tag)));
+  // All device reads happen before the first clwb: the list loops read
+  // each descriptor, and pool allocations pack tightly enough that a
+  // descriptor array can share its last cache line with adjacent list
+  // data — reading that line between its clwb and the fence would
+  // observe a value that is not yet guaranteed durable. Every extent is
+  // collected as line numbers first and flushed as deduplicated
+  // contiguous runs, so a line shared by adjacent structures (two lists,
+  // a queue next to its in-degree array, a table's status buffer next to
+  // its keys) is never clwb'd twice per fence.
+  std::vector<uint64_t> lines;
+  auto collect = [&lines](uint64_t off, uint64_t len) {
+    if (len == 0) return;
+    for (uint64_t l = off / nvm::PersistCheck::kLine;
+         l <= (off + len - 1) / nvm::PersistCheck::kLine; ++l) {
+      lines.push_back(l);
+    }
   };
-  if (st->use_word_table) {
-    flush_table(st->word_table, uint32_t{}, uint64_t{});
-  }
-  if (st->use_gram_table) {
-    flush_table(st->gram_table, NgramKey{}, uint64_t{});
-  }
-  if (st->use_file_table) {
-    flush_table(st->file_table, uint32_t{}, uint64_t{});
-  }
-  if (st->use_file_gram_table) {
-    flush_table(st->file_gram_table, NgramKey{}, uint64_t{});
-  }
   if (st->use_word_lists) {
-    device->FlushRange(st->word_list_meta.offset(), nr * sizeof(ListMeta));
     for (uint32_t r = 0; r < nr; ++r) {
       const ListMeta m = st->word_list_meta.Get(r);
-      if (m.size > 0) device->FlushRange(m.off, m.size * sizeof(WordEntry));
+      if (m.size > 0) collect(m.off, m.size * sizeof(WordEntry));
     }
+    collect(st->word_list_meta.offset(), nr * sizeof(ListMeta));
   }
   if (st->use_gram_lists) {
-    device->FlushRange(st->gram_list_meta.offset(), nr * sizeof(ListMeta));
     for (uint32_t r = 0; r < nr; ++r) {
       const ListMeta m = st->gram_list_meta.Get(r);
-      if (m.size > 0) device->FlushRange(m.off, m.size * sizeof(GramEntry));
+      if (m.size > 0) collect(m.off, m.size * sizeof(GramEntry));
     }
+    collect(st->gram_list_meta.offset(), nr * sizeof(ListMeta));
+  }
+  // Only top-down traversals propagate weights into RuleMeta, and a
+  // traversal of an edge-free grammar over a fresh device never touches
+  // them at all (the stage-0 reset skips weights that are already zero),
+  // so the flush is further gated on a weight actually being written.
+  if (st->strategy != TraversalStrategy::kBottomUp && st->rule_meta_dirty) {
+    collect(st->dag.rule_meta.offset(), nr * sizeof(RuleMeta));
+  }
+  if (st->use_queue) {
+    collect(st->indeg.offset(), nr * sizeof(uint32_t));
+    collect(st->queue.offset(), nr * sizeof(uint32_t));
+  }
+  // A table's status buffer is always dirtied by the stage-0 Clear(),
+  // but its key/value buffers are only written on insert — an empty
+  // table's keys and values are clean.
+  auto collect_table = [&](const auto& t, auto key_tag, auto val_tag) {
+    collect(t.status_offset(), t.capacity());
+    if (t.size() > 0) {
+      collect(t.keys_offset(), t.capacity() * sizeof(decltype(key_tag)));
+      collect(t.values_offset(), t.capacity() * sizeof(decltype(val_tag)));
+    }
+  };
+  if (st->use_word_table) {
+    collect_table(st->word_table, uint32_t{}, uint64_t{});
+  }
+  if (st->use_gram_table) {
+    collect_table(st->gram_table, NgramKey{}, uint64_t{});
+  }
+  if (st->use_file_table) {
+    collect_table(st->file_table, uint32_t{}, uint64_t{});
+  }
+  if (st->use_file_gram_table) {
+    collect_table(st->file_gram_table, NgramKey{}, uint64_t{});
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (size_t i = 0; i < lines.size();) {
+    size_t j = i + 1;
+    while (j < lines.size() && lines[j] == lines[j - 1] + 1) ++j;
+    device->FlushRange(lines[i] * nvm::PersistCheck::kLine,
+                       (j - i) * nvm::PersistCheck::kLine);
+    i = j;
   }
   device->Drain();
+  for (size_t i = 0; i < lines.size();) {
+    size_t j = i + 1;
+    while (j < lines.size() && lines[j] == lines[j - 1] + 1) ++j;
+    device->AssertPersisted(lines[i] * nvm::PersistCheck::kLine,
+                            (j - i) * nvm::PersistCheck::kLine);
+    i = j;
+  }
 }
 
 /// Commits a step transaction; on a full log performs the group
-/// checkpoint (flush home state, truncate) and retries.
+/// checkpoint and retries. The home flush is required for correctness:
+/// Commit() applies entries to their home locations WITHOUT flushing
+/// (the log guarantees durability), so home state must be made durable
+/// before the records that cover it are truncated. The log tracks
+/// exactly which home lines its applied entries dirtied, so the
+/// checkpoint flushes those and nothing else — the former wholesale
+/// PersistTraversalState here clwb'd mostly clean lines (in-place list
+/// data is already flushed at its write site, and the cursor is staged
+/// through the log).
 template <typename StateT, typename Writer>
 Status CommitWithCheckpoint(nvm::NvmDevice* device, StateT* st,
                             Writer* writer) {
+  (void)device;
   Status s = writer->Commit();
   if (s.code() != StatusCode::kResourceExhausted) return s;
-  PersistTraversalState(device, st);
-  device->FlushRange(st->cursor_off, 64);
-  device->Drain();
-  if (st->log) st->log->Truncate();
+  if (st->log) {
+    st->log->FlushAppliedHome();
+    st->log->Truncate();
+  }
   return writer->Commit();
 }
 
@@ -596,8 +654,8 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   };
 
   {
-    uint8_t slot[kMarkerSlot];
-    if (!device_->TryReadBytes(kMarkerOffset, slot, sizeof(slot)).ok()) {
+    uint8_t region[kMarkerRegion];
+    if (!device_->TryReadBytes(kMarkerOffset, region, sizeof(region)).ok()) {
       return corrupt("phase marker unreadable");
     }
   }
@@ -738,7 +796,7 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   }
 
   if (options_.persistence == PersistenceMode::kOperation) {
-    auto log = nvm::RedoLog::Open(device_, kMarkerSlot);
+    auto log = nvm::RedoLog::Open(device_, kMarkerRegion);
     if (!log.ok()) return corrupt("redo log header corrupt");
     st->log.emplace(std::move(log).value());
     const auto replayed = st->log->Recover();
@@ -778,7 +836,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   }
 
   const uint64_t pool_base =
-      kMarkerSlot + (options_.persistence == PersistenceMode::kOperation
+      kMarkerRegion + (options_.persistence == PersistenceMode::kOperation
                          ? options_.redo_log_bytes
                          : 0);
   const uint64_t pool_size = device_->capacity() - pool_base;
@@ -806,7 +864,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   if (options_.persistence == PersistenceMode::kOperation) {
     NTADOC_ASSIGN_OR_RETURN(
         auto log,
-        nvm::RedoLog::Create(device_, kMarkerSlot, options_.redo_log_bytes));
+        nvm::RedoLog::Create(device_, kMarkerRegion, options_.redo_log_bytes));
     st->log.emplace(std::move(log));
   }
   NTADOC_ASSIGN_OR_RETURN(auto pool,
@@ -1246,12 +1304,15 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     // Working state: in-degrees from metadata, weights zeroed, counters
     // cleared, queue empty (phase isolation: traversal-phase data is
     // rebuilt from init-phase data).
+    bool weights_reset = false;
     for (uint32_t r = 0; r < nr; ++r) {
       RuleMeta m = st->dag.rule_meta.Get(r);
       st->indeg.Set(r, m.in_degree);
       if (m.weight != 0) {
         m.weight = 0;
         st->dag.rule_meta.Set(r, m);
+        weights_reset = true;
+        st->rule_meta_dirty = true;
       }
     }
     if (st->use_word_table) st->word_table.Clear();
@@ -1259,11 +1320,15 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     st->qhead = st->qtail = 0;
     if (op) {
       // The reset must be durable before the cursor says "stage 1", or a
-      // crash would resume against rolled-back working state.
+      // crash would resume against rolled-back working state. On a fresh
+      // run the weights are already zero and Clear() touches only the
+      // status buffers, so flush exactly what the reset dirtied.
       device_->FlushRange(st->indeg.offset(), nr * sizeof(uint32_t));
-      device_->FlushRange(st->dag.rule_meta.offset(), nr * sizeof(RuleMeta));
-      if (st->use_word_table) st->word_table.Persist();
-      if (st->use_gram_table) st->gram_table.Persist();
+      if (weights_reset) {
+        device_->FlushRange(st->dag.rule_meta.offset(), nr * sizeof(RuleMeta));
+      }
+      if (st->use_word_table) st->word_table.PersistStatus();
+      if (st->use_gram_table) st->gram_table.PersistStatus();
       device_->Drain();
       writer.Begin();
       StageCursor(&writer, st->cursor_off, 1, 0, 0);
@@ -1296,6 +1361,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       const uint64_t new_weight = cm.weight + wr * freq;
       w->WriteValue(st->dag.rule_meta.ElementOffset(child) + weight_field,
                     new_weight);
+      st->rule_meta_dirty = true;
       const uint32_t dec = st->dag.pruned ? 1u : freq;
       const uint32_t in = st->indeg.Get(child);
       if (in < dec) {
@@ -1470,6 +1536,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
   };
   auto write_weight = [&](uint32_t r, uint64_t w) {
     device_->Write(st->dag.rule_meta.ElementOffset(r) + weight_field, w);
+    st->rule_meta_dirty = true;
   };
 
   for (uint32_t f = 0; f < nf; ++f) {
@@ -1649,9 +1716,10 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     if (st->use_word_table) st->word_table.Clear();
     if (st->use_gram_table) st->gram_table.Clear();
     if (op) {
-      // Same durability requirement as the top-down reset.
-      if (st->use_word_table) st->word_table.Persist();
-      if (st->use_gram_table) st->gram_table.Persist();
+      // Same durability requirement as the top-down reset. Clear() only
+      // rewrites the slot-status bytes, so only those need a flush.
+      if (st->use_word_table) st->word_table.PersistStatus();
+      if (st->use_gram_table) st->gram_table.PersistStatus();
       writer.Begin();
       StageCursor(&writer, st->cursor_off, 1, 0, 0);
       NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
@@ -1975,6 +2043,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     run_info_.pool_used_bytes = state_->pool ? state_->pool->UsedBytes() : 0;
     if (state_->log) {
       run_info_.redo_logged_bytes = state_->log->logged_payload_bytes();
+      run_info_.group_checkpoints = state_->log->checkpoints();
     }
     if (metrics != nullptr) {
       metrics->init_wall_ns = init_wall;

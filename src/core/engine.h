@@ -92,6 +92,7 @@ struct NTadocRunInfo {
   uint64_t counter_rebuilds = 0;   // no-summation ablation: table rebuilds
   uint64_t redo_logged_bytes = 0;  // operation-level write amplification
   uint64_t resumed_at_step = 0;    // operation-level recovery resume point
+  uint64_t group_checkpoints = 0;  // full-log home flushes + truncations
 
   // Media-fault accounting (see DESIGN.md "Fault model").
   uint64_t corruption_detected = 0;  // corrupt persisted state found

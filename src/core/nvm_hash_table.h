@@ -265,6 +265,18 @@ class NvmHashTable {
     pool_->device().FlushRange(keys_off_, capacity_ * sizeof(K));
     pool_->device().FlushRange(vals_off_, capacity_ * sizeof(V));
     pool_->device().Drain();
+    pool_->device().AssertPersisted(status_off_, capacity_);
+    pool_->device().AssertPersisted(keys_off_, capacity_ * sizeof(K));
+    pool_->device().AssertPersisted(vals_off_, capacity_ * sizeof(V));
+  }
+
+  /// Flushes only the status (occupancy) buffer. Clear() touches nothing
+  /// else, so persisting a cleared table this way avoids redundantly
+  /// flushing the untouched key/value buffers.
+  void PersistStatus() {
+    pool_->device().FlushRange(status_off_, capacity_);
+    pool_->device().Drain();
+    pool_->device().AssertPersisted(status_off_, capacity_);
   }
 
   /// Total pool bytes occupied.

@@ -111,6 +111,7 @@ class NvmVector {
   void Persist() {
     pool_->device().FlushRange(offset_, size_ * sizeof(T));
     pool_->device().Drain();
+    pool_->device().AssertPersisted(offset_, size_ * sizeof(T));
   }
 
  private:

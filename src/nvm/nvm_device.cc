@@ -21,16 +21,22 @@ NvmDevice::NvmDevice(DeviceOptions options)
       strict_(options.strict_persistence),
       random_evict_probability_(options.random_evict_probability),
       evict_rng_(options.evict_seed),
-      data_(options.capacity, 0) {
+      data_(options.capacity, 0),
+      snapshot_at_drain_(options.snapshot_at_drain) {
   if (!options.fault_plan.empty()) {
     injector_ = std::make_unique<FaultInjector>(std::move(options.fault_plan),
                                                 options.fault_seed, capacity_);
   }
+  if (options.persist_check) {
+    check_ = std::make_unique<PersistCheck>(options.clock);
+  }
 }
 
 void NvmDevice::ReadBytes(uint64_t offset, void* dst, uint64_t len) {
+  if (len == 0) return;  // guards the offset+len-1 line math below layers
   NTADOC_DCHECK_LE(offset + len, capacity_);
   model_.TouchRead(offset, len);
+  if (check_ != nullptr) check_->OnRead(offset, len);
   if (injector_ != nullptr && injector_->OnRead(offset, len)) {
     // Uncorrectable media error: the caller gets a poison pattern, never
     // stale plausible-looking data.
@@ -52,8 +58,10 @@ Status NvmDevice::TryReadBytes(uint64_t offset, void* dst, uint64_t len) {
 }
 
 void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len) {
+  if (len == 0) return;  // guards the offset+len-1 line math below layers
   NTADOC_DCHECK_LE(offset + len, capacity_);
   model_.TouchWrite(offset, len);
+  if (check_ != nullptr) check_->OnStore(offset, len);
   if (strict_) TrackDirty(offset, len);
   if (injector_ != nullptr) injector_->OnWrite(offset, len);
   std::memcpy(data_.data() + offset, src, len);
@@ -84,6 +92,7 @@ void NvmDevice::FlushRange(uint64_t offset, uint64_t len) {
   if (len == 0) return;
   NTADOC_DCHECK_LE(offset + len, capacity_);
   model_.ChargeFlush(len);
+  if (check_ != nullptr) check_->OnFlush(offset, len);
   if (!strict_) return;
   const uint64_t first = offset / kLine;
   const uint64_t last = (offset + len - 1) / kLine;
@@ -131,7 +140,20 @@ uint64_t NvmDevice::MaybeTearFlush(uint64_t first, uint64_t last) {
   return line;
 }
 
-void NvmDevice::Drain() { model_.ChargeDrain(); }
+void NvmDevice::Drain() {
+  model_.ChargeDrain();
+  if (check_ != nullptr) check_->OnDrain();
+  ++drain_count_;
+  if (snapshot_at_drain_ != 0 && drain_count_ == snapshot_at_drain_) {
+    drain_snapshot_ = PersistedSnapshot();
+  }
+}
+
+void NvmDevice::AssertPersisted(uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  NTADOC_DCHECK_LE(offset + len, capacity_);
+  if (check_ != nullptr) check_->AssertPersisted(offset, len);
+}
 
 void NvmDevice::SimulateCrash() {
   if (strict_) {
@@ -146,6 +168,16 @@ void NvmDevice::SimulateCrash() {
       if (off < capacity_) data_[off] ^= mask;
     });
   }
+  if (check_ != nullptr) check_->OnCrash();
+  model_.InvalidateBuffer();
+}
+
+void NvmDevice::LoadSnapshot(const std::vector<uint8_t>& image) {
+  NTADOC_CHECK_LE(image.size(), capacity_) << "snapshot larger than device";
+  std::memcpy(data_.data(), image.data(), image.size());
+  std::memset(data_.data() + image.size(), 0, capacity_ - image.size());
+  dirty_lines_.clear();
+  if (check_ != nullptr) check_->OnCrash();
   model_.InvalidateBuffer();
 }
 
@@ -190,6 +222,7 @@ Status NvmDevice::LoadImage(const std::string& path) {
     return Status::IoError("short read: " + path);
   }
   dirty_lines_.clear();
+  if (check_ != nullptr) check_->OnCrash();
   model_.InvalidateBuffer();
   return Status::OK();
 }

@@ -27,6 +27,7 @@
 
 #include "nvm/fault_injector.h"
 #include "nvm/memory_model.h"
+#include "nvm/persist_check.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -63,6 +64,15 @@ struct DeviceOptions {
   /// Seed for all randomized fault choices; the same plan + seed
   /// reproduces byte-identical post-crash device states.
   uint64_t fault_seed = 1;
+
+  /// Run the PersistCheck persistency-order analyzer on every access
+  /// (see nvm/persist_check.h). Independent of strict_persistence.
+  bool persist_check = false;
+
+  /// If nonzero, capture PersistedSnapshot() right after the Nth Drain()
+  /// (1-based) while the run continues. The crash-point sweeper uses this
+  /// to enumerate every drain point of a workload in one pass each.
+  uint64_t snapshot_at_drain = 0;
 };
 
 /// Emulated NVM device (see file comment).
@@ -119,6 +129,13 @@ class NvmDevice {
   /// Persistence fence (sfence); charges the drain cost.
   void Drain();
 
+  /// Durability contract: declares that [offset, offset+len) must be
+  /// persisted (stored -> flushed -> fenced) at this point. A no-op unless
+  /// the device was created with persist_check; the checker emits
+  /// MissingFlush / FlushWithoutDrain diagnostics for violations.
+  /// Persistence frameworks call this at their durability boundaries.
+  void AssertPersisted(uint64_t offset, uint64_t len);
+
   /// Power failure: every line dirtied since its last flush reverts to its
   /// persisted content; the device buffer is invalidated. No-op unless the
   /// device was created with strict_persistence.
@@ -150,6 +167,23 @@ class NvmDevice {
   /// Number of reads that hit an unreadable block since construction.
   uint64_t media_error_count() const { return media_errors_; }
 
+  /// The persistency-order analyzer, if enabled (null otherwise).
+  const PersistCheck* persist_check() const { return check_.get(); }
+  PersistCheck* mutable_persist_check() { return check_.get(); }
+
+  /// Number of Drain() calls since construction.
+  uint64_t drain_count() const { return drain_count_; }
+
+  /// The snapshot captured by DeviceOptions::snapshot_at_drain (empty if
+  /// the Nth drain has not happened yet or the option was unset).
+  const std::vector<uint8_t>& drain_snapshot() const { return drain_snapshot_; }
+
+  /// Replaces the media contents with `image` (at most capacity bytes;
+  /// any tail is zeroed), as if restarting on a device holding that
+  /// persisted image. Clears dirty-line tracking and the checker's
+  /// in-flight state, exactly like LoadImage but without touching disk.
+  void LoadSnapshot(const std::vector<uint8_t>& image);
+
  private:
   static constexpr uint64_t kLine = 64;
   static constexpr uint64_t kNoTornLine = ~0ull;
@@ -173,7 +207,11 @@ class NvmDevice {
   // line index -> persisted (pre-write) content of that line
   std::unordered_map<uint64_t, std::array<uint8_t, kLine>> dirty_lines_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<PersistCheck> check_;
   uint64_t media_errors_ = 0;
+  uint64_t drain_count_ = 0;
+  uint64_t snapshot_at_drain_ = 0;
+  std::vector<uint8_t> drain_snapshot_;
 };
 
 }  // namespace ntadoc::nvm

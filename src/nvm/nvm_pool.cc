@@ -71,11 +71,13 @@ void NvmPool::PersistHeader() {
   device_->Write(base_, h);
   device_->FlushRange(base_, sizeof(Header));
   device_->Drain();
+  device_->AssertPersisted(base_, sizeof(Header));
 }
 
 void NvmPool::PersistAll() {
   device_->FlushRange(data_start(), UsedBytes());
   device_->Drain();
+  device_->AssertPersisted(data_start(), UsedBytes());
   PersistHeader();
 }
 

@@ -1,5 +1,7 @@
 #include "nvm/obj_log.h"
 
+#include <algorithm>
+
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -9,9 +11,18 @@ uint64_t RedoLog::HeaderChecksum(const Header& h) {
   return Fnv1a64(&h, offsetof(Header, checksum));
 }
 
-uint32_t RedoLog::PayloadChecksum(const void* data, uint32_t len) {
-  const uint64_t h = Fnv1a64(data, len);
-  return static_cast<uint32_t>(h ^ (h >> 32));
+uint32_t RedoLog::EntryChecksum(uint64_t target, uint32_t len,
+                                const void* payload) {
+  // CRC32 rather than folded FNV: a torn cache-line flush corrupts a
+  // contiguous burst of payload bytes, exactly the error class CRC is
+  // guaranteed to detect. The chain covers target and len as well as the
+  // payload — a payload-only checksum lets a torn header silently
+  // redirect a valid payload, and makes an all-zero record
+  // self-validating (CRC of an empty payload is 0, matching a zeroed
+  // checksum field).
+  uint32_t c = Crc32(&target, sizeof(target));
+  c = Crc32(&len, sizeof(len), c);
+  return Crc32(payload, len, c);
 }
 
 Result<RedoLog> RedoLog::Create(NvmDevice* device, uint64_t base,
@@ -56,6 +67,7 @@ void RedoLog::WriteHeader(uint32_t state, uint64_t used) {
   device_->Write(base_, h);
   device_->FlushRange(base_, sizeof(Header));
   device_->Drain();
+  device_->AssertPersisted(base_, sizeof(Header));
 }
 
 void RedoLog::Begin() {
@@ -100,7 +112,8 @@ Status RedoLog::Commit() {
   uint64_t off = data_start() + tail_;
   for (const auto& w : staged_) {
     EntryHeader eh{w.target, w.len,
-                   PayloadChecksum(stage_buf_.data() + w.buf_offset, w.len)};
+                   EntryChecksum(w.target, w.len,
+                                 stage_buf_.data() + w.buf_offset)};
     device_->Write(off, eh);
     device_->WriteBytes(off + sizeof(EntryHeader),
                         stage_buf_.data() + w.buf_offset, w.len);
@@ -111,22 +124,32 @@ Status RedoLog::Commit() {
   const uint64_t new_tail = off - data_start();
   device_->FlushRange(data_start() + tail_, new_tail - tail_);
   device_->Drain();
+  // The commit record must never point at entries that are not durable.
+  device_->AssertPersisted(data_start() + tail_, new_tail - tail_);
 
   // 2. Durability point: advance the commit record.
   WriteHeader(/*state=*/1, new_tail);
 
   // 3. Apply to home locations without flushing (the log is durable; the
   //    home side is flushed in bulk at checkpoint time).
-  ApplyEntries(tail_, new_tail, /*flush_home=*/false);
+  ApplyEntries(tail_, new_tail);
   tail_ = new_tail;
   staged_.clear();
   ++committed_txns_;
   return Status::OK();
 }
 
+void RedoLog::FlushAppliedHome() {
+  ++checkpoints_;
+  if (applied_home_lines_.empty()) return;
+  FlushHomeLines(applied_home_lines_);
+  applied_home_lines_.clear();
+}
+
 void RedoLog::Truncate() {
   WriteHeader(/*state=*/0, 0);
   tail_ = 0;
+  applied_home_lines_.clear();
 }
 
 void RedoLog::Abort() {
@@ -134,8 +157,7 @@ void RedoLog::Abort() {
   staged_.clear();
 }
 
-uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to,
-                               bool flush_home) {
+uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to) {
   uint64_t off = data_start() + from;
   const uint64_t end = data_start() + to;
   uint64_t applied = 0;
@@ -147,12 +169,41 @@ uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to,
     buf.resize(eh.len);
     device_->ReadBytes(payload, buf.data(), eh.len);
     device_->WriteBytes(eh.target, buf.data(), eh.len);
-    if (flush_home) device_->FlushRange(eh.target, eh.len);
+    if (eh.len > 0) {
+      for (uint64_t line = eh.target / 64;
+           line <= (eh.target + eh.len - 1) / 64; ++line) {
+        applied_home_lines_.push_back(line);
+      }
+    }
     ++applied;
     off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
   }
-  if (flush_home) device_->Drain();
   return applied;
+}
+
+void RedoLog::FlushHomeLines(const std::vector<uint64_t>& lines) {
+  // Flush every dirtied home line exactly once, after ALL home writes:
+  // flushing per entry would clwb lines that a later entry re-dirties
+  // before the fence (a store-after-flush-before-drain hazard — the log's
+  // cursor slot is rewritten by nearly every transaction).
+  constexpr uint64_t kLine = 64;
+  std::vector<uint64_t> sorted = lines;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<std::pair<uint64_t, uint64_t>> runs;  // (first line, count)
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j] == sorted[j - 1] + 1) ++j;
+    runs.emplace_back(sorted[i], j - i);
+    i = j;
+  }
+  for (const auto& [first, count] : runs) {
+    device_->FlushRange(first * kLine, count * kLine);
+  }
+  device_->Drain();
+  for (const auto& [first, count] : runs) {
+    device_->AssertPersisted(first * kLine, count * kLine);
+  }
 }
 
 Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
@@ -160,6 +211,7 @@ Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
   const uint64_t end = data_start() + to;
   uint64_t applied = 0;
   std::vector<uint8_t> buf;
+  std::vector<uint64_t> home_lines;
   while (off < end) {
     if (off + sizeof(EntryHeader) > end) {
       return Status::DataLoss("redo log record header past committed extent");
@@ -176,15 +228,20 @@ Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
     }
     buf.resize(eh.len);
     NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(payload, buf.data(), eh.len));
-    if (PayloadChecksum(buf.data(), eh.len) != eh.checksum) {
-      return Status::DataLoss("redo log payload checksum mismatch");
+    if (EntryChecksum(eh.target, eh.len, buf.data()) != eh.checksum) {
+      return Status::DataLoss("redo log record checksum mismatch");
     }
     device_->WriteBytes(eh.target, buf.data(), eh.len);
-    device_->FlushRange(eh.target, eh.len);
+    if (eh.len > 0) {
+      for (uint64_t line = eh.target / 64;
+           line <= (eh.target + eh.len - 1) / 64; ++line) {
+        home_lines.push_back(line);
+      }
+    }
     ++applied;
     off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
   }
-  device_->Drain();
+  FlushHomeLines(home_lines);
   return applied;
 }
 

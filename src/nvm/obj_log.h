@@ -63,8 +63,16 @@ class RedoLog {
   /// home state, call Truncate(), and retry Commit().
   Status Commit();
 
+  /// Flushes every home line written by entries applied since the last
+  /// Truncate(), fences, and asserts durability. Commit() applies
+  /// entries to their homes WITHOUT flushing (the log guarantees
+  /// durability), so a group checkpoint calls this before Truncate() —
+  /// flushing exactly the dirtied lines, never clean ones.
+  void FlushAppliedHome();
+
   /// Discards all committed entries. The caller must have flushed every
-  /// home location the log covers (group checkpoint) beforehand.
+  /// home location the log covers (group checkpoint) beforehand —
+  /// normally via FlushAppliedHome().
   void Truncate();
 
   /// Bytes of committed entries currently in the log.
@@ -84,6 +92,9 @@ class RedoLog {
   /// Committed transactions since creation.
   uint64_t committed_txns() const { return committed_txns_; }
 
+  /// Group checkpoints (FlushAppliedHome calls) since creation.
+  uint64_t checkpoints() const { return checkpoints_; }
+
   bool in_transaction() const { return in_txn_; }
 
  private:
@@ -98,10 +109,10 @@ class RedoLog {
   struct EntryHeader {
     uint64_t target;
     uint32_t len;
-    uint32_t checksum;  // of the payload bytes; verified on recovery
+    uint32_t checksum;  // over target, len AND payload; verified on recovery
   };
   static constexpr uint64_t kMagic = 0x4E544144434C4F47ULL;  // "NTADCLOG"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
   static constexpr uint64_t kHeaderSlot = 64;
 
   struct StagedWrite {
@@ -118,11 +129,17 @@ class RedoLog {
 
   void WriteHeader(uint32_t state, uint64_t used);
   static uint64_t HeaderChecksum(const Header& h);
-  static uint32_t PayloadChecksum(const void* data, uint32_t len);
+  static uint32_t EntryChecksum(uint64_t target, uint32_t len,
+                                const void* payload);
 
   /// Applies freshly committed log entries in [from, to) to their home
-  /// locations without verification (we just wrote them).
-  uint64_t ApplyEntries(uint64_t from, uint64_t to, bool flush_home);
+  /// locations without verification (we just wrote them) and without
+  /// flushing — the log itself guarantees durability until checkpoint.
+  uint64_t ApplyEntries(uint64_t from, uint64_t to);
+
+  /// Flushes the given (possibly duplicated) home line indices exactly
+  /// once each, fences, and asserts the persistence contract.
+  void FlushHomeLines(const std::vector<uint64_t>& lines);
 
   /// Recovery-path apply of [0, to): validates every record's extent,
   /// target, and payload checksum before copying; any violation or
@@ -137,8 +154,12 @@ class RedoLog {
   uint64_t tail_ = 0;  // committed bytes (mirrors the durable header)
   std::vector<StagedWrite> staged_;
   std::vector<uint8_t> stage_buf_;  // reused across transactions
+  // Home lines dirtied by applied-but-unflushed entries; drained by
+  // FlushAppliedHome() at checkpoint time.
+  std::vector<uint64_t> applied_home_lines_;
   uint64_t logged_payload_bytes_ = 0;
   uint64_t committed_txns_ = 0;
+  uint64_t checkpoints_ = 0;
 };
 
 }  // namespace ntadoc::nvm

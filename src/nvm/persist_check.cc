@@ -1,0 +1,190 @@
+#include "nvm/persist_check.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ntadoc::nvm {
+
+const char* PersistDiagKindName(PersistDiagKind kind) {
+  switch (kind) {
+    case PersistDiagKind::kMissingFlush:
+      return "MissingFlush";
+    case PersistDiagKind::kFlushWithoutDrain:
+      return "FlushWithoutDrain";
+    case PersistDiagKind::kRedundantFlush:
+      return "RedundantFlush";
+    case PersistDiagKind::kStoreAfterFlushBeforeDrain:
+      return "StoreAfterFlushBeforeDrain";
+  }
+  return "Unknown";
+}
+
+std::string PersistDiag::ToString() const {
+  std::ostringstream os;
+  os << PersistDiagKindName(kind) << " @[0x" << std::hex << offset << ", 0x"
+     << offset + len << ")" << std::dec << " t=" << sim_time_ns << "ns";
+  return os.str();
+}
+
+void PersistCheckReport::Add(PersistDiagKind kind, uint64_t offset,
+                             uint64_t len, uint64_t sim_time_ns) {
+  ++counts_[static_cast<size_t>(kind)];
+  ++total_;
+  if (diags_.size() < kMaxStoredDiags) {
+    diags_.push_back(PersistDiag{kind, offset, len, sim_time_ns});
+  }
+}
+
+void PersistCheckReport::Clear() {
+  diags_.clear();
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  total_ = 0;
+}
+
+std::string PersistCheckReport::ToString() const {
+  if (empty()) return "persist-check: clean\n";
+  std::ostringstream os;
+  os << "persist-check: " << total_ << " diagnostic(s)\n";
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    os << "  " << PersistDiagKindName(static_cast<PersistDiagKind>(k)) << ": "
+       << counts_[k] << "\n";
+  }
+  for (const PersistDiag& d : diags_) {
+    os << "  " << d.ToString() << "\n";
+  }
+  if (total_ > diags_.size()) {
+    os << "  ... " << total_ - diags_.size() << " more not stored\n";
+  }
+  return os.str();
+}
+
+PersistCheck::PersistCheck(SimClockPtr clock) : clock_(std::move(clock)) {}
+
+void PersistCheck::ReportLines(PersistDiagKind kind,
+                               const std::vector<uint64_t>& lines) {
+  if (lines.empty()) return;
+  // One diagnostic per maximal contiguous run, so a dirty 4 KiB buffer
+  // reports once instead of 64 times.
+  uint64_t run_start = lines[0];
+  uint64_t run_end = lines[0];
+  const uint64_t now = NowNs();
+  for (size_t i = 1; i <= lines.size(); ++i) {
+    if (i < lines.size() && lines[i] == run_end + 1) {
+      run_end = lines[i];
+      continue;
+    }
+    report_.Add(kind, run_start * kLine, (run_end - run_start + 1) * kLine,
+                now);
+    if (i < lines.size()) run_start = run_end = lines[i];
+  }
+}
+
+void PersistCheck::OnStore(uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  const uint64_t first = offset / kLine;
+  const uint64_t last = (offset + len - 1) / kLine;
+  std::vector<uint64_t> hazard;
+  for (uint64_t line = first; line <= last; ++line) {
+    auto [it, inserted] = lines_.try_emplace(line, LineState::kDirty);
+    if (!inserted && it->second == LineState::kFlushedPendingDrain) {
+      // The earlier clwb and this store are unordered until a fence; if
+      // the caller relied on the flushed value being durable first, that
+      // ordering does not exist.
+      hazard.push_back(line);
+      it->second = LineState::kDirty;
+    }
+  }
+  ReportLines(PersistDiagKind::kStoreAfterFlushBeforeDrain, hazard);
+}
+
+void PersistCheck::OnRead(uint64_t offset, uint64_t len) {
+  if (len == 0 || lines_.empty()) return;
+  const uint64_t first = offset / kLine;
+  const uint64_t last = (offset + len - 1) / kLine;
+  std::vector<uint64_t> hazard;
+  if (last - first + 1 >= lines_.size()) {
+    for (const auto& [line, state] : lines_) {
+      if (line >= first && line <= last &&
+          state == LineState::kFlushedPendingDrain) {
+        hazard.push_back(line);
+      }
+    }
+    std::sort(hazard.begin(), hazard.end());
+  } else {
+    for (uint64_t line = first; line <= last; ++line) {
+      auto it = lines_.find(line);
+      if (it != lines_.end() && it->second == LineState::kFlushedPendingDrain) {
+        hazard.push_back(line);
+      }
+    }
+  }
+  // Reading a flushed-but-unfenced line means a dependent computation can
+  // observe a value that is not yet guaranteed durable.
+  ReportLines(PersistDiagKind::kFlushWithoutDrain, hazard);
+}
+
+void PersistCheck::OnFlush(uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  const uint64_t first = offset / kLine;
+  const uint64_t last = (offset + len - 1) / kLine;
+  bool any_dirty = false;
+  if (last - first + 1 >= lines_.size()) {
+    for (auto& [line, state] : lines_) {
+      if (line >= first && line <= last && state == LineState::kDirty) {
+        state = LineState::kFlushedPendingDrain;
+        any_dirty = true;
+      }
+    }
+  } else {
+    for (uint64_t line = first; line <= last; ++line) {
+      auto it = lines_.find(line);
+      if (it != lines_.end() && it->second == LineState::kDirty) {
+        it->second = LineState::kFlushedPendingDrain;
+        any_dirty = true;
+      }
+    }
+  }
+  if (!any_dirty) {
+    // clwb over exclusively clean (or already-flushed) lines does no
+    // persistence work but still costs a media write-back on Optane.
+    report_.Add(PersistDiagKind::kRedundantFlush, offset, len, NowNs());
+  }
+}
+
+void PersistCheck::OnDrain() {
+  for (auto it = lines_.begin(); it != lines_.end();) {
+    if (it->second == LineState::kFlushedPendingDrain) {
+      it = lines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PersistCheck::OnCrash() { lines_.clear(); }
+
+void PersistCheck::AssertPersisted(uint64_t offset, uint64_t len) {
+  if (len == 0 || lines_.empty()) return;
+  const uint64_t first = offset / kLine;
+  const uint64_t last = (offset + len - 1) / kLine;
+  // The in-flight map holds only non-clean lines and is typically tiny
+  // right after a drain, so iterate it rather than the (possibly huge)
+  // asserted range.
+  std::vector<uint64_t> dirty;
+  std::vector<uint64_t> pending;
+  for (const auto& [line, state] : lines_) {
+    if (line < first || line > last) continue;
+    if (state == LineState::kDirty) {
+      dirty.push_back(line);
+    } else {
+      pending.push_back(line);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  std::sort(pending.begin(), pending.end());
+  ReportLines(PersistDiagKind::kMissingFlush, dirty);
+  ReportLines(PersistDiagKind::kFlushWithoutDrain, pending);
+}
+
+}  // namespace ntadoc::nvm

@@ -1,0 +1,140 @@
+// PersistCheck: a pmemcheck/PMTest-style persistency-order analyzer for
+// the emulated NVM device.
+//
+// Real persistent-memory code must follow the store -> clwb -> sfence
+// discipline for every byte it declares durable; violations are invisible
+// to functional tests because the CPU cache usually writes lines back
+// anyway. PersistCheck tracks that state machine per 64 B line on top of
+// NvmDevice's access stream and reports typed diagnostics:
+//
+//   MissingFlush            line still dirty (stored, never flushed) when
+//                           declared durable via AssertPersisted()
+//   FlushWithoutDrain       flushed line read back or declared durable
+//                           before any fence made the flush globally
+//                           visible
+//   RedundantFlush          a FlushRange call that covers no dirty line —
+//                           a pure clwb of clean media, a real Optane
+//                           performance bug
+//   StoreAfterFlushBeforeDrain
+//                           store to a line that was flushed but not yet
+//                           fenced; the flush ordering is undefined
+//
+// Each diagnostic carries the simulated-clock timestamp and the byte
+// range of the offending access. Diagnostics accumulate in a
+// PersistCheckReport that tests and the CLI dump; the line-state map is
+// reset on SimulateCrash/LoadImage (the post-crash media is by definition
+// the persisted image) while the report persists across crashes so a
+// crash-recovery sweep can assert the whole run was clean.
+//
+// The checker is independent of strict_persistence: it can run in relaxed
+// (benchmark) mode too, since it keeps its own line-state map.
+
+#ifndef NTADOC_NVM_PERSIST_CHECK_H_
+#define NTADOC_NVM_PERSIST_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nvm/sim_clock.h"
+
+namespace ntadoc::nvm {
+
+/// The four persistency-order violation classes (see file comment).
+enum class PersistDiagKind : uint8_t {
+  kMissingFlush = 0,
+  kFlushWithoutDrain = 1,
+  kRedundantFlush = 2,
+  kStoreAfterFlushBeforeDrain = 3,
+};
+
+const char* PersistDiagKindName(PersistDiagKind kind);
+
+/// One persistency-order violation: the offending byte range and the
+/// simulated time of the access that exposed it.
+struct PersistDiag {
+  PersistDiagKind kind;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+  uint64_t sim_time_ns = 0;
+
+  std::string ToString() const;
+};
+
+/// Accumulated diagnostics. Stores the first kMaxStoredDiags diagnostics
+/// verbatim and counts everything, so a pathological run cannot exhaust
+/// memory while the per-class totals stay exact.
+class PersistCheckReport {
+ public:
+  static constexpr size_t kMaxStoredDiags = 256;
+  static constexpr size_t kNumKinds = 4;
+
+  void Add(PersistDiagKind kind, uint64_t offset, uint64_t len,
+           uint64_t sim_time_ns);
+
+  bool empty() const { return total_ == 0; }
+  uint64_t total() const { return total_; }
+  uint64_t count(PersistDiagKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+  const std::vector<PersistDiag>& diagnostics() const { return diags_; }
+
+  void Clear();
+
+  /// Multi-line human-readable dump; "persist-check: clean" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<PersistDiag> diags_;
+  uint64_t counts_[kNumKinds] = {0, 0, 0, 0};
+  uint64_t total_ = 0;
+};
+
+/// The analyzer proper. NvmDevice owns one (when DeviceOptions::
+/// persist_check is set) and forwards every store/flush/drain/read/crash
+/// event plus explicit AssertPersisted durability claims.
+class PersistCheck {
+ public:
+  static constexpr uint64_t kLine = 64;
+
+  explicit PersistCheck(SimClockPtr clock);
+
+  void OnStore(uint64_t offset, uint64_t len);
+  void OnRead(uint64_t offset, uint64_t len);
+  void OnFlush(uint64_t offset, uint64_t len);
+  void OnDrain();
+
+  /// Crash or image load: the media now holds exactly the persisted
+  /// image, so all in-flight line state is discarded. The report is kept.
+  void OnCrash();
+
+  /// Durability claim: every line in [offset, offset+len) must be clean
+  /// (stored contents flushed AND fenced). Emits MissingFlush for dirty
+  /// lines and FlushWithoutDrain for flushed-but-unfenced lines.
+  void AssertPersisted(uint64_t offset, uint64_t len);
+
+  const PersistCheckReport& report() const { return report_; }
+  PersistCheckReport& mutable_report() { return report_; }
+
+ private:
+  // A line is in exactly one of three states; "clean" is represented by
+  // absence from the map so the map only holds in-flight lines.
+  enum class LineState : uint8_t {
+    kDirty,               // stored, not yet flushed
+    kFlushedPendingDrain  // flushed, not yet fenced
+  };
+
+  uint64_t NowNs() const { return clock_ ? clock_->NowNanos() : 0; }
+
+  /// Emits one diagnostic per maximal run of contiguous offending lines.
+  void ReportLines(PersistDiagKind kind, const std::vector<uint64_t>& lines);
+
+  SimClockPtr clock_;
+  std::unordered_map<uint64_t, LineState> lines_;
+  PersistCheckReport report_;
+};
+
+}  // namespace ntadoc::nvm
+
+#endif  // NTADOC_NVM_PERSIST_CHECK_H_

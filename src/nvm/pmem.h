@@ -9,9 +9,11 @@
 #ifndef NTADOC_NVM_PMEM_H_
 #define NTADOC_NVM_PMEM_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "nvm/nvm_device.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace ntadoc::nvm {
@@ -22,58 +24,115 @@ inline void PmemMemcpyPersist(NvmDevice& device, uint64_t offset,
   device.WriteBytes(offset, src, len);
   device.FlushRange(offset, len);
   device.Drain();
+  device.AssertPersisted(offset, len);
 }
 
 /// pmem_persist analog for data already stored.
 inline void PmemPersist(NvmDevice& device, uint64_t offset, uint64_t len) {
   device.FlushRange(offset, len);
   device.Drain();
+  device.AssertPersisted(offset, len);
 }
 
 /// Durable "last completed phase" record at a fixed device offset.
 ///
-/// The record is written atomically with respect to crashes: the checksum
-/// covers the phase id, so a torn write is detected and treated as "no
-/// phase completed after the previous marker".
+/// Dual-slot (A/B) commit: the two CRC32-checksummed, sequence-numbered
+/// records live in separate cache lines and commits alternate between
+/// them, so a torn commit of phase N only ever destroys the slot being
+/// written — recovery falls back to the intact slot still holding phase
+/// N-1. (The previous single-slot design lost the N-1 record too and
+/// forced recovery to restart from scratch.) LastCommittedPhase returns
+/// the phase of the valid record with the highest sequence number, or 0
+/// when neither slot is intact (unformatted or doubly-torn media).
 class PhaseMarker {
  public:
-  /// `device` must outlive the marker; `offset` names a 64-byte slot.
+  /// `device` must outlive the marker; `offset` names a kRegionSize-byte
+  /// region (two 64-byte slots).
   PhaseMarker(NvmDevice* device, uint64_t offset)
       : device_(device), offset_(offset) {}
 
-  /// Size of the device slot the marker occupies.
+  /// Size of one marker slot (a cache line).
   static constexpr uint64_t kSlotSize = 64;
 
-  /// Formats the slot to "no phase completed" (phase 0) durably.
-  void Format() { CommitPhase(0); }
+  /// Total device region the marker occupies (slots A and B).
+  static constexpr uint64_t kRegionSize = 2 * kSlotSize;
 
-  /// Durably records that `phase` has fully completed.
-  void CommitPhase(uint64_t phase) {
-    Record r{kMagic, phase, 0};
-    r.checksum = Checksum(r);
-    device_->Write(offset_, r);
-    device_->FlushRange(offset_, sizeof(Record));
+  /// Durably invalidates both slots, then commits phase 0.
+  void Format() {
+    const Record zero{};
+    device_->Write(offset_, zero);
+    device_->Write(offset_ + kSlotSize, zero);
+    device_->FlushRange(offset_, kRegionSize);
     device_->Drain();
+    device_->AssertPersisted(offset_, kRegionSize);
+    CommitPhase(0);
   }
 
-  /// Last durably completed phase; a torn or unformatted record reads as
-  /// phase 0 ("start from scratch").
+  /// Durably records that `phase` has fully completed, overwriting the
+  /// slot NOT holding the latest valid record.
+  void CommitPhase(uint64_t phase) {
+    uint64_t seq = 0;
+    int target = 0;
+    if (const int latest = LatestValidSlot(&seq); latest >= 0) {
+      target = 1 - latest;
+    }
+    Record r{};
+    r.magic = kMagic;
+    r.seq = seq + 1;
+    r.phase = phase;
+    r.crc = Checksum(r);
+    const uint64_t slot_off = offset_ + target * kSlotSize;
+    device_->Write(slot_off, r);
+    device_->FlushRange(slot_off, sizeof(Record));
+    device_->Drain();
+    device_->AssertPersisted(slot_off, sizeof(Record));
+  }
+
+  /// Last durably completed phase; falls back to the older slot when the
+  /// newest is torn, and reads as phase 0 ("start from scratch") only
+  /// when neither slot is intact.
   uint64_t LastCommittedPhase() const {
-    const Record r = device_->Read<Record>(offset_);
-    if (r.magic != kMagic || r.checksum != Checksum(r)) return 0;
-    return r.phase;
+    uint64_t seq = 0;
+    const int latest = LatestValidSlot(&seq);
+    if (latest < 0) return 0;
+    return ReadSlot(latest).phase;
   }
 
  private:
   struct Record {
     uint64_t magic;
+    uint64_t seq;    // monotonically increasing commit ordinal (>= 1)
     uint64_t phase;
-    uint64_t checksum;
+    uint32_t crc;    // CRC32 over the fields above
+    uint32_t pad;
   };
   static constexpr uint64_t kMagic = 0x4E54414443504853ULL;  // "NTADCPHS"
 
-  static uint64_t Checksum(const Record& r) {
-    return (r.magic * 0x9E3779B97F4A7C15ULL) ^ (r.phase + 0xA5A5A5A5A5A5A5A5ULL);
+  static uint32_t Checksum(const Record& r) {
+    return Crc32(&r, offsetof(Record, crc));
+  }
+
+  Record ReadSlot(int slot) const {
+    return device_->Read<Record>(offset_ + slot * kSlotSize);
+  }
+
+  static bool Valid(const Record& r) {
+    return r.magic == kMagic && r.crc == Checksum(r);
+  }
+
+  /// Index (0/1) of the valid record with the highest seq, or -1 if
+  /// neither slot holds a valid record. `*seq_out` gets that seq.
+  int LatestValidSlot(uint64_t* seq_out) const {
+    int latest = -1;
+    *seq_out = 0;
+    for (int slot = 0; slot < 2; ++slot) {
+      const Record r = ReadSlot(slot);
+      if (Valid(r) && (latest < 0 || r.seq > *seq_out)) {
+        latest = slot;
+        *seq_out = r.seq;
+      }
+    }
+    return latest;
   }
 
   NvmDevice* device_;

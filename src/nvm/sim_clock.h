@@ -7,26 +7,32 @@
 #ifndef NTADOC_NVM_SIM_CLOCK_H_
 #define NTADOC_NVM_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
 namespace ntadoc::nvm {
 
 /// Monotonic simulated clock (nanoseconds).
+///
+/// The counter is a relaxed atomic: one clock is shared by every memory
+/// model of a run, and future parallel traversals will charge it from
+/// multiple threads. Relaxed ordering is enough — the clock is a pure
+/// accumulator, never used to synchronize memory.
 class SimClock {
  public:
   SimClock() = default;
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  void Charge(uint64_t ns) { now_ns_ += ns; }
+  void Charge(uint64_t ns) { now_ns_.fetch_add(ns, std::memory_order_relaxed); }
 
-  uint64_t NowNanos() const { return now_ns_; }
+  uint64_t NowNanos() const { return now_ns_.load(std::memory_order_relaxed); }
 
-  void Reset() { now_ns_ = 0; }
+  void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_ns_ = 0;
+  std::atomic<uint64_t> now_ns_{0};
 };
 
 using SimClockPtr = std::shared_ptr<SimClock>;

@@ -4,6 +4,7 @@
 #ifndef NTADOC_UTIL_HASH_H_
 #define NTADOC_UTIL_HASH_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -25,6 +26,39 @@ inline uint64_t Fnv1a64(const void* data, size_t len,
 
 inline uint64_t HashString(std::string_view s) {
   return Fnv1a64(s.data(), s.size());
+}
+
+namespace internal {
+/// Byte-at-a-time CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+/// lookup table, built once at first use.
+inline const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+}  // namespace internal
+
+/// CRC-32 (IEEE) over arbitrary bytes. Used as the media checksum for
+/// persistent records (RedoLog entries, PhaseMarker slots): unlike FNV it
+/// detects all burst errors up to 32 bits, the failure mode of a torn
+/// cache-line flush.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const uint32_t* table = internal::Crc32Table();
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
 }
 
 /// Strong 64-bit integer mix (splitmix64 finalizer). Used to hash symbol

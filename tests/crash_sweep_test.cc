@@ -1,7 +1,10 @@
 // Property sweep: inject a power failure at every early traversal step,
 // for both persistence levels and both traversal strategies, and require
 // exact recovery. This is the strongest evidence that the persistence
-// protocols are correct at every step boundary.
+// protocols are correct at every step boundary. The drain-point sweeper
+// below goes further: it enumerates EVERY persistence fence of a
+// workload, crashes at each one, and requires exact recovery plus a
+// clean PersistCheck report.
 
 #include <gtest/gtest.h>
 
@@ -31,6 +34,7 @@ TEST_P(CrashSweepTest, ExactRecoveryAtEveryStep) {
   nvm::DeviceOptions dopts;
   dopts.capacity = 192ull << 20;
   dopts.strict_persistence = true;
+  dopts.persist_check = true;
   auto device = nvm::NvmDevice::Create(dopts);
   ASSERT_TRUE(device.ok());
 
@@ -51,6 +55,8 @@ TEST_P(CrashSweepTest, ExactRecoveryAtEveryStep) {
       << "persistence=" << PersistenceModeToString(c.persistence)
       << " strategy=" << tadoc::TraversalStrategyToString(c.strategy)
       << " task=" << tadoc::TaskToString(c.task) << " crash step=" << step;
+  EXPECT_TRUE((*device)->persist_check()->report().empty())
+      << (*device)->persist_check()->report().ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -99,6 +105,150 @@ TEST(CrashSweepTest, DoubleCrashStillRecovers) {
   ASSERT_TRUE(got.ok()) << got.status();
   EXPECT_EQ(*got, expected);
 }
+
+// ---------------------------------------------------------------------------
+// Exhaustive drain-point sweep.
+//
+// Every Drain() is a potential last-durable-instant: the state right after
+// the Kth fence is exactly what a power failure there leaves on media.
+// DeviceOptions::snapshot_at_drain captures that image while the workload
+// runs to completion, so one extra run per fence enumerates every crash
+// point — no hand-picked step numbers. Recovery from each image must
+// reproduce the reference result with a clean PersistCheck report.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<nvm::NvmDevice>> MakeSweepDevice(
+    uint64_t snapshot_at_drain) {
+  nvm::DeviceOptions dopts;
+  dopts.capacity = 64ull << 20;
+  dopts.strict_persistence = true;
+  dopts.persist_check = true;
+  dopts.snapshot_at_drain = snapshot_at_drain;
+  return nvm::NvmDevice::Create(dopts);
+}
+
+class DrainPointSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DrainPointSweepTest, ExactRecoveryFromEveryDrainPoint) {
+  const SweepCase& c = GetParam();
+  // Small corpus: the sweep re-runs the workload twice per fence.
+  const auto corpus = RandomCorpus(911, 10, 4, 120);
+  const auto expected = ReferenceRun(corpus, c.task, {});
+
+  NTadocOptions opts;
+  opts.persistence = c.persistence;
+  opts.traversal = c.strategy;
+
+  // Pass 1: a clean instrumented run — counts the fences and proves the
+  // whole protocol is diagnostic-free end to end.
+  uint64_t total_drains = 0;
+  {
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    NTadocEngine engine(&corpus, device->get(), opts);
+    auto got = engine.Run(c.task);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, expected);
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << (*device)->persist_check()->report().ToString();
+    total_drains = (*device)->drain_count();
+  }
+  ASSERT_GT(total_drains, 0u);
+
+  for (uint64_t k = 1; k <= total_drains; ++k) {
+    // Capture the persisted image right after fence K.
+    auto writer = MakeSweepDevice(k);
+    ASSERT_TRUE(writer.ok());
+    {
+      NTadocEngine engine(&corpus, writer->get(), opts);
+      ASSERT_TRUE(engine.Run(c.task).ok());
+    }
+    ASSERT_FALSE((*writer)->drain_snapshot().empty())
+        << "snapshot at drain " << k << " not captured";
+
+    // Crash there and recover on a fresh device.
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    (*device)->LoadSnapshot((*writer)->drain_snapshot());
+    NTadocEngine engine(&corpus, device->get(), opts);
+    auto got = engine.Run(c.task);
+    ASSERT_TRUE(got.ok())
+        << "recovery failed from drain point " << k << "/" << total_drains
+        << ": " << got.status();
+    EXPECT_EQ(*got, expected) << "wrong result from drain point " << k;
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << "diagnostics recovering from drain point " << k << ":\n"
+        << (*device)->persist_check()->report().ToString();
+  }
+}
+
+TEST(GroupCheckpointSweepTest, ExactRecoveryAcrossCheckpoints) {
+  // Same fence enumeration, but with a redo log small enough that group
+  // checkpoints (flush applied home lines, truncate) happen repeatedly:
+  // crashing right after a truncation fence is only recoverable if every
+  // home line the discarded records covered was durable first.
+  const auto corpus = RandomCorpus(913, 6, 3, 60);
+  const auto expected = ReferenceRun(corpus, tadoc::Task::kWordCount, {});
+
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kOperation;
+  opts.redo_log_bytes = 4096;
+
+  uint64_t total_drains = 0;
+  {
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    NTadocEngine engine(&corpus, device->get(), opts);
+    auto got = engine.Run(tadoc::Task::kWordCount);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, expected);
+    ASSERT_GT(engine.run_info().group_checkpoints, 0u)
+        << "log never filled; the checkpoint path was not exercised";
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << (*device)->persist_check()->report().ToString();
+    total_drains = (*device)->drain_count();
+  }
+  ASSERT_GT(total_drains, 0u);
+
+  for (uint64_t k = 1; k <= total_drains; ++k) {
+    auto writer = MakeSweepDevice(k);
+    ASSERT_TRUE(writer.ok());
+    {
+      NTadocEngine engine(&corpus, writer->get(), opts);
+      ASSERT_TRUE(engine.Run(tadoc::Task::kWordCount).ok());
+    }
+    ASSERT_FALSE((*writer)->drain_snapshot().empty())
+        << "snapshot at drain " << k << " not captured";
+
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    (*device)->LoadSnapshot((*writer)->drain_snapshot());
+    NTadocEngine engine(&corpus, device->get(), opts);
+    auto got = engine.Run(tadoc::Task::kWordCount);
+    ASSERT_TRUE(got.ok())
+        << "recovery failed from drain point " << k << "/" << total_drains
+        << ": " << got.status();
+    EXPECT_EQ(*got, expected) << "wrong result from drain point " << k;
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << "diagnostics recovering from drain point " << k << ":\n"
+        << (*device)->persist_check()->report().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, DrainPointSweepTest,
+    ::testing::Values(SweepCase{PersistenceMode::kPhase,
+                                tadoc::TraversalStrategy::kTopDown,
+                                tadoc::Task::kWordCount},
+                      SweepCase{PersistenceMode::kPhase,
+                                tadoc::TraversalStrategy::kBottomUp,
+                                tadoc::Task::kWordCount},
+                      SweepCase{PersistenceMode::kOperation,
+                                tadoc::TraversalStrategy::kTopDown,
+                                tadoc::Task::kWordCount},
+                      SweepCase{PersistenceMode::kOperation,
+                                tadoc::TraversalStrategy::kBottomUp,
+                                tadoc::Task::kTermVector}));
 
 }  // namespace
 }  // namespace ntadoc::core

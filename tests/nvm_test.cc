@@ -301,9 +301,57 @@ TEST(PhaseMarkerTest, TornMarkerReadsAsZero) {
   auto dev = MakeDevice(opts);
   PhaseMarker marker(dev.get(), 0);
   marker.CommitPhase(3);
-  // Corrupt one byte of the record.
+  // Corrupt one byte of the (only) record; no intact slot remains.
   dev->Write<uint8_t>(4, 0xFF);
   EXPECT_EQ(marker.LastCommittedPhase(), 0u);
+}
+
+TEST(PhaseMarkerTest, TornCommitFallsBackToPreviousPhase) {
+  auto dev = MakeDevice();
+  PhaseMarker marker(dev.get(), 0);
+  marker.Format();
+  marker.CommitPhase(1);
+  marker.CommitPhase(2);
+  // Commits alternate slots, so exactly one of the two 64 B slots holds
+  // phase 2. Tear it: recovery must fall back to the intact phase-1 slot
+  // instead of restarting from scratch.
+  ASSERT_EQ(marker.LastCommittedPhase(), 2u);
+  for (uint64_t slot_off : {uint64_t{0}, PhaseMarker::kSlotSize}) {
+    const uint64_t before = marker.LastCommittedPhase();
+    const uint8_t byte = dev->Read<uint8_t>(slot_off + 8);
+    dev->Write<uint8_t>(slot_off + 8, byte ^ 0xFF);
+    if (marker.LastCommittedPhase() == 1u) {
+      EXPECT_EQ(before, 2u);
+      return;  // tore the newest slot; fallback observed
+    }
+    dev->Write<uint8_t>(slot_off + 8, byte);  // tore the old slot; undo
+  }
+  FAIL() << "neither slot held the newest record";
+}
+
+TEST(PhaseMarkerTest, CommitsAlternateBetweenSlots) {
+  auto dev = MakeDevice();
+  PhaseMarker marker(dev.get(), 0);
+  marker.Format();
+  marker.CommitPhase(1);
+  std::vector<uint8_t> before(PhaseMarker::kRegionSize);
+  dev->ReadBytes(0, before.data(), before.size());
+  marker.CommitPhase(2);
+  std::vector<uint8_t> after(PhaseMarker::kRegionSize);
+  dev->ReadBytes(0, after.data(), after.size());
+  // A commit must overwrite exactly one slot — the other keeps the
+  // previous record so a torn write can never lose both.
+  int changed = 0;
+  for (int slot = 0; slot < 2; ++slot) {
+    const size_t off = slot * PhaseMarker::kSlotSize;
+    if (!std::equal(before.begin() + off,
+                    before.begin() + off + PhaseMarker::kSlotSize,
+                    after.begin() + off)) {
+      ++changed;
+    }
+  }
+  EXPECT_EQ(changed, 1);
+  EXPECT_EQ(marker.LastCommittedPhase(), 2u);
 }
 
 TEST(FaultInjectionTest, NthReadPoisonsOneBlockAndWriteHeals) {
@@ -487,6 +535,58 @@ TEST(RedoLogTest, RecoveryRejectsCorruptPayload) {
   EXPECT_EQ(reopened->Recover().status().code(), StatusCode::kDataLoss);
   // The corrupt record must not have been applied to its home location.
   EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 0u);
+}
+
+TEST(RedoLogTest, RecoveryRejectsZeroedRecords) {
+  // Regression: a torn flush can zero a slice of the committed extent.
+  // An all-zero EntryHeader {target=0, len=0, checksum=0} must NOT
+  // self-validate — CRC32 of an empty payload is 0, so a payload-only
+  // checksum would accept it and replay a bogus write to offset 0.
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 77);
+  ASSERT_TRUE(log->Commit().ok());
+
+  // Durably zero the whole committed record (entry header + payload).
+  const uint8_t zeros[24] = {};
+  dev->WriteBytes(64, zeros, sizeof(zeros));
+  dev->FlushRange(64, sizeof(zeros));
+  dev->Drain();
+  dev->SimulateCrash();
+
+  auto reopened = RedoLog::Open(dev.get(), 0);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Recover().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(dev->Read<uint64_t>(1 << 20), 0u);
+}
+
+TEST(RedoLogTest, RecoveryRejectsRedirectedTarget) {
+  // Regression: the record checksum covers the target, so a torn header
+  // cannot silently redirect an intact payload to the wrong home.
+  DeviceOptions opts;
+  opts.strict_persistence = true;
+  auto dev = MakeDevice(opts);
+  auto log = RedoLog::Create(dev.get(), 0, 64 * 1024);
+  ASSERT_TRUE(log.ok());
+  log->Begin();
+  log->StageValue<uint64_t>(1 << 20, 77);
+  ASSERT_TRUE(log->Commit().ok());
+
+  // Durably rewrite the record's target field (first 8 B of the entry
+  // header at data_start = 64), leaving len/checksum/payload intact.
+  dev->Write<uint64_t>(64, 2 << 20);
+  dev->FlushRange(64, sizeof(uint64_t));
+  dev->Drain();
+  dev->SimulateCrash();
+
+  auto reopened = RedoLog::Open(dev.get(), 0);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Recover().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(dev->Read<uint64_t>(2 << 20), 0u);
 }
 
 TEST(PmemTest, MemcpyPersistSurvivesCrash) {

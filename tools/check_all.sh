@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# The full local CI wall: tier-1 ctest, ASan+UBSan, TSan, clang-tidy —
+# run in sequence, with a summary table at the end. Exits nonzero if any
+# stage fails. A stage that self-skips (e.g. clang-tidy not installed)
+# counts as SKIP, not failure.
+#
+# Usage: tools/check_all.sh
+
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+names=()
+results=()
+failed=0
+
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "==== ${name} ===="
+  local out
+  if out="$("$@" 2>&1)"; then
+    if grep -q "SKIPPED" <<<"${out}"; then
+      results+=("SKIP")
+    else
+      results+=("PASS")
+    fi
+  else
+    results+=("FAIL")
+    failed=1
+  fi
+  names+=("${name}")
+  tail -n 40 <<<"${out}"
+}
+
+tier1() {
+  cmake -B "${REPO_ROOT}/build" -S "${REPO_ROOT}" &&
+    cmake --build "${REPO_ROOT}/build" -j "${JOBS}" &&
+    ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}"
+}
+
+run_stage "tier-1 ctest" tier1
+run_stage "check_asan" "${REPO_ROOT}/tools/check_asan.sh"
+run_stage "check_tsan" "${REPO_ROOT}/tools/check_tsan.sh"
+run_stage "check_tidy" "${REPO_ROOT}/tools/check_tidy.sh"
+
+echo
+echo "==== summary ===="
+for i in "${!names[@]}"; do
+  printf '%-14s %s\n' "${names[$i]}" "${results[$i]}"
+done
+exit "${failed}"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in src/, failing on any warning.
+#
+# Gated on tool availability: in environments without clang-tidy the
+# script prints a skip notice and exits 0 so check_all.sh stays usable.
+#
+# Usage: tools/check_tidy.sh [extra clang-tidy args...]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-tidy"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "check_tidy: SKIPPED (clang-tidy not installed)"
+  exit 0
+fi
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+mapfile -t sources < <(find "${REPO_ROOT}/src" -name '*.cc' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "check_tidy: no sources found under src/" >&2
+  exit 1
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet "$@" \
+    "${sources[@]}"
+else
+  clang-tidy -p "${BUILD_DIR}" --quiet "$@" "${sources[@]}"
+fi
+echo "check_tidy: clean"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer and runs the tier-1 test suite
+# under it. The suite is single-threaded today; this wall is groundwork
+# for the parallel-traversal work (shared SimClock, logging statics).
+#
+# Usage: tools/check_tsan.sh [ctest args...]
+#   e.g. tools/check_tsan.sh -R nvm_test
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-tsan"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNTADOC_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+export TSAN_OPTIONS="halt_on_error=1:abort_on_error=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"
+echo "check_tsan: all tests passed under TSan"

@@ -38,7 +38,8 @@ int Usage() {
                "                  [--medium=nvm|reram|pcm|ssd|hdd] "
                "[--persistence=none|phase|operation]\n"
                "                  [--traversal=auto|topdown|bottomup] "
-               "[--ngram=N] [--topk=K] [--limit=N]\n");
+               "[--ngram=N] [--topk=K] [--limit=N]\n"
+               "                  [--persist-check]\n");
   return 2;
 }
 
@@ -155,9 +156,12 @@ int CmdRun(int argc, char** argv) {
   core::NTadocOptions engine_opts;
   tadoc::AnalyticsOptions opts;
   uint64_t limit = 10;
+  bool persist_check = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--medium=", 0) == 0) {
+    if (arg == "--persist-check") {
+      persist_check = true;
+    } else if (arg.rfind("--medium=", 0) == 0) {
       const std::string m = arg.substr(9);
       if (m == "nvm") {
         profile = nvm::OptaneProfile();
@@ -199,6 +203,11 @@ int CmdRun(int argc, char** argv) {
   dev_opts.capacity = std::max<uint64_t>(
       256ull << 20, corpus->grammar.ExpandedLength() * 48);
   dev_opts.profile = profile;
+  if (persist_check) {
+    // Strict mode gives the checker a faithful crash model to audit.
+    dev_opts.persist_check = true;
+    dev_opts.strict_persistence = true;
+  }
   auto device = nvm::NvmDevice::Create(dev_opts);
   if (!device.ok()) {
     std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
@@ -282,6 +291,10 @@ int CmdRun(int argc, char** argv) {
                              metrics.traversal_sim_ns)
                    .c_str(),
                HumanDuration(metrics.TotalSimNs()).c_str());
+  if (const nvm::PersistCheck* check = (*device)->persist_check()) {
+    std::fprintf(stderr, "%s", check->report().ToString().c_str());
+    if (!check->report().empty()) return 1;
+  }
   return 0;
 }
 
