@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <list>
 #include <unordered_map>
 
 #include "core/summation.h"
@@ -333,6 +334,103 @@ struct NTadocEngine::State {
   nvm::RedoLog* tx_log() { return log ? &*log : nullptr; }
 };
 
+// ---------------------------------------------------------------------------
+// Decoded-rule DRAM cache
+// ---------------------------------------------------------------------------
+
+/// Bounded LRU cache of decoded payloads (options.dram_cache_bytes). The
+/// pool payloads are immutable after init, so a decoded copy can be
+/// reused for the whole traversal; a hit replays the payload's device
+/// extents against a DRAM cost model that shares the run's SimClock, so
+/// the simulated run still pays (cheap DRAM) access costs rather than
+/// getting the data for free. Cleared at every InitPhase entry: a fresh
+/// init or salvage rewrites the pool under the cached offsets.
+struct NTadocEngine::RuleCache {
+  struct Entry {
+    DecodedPayload payload;
+    PayloadExtent extent;
+    uint64_t bytes = 0;  // host-memory estimate for the budget
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  RuleCache(uint64_t budget_bytes, nvm::SimClockPtr clock)
+      : budget(budget_bytes), dram(nvm::DramProfile(), std::move(clock)) {}
+
+  static uint64_t KeyOf(bool segment, uint32_t id) {
+    return (segment ? (1ull << 32) : 0) | id;
+  }
+
+  static uint64_t PayloadBytes(const DecodedPayload& p) {
+    return sizeof(Entry) +
+           (p.subrules.capacity() + p.words.capacity()) *
+               sizeof(std::pair<uint32_t, uint32_t>);
+  }
+
+  /// Returns the cached payload or null; charges the DRAM model for the
+  /// extents the device read would have touched.
+  const DecodedPayload* Lookup(bool segment, uint32_t id) {
+    auto it = map.find(KeyOf(segment, id));
+    if (it == map.end()) return nullptr;
+    lru.splice(lru.begin(), lru, it->second.lru_it);
+    const PayloadExtent& e = it->second.extent;
+    dram.TouchRead(e.meta_off, e.meta_len);
+    if (e.payload_len > 0) dram.TouchReadExtent(e.payload_off, e.payload_len);
+    return &it->second.payload;
+  }
+
+  void Insert(bool segment, uint32_t id, const DecodedPayload& payload,
+              const PayloadExtent& extent) {
+    const uint64_t bytes = PayloadBytes(payload);
+    if (bytes > budget) return;  // would evict everything for one entry
+    while (used + bytes > budget && !lru.empty()) {
+      auto victim = map.find(lru.back());
+      used -= victim->second.bytes;
+      map.erase(victim);
+      lru.pop_back();
+    }
+    lru.push_front(KeyOf(segment, id));
+    Entry e{payload, extent, bytes, lru.begin()};
+    map.emplace(KeyOf(segment, id), std::move(e));
+    used += bytes;
+  }
+
+  void Clear() {
+    map.clear();
+    lru.clear();
+    used = 0;
+  }
+
+  uint64_t budget;
+  uint64_t used = 0;
+  std::list<uint64_t> lru;  // front = most recently used key
+  std::unordered_map<uint64_t, Entry> map;
+  nvm::MemoryModel dram;
+};
+
+DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
+                                               uint32_t id) {
+  if (!rule_cache_) {
+    return segment ? ReadSegmentPayload(st->dag, &*st->pool, id)
+                   : ReadRulePayload(st->dag, &*st->pool, id);
+  }
+  if (const DecodedPayload* hit = rule_cache_->Lookup(segment, id)) {
+    ++run_info_.rule_cache_hits;
+    return *hit;
+  }
+  ++run_info_.rule_cache_misses;
+  PayloadExtent extent;
+  DecodedPayload payload =
+      segment ? ReadSegmentPayload(st->dag, &*st->pool, id, &extent)
+              : ReadRulePayload(st->dag, &*st->pool, id, &extent);
+  // Never cache a payload read through an unreadable block: the decode
+  // came back empty with the media error counter bumped, and the caller
+  // is about to salvage.
+  if (device_->media_error_count() == media_errors_seen_) {
+    rule_cache_->Insert(segment, id, payload, extent);
+  }
+  return payload;
+}
+
 namespace {
 
 /// Phase-level persistence at the end of the traversal phase: flush only
@@ -358,19 +456,25 @@ void PersistTraversalState(nvm::NvmDevice* device, StateT* st) {
       lines.push_back(l);
     }
   };
-  if (st->use_word_lists) {
-    for (uint32_t r = 0; r < nr; ++r) {
-      const ListMeta m = st->word_list_meta.Get(r);
-      if (m.size > 0) collect(m.off, m.size * sizeof(WordEntry));
+  // Descriptor arrays are read as one borrowed span (charged exactly like
+  // the per-descriptor loop it replaces). An unreadable descriptor block
+  // skips the list-data lines: the old path would have collected garbage
+  // extents from poisoned descriptors, so nothing durable is lost.
+  auto collect_lists = [&](const NvmVector<ListMeta>& metas,
+                           uint64_t entry_size) {
+    if (auto span = metas.ReadSpan(0, nr); span.ok()) {
+      const ListMeta* m = *span;
+      for (uint32_t r = 0; r < nr; ++r) {
+        if (m[r].size > 0) collect(m[r].off, m[r].size * entry_size);
+      }
     }
-    collect(st->word_list_meta.offset(), nr * sizeof(ListMeta));
+    collect(metas.offset(), nr * sizeof(ListMeta));
+  };
+  if (st->use_word_lists) {
+    collect_lists(st->word_list_meta, sizeof(WordEntry));
   }
   if (st->use_gram_lists) {
-    for (uint32_t r = 0; r < nr; ++r) {
-      const ListMeta m = st->gram_list_meta.Get(r);
-      if (m.size > 0) collect(m.off, m.size * sizeof(GramEntry));
-    }
-    collect(st->gram_list_meta.offset(), nr * sizeof(ListMeta));
+    collect_lists(st->gram_list_meta, sizeof(GramEntry));
   }
   // Only top-down traversals propagate weights into RuleMeta, and a
   // traversal of an edge-free grammar over a fresh device never touches
@@ -486,11 +590,17 @@ std::vector<ByteRange> CollectMutableExtents(const StateT& st,
   if (st.use_file_gram_table) {
     add_table(st.file_gram_table, sizeof(NgramKey), sizeof(uint64_t));
   }
+  // One borrowed span over the descriptor array (same charging as the
+  // per-descriptor loop). On unreadable media no extents are excluded;
+  // the integrity hash then mismatches, which is the right outcome for a
+  // region that cannot even be read.
   auto add_lists = [&](const NvmVector<ListMeta>& metas,
                        uint64_t entry_size) {
+    auto span = metas.ReadSpan(0, nr);
+    if (!span.ok()) return;
+    const ListMeta* m = *span;
     for (uint32_t r = 0; r < nr; ++r) {
-      const ListMeta m = metas.Get(r);
-      add(m.off, m.capacity * entry_size);
+      add(m[r].off, m[r].capacity * entry_size);
       add(metas.ElementOffset(r) + offsetof(ListMeta, size),
           sizeof(uint64_t));
     }
@@ -502,9 +612,10 @@ std::vector<ByteRange> CollectMutableExtents(const StateT& st,
   return v;
 }
 
-/// Hashes [begin, end) minus the excluded extents, reading through
-/// TryReadBytes so an unreadable media block surfaces as DataLoss rather
-/// than being hashed as poison.
+/// Hashes [begin, end) minus the excluded extents. Each gap is borrowed
+/// zero-copy in one span (quantum 4096 keeps the cost identical to the
+/// 4096-byte staging loop this replaces) so an unreadable media block
+/// surfaces as DataLoss rather than being hashed as poison.
 Result<uint64_t> HashImmutableRegion(nvm::NvmDevice* device, uint64_t begin,
                                      uint64_t end,
                                      std::vector<ByteRange> excluded) {
@@ -513,14 +624,12 @@ Result<uint64_t> HashImmutableRegion(nvm::NvmDevice* device, uint64_t begin,
               return a.begin < b.begin;
             });
   uint64_t h = Fnv1a64(&begin, sizeof(begin));
-  std::vector<uint8_t> buf(4096);
   auto hash_span = [&](uint64_t a, uint64_t b) -> Status {
-    while (a < b) {
-      const uint64_t n = std::min<uint64_t>(buf.size(), b - a);
-      NTADOC_RETURN_IF_ERROR(device->TryReadBytes(a, buf.data(), n));
-      h = Fnv1a64(buf.data(), n, h);
-      a += n;
-    }
+    if (a >= b) return Status::OK();
+    NTADOC_ASSIGN_OR_RETURN(
+        const uint8_t* p,
+        device->TryReadSpan(a, b - a, /*quantum=*/4096));
+    h = Fnv1a64(p, b - a, h);
     return Status::OK();
   };
   uint64_t pos = begin;
@@ -745,11 +854,18 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   const uint64_t dev_cap = device_->capacity();
   auto lists_ok = [&](const NvmVector<ListMeta>& metas,
                       uint64_t entry_size) {
+    // One borrowed span over the descriptors (the scrub above already
+    // proved the pool readable, so a span failure here is itself
+    // corruption).
+    auto span = metas.ReadSpan(0, nr);
+    if (!span.ok()) return false;
+    const ListMeta* m = *span;
     for (uint32_t r = 0; r < nr; ++r) {
-      const ListMeta m = metas.Get(r);
-      if (m.size > m.capacity) return false;
-      if (m.capacity > 0 &&
-          (m.off < pool_base + 64 || m.off + m.capacity * entry_size > dev_cap)) {
+      if (m[r].size > m[r].capacity) return false;
+      if (m[r].capacity > 0 &&
+          (m[r].off < pool_base + 64 ||
+           m[r].off % alignof(uint64_t) != 0 ||
+           m[r].off + m[r].capacity * entry_size > dev_cap)) {
         return false;
       }
     }
@@ -810,6 +926,17 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
 Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                                State* st, bool force_fresh) {
   const auto& grammar = corpus_->grammar;
+  // The cache is keyed by (kind, id) against the pool this phase lays
+  // out; anything decoded from a previous attempt (or a salvaged pool) is
+  // stale now.
+  if (options_.dram_cache_bytes > 0) {
+    if (!rule_cache_) {
+      rule_cache_ = std::make_unique<RuleCache>(options_.dram_cache_bytes,
+                                                device_->clock_ptr());
+    } else {
+      rule_cache_->Clear();
+    }
+  }
   st->task = task;
   st->opts = opts;
   st->strategy = ResolveStrategy(task);
@@ -893,7 +1020,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   std::vector<uint64_t> own_words(nr, 0);
   std::vector<uint64_t> own_len(nr, 0);  // occurrences, not distinct
   for (uint32_t r = 1; r < nr; ++r) {
-    const DecodedPayload p = ReadRulePayload(st->dag, &*st->pool, r);
+    const DecodedPayload p = ReadPayloadCached(st, /*segment=*/false, r);
     children[r] = p.subrules;
     if (!st->dag.pruned) CombineEntries(&children[r]);
     // Distinct own words (pruned payloads are already unique).
@@ -942,7 +1069,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   std::vector<uint64_t> seg_explen(nf, 0);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> seg_children(nf);
   for (uint32_t f = 0; f < nf; ++f) {
-    DecodedPayload p = ReadSegmentPayload(st->dag, &*st->pool, f);
+    DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (!st->dag.pruned) {
       CombineEntries(&p.subrules);
@@ -989,9 +1116,15 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
       NTADOC_ASSIGN_OR_RETURN(
           const nvm::PoolOffset off,
           st->pool->template AllocArray<GramEntry>(local.size()));
-      for (size_t i = 0; i < local.size(); ++i) {
-        const GramEntry e{local[i].first, local[i].second};
-        device_->WriteBytes(off + i * sizeof(GramEntry), &e, sizeof(e));
+      // One staged bulk store instead of a store per entry; the quantum
+      // keeps the charged cost identical to the per-entry loop.
+      std::vector<GramEntry> entries;
+      entries.reserve(local.size());
+      for (const auto& [k, c] : local) entries.push_back(GramEntry{k, c});
+      if (!entries.empty()) {
+        device_->WriteBytes(off, entries.data(),
+                            entries.size() * sizeof(GramEntry),
+                            /*quantum=*/sizeof(GramEntry));
       }
       return std::make_pair(static_cast<uint64_t>(off),
                             static_cast<uint64_t>(local.size()));
@@ -1094,11 +1227,18 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   }
   if (st->use_gram_table) {
     uint64_t expected = 0;
-    for (uint32_t r = 1; r < nr; ++r) {
-      expected += st->local_gram_meta.Get(r).count;
+    // Borrowed meta spans, charged like the per-element loops they
+    // replace; an unreadable block contributes 0 and the media check at
+    // the end of InitPhase turns the poisoned estimate into a salvage.
+    if (nr > 1) {
+      if (auto span = st->local_gram_meta.ReadSpan(1, nr - 1); span.ok()) {
+        for (uint32_t r = 0; r + 1 < nr; ++r) expected += (*span)[r].count;
+      }
     }
-    for (uint32_t f = 0; f < nf; ++f) {
-      expected += st->seg_gram_meta.Get(f).count;
+    if (nf > 0) {
+      if (auto span = st->seg_gram_meta.ReadSpan(0, nf); span.ok()) {
+        for (uint32_t f = 0; f < nf; ++f) expected += (*span)[f].count;
+      }
     }
     expected = std::min<uint64_t>(expected, total_tokens);
     NTADOC_ASSIGN_OR_RETURN(
@@ -1112,7 +1252,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   if (st->use_file_table) {
     uint64_t expected = 0;
     for (uint32_t f = 0; f < nf; ++f) {
-      DecodedPayload p = ReadSegmentPayload(st->dag, &*st->pool, f);
+      DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
       NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
       if (!st->dag.pruned) {
         CombineEntries(&p.subrules);
@@ -1135,14 +1275,26 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   }
   if (st->use_file_gram_table) {
     std::vector<uint64_t> own_grams_counts(nr, 0);
-    for (uint32_t r = 1; r < nr; ++r) {
-      own_grams_counts[r] = st->local_gram_meta.Get(r).count;
+    if (nr > 1) {
+      if (auto span = st->local_gram_meta.ReadSpan(1, nr - 1); span.ok()) {
+        for (uint32_t r = 1; r < nr; ++r) {
+          own_grams_counts[r] = (*span)[r - 1].count;
+        }
+      }
+    }
+    // The per-file loop below is host-only (reachable_sum walks host
+    // adjacency), so hoisting the segment metas into one span keeps the
+    // device access sequence unchanged.
+    std::vector<uint64_t> seg_counts(nf, 0);
+    if (nf > 0) {
+      if (auto span = st->seg_gram_meta.ReadSpan(0, nf); span.ok()) {
+        for (uint32_t f = 0; f < nf; ++f) seg_counts[f] = (*span)[f].count;
+      }
     }
     uint64_t expected = 0;
     for (uint32_t f = 0; f < nf; ++f) {
       const uint64_t file_bound = std::min<uint64_t>(
-          reachable_sum(seg_children[f], own_grams_counts) +
-              st->seg_gram_meta.Get(f).count,
+          reachable_sum(seg_children[f], own_grams_counts) + seg_counts[f],
           std::max<uint64_t>(seg_explen[f], 1));
       expected = std::max(expected, file_bound);
     }
@@ -1245,21 +1397,32 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
 
 namespace {
 
-/// Reads a bottom-up list back into a host vector.
+/// Reads a bottom-up list back into a host vector through one zero-copy
+/// borrowed span (bulk-charged, same as the staging read it replaces).
 template <typename Entry, typename Vec>
 void ReadList(nvm::NvmDevice* device, const ListMeta& m, Vec* out) {
   // Corrupt descriptor: read nothing; the caller's media-error check
-  // turns the poisoned descriptor read into DataLoss.
+  // turns the poisoned descriptor read into DataLoss. The alignment
+  // check keeps a torn descriptor from producing a misaligned borrow.
   if (m.off > device->capacity() ||
-      m.size > (device->capacity() - m.off) / sizeof(Entry)) {
+      m.size > (device->capacity() - m.off) / sizeof(Entry) ||
+      m.off % alignof(Entry) != 0) {
     out->clear();
     return;
   }
-  out->resize(m.size);
-  std::vector<Entry> buf(m.size);
-  if (m.size > 0) {
-    device->ReadBytes(m.off, buf.data(), m.size * sizeof(Entry));
+  if (m.size == 0) {
+    out->clear();
+    return;
   }
+  auto span = device->TryReadTypedSpan<Entry>(m.off, m.size);
+  if (!span.ok()) {
+    // Unreadable media: empty result, error counter already bumped — the
+    // caller's per-step media check fails and the run salvages.
+    out->clear();
+    return;
+  }
+  const Entry* buf = *span;
+  out->resize(m.size);
   for (uint64_t i = 0; i < m.size; ++i) {
     if constexpr (std::is_same_v<Entry, WordEntry>) {
       (*out)[i] = {buf[i].word, buf[i].count};
@@ -1407,12 +1570,19 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
                        StepWriter* w) -> Status {
     if (!st->use_gram_table || gm.count == 0) return Status::OK();
     if (gm.off > device_->capacity() ||
-        gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+        gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry) ||
+        gm.off % alignof(GramEntry) != 0) {
       return Status::DataLoss("gram payload descriptor out of bounds");
     }
-    std::vector<GramEntry> buf(gm.count);
-    device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
-    for (const auto& e : buf) {
+    // Zero-copy borrow of the immutable gram payload. The table/log
+    // writes below never target the init-phase payload region (that is
+    // the integrity-hash invariant), so the borrow stays valid across
+    // the whole loop.
+    NTADOC_ASSIGN_OR_RETURN(
+        const GramEntry* buf,
+        device_->TryReadTypedSpan<GramEntry>(gm.off, gm.count));
+    for (uint64_t i = 0; i < gm.count; ++i) {
+      const GramEntry e = buf[i];
       Status s;
       if (w->transactional()) {
         s = st->gram_table.AddDeltaTx(e.key, wr * e.count, w->log(),
@@ -1436,7 +1606,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     st->word_pending.Clear();
     st->gram_pending.Clear();
     const DecodedPayload payload =
-        ReadSegmentPayload(st->dag, &*st->pool, static_cast<uint32_t>(f));
+        ReadPayloadCached(st, /*segment=*/true, static_cast<uint32_t>(f));
     NTADOC_RETURN_IF_ERROR(apply_edges(payload, 1, &writer));
     NTADOC_RETURN_IF_ERROR(add_words(payload, 1, &writer));
     if (st->use_gram_table) {
@@ -1461,7 +1631,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     }
     ++st->qhead;
     const uint64_t wr = st->dag.rule_meta.Get(r).weight;
-    const DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
+    const DecodedPayload payload = ReadPayloadCached(st, /*segment=*/false, r);
     NTADOC_RETURN_IF_ERROR(apply_edges(payload, wr, &writer));
     NTADOC_RETURN_IF_ERROR(add_words(payload, wr, &writer));
     if (st->use_gram_table) {
@@ -1563,12 +1733,17 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
                                 uint64_t wr) -> Status {
       if (gm.count == 0) return Status::OK();
       if (gm.off > device_->capacity() ||
-          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry) ||
+          gm.off % alignof(GramEntry) != 0) {
         return Status::DataLoss("gram payload descriptor out of bounds");
       }
-      std::vector<GramEntry> buf(gm.count);
-      device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
-      for (const auto& e : buf) {
+      // Zero-copy borrow (see add_grams in TopDownGlobal): the counter
+      // writes never touch the immutable payload region.
+      NTADOC_ASSIGN_OR_RETURN(
+          const GramEntry* buf,
+          device_->TryReadTypedSpan<GramEntry>(gm.off, gm.count));
+      for (uint64_t i = 0; i < gm.count; ++i) {
+        const GramEntry e = buf[i];
         Status s = st->file_gram_table.AddDelta(e.key, wr * e.count);
         if (s.code() == StatusCode::kResourceExhausted) {
           NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_gram_table, &*st->pool,
@@ -1581,7 +1756,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
     };
 
     // Seed from the file's segment.
-    DecodedPayload seg = ReadSegmentPayload(st->dag, &*st->pool, f);
+    DecodedPayload seg = ReadPayloadCached(st, /*segment=*/true, f);
     if (!st->dag.pruned) {
       CombineEntries(&seg.subrules);
       CombineEntries(&seg.words);
@@ -1606,7 +1781,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
       if (r == 0) continue;
       const uint64_t w = read_weight(r);
       if (w == 0) continue;
-      DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
+      DecodedPayload payload = ReadPayloadCached(st, /*segment=*/false, r);
       if (!st->dag.pruned) {
         CombineEntries(&payload.subrules);
         CombineEntries(&payload.words);
@@ -1737,7 +1912,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       continue;
     }
     writer.Begin();
-    DecodedPayload payload = ReadRulePayload(st->dag, &*st->pool, r);
+    DecodedPayload payload = ReadPayloadCached(st, /*segment=*/false, r);
     if (!st->dag.pruned) {
       CombineEntries(&payload.subrules);
       CombineEntries(&payload.words);
@@ -1763,13 +1938,16 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       tracked::vector<std::pair<NgramKey, uint64_t>> acc;
       const GramMeta gm = st->local_gram_meta.Get(r);
       if (gm.off > device_->capacity() ||
-          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry) ||
+          gm.off % alignof(GramEntry) != 0) {
         return Status::DataLoss("gram payload descriptor out of bounds");
       }
       acc.resize(gm.count);
       if (gm.count > 0) {
-        std::vector<GramEntry> buf(gm.count);
-        device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
+        // Zero-copy borrow, fully copied into `acc` before any write.
+        NTADOC_ASSIGN_OR_RETURN(
+            const GramEntry* buf,
+            device_->TryReadTypedSpan<GramEntry>(gm.off, gm.count));
         for (uint64_t i = 0; i < gm.count; ++i) {
           acc[i] = {buf[i].key, buf[i].count};
         }
@@ -1811,7 +1989,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     st->word_pending.Clear();
     st->gram_pending.Clear();
     DecodedPayload seg =
-        ReadSegmentPayload(st->dag, &*st->pool, static_cast<uint32_t>(f));
+        ReadPayloadCached(st, /*segment=*/true, static_cast<uint32_t>(f));
     if (!st->dag.pruned) {
       CombineEntries(&seg.subrules);
       CombineEntries(&seg.words);
@@ -1855,13 +2033,16 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       tracked::vector<std::pair<NgramKey, uint64_t>> acc;
       const GramMeta gm = st->seg_gram_meta.Get(static_cast<uint32_t>(f));
       if (gm.off > device_->capacity() ||
-          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry)) {
+          gm.count > (device_->capacity() - gm.off) / sizeof(GramEntry) ||
+          gm.off % alignof(GramEntry) != 0) {
         return Status::DataLoss("gram payload descriptor out of bounds");
       }
       acc.resize(gm.count);
       if (gm.count > 0) {
-        std::vector<GramEntry> buf(gm.count);
-        device_->ReadBytes(gm.off, buf.data(), gm.count * sizeof(GramEntry));
+        // Zero-copy borrow, fully copied into `acc` before any write.
+        NTADOC_ASSIGN_OR_RETURN(
+            const GramEntry* buf,
+            device_->TryReadTypedSpan<GramEntry>(gm.off, gm.count));
         for (uint64_t i = 0; i < gm.count; ++i) {
           acc[i] = {buf[i].key, buf[i].count};
         }

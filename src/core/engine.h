@@ -81,6 +81,14 @@ struct NTadocOptions {
 
   /// Test hook: crash during the initialization phase.
   bool crash_in_init = false;
+
+  /// DRAM budget (bytes) for the decoded-rule cache; 0 disables it. When
+  /// enabled, decoded rule/segment payloads are kept in a host-side LRU
+  /// cache: a hit replays the payload's device extents against a DRAM
+  /// cost profile (sharing the run's SimClock) instead of re-reading NVM.
+  /// With the default 0 the simulated costs are bit-identical to a build
+  /// without the cache.
+  uint64_t dram_cache_bytes = 0;
 };
 
 /// Aggregate accounting of one run, beyond RunMetrics.
@@ -98,6 +106,10 @@ struct NTadocRunInfo {
   uint64_t corruption_detected = 0;  // corrupt persisted state found
   uint64_t salvage_restarts = 0;     // full restarts from the container
   uint64_t blocks_lost = 0;          // unreadable media blocks scrubbed
+
+  // Decoded-rule DRAM cache (options.dram_cache_bytes > 0).
+  uint64_t rule_cache_hits = 0;
+  uint64_t rule_cache_misses = 0;
 };
 
 /// The N-TADOC engine. One engine instance owns the layout of one device
@@ -127,7 +139,8 @@ class NTadocEngine {
   TraversalStrategy ResolveStrategy(Task task) const;
 
  private:
-  struct State;  // pool-resident structure handles + host scratch
+  struct State;      // pool-resident structure handles + host scratch
+  struct RuleCache;  // decoded-payload DRAM cache (engine.cc)
 
   // Phase 1: build (or re-attach) all pool structures for `task`. With
   // `force_fresh` the attach path is skipped (salvage restart after
@@ -164,12 +177,17 @@ class NTadocEngine {
   // (the data the caller just consumed is poison, not real).
   Status CheckMediaErrors();
 
+  // Decoded-payload reads routed through the DRAM cache when enabled
+  // (straight device reads otherwise). `segment` selects segment vs rule.
+  DecodedPayload ReadPayloadCached(State* st, bool segment, uint32_t id);
+
   const CompressedCorpus* corpus_;
   nvm::NvmDevice* device_;
   NTadocOptions options_;
   NTadocRunInfo run_info_;
   uint64_t media_errors_seen_ = 0;
   std::unique_ptr<State> state_;
+  std::unique_ptr<RuleCache> rule_cache_;
 };
 
 }  // namespace ntadoc::core

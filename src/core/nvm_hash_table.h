@@ -142,28 +142,37 @@ class NvmHashTable {
   /// Returns DataLoss on an unreadable block or an impossible status
   /// value (bit rot).
   Status Validate() const {
-    std::vector<uint8_t> status(capacity_);
-    NTADOC_RETURN_IF_ERROR(pool_->device().TryReadBytes(
-        status_off_, status.data(), capacity_));
+    auto status = pool_->device().template TryReadTypedSpan<uint8_t>(
+        status_off_, capacity_);
+    if (!status.ok()) return status.status();
     for (uint64_t slot = 0; slot < capacity_; ++slot) {
-      if (status[slot] > 1) {
+      if ((*status)[slot] > 1) {
         return Status::DataLoss("hash table status byte corrupt at slot " +
                                 std::to_string(slot));
       }
     }
-    std::vector<uint8_t> buf(capacity_ * std::max(sizeof(K), sizeof(V)));
-    NTADOC_RETURN_IF_ERROR(pool_->device().TryReadBytes(
-        keys_off_, buf.data(), capacity_ * sizeof(K)));
-    NTADOC_RETURN_IF_ERROR(pool_->device().TryReadBytes(
-        vals_off_, buf.data(), capacity_ * sizeof(V)));
+    auto keys = pool_->device().TryReadSpan(keys_off_, capacity_ * sizeof(K));
+    if (!keys.ok()) return keys.status();
+    auto vals = pool_->device().TryReadSpan(vals_off_, capacity_ * sizeof(V));
+    if (!vals.ok()) return vals.status();
     return Status::OK();
   }
 
-  /// Recomputes size() by scanning the status buffer (charged).
+  /// Recomputes size() by scanning the status buffer (charged exactly
+  /// like the per-slot loop it replaces: quantum = 1 byte).
   void RecountSize() {
+    auto status = pool_->device().template TryReadTypedSpan<uint8_t>(
+        status_off_, capacity_, /*quantum=*/1);
+    if (!status.ok()) {
+      // Unreadable status media: report nothing here; the recovery path's
+      // Validate()/media-error check sees the bumped counter and falls
+      // back to a fresh init.
+      size_ = 0;
+      return;
+    }
     uint64_t n = 0;
     for (uint64_t slot = 0; slot < capacity_; ++slot) {
-      if (pool_->device().template Read<uint8_t>(StatusOff(slot)) != 0) ++n;
+      if ((*status)[slot] != 0) ++n;
     }
     size_ = n;
   }
@@ -223,18 +232,23 @@ class NvmHashTable {
     return pool_->device().template Read<V>(ValOff(slot));
   }
 
-  /// Charged scan of all occupied entries into a host vector. Reads the
-  /// three buffers with bulk sequential transfers.
+  /// Charged scan of all occupied entries into a host vector. Borrows the
+  /// three buffers zero-copy with bulk sequential extent charges. On an
+  /// unreadable block nothing is extracted (all three extents are still
+  /// charged); the caller's media-error check reports the loss.
   template <typename Alloc>
   void Extract(std::vector<std::pair<K, V>, Alloc>* out) const {
-    std::vector<uint8_t> status(capacity_);
-    pool_->device().ReadBytes(status_off_, status.data(), capacity_);
-    std::vector<K> keys(capacity_);
-    pool_->device().ReadBytes(keys_off_, keys.data(), capacity_ * sizeof(K));
-    std::vector<V> vals(capacity_);
-    pool_->device().ReadBytes(vals_off_, vals.data(), capacity_ * sizeof(V));
+    auto status = pool_->device().template TryReadTypedSpan<uint8_t>(
+        status_off_, capacity_);
+    auto keys =
+        pool_->device().template TryReadTypedSpan<K>(keys_off_, capacity_);
+    auto vals =
+        pool_->device().template TryReadTypedSpan<V>(vals_off_, capacity_);
+    if (!status.ok() || !keys.ok() || !vals.ok()) return;
     for (uint64_t slot = 0; slot < capacity_; ++slot) {
-      if (status[slot] != 0) out->emplace_back(keys[slot], vals[slot]);
+      if ((*status)[slot] != 0) {
+        out->emplace_back((*keys)[slot], (*vals)[slot]);
+      }
     }
   }
 
@@ -245,12 +259,17 @@ class NvmHashTable {
   }
 
   /// Copies all entries into `dst` (used by the no-summation rebuild
-  /// path). `dst` must be large enough.
+  /// path). `dst` must be large enough. The occupancy scan borrows the
+  /// status buffer (charged per slot); key/value reads stay per occupied
+  /// slot, and dst->Put stores may overwrite our own buffers' blocks, so
+  /// the status span must be consumed before the first Put.
   Status RebuildInto(NvmHashTable* dst) const {
+    auto status = pool_->device().template TryReadTypedSpan<uint8_t>(
+        status_off_, capacity_, /*quantum=*/1);
+    if (!status.ok()) return status.status();
+    std::vector<uint8_t> occupied(*status, *status + capacity_);
     for (uint64_t slot = 0; slot < capacity_; ++slot) {
-      const uint8_t st =
-          pool_->device().template Read<uint8_t>(StatusOff(slot));
-      if (st != 0) {
+      if (occupied[slot] != 0) {
         NTADOC_RETURN_IF_ERROR(
             dst->Put(pool_->device().template Read<K>(KeyOff(slot)),
                      pool_->device().template Read<V>(ValOff(slot))));
@@ -334,12 +353,9 @@ class NvmHashTable {
   void ClearStatus() { ZeroBuffer(status_off_, capacity_); }
 
   void ZeroBuffer(nvm::PoolOffset off, uint64_t bytes) {
-    static constexpr uint64_t kChunk = 512;
-    uint8_t zeros[kChunk] = {};
-    for (uint64_t i = 0; i < bytes; i += kChunk) {
-      const uint64_t n = std::min(kChunk, bytes - i);
-      pool_->device().WriteBytes(off + i, zeros, n);
-    }
+    // One bulk charged fill; quantum 512 keeps the charging identical to
+    // the 512-byte-chunked write loop this replaces.
+    pool_->device().FillBytes(off, bytes, 0, /*quantum=*/512);
   }
 
   nvm::NvmPool* pool_ = nullptr;

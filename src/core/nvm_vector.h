@@ -82,6 +82,16 @@ class NvmVector {
     pool_->device().ReadBytes(ElementOffset(begin), dst, count * sizeof(T));
   }
 
+  /// Zero-copy borrow of [begin, begin+count), charged exactly like a
+  /// per-element Get() loop over the range (quantum = sizeof(T)). The
+  /// borrow's contents are valid until the next device write or crash.
+  /// DataLoss on unreadable media (charged, media error counter bumped).
+  Result<const T*> ReadSpan(uint64_t begin, uint64_t count) const {
+    NTADOC_DCHECK_LE(begin + count, size_);
+    return pool_->device().template TryReadTypedSpan<T>(
+        ElementOffset(begin), count, /*quantum=*/sizeof(T));
+  }
+
   /// Bulk charged write; extends size to at least begin+count.
   void WriteRange(uint64_t begin, uint64_t count, const T* src) {
     NTADOC_DCHECK_LE(begin + count, capacity_);
@@ -95,15 +105,12 @@ class NvmVector {
     size_ = n;
   }
 
-  /// Zero-fills the whole capacity (charged writes) and sets size to
-  /// `logical_size`.
+  /// Zero-fills the whole capacity (one bulk charged fill; quantum keeps
+  /// the charging identical to the 512-element chunked loop this
+  /// replaces) and sets size to `logical_size`.
   void ZeroFill(uint64_t logical_size) {
-    static constexpr uint64_t kChunk = 512;
-    T zeros[kChunk] = {};
-    for (uint64_t i = 0; i < capacity_; i += kChunk) {
-      const uint64_t n = std::min(kChunk, capacity_ - i);
-      pool_->device().WriteBytes(ElementOffset(i), zeros, n * sizeof(T));
-    }
+    pool_->device().FillBytes(offset_, capacity_ * sizeof(T), 0,
+                              /*quantum=*/512 * sizeof(T));
     size_ = logical_size;
   }
 

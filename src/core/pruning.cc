@@ -219,28 +219,33 @@ DecodedPayload DecodePayload(const PrunedDag& dag, nvm::NvmPool* pool,
         static_cast<uint64_t>(num_subrules) + num_words;
     if (payload_off > cap || n > (cap - payload_off) / entry) return out;
   }
+  // Zero-copy decode: borrow the payload from the backing store instead
+  // of staging it in a host buffer. On an unreadable block the payload
+  // comes back empty with the media error counter bumped — the caller's
+  // media-error check reports the loss either way.
   if (dag.pruned) {
     const uint64_t n = static_cast<uint64_t>(num_subrules) + num_words;
-    std::vector<PrunedEntry> buf(n);
-    if (n > 0) {
-      pool->device().ReadBytes(payload_off, buf.data(),
-                               n * sizeof(PrunedEntry));
-    }
+    if (n == 0) return out;
+    auto span =
+        pool->device().TryReadTypedSpan<PrunedEntry>(payload_off, n);
+    if (!span.ok()) return out;
+    const PrunedEntry* buf = *span;
     out.subrules.reserve(num_subrules);
     for (uint32_t i = 0; i < num_subrules; ++i) {
       out.subrules.emplace_back(buf[i].id, buf[i].freq);
     }
     out.words.reserve(num_words);
-    for (uint32_t i = num_subrules; i < n; ++i) {
+    for (uint64_t i = num_subrules; i < n; ++i) {
       out.words.emplace_back(buf[i].id, buf[i].freq);
     }
   } else {
     const uint64_t n = static_cast<uint64_t>(num_subrules) + num_words;
-    std::vector<Symbol> buf(n);
-    if (n > 0) {
-      pool->device().ReadBytes(payload_off, buf.data(), n * sizeof(Symbol));
-    }
-    for (Symbol s : buf) {
+    if (n == 0) return out;
+    auto span = pool->device().TryReadTypedSpan<Symbol>(payload_off, n);
+    if (!span.ok()) return out;
+    const Symbol* buf = *span;
+    for (uint64_t i = 0; i < n; ++i) {
+      const Symbol s = buf[i];
       if (IsRule(s)) {
         out.subrules.emplace_back(RuleIndex(s), 1);
       } else if (!IsFileSep(s)) {
@@ -253,16 +258,36 @@ DecodedPayload DecodePayload(const PrunedDag& dag, nvm::NvmPool* pool,
 
 }  // namespace
 
+namespace {
+
+void FillExtent(const PrunedDag& dag, uint64_t meta_off, uint64_t meta_len,
+                uint64_t payload_off, uint64_t n, PayloadExtent* extent) {
+  if (extent == nullptr) return;
+  extent->meta_off = meta_off;
+  extent->meta_len = meta_len;
+  extent->payload_off = payload_off;
+  extent->payload_len =
+      n * (dag.pruned ? sizeof(PrunedEntry) : sizeof(Symbol));
+}
+
+}  // namespace
+
 DecodedPayload ReadRulePayload(const PrunedDag& dag, nvm::NvmPool* pool,
-                               uint32_t r) {
+                               uint32_t r, PayloadExtent* extent) {
   const RuleMeta m = dag.rule_meta.Get(r);
+  FillExtent(dag, dag.rule_meta.ElementOffset(r), sizeof(RuleMeta),
+             m.payload_off,
+             static_cast<uint64_t>(m.num_subrules) + m.num_words, extent);
   return DecodePayload(dag, pool, m.payload_off, m.num_subrules,
                        m.num_words);
 }
 
 DecodedPayload ReadSegmentPayload(const PrunedDag& dag, nvm::NvmPool* pool,
-                                  uint32_t f) {
+                                  uint32_t f, PayloadExtent* extent) {
   const SegmentMeta m = dag.seg_meta.Get(f);
+  FillExtent(dag, dag.seg_meta.ElementOffset(f), sizeof(SegmentMeta),
+             m.payload_off,
+             static_cast<uint64_t>(m.num_subrules) + m.num_words, extent);
   return DecodePayload(dag, pool, m.payload_off, m.num_subrules,
                        m.num_words);
 }

@@ -112,13 +112,25 @@ struct DecodedPayload {
   std::vector<std::pair<uint32_t, uint32_t>> words;
 };
 
-/// Reads rule `r`'s payload.
-DecodedPayload ReadRulePayload(const PrunedDag& dag, nvm::NvmPool* pool,
-                               uint32_t r);
+/// Device extents one payload read touches (metadata slot + encoded
+/// payload). The engine's decoded-rule cache replays these against a DRAM
+/// cost model on a cache hit instead of re-reading the device.
+struct PayloadExtent {
+  uint64_t meta_off = 0;
+  uint64_t meta_len = 0;
+  uint64_t payload_off = 0;
+  uint64_t payload_len = 0;
+};
 
-/// Reads file segment `f`'s payload.
+/// Reads rule `r`'s payload. `extent`, when non-null, receives the
+/// charged device extents.
+DecodedPayload ReadRulePayload(const PrunedDag& dag, nvm::NvmPool* pool,
+                               uint32_t r, PayloadExtent* extent = nullptr);
+
+/// Reads file segment `f`'s payload. `extent` as in ReadRulePayload.
 DecodedPayload ReadSegmentPayload(const PrunedDag& dag, nvm::NvmPool* pool,
-                                  uint32_t f);
+                                  uint32_t f,
+                                  PayloadExtent* extent = nullptr);
 
 }  // namespace ntadoc::core
 

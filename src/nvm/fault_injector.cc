@@ -10,6 +10,7 @@ FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed, uint64_t capacity)
   // Address-range unreadable blocks are armed immediately: the media was
   // already bad when the device was attached.
   for (const FaultSpec& s : plan_.faults) {
+    if (s.effect == FaultEffect::kUnreadableBlock) reads_relevant_ = true;
     if (s.effect == FaultEffect::kUnreadableBlock &&
         s.trigger == FaultTrigger::kAddressRange) {
       const auto [begin, end] = EffectiveRange(s);

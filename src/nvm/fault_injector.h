@@ -155,6 +155,13 @@ class FaultInjector {
   const Stats& stats() const { return stats_; }
   uint64_t poisoned_block_count() const { return poisoned_blocks_.size(); }
 
+  /// True when reads can ever fail or poison blocks under this plan, i.e.
+  /// it contains an unreadable-block spec (armed now or by a future
+  /// kNthRead trigger). When false, the device's read path skips the
+  /// injector entirely and its write path skips the poison-clearing hook
+  /// (nothing can ever be poisoned).
+  bool reads_relevant() const { return reads_relevant_; }
+
  private:
   std::pair<uint64_t, uint64_t> EffectiveRange(const FaultSpec& s) const;
   static bool Overlaps(const FaultSpec& s, uint64_t offset, uint64_t len,
@@ -170,6 +177,7 @@ class FaultInjector {
   std::unordered_set<size_t> crash_fired_;
   std::unordered_set<uint64_t> poisoned_blocks_;  // block index = off/kBlock
   Stats stats_;
+  bool reads_relevant_ = false;
 };
 
 }  // namespace ntadoc::nvm

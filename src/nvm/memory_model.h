@@ -58,6 +58,23 @@ class MemoryModel {
   /// Charges a write of `len` bytes at `addr`.
   void TouchWrite(uint64_t addr, uint64_t len);
 
+  /// Batched extent charge. Produces exactly the same stats, clock total
+  /// and buffer state as the per-call reference loop
+  ///
+  ///   for (p = addr; p < addr + len; p += quantum)
+  ///     TouchRead(p, min(quantum, addr + len - p));
+  ///
+  /// but costs O(covered blocks) host time instead of O(len / quantum):
+  /// repeat touches of a block are folded into one LRU-clock advance.
+  /// `quantum == 0` (or >= len) charges the extent as a single access,
+  /// identical to TouchRead(addr, len). Callers converting a per-word
+  /// loop to one extent call pass the loop's old access width as
+  /// `quantum` to keep the cost model bit-identical.
+  void TouchReadExtent(uint64_t addr, uint64_t len, uint64_t quantum = 0);
+
+  /// Write flavor of TouchReadExtent (reference loop of TouchWrite).
+  void TouchWriteExtent(uint64_t addr, uint64_t len, uint64_t quantum = 0);
+
   /// Charges the persistence cost of flushing `len` bytes of dirty data
   /// (per 64 B line).
   void ChargeFlush(uint64_t len);
@@ -88,6 +105,8 @@ class MemoryModel {
   bool TouchBlock(uint64_t block);
 
   void Access(uint64_t addr, uint64_t len, bool is_write);
+  void AccessExtent(uint64_t addr, uint64_t len, uint64_t quantum,
+                    bool is_write);
 
   DeviceProfile profile_;
   SimClockPtr clock_;
@@ -96,6 +115,10 @@ class MemoryModel {
   uint64_t sets_ = 0;
   uint64_t tick_ = 0;
   uint64_t last_block_ = ~0ULL;  // for HDD seek detection
+  // Buffer entry of last_block_ (never dangles: buffer_ is fixed after
+  // construction). MRU fast path: a touch of last_block_ is always a hit
+  // on this entry, skipping the hash + associative probe.
+  BufferEntry* last_entry_ = nullptr;
 };
 
 }  // namespace ntadoc::nvm

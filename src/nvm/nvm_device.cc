@@ -30,19 +30,28 @@ NvmDevice::NvmDevice(DeviceOptions options)
   if (options.persist_check) {
     check_ = std::make_unique<PersistCheck>(options.clock);
   }
+  // With no checker and no fault plan that can ever touch reads, the read
+  // path is charge + memcpy; likewise writes when additionally nothing
+  // tracks dirty lines. Both are fixed for the device's lifetime.
+  const bool injected_reads =
+      injector_ != nullptr && injector_->reads_relevant();
+  read_slow_ = check_ != nullptr || injected_reads;
+  write_slow_ = strict_ || check_ != nullptr || injected_reads;
 }
 
 void NvmDevice::ReadBytes(uint64_t offset, void* dst, uint64_t len) {
   if (len == 0) return;  // guards the offset+len-1 line math below layers
   NTADOC_DCHECK_LE(offset + len, capacity_);
   model_.TouchRead(offset, len);
-  if (check_ != nullptr) check_->OnRead(offset, len);
-  if (injector_ != nullptr && injector_->OnRead(offset, len)) {
-    // Uncorrectable media error: the caller gets a poison pattern, never
-    // stale plausible-looking data.
-    std::memset(dst, 0xDB, len);
-    ++media_errors_;
-    return;
+  if (read_slow_) {
+    if (check_ != nullptr) check_->OnRead(offset, len);
+    if (injector_ != nullptr && injector_->OnRead(offset, len)) {
+      // Uncorrectable media error: the caller gets a poison pattern,
+      // never stale plausible-looking data.
+      std::memset(dst, 0xDB, len);
+      ++media_errors_;
+      return;
+    }
   }
   std::memcpy(dst, data_.data() + offset, len);
 }
@@ -57,14 +66,49 @@ Status NvmDevice::TryReadBytes(uint64_t offset, void* dst, uint64_t len) {
   return Status::OK();
 }
 
-void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len) {
+Result<const uint8_t*> NvmDevice::TryReadSpan(uint64_t offset, uint64_t len,
+                                              uint64_t quantum) {
+  NTADOC_DCHECK_LE(offset + len, capacity_);
+  if (len == 0) return static_cast<const uint8_t*>(data_.data() + offset);
+  model_.TouchReadExtent(offset, len, quantum);
+  if (read_slow_) {
+    if (check_ != nullptr) check_->OnRead(offset, len);
+    if (injector_ != nullptr && injector_->OnRead(offset, len)) {
+      ++media_errors_;
+      return Status::DataLoss("uncorrectable media error at offset " +
+                              std::to_string(offset));
+    }
+  }
+  return static_cast<const uint8_t*>(data_.data() + offset);
+}
+
+void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len,
+                           uint64_t quantum) {
   if (len == 0) return;  // guards the offset+len-1 line math below layers
   NTADOC_DCHECK_LE(offset + len, capacity_);
-  model_.TouchWrite(offset, len);
-  if (check_ != nullptr) check_->OnStore(offset, len);
-  if (strict_) TrackDirty(offset, len);
-  if (injector_ != nullptr) injector_->OnWrite(offset, len);
-  std::memcpy(data_.data() + offset, src, len);
+  model_.TouchWriteExtent(offset, len, quantum);
+  if (write_slow_) {
+    if (check_ != nullptr) check_->OnStore(offset, len);
+    if (strict_) TrackDirty(offset, len);
+    if (injector_ != nullptr) injector_->OnWrite(offset, len);
+  }
+  // memmove, not memcpy: callers may legally write data read through a
+  // TryReadSpan borrow of an overlapping extent (e.g. log replay with a
+  // corrupt record targeting the log region itself).
+  std::memmove(data_.data() + offset, src, len);
+}
+
+void NvmDevice::FillBytes(uint64_t offset, uint64_t len, uint8_t value,
+                          uint64_t quantum) {
+  if (len == 0) return;
+  NTADOC_DCHECK_LE(offset + len, capacity_);
+  model_.TouchWriteExtent(offset, len, quantum);
+  if (write_slow_) {
+    if (check_ != nullptr) check_->OnStore(offset, len);
+    if (strict_) TrackDirty(offset, len);
+    if (injector_ != nullptr) injector_->OnWrite(offset, len);
+  }
+  std::memset(data_.data() + offset, value, len);
 }
 
 void NvmDevice::TrackDirty(uint64_t offset, uint64_t len) {

@@ -119,8 +119,41 @@ class NvmDevice {
   /// unreadable block.
   Status TryReadBytes(uint64_t offset, void* dst, uint64_t len);
 
-  /// Charged bulk store.
-  void WriteBytes(uint64_t offset, const void* src, uint64_t len);
+  /// Zero-copy charged extent read. Charges every covered block in one
+  /// batched pass (see MemoryModel::TouchReadExtent; `quantum`
+  /// replicates a per-`quantum`-byte read loop, 0 = one bulk access) and
+  /// validates the whole extent against unreadable media. On success
+  /// returns a borrowed pointer into the backing store whose *contents*
+  /// are only valid until the next write, crash, or image load; the
+  /// address itself never dangles while the device lives. On an
+  /// unreadable overlap the media error counter is bumped and DataLoss is
+  /// returned (nothing borrowed, no poison to copy out).
+  Result<const uint8_t*> TryReadSpan(uint64_t offset, uint64_t len,
+                                     uint64_t quantum = 0);
+
+  /// Typed flavor of TryReadSpan over `count` elements of T. The caller
+  /// must ensure `offset` is aligned for T (pool allocations are).
+  template <typename T>
+  Result<const T*> TryReadTypedSpan(uint64_t offset, uint64_t count,
+                                    uint64_t quantum = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto span = TryReadSpan(offset, count * sizeof(T), quantum);
+    if (!span.ok()) return span.status();
+    return reinterpret_cast<const T*>(*span);
+  }
+
+  /// Charged bulk store. `quantum` replicates a per-`quantum`-byte write
+  /// loop in the cost model (0 = one bulk access, the historical
+  /// behavior); the data movement is a single copy either way.
+  void WriteBytes(uint64_t offset, const void* src, uint64_t len,
+                  uint64_t quantum = 0);
+
+  /// Charged constant fill (bulk zeroing of fresh allocations). One
+  /// batched extent charge (`quantum` replicates a chunked write loop)
+  /// and one memset; persistence tracking sees the extent exactly like
+  /// one WriteBytes of `len` bytes.
+  void FillBytes(uint64_t offset, uint64_t len, uint8_t value,
+                 uint64_t quantum = 0);
 
   /// Makes [offset, offset+len) durable (clwb of covered lines) and
   /// charges the flush cost.
@@ -201,6 +234,11 @@ class NvmDevice {
   uint64_t capacity_;
   MemoryModel model_;
   bool strict_;
+  // Hot-path guards, fixed at construction: when false, reads (writes)
+  // need no injector / persist-check / dirty-tracking work at all and
+  // collapse to charge + memcpy.
+  bool read_slow_ = false;
+  bool write_slow_ = false;
   double random_evict_probability_;
   Rng evict_rng_;
   std::vector<uint8_t> data_;

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Bench smoke + sim-clock regression gate: runs bench_hotpath at a small
+# fixed scale and compares the deterministic simulated-time records (the
+# "SIM"/"SIMK" lines) against the committed baseline. Any entry drifting
+# more than 1% — or appearing/disappearing — fails. Wall-clock times are
+# machine-dependent and are not checked.
+#
+# Refresh the baseline after an *intentional* cost-model change with:
+#   tools/check_bench.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE=tools/bench_baseline_sim.txt
+UPDATE=0
+[[ "${1:-}" == "--update" ]] && UPDATE=1
+
+cmake --build "$BUILD_DIR" --target bench_hotpath -j >/dev/null
+
+OUT=$("$BUILD_DIR/bench/bench_hotpath" --scale=0.05 --datasets=C \
+        --cache-dir="$BUILD_DIR/bench_smoke_cache" --repeat=1)
+CURRENT=$(grep -E '^SIMK? ' <<<"$OUT")
+
+if [[ "$UPDATE" == 1 ]]; then
+  printf '%s\n' "$CURRENT" > "$BASELINE"
+  echo "baseline updated: $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "FAIL: missing $BASELINE (run tools/check_bench.sh --update)" >&2
+  exit 1
+fi
+
+# Keys are every field but the trailing numbers; values are the sim-ns
+# columns. SIM lines carry two values (init, traversal), SIMK lines one.
+awk -v tol=0.01 '
+  function key(    i, k) {
+    nvals = ($1 == "SIM") ? 2 : 1
+    k = ""
+    for (i = 1; i <= NF - nvals; ++i) k = k " " $i
+    return k
+  }
+  NR == FNR { base_n[key()] = NF; for (i = 1; i <= NF; ++i) base[key() "#" i] = $i; next }
+  {
+    k = key()
+    if (!(k in base_n)) { printf "FAIL: new entry:%s\n", k; bad = 1; next }
+    seen[k] = 1
+    for (i = NF - (($1 == "SIM") ? 2 : 1) + 1; i <= NF; ++i) {
+      b = base[k "#" i] + 0; c = $i + 0
+      denom = (b > c) ? b : c
+      if (denom > 0 && (c > b ? c - b : b - c) / denom > tol) {
+        printf "FAIL: drift >1%% at%s: baseline %d, current %d\n", k, b, c
+        bad = 1
+      }
+    }
+  }
+  END {
+    for (k in base_n) if (!(k in seen)) { printf "FAIL: missing entry:%s\n", k; bad = 1 }
+    exit bad ? 1 : 0
+  }
+' "$BASELINE" <(printf '%s\n' "$CURRENT") && echo "bench smoke OK: sim clocks within 1% of baseline"

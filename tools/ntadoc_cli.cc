@@ -7,6 +7,7 @@
 //                    [--persistence=none|phase|operation]
 //                    [--traversal=auto|topdown|bottomup]
 //                    [--ngram=N] [--topk=K] [--limit=N]
+//                    [--dram-cache-mb=M]
 //
 // `run` executes one of the six analytics tasks with N-TADOC on an
 // emulated device and prints the first --limit result rows plus the
@@ -39,7 +40,7 @@ int Usage() {
                "[--persistence=none|phase|operation]\n"
                "                  [--traversal=auto|topdown|bottomup] "
                "[--ngram=N] [--topk=K] [--limit=N]\n"
-               "                  [--persist-check]\n");
+               "                  [--persist-check] [--dram-cache-mb=M]\n");
   return 2;
 }
 
@@ -194,6 +195,8 @@ int CmdRun(int argc, char** argv) {
       opts.top_k = static_cast<uint32_t>(std::stoul(arg.substr(7)));
     } else if (arg.rfind("--limit=", 0) == 0) {
       limit = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--dram-cache-mb=", 0) == 0) {
+      engine_opts.dram_cache_bytes = std::stoull(arg.substr(16)) << 20;
     } else {
       return Usage();
     }
@@ -291,6 +294,12 @@ int CmdRun(int argc, char** argv) {
                              metrics.traversal_sim_ns)
                    .c_str(),
                HumanDuration(metrics.TotalSimNs()).c_str());
+  if (engine_opts.dram_cache_bytes > 0) {
+    std::fprintf(
+        stderr, "[rule cache] %llu hits, %llu misses\n",
+        (unsigned long long)engine.run_info().rule_cache_hits,
+        (unsigned long long)engine.run_info().rule_cache_misses);
+  }
   if (const nvm::PersistCheck* check = (*device)->persist_check()) {
     std::fprintf(stderr, "%s", check->report().ToString().c_str());
     if (!check->report().empty()) return 1;

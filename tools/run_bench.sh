@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Produces BENCH_pr3.json from bench_hotpath: wall + sim time for every
+# task x persistence mode (plus rule-cache and no-summation ablations)
+# and the traversal-kernel microbenchmarks.
+#
+# Usage: tools/run_bench.sh [--build-dir=build] [--out=BENCH_pr3.json]
+#                           [--scale=0.25] [--repeat=3]
+#                           [--prepr-bin=/path/to/old/bench_hotpath]
+#
+# With --prepr-bin= the same driver binary built from the pre-PR tree is
+# run with identical arguments and the output JSON gains a "prepr"
+# section plus per-kernel wall-clock speedup factors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT=BENCH_pr3.json
+SCALE=0.25
+REPEAT=3
+PREPR_BIN=""
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --out=*) OUT="${arg#*=}" ;;
+    --scale=*) SCALE="${arg#*=}" ;;
+    --repeat=*) REPEAT="${arg#*=}" ;;
+    --prepr-bin=*) PREPR_BIN="${arg#*=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+BIN="$BUILD_DIR/bench/bench_hotpath"
+if [[ ! -x "$BIN" ]]; then
+  echo "building bench_hotpath..." >&2
+  cmake --build "$BUILD_DIR" --target bench_hotpath -j
+fi
+
+CACHE_DIR="$BUILD_DIR/bench_cache"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+run_one() {
+  local bin="$1" json="$2" log="$3"
+  "$bin" --scale="$SCALE" --datasets=C --cache-dir="$CACHE_DIR" \
+         --repeat="$REPEAT" --json="$json" | tee "$log"
+}
+
+echo "== current binary ==" >&2
+run_one "$BIN" "$TMP/current.json" "$TMP/current.log"
+
+if [[ -n "$PREPR_BIN" ]]; then
+  echo "== pre-PR binary ==" >&2
+  run_one "$PREPR_BIN" "$TMP/prepr.json" "$TMP/prepr.log"
+fi
+
+{
+  echo '{'
+  echo '  "generated_by": "tools/run_bench.sh",'
+  echo "  \"scale\": $SCALE,"
+  echo "  \"repeat\": $REPEAT,"
+  if [[ -n "$PREPR_BIN" ]]; then
+    # Wall-clock speedup per traversal kernel: pre-PR wall / current wall.
+    extract_kernels() {
+      sed -n 's/.*"name": "\([a-z_]*\)".*"wall_ns": \([0-9]*\).*/\1 \2/p' "$1"
+    }
+    paste <(extract_kernels "$TMP/current.json") \
+          <(extract_kernels "$TMP/prepr.json") |
+      awk 'BEGIN { printf "  \"kernel_speedup_wall\": {" }
+        $1 == $3 { printf "%s\"%s\": %.2f", NR == 1 ? "" : ", ", $1, $4 / $2 }
+        END { print "}," }'
+  fi
+  echo '  "current":'
+  sed 's/^/  /' "$TMP/current.json"
+  if [[ -n "$PREPR_BIN" ]]; then
+    echo '  ,"prepr":'
+    sed 's/^/  /' "$TMP/prepr.json"
+  fi
+  echo '}'
+} > "$OUT"
+echo "wrote $OUT" >&2
