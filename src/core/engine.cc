@@ -95,6 +95,8 @@ struct Catalog {
   uint64_t seg_gram_meta_off;
   uint64_t cursor_off;
   uint64_t integrity_off;
+  uint64_t payload_begin, payload_end;  // pruned payload extent
+  uint64_t gram_begin, gram_end;        // local-gram payload extent
   uint64_t pruned;
   uint64_t checksum;
 };
@@ -120,6 +122,67 @@ constexpr uint64_t kIntegrityMagic = 0x4E54414443494E54ULL;  // "NTADCINT"
 
 uint64_t IntegrityChecksum(const InitIntegrity& r) {
   return Fnv1a64(&r, offsetof(InitIntegrity, checksum));
+}
+
+/// Replicated critical metadata, kept in a reserved region at the device
+/// tail (persistence != kNone): raw images of the phase-marker region and
+/// the pool header, plus the catalog and init-integrity records,
+/// checksummed as one unit. Attach fails over to this copy when a primary
+/// is unreadable or corrupt and repairs the primary in place. Written
+/// once per fresh init (after the phase-1 commit); the pool header image
+/// may go stale when later remaps bump the header's count, but restoring
+/// the older count only ignores spare copies whose home blocks the
+/// emulated controller already healed.
+struct MetaMirror {
+  uint64_t magic;
+  uint64_t signature;
+  uint8_t marker[kMarkerRegion];                  // phase-marker image
+  uint8_t pool_header[nvm::NvmPool::kHeaderSlot]; // pool-header image
+  Catalog catalog;
+  InitIntegrity integrity;
+  uint64_t checksum;  // over the preceding fields
+};
+constexpr uint64_t kMetaMirrorMagic = 0x4E544144434D4952ULL;  // "NTADCMIR"
+constexpr uint64_t kMirrorRegion = 1024;
+static_assert(sizeof(MetaMirror) <= kMirrorRegion);
+
+uint64_t MirrorChecksum(const MetaMirror& m) {
+  return Fnv1a64(&m, offsetof(MetaMirror, checksum));
+}
+
+uint64_t MirrorOffset(const nvm::NvmDevice& device) {
+  return device.capacity() - kMirrorRegion;
+}
+
+void WriteMetaMirror(nvm::NvmDevice* device, uint64_t signature,
+                     uint64_t pool_base, const Catalog& cat,
+                     const InitIntegrity& ii) {
+  MetaMirror m{};
+  m.magic = kMetaMirrorMagic;
+  m.signature = signature;
+  // Best effort on the raw images: an unreadable primary leaves zeros,
+  // which the mirror's checksum still covers.
+  (void)device->TryReadBytes(kMarkerOffset, m.marker, sizeof(m.marker));
+  (void)device->TryReadBytes(pool_base, m.pool_header, sizeof(m.pool_header));
+  m.catalog = cat;
+  m.integrity = ii;
+  m.checksum = MirrorChecksum(m);
+  const uint64_t off = MirrorOffset(*device);
+  device->WriteBytes(off, &m, sizeof(m));
+  device->FlushRange(off, sizeof(m));
+  device->Drain();
+}
+
+std::optional<MetaMirror> ReadMetaMirror(nvm::NvmDevice* device,
+                                         uint64_t signature) {
+  MetaMirror m;
+  const uint64_t off = MirrorOffset(*device);
+  if (!device->TryReadBytes(off, &m, sizeof(m)).ok()) return std::nullopt;
+  if (m.magic != kMetaMirrorMagic || m.checksum != MirrorChecksum(m) ||
+      m.signature != signature) {
+    return std::nullopt;
+  }
+  return m;
 }
 
 /// Half-open byte extent on the device.
@@ -307,6 +370,12 @@ struct NTadocEngine::State {
   NvmVector<GramMeta> local_gram_meta;
   NvmVector<GramMeta> seg_gram_meta;
   uint64_t cursor_off = 0;
+  uint64_t integrity_off = 0;
+  // Device extent of the local-gram payloads (between the gram meta
+  // arrays and the traversal structures); scoped salvage re-derives
+  // damaged blocks inside it from the grammar.
+  uint64_t gram_begin = 0;
+  uint64_t gram_end = 0;
 
   // Volatile traversal state (mirrored into the cursor in op mode).
   uint64_t qhead = 0;
@@ -643,6 +712,73 @@ Result<uint64_t> HashImmutableRegion(nvm::NvmDevice* device, uint64_t begin,
   return h;
 }
 
+/// Labels every pool region the engine allocated so a scrub can map a
+/// damaged block back to its owning object (ScrubReport::damage). List
+/// data stays unlabeled: RepairDamage classifies it through the mutable
+/// extents, not through owner names.
+template <typename StateT>
+void RegisterPoolOwners(nvm::NvmPool* pool, const StateT& st,
+                        uint64_t catalog_off) {
+  pool->ClearOwners();
+  const uint32_t nr = st.dag.num_rules;
+  const uint32_t nf = st.dag.num_files;
+  pool->RegisterOwner(catalog_off, sizeof(Catalog), "catalog");
+  pool->RegisterOwner(st.dag.rule_meta.offset(), nr * sizeof(RuleMeta),
+                      "rule_meta");
+  pool->RegisterOwner(st.dag.seg_meta.offset(), nf * sizeof(SegmentMeta),
+                      "seg_meta");
+  if (st.dag.payload_end > st.dag.payload_begin) {
+    pool->RegisterOwner(st.dag.payload_begin,
+                        st.dag.payload_end - st.dag.payload_begin, "payload");
+  }
+  if (st.use_local_grams) {
+    pool->RegisterOwner(st.local_gram_meta.offset(), nr * sizeof(GramMeta),
+                        "local_gram_meta");
+    pool->RegisterOwner(st.seg_gram_meta.offset(), nf * sizeof(GramMeta),
+                        "seg_gram_meta");
+  }
+  if (st.gram_end > st.gram_begin) {
+    pool->RegisterOwner(st.gram_begin, st.gram_end - st.gram_begin,
+                        "gram_payload");
+  }
+  if (st.use_queue) {
+    pool->RegisterOwner(st.queue.offset(), nr * sizeof(uint32_t), "queue");
+    pool->RegisterOwner(st.indeg.offset(), nr * sizeof(uint32_t), "indeg");
+  }
+  auto reg_table = [pool](const auto& t, uint64_t key_size, uint64_t val_size,
+                          const char* name) {
+    pool->RegisterOwner(t.status_offset(), t.capacity(), name);
+    pool->RegisterOwner(t.keys_offset(), t.capacity() * key_size, name);
+    pool->RegisterOwner(t.values_offset(), t.capacity() * val_size, name);
+  };
+  if (st.use_word_table) {
+    reg_table(st.word_table, sizeof(uint32_t), sizeof(uint64_t),
+              "word_table");
+  }
+  if (st.use_gram_table) {
+    reg_table(st.gram_table, sizeof(NgramKey), sizeof(uint64_t),
+              "gram_table");
+  }
+  if (st.use_file_table) {
+    reg_table(st.file_table, sizeof(uint32_t), sizeof(uint64_t),
+              "file_table");
+  }
+  if (st.use_file_gram_table) {
+    reg_table(st.file_gram_table, sizeof(NgramKey), sizeof(uint64_t),
+              "file_gram_table");
+  }
+  if (st.use_word_lists) {
+    pool->RegisterOwner(st.word_list_meta.offset(), nr * sizeof(ListMeta),
+                        "word_list_meta");
+  }
+  if (st.use_gram_lists) {
+    pool->RegisterOwner(st.gram_list_meta.offset(), nr * sizeof(ListMeta),
+                        "gram_list_meta");
+  }
+  pool->RegisterOwner(st.cursor_off, 64, "cursor");
+  pool->RegisterOwner(st.integrity_off, 64, "integrity");
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -717,6 +853,12 @@ Status NTadocEngine::CheckMediaErrors() {
   const uint64_t n = device_->media_error_count();
   if (n != media_errors_seen_) {
     media_errors_seen_ = n;
+    if (degraded_) {
+      // Degraded mode: the lost data contributes nothing; the event is
+      // folded into the run's completeness fraction instead of failing.
+      ++degraded_events_;
+      return Status::OK();
+    }
     return Status::DataLoss(
         "uncorrectable media error during traversal reads");
   }
@@ -762,10 +904,34 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
     return false;
   };
 
+  // The replicated metadata at the device tail can stand in for any of
+  // the critical primaries (marker, pool header, catalog, integrity
+  // record); a failover rewrites the primary from the mirror copy.
+  // Loaded lazily: the fault-free attach path never reads it.
+  bool mirror_probed = false;
+  std::optional<MetaMirror> mirror;
+  auto get_mirror = [&]() -> MetaMirror* {
+    if (!mirror_probed) {
+      mirror_probed = true;
+      mirror = ReadMetaMirror(device_, st->signature);
+    }
+    return mirror ? &*mirror : nullptr;
+  };
+  auto failover = [&](const char* what) {
+    ++run_info_.corruption_detected;
+    ++run_info_.scoped_repairs;
+    NTADOC_LOG(Warning) << what << "; restored from the metadata mirror";
+  };
+
   {
     uint8_t region[kMarkerRegion];
     if (!device_->TryReadBytes(kMarkerOffset, region, sizeof(region)).ok()) {
-      return corrupt("phase marker unreadable");
+      MetaMirror* m = get_mirror();
+      if (m == nullptr) return corrupt("phase marker unreadable");
+      failover("phase marker unreadable");
+      device_->WriteBytes(kMarkerOffset, m->marker, sizeof(m->marker));
+      device_->FlushRange(kMarkerOffset, sizeof(m->marker));
+      device_->Drain();
     }
   }
   nvm::PhaseMarker marker(device_, kMarkerOffset);
@@ -773,25 +939,32 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   if (committed < 1 || committed >= 2) return false;  // nothing to reuse
 
   auto pool = nvm::NvmPool::Open(device_, pool_base);
-  if (!pool.ok()) return corrupt("pool header corrupt");
-  st->pool.emplace(std::move(pool).value());
-
-  // Media scrub before trusting any pool content: every allocated byte
-  // must be readable.
-  const auto scrub = st->pool->Scrub();
-  if (!scrub.ok()) return corrupt("pool scrub failed");
-  if (scrub.value().bad_blocks > 0) {
-    run_info_.blocks_lost += scrub.value().bad_blocks;
-    return corrupt("unreadable media blocks in pool");
+  if (!pool.ok()) {
+    MetaMirror* m = get_mirror();
+    if (m != nullptr) {
+      failover("pool header corrupt");
+      device_->WriteBytes(pool_base, m->pool_header, sizeof(m->pool_header));
+      device_->FlushRange(pool_base, sizeof(m->pool_header));
+      device_->Drain();
+      pool = nvm::NvmPool::Open(device_, pool_base);
+    }
+    if (!pool.ok()) return corrupt("pool header corrupt");
   }
+  st->pool.emplace(std::move(pool).value());
 
   const uint64_t catalog_off = pool_base + 64;  // first allocation
   Catalog cat;
-  if (!device_->TryReadBytes(catalog_off, &cat, sizeof(cat)).ok()) {
-    return corrupt("catalog unreadable");
-  }
-  if (cat.magic != kCatalogMagic || cat.checksum != CatalogChecksum(cat)) {
-    return corrupt("catalog checksum mismatch");
+  const bool cat_ok =
+      device_->TryReadBytes(catalog_off, &cat, sizeof(cat)).ok() &&
+      cat.magic == kCatalogMagic && cat.checksum == CatalogChecksum(cat);
+  if (!cat_ok) {
+    MetaMirror* m = get_mirror();
+    if (m == nullptr) return corrupt("catalog unreadable or corrupt");
+    failover("catalog unreadable or corrupt");
+    cat = m->catalog;
+    device_->Write(catalog_off, cat);
+    device_->FlushRange(catalog_off, sizeof(cat));
+    device_->Drain();
   }
   if (cat.signature != st->signature) {
     return false;  // a different run's state — stale, not corrupt
@@ -848,6 +1021,44 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
         &*st->pool, cat.seg_gram_meta_off, nf, nf);
   }
   st->cursor_off = cat.cursor_off;
+  st->integrity_off = cat.integrity_off;
+  st->dag.payload_begin = cat.payload_begin;
+  st->dag.payload_end = cat.payload_end;
+  st->gram_begin = cat.gram_begin;
+  st->gram_end = cat.gram_end;
+  // Scoped salvage rewrites blocks inside these extents, so they must be
+  // sane before any repair trusts them.
+  if (cat.payload_begin > cat.payload_end ||
+      cat.payload_end > st->pool->top() ||
+      (cat.payload_begin != 0 && cat.payload_begin < catalog_off) ||
+      cat.gram_begin > cat.gram_end || cat.gram_end > st->pool->top()) {
+    return corrupt("catalog payload extents out of bounds");
+  }
+
+  // Redo-log recovery runs before the media scrub and any repair: a
+  // committed-but-unapplied step must land first, or a replayed cursor
+  // could resurrect a resume point that repair just reset.
+  if (options_.persistence == PersistenceMode::kOperation) {
+    auto log = nvm::RedoLog::Open(device_, kMarkerRegion);
+    if (!log.ok()) return corrupt("redo log header corrupt");
+    st->log.emplace(std::move(log).value());
+    const auto replayed = st->log->Recover();
+    if (!replayed.ok()) return corrupt("redo log recovery failed");
+  }
+
+  // Media scrub before trusting any pool content; damaged blocks are
+  // repaired in place (re-derived and remapped) when every damaged byte
+  // is re-derivable, so a single bad block costs one object's repair
+  // instead of a full restart.
+  RegisterPoolOwners(&*st->pool, *st, catalog_off);
+  const auto scrub = st->pool->Scrub();
+  if (!scrub.ok()) return corrupt("pool scrub failed");
+  if (scrub.value().bad_blocks > 0) {
+    if (!RepairDamage(st, scrub.value().damage)) {
+      run_info_.blocks_lost += scrub.value().bad_blocks;
+      return corrupt("unrepairable media damage in pool");
+    }
+  }
 
   // Structural invariants: a torn flush in a list descriptor would
   // otherwise send WriteList to a wild offset.
@@ -893,13 +1104,26 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   // End-to-end integrity: recompute the hash of everything the traversal
   // never mutates and compare with the record written at init commit.
   InitIntegrity ii;
-  if (cat.integrity_off == 0 ||
-      !device_->TryReadBytes(cat.integrity_off, &ii, sizeof(ii)).ok()) {
-    return corrupt("init integrity record unreadable");
+  bool ii_ok = cat.integrity_off != 0 &&
+               device_->TryReadBytes(cat.integrity_off, &ii, sizeof(ii)).ok() &&
+               ii.magic == kIntegrityMagic &&
+               ii.checksum == IntegrityChecksum(ii);
+  if (!ii_ok && cat.integrity_off != 0) {
+    // A degraded init writes an intentionally invalid record (magic 0);
+    // its mirror copy is equally invalid, so this failover can never
+    // bless an init that was sealed without a verified hash.
+    MetaMirror* m = get_mirror();
+    if (m != nullptr && m->integrity.magic == kIntegrityMagic &&
+        m->integrity.checksum == IntegrityChecksum(m->integrity)) {
+      failover("init integrity record corrupt");
+      ii = m->integrity;
+      device_->Write(cat.integrity_off, ii);
+      device_->FlushRange(cat.integrity_off, sizeof(ii));
+      device_->Drain();
+      ii_ok = true;
+    }
   }
-  if (ii.magic != kIntegrityMagic || ii.checksum != IntegrityChecksum(ii)) {
-    return corrupt("init integrity record corrupt");
-  }
+  if (!ii_ok) return corrupt("init integrity record unreadable or corrupt");
   if (ii.init_top < pool_base + 128 || ii.init_top > st->pool->top()) {
     return corrupt("init integrity bounds corrupt");
   }
@@ -911,16 +1135,316 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
     return corrupt("immutable region hash mismatch (torn write or bit rot)");
   }
 
-  if (options_.persistence == PersistenceMode::kOperation) {
-    auto log = nvm::RedoLog::Open(device_, kMarkerRegion);
-    if (!log.ok()) return corrupt("redo log header corrupt");
-    st->log.emplace(std::move(log).value());
-    const auto replayed = st->log->Recover();
-    if (!replayed.ok()) return corrupt("redo log recovery failed");
-  }
-
   run_info_.init_phase_reused = true;
   return true;
+}
+
+// Scoped salvage (the repair counterpart of TryAttach's detection): each
+// damaged 256 B block is repaired by re-deriving every object it overlaps
+// from the compressed container (payloads, local gram lists — byte-exact,
+// so the init integrity hash still verifies), zeroing traversal state the
+// next stage-0 pass rebuilds anyway, or restoring replicated metadata
+// from the mirror. The healed contents are then moved to a spare block
+// through the pool's remap table. Any damaged byte that fits none of
+// those classes makes the block unrepairable and the caller salvages.
+bool NTadocEngine::RepairDamage(
+    State* st, const std::vector<nvm::NvmPool::Damage>& damage) {
+  if (!st->pool || st->dag.num_rules == 0) return false;
+  nvm::NvmPool& pool = *st->pool;
+  const auto& grammar = corpus_->grammar;
+  constexpr uint64_t kBlock = nvm::NvmPool::kMediaBlock;
+  const uint64_t catalog_off = pool.base() + nvm::NvmPool::kHeaderSlot;
+  const uint64_t top = pool.top();
+  const uint32_t nr = st->dag.num_rules;
+  const uint32_t nf = st->dag.num_files;
+
+  // Object extents, computed once up front. Poisoned metadata reads come
+  // back as zeros and contribute no extent; the blocks they would have
+  // covered then fail the coverage check, which is the correct outcome
+  // (metadata arrays are not re-derivable here).
+  struct Obj {
+    enum Kind : uint8_t { kRule, kSeg, kLocalGram, kSegGram };
+    uint64_t begin, end;
+    uint32_t id;
+    Kind kind;
+  };
+  std::vector<Obj> objs;
+  for (uint32_t r = 1; r < nr; ++r) {
+    const RuleMeta m = st->dag.rule_meta.Get(r);
+    const uint64_t len =
+        st->dag.pruned
+            ? (uint64_t{m.num_subrules} + m.num_words) * sizeof(PrunedEntry)
+            : uint64_t{m.raw_len} * sizeof(Symbol);
+    if (len == 0 || m.payload_off < st->dag.payload_begin ||
+        m.payload_off + len > st->dag.payload_end) {
+      continue;
+    }
+    objs.push_back(Obj{m.payload_off, m.payload_off + len, r, Obj::kRule});
+  }
+  for (uint32_t f = 0; f < nf; ++f) {
+    const SegmentMeta m = st->dag.seg_meta.Get(f);
+    const uint64_t len = (uint64_t{m.num_subrules} + m.num_words) *
+                         (st->dag.pruned ? sizeof(PrunedEntry)
+                                         : sizeof(Symbol));
+    if (len == 0 || m.payload_off < st->dag.payload_begin ||
+        m.payload_off + len > st->dag.payload_end) {
+      continue;
+    }
+    objs.push_back(Obj{m.payload_off, m.payload_off + len, f, Obj::kSeg});
+  }
+  if (st->use_local_grams) {
+    for (uint32_t r = 1; r < nr; ++r) {
+      const GramMeta gm = st->local_gram_meta.Get(r);
+      const uint64_t len = gm.count * sizeof(GramEntry);
+      if (len == 0 || gm.off < st->gram_begin ||
+          gm.off + len > st->gram_end) {
+        continue;
+      }
+      objs.push_back(Obj{gm.off, gm.off + len, r, Obj::kLocalGram});
+    }
+    for (uint32_t f = 0; f < nf; ++f) {
+      const GramMeta gm = st->seg_gram_meta.Get(f);
+      const uint64_t len = gm.count * sizeof(GramEntry);
+      if (len == 0 || gm.off < st->gram_begin ||
+          gm.off + len > st->gram_end) {
+        continue;
+      }
+      objs.push_back(Obj{gm.off, gm.off + len, f, Obj::kSegGram});
+    }
+  }
+
+  const std::vector<ByteRange> mut =
+      CollectMutableExtents(*st, st->integrity_off);
+
+  // Gram re-derivation machinery, built only when a gram payload is
+  // actually damaged (the head/tail table is the expensive part).
+  std::optional<tadoc::HeadTailTable> ht;
+  std::optional<tadoc::WindowScanner> scanner;
+  auto gram_entries =
+      [&](std::span<const Symbol> seq) -> std::vector<GramEntry> {
+    if (!ht) {
+      ht.emplace(tadoc::HeadTailTable::Build(grammar, st->opts.ngram));
+      scanner.emplace(&*ht, st->opts.ngram);
+    }
+    std::vector<std::pair<NgramKey, uint64_t>> local;
+    scanner->Scan(seq, [&](const NgramKey& k) { local.emplace_back(k, 1); });
+    SortAndCombine(&local);
+    std::vector<GramEntry> entries;
+    entries.reserve(local.size());
+    for (const auto& [k, c] : local) entries.push_back(GramEntry{k, c});
+    return entries;
+  };
+  // Separator-delimited root segment spans, exactly as init laid them out.
+  auto root_segment = [&](uint32_t f) -> std::span<const Symbol> {
+    const auto& root = grammar.rules[0];
+    uint32_t begin = 0;
+    uint32_t seg = 0;
+    for (uint32_t i = 0; i < root.size(); ++i) {
+      if (IsWord(root[i]) && IsFileSep(root[i])) {
+        if (seg == f) {
+          return std::span<const Symbol>(root.data() + begin, i - begin);
+        }
+        begin = i + 1;
+        ++seg;
+      }
+    }
+    return {};
+  };
+
+  const uint64_t cursor_b = st->cursor_off;
+  const uint64_t cursor_e = st->cursor_off + 64;
+  const uint64_t integ_b = st->integrity_off;
+  const uint64_t integ_e = st->integrity_off + 64;
+  bool cursor_reset = false;
+  std::optional<MetaMirror> mirror;  // loaded on first metadata restore
+
+  for (const nvm::NvmPool::Damage& d : damage) {
+    ++run_info_.corruption_detected;
+    const uint64_t b0 = d.block_off;
+    const uint64_t b1 = std::min(b0 + kBlock, top);
+    if (b0 < pool.base() || b1 <= b0) {
+      // The block holds the pool header (and the marker region below
+      // it): not repairable at this layer.
+      return false;
+    }
+    auto overlaps = [&](uint64_t a, uint64_t b) { return a < b1 && b > b0; };
+    NTADOC_LOG(Warning) << "scoped repair of media block at " << b0
+                        << " (owner: "
+                        << (d.owner.empty() ? "unowned" : d.owner) << ")";
+
+    // Plan coverage first: every damaged byte must be re-derivable,
+    // resettable or restorable, or the caller has to salvage.
+    std::vector<ByteRange> covered;
+    auto cover = [&](uint64_t a, uint64_t b) {
+      a = std::max(a, b0);
+      b = std::min(b, b1);
+      if (a < b) covered.push_back(ByteRange{a, b});
+    };
+    cover(catalog_off, catalog_off + sizeof(Catalog));
+    cover(cursor_b, cursor_e);
+    cover(integ_b, integ_e);
+    if (st->dag.payload_end > st->dag.payload_begin) {
+      cover(st->dag.payload_begin, st->dag.payload_end);
+    }
+    if (st->gram_end > st->gram_begin) cover(st->gram_begin, st->gram_end);
+    for (const ByteRange& e : mut) cover(e.begin, e.end);
+    std::sort(covered.begin(), covered.end(),
+              [](const ByteRange& a, const ByteRange& b) {
+                return a.begin < b.begin;
+              });
+    // Uncovered gaps overlapping a registered owner are immutable,
+    // non-re-derivable structure (metadata arrays): unrepairable. Gaps
+    // no owner claims are allocator padding — never written since the
+    // pool was created, so rewriting zeros restores them byte-exactly
+    // (the init integrity hash covers padding).
+    std::vector<ByteRange> padding;
+    uint64_t pos = b0;
+    auto claim_gap = [&](uint64_t a, uint64_t b) {
+      if (a >= b) return true;
+      if (!pool.OwnerOf(a, b - a).empty()) return false;
+      padding.push_back(ByteRange{a, b});
+      return true;
+    };
+    for (const ByteRange& e : covered) {
+      if (e.begin > pos && !claim_gap(pos, e.begin)) return false;
+      pos = std::max(pos, e.end);
+      if (pos >= b1) break;
+    }
+    if (pos < b1 && !claim_gap(pos, b1)) return false;
+
+    // Reset baseline: zero the damaged slices of the payload/gram
+    // regions (restores allocator padding to its never-written state)
+    // and of the mutable traversal extents (the next stage-0 pass
+    // rebuilds those from init-phase data anyway).
+    auto zero = [&](uint64_t a, uint64_t b) {
+      static constexpr uint8_t kZeros[nvm::NvmPool::kMediaBlock] = {};
+      a = std::max(a, b0);
+      b = std::min(b, b1);
+      if (a >= b) return;
+      device_->WriteBytes(a, kZeros, b - a);
+      device_->FlushRange(a, b - a);
+    };
+    if (st->dag.payload_end > st->dag.payload_begin) {
+      zero(st->dag.payload_begin, st->dag.payload_end);
+    }
+    if (st->gram_end > st->gram_begin) zero(st->gram_begin, st->gram_end);
+    for (const ByteRange& e : padding) zero(e.begin, e.end);
+    for (const ByteRange& e : mut) {
+      // The cursor and integrity slots get real contents below.
+      if (e.begin >= cursor_b && e.end <= cursor_e) continue;
+      if (e.begin >= integ_b && e.end <= integ_e) continue;
+      if (overlaps(e.begin, e.end)) {
+        zero(e.begin, e.end);
+        cursor_reset = true;
+      }
+    }
+
+    // Re-derive every object the block overlaps. Full-object rewrites:
+    // byte-exact reproductions of what init wrote, so the integrity hash
+    // still verifies afterward.
+    for (const Obj& o : objs) {
+      if (!overlaps(o.begin, o.end)) continue;
+      switch (o.kind) {
+        case Obj::kRule:
+          if (!RederiveRulePayload(grammar, st->dag, &pool, o.id).ok()) {
+            return false;
+          }
+          break;
+        case Obj::kSeg:
+          if (!RederiveSegmentPayload(grammar, st->dag, &pool, o.id).ok()) {
+            return false;
+          }
+          break;
+        case Obj::kLocalGram:
+        case Obj::kSegGram: {
+          const std::vector<GramEntry> entries =
+              o.kind == Obj::kLocalGram
+                  ? gram_entries(std::span<const Symbol>(grammar.rules[o.id]))
+                  : gram_entries(root_segment(o.id));
+          if (entries.size() * sizeof(GramEntry) != o.end - o.begin) {
+            return false;  // metadata inconsistent with re-derivation
+          }
+          device_->WriteBytes(o.begin, entries.data(), o.end - o.begin);
+          device_->FlushRange(o.begin, o.end - o.begin);
+          break;
+        }
+      }
+    }
+
+    // Restore replicated metadata the block overlaps.
+    if (overlaps(cursor_b, cursor_e)) {
+      CursorSlot fresh{kCursorMagic, 0, 0, 0, 0};
+      fresh.checksum = CursorChecksum(fresh);
+      device_->Write(st->cursor_off, fresh);
+      device_->FlushRange(st->cursor_off, sizeof(fresh));
+      cursor_reset = true;
+    }
+    if (overlaps(catalog_off, catalog_off + sizeof(Catalog)) ||
+        overlaps(integ_b, integ_e)) {
+      if (!mirror) mirror = ReadMetaMirror(device_, st->signature);
+      if (!mirror) return false;
+      if (overlaps(catalog_off, catalog_off + sizeof(Catalog))) {
+        device_->Write(catalog_off, mirror->catalog);
+        device_->FlushRange(catalog_off, sizeof(Catalog));
+      }
+      if (overlaps(integ_b, integ_e)) {
+        if (mirror->integrity.magic != kIntegrityMagic) return false;
+        device_->Write(st->integrity_off, mirror->integrity);
+        device_->FlushRange(st->integrity_off, sizeof(InitIntegrity));
+      }
+    }
+
+    // The writes above healed the block (the emulated controller
+    // rewrites whole ECC blocks on a store) and untouched bytes keep
+    // their original contents; read the authoritative block back and
+    // move it to a spare. A read that still fails means the media is
+    // dead beyond remapping (degraded-mode territory).
+    uint8_t buf[nvm::NvmPool::kMediaBlock];
+    if (!device_->TryReadBytes(b0, buf, b1 - b0).ok()) return false;
+    const auto slot = pool.RemapBlock(b0, buf, b1 - b0, st->tx_log());
+    if (!slot.ok()) return false;  // out of spares / remap table full
+    ++run_info_.blocks_remapped;
+    ++run_info_.scoped_repairs;
+  }
+  device_->Drain();
+
+  if (cursor_reset) {
+    // Zero-filled traversal state invalidates any resume point: restart
+    // the traversal from stage 0 against the repaired init state. The
+    // redo log must be emptied first — its committed transactions hold
+    // the old cursor, and replaying it on re-attach would resurrect a
+    // resume point into state the repair just reset.
+    if (st->log) {
+      st->log->FlushAppliedHome();
+      st->log->Truncate();
+    }
+    CursorSlot fresh{kCursorMagic, 0, 0, 0, 0};
+    fresh.checksum = CursorChecksum(fresh);
+    device_->Write(st->cursor_off, fresh);
+    device_->FlushRange(st->cursor_off, sizeof(fresh));
+    device_->Drain();
+  }
+  return true;
+}
+
+// Mid-run repair: the traversal hit an unreadable block. Scrub the pool
+// to find all current damage and repair it in place so the run can
+// re-attach and resume instead of restarting from the container.
+bool NTadocEngine::TryScopedRepair() {
+  if (!state_ || !state_->pool) return false;
+  State* st = state_.get();
+  const uint64_t catalog_off =
+      st->pool->base() + nvm::NvmPool::kHeaderSlot;
+  RegisterPoolOwners(&*st->pool, *st, catalog_off);
+  const auto scrub = st->pool->Scrub();
+  if (!scrub.ok()) return false;
+  if (scrub.value().bad_blocks == 0) return false;  // damage not in pool
+  return RepairDamage(st, scrub.value().damage);
+}
+
+std::pair<uint64_t, uint64_t> NTadocEngine::payload_region() const {
+  if (!state_) return {0, 0};
+  return {state_->dag.payload_begin, state_->dag.payload_end};
 }
 
 Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
@@ -966,7 +1490,10 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
       kMarkerRegion + (options_.persistence == PersistenceMode::kOperation
                          ? options_.redo_log_bytes
                          : 0);
-  const uint64_t pool_size = device_->capacity() - pool_base;
+  // Persistent runs reserve the device tail for the metadata mirror.
+  const uint64_t pool_size =
+      device_->capacity() - pool_base -
+      (options_.persistence != PersistenceMode::kNone ? kMirrorRegion : 0);
 
   // ---- Attach path: a completed, signature-matching init is reused ----
   if (!force_fresh) {
@@ -994,8 +1521,16 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
         nvm::RedoLog::Create(device_, kMarkerRegion, options_.redo_log_bytes));
     st->log.emplace(std::move(log));
   }
-  NTADOC_ASSIGN_OR_RETURN(auto pool,
-                          nvm::NvmPool::Create(device_, pool_base, pool_size));
+  // Persistent pools carry spare blocks + a remap table so single-block
+  // media failures can be repaired in place instead of restarting.
+  nvm::PoolOptions pool_opts;
+  if (options_.persistence != PersistenceMode::kNone) {
+    pool_opts.spare_blocks =
+        pool_size >= (1ull << 20) ? 64 : (pool_size >= (64ull << 10) ? 8 : 0);
+  }
+  NTADOC_ASSIGN_OR_RETURN(
+      auto pool, nvm::NvmPool::Create(device_, pool_base, pool_size,
+                                      pool_opts));
   st->pool.emplace(std::move(pool));
 
   Catalog cat{};
@@ -1011,6 +1546,8 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                               &run_info_.prune));
   cat.rule_meta_off = st->dag.rule_meta.offset();
   cat.seg_meta_off = st->dag.seg_meta.offset();
+  cat.payload_begin = st->dag.payload_begin;
+  cat.payload_end = st->dag.payload_end;
 
   const uint32_t nr = grammar.NumRules();
   const uint32_t nf = grammar.num_files;
@@ -1106,6 +1643,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     NTADOC_ASSIGN_OR_RETURN(st->seg_gram_meta,
                             NvmVector<GramMeta>::Create(&*st->pool, nf));
     st->seg_gram_meta.Resize(nf);
+    st->gram_begin = st->pool->top();
     std::vector<uint64_t> own_grams(nr, 0);
 
     auto write_local = [&](std::span<const Symbol> seq)
@@ -1151,6 +1689,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
         ++f;
       }
     }
+    st->gram_end = st->pool->top();
     cat.local_gram_meta_off = st->local_gram_meta.offset();
     cat.seg_gram_meta_off = st->seg_gram_meta.offset();
     gram_ub = BottomUpSummation(children, own_grams);
@@ -1357,20 +1896,33 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   NTADOC_ASSIGN_OR_RETURN(const uint64_t integrity_off,
                           st->pool->Alloc(sizeof(InitIntegrity), 64));
   cat.integrity_off = integrity_off;
+  st->integrity_off = integrity_off;
+  cat.gram_begin = st->gram_begin;
+  cat.gram_end = st->gram_end;
 
   cat.checksum = CatalogChecksum(cat);
   device_->Write(catalog_off, cat);
 
   // Seal the init phase: hash everything the traversal never mutates so
   // recovery can prove the re-attached state is bit-exact.
+  InitIntegrity ii{};
   if (options_.persistence != PersistenceMode::kNone) {
-    InitIntegrity ii{};
     ii.magic = kIntegrityMagic;
     ii.init_top = st->pool->top();
-    NTADOC_ASSIGN_OR_RETURN(
-        ii.region_hash,
+    const auto hash =
         HashImmutableRegion(device_, pool_base + 64, ii.init_top,
-                            CollectMutableExtents(*st, integrity_off)));
+                            CollectMutableExtents(*st, integrity_off));
+    if (hash.ok()) {
+      ii.region_hash = hash.value();
+    } else if (degraded_) {
+      // Part of the immutable region is permanently unreadable, so no
+      // honest hash exists. Seal with an intentionally invalid record:
+      // a later attach can never trust a degraded init.
+      ii.magic = 0;
+      ++degraded_events_;
+    } else {
+      return hash.status();
+    }
     ii.checksum = IntegrityChecksum(ii);
     device_->Write(integrity_off, ii);
   }
@@ -1383,10 +1935,13 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     return Status::Internal("injected crash during initialization");
   }
 
-  // Phase boundary: persist everything written so far, then the marker.
+  // Phase boundary: persist everything written so far, then the marker,
+  // then the replicated metadata (whose images must reflect the
+  // committed state they will restore).
   if (options_.persistence != PersistenceMode::kNone) {
     st->pool->PersistAll();
     CommitPhase(1);
+    WriteMetaMirror(device_, st->signature, pool_base, cat, ii);
   }
   return Status::OK();
 }
@@ -2159,30 +2714,61 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
   }
   run_info_ = NTadocRunInfo();
 
-  // Salvage loop: detected corruption (DataLoss) discards the damaged
-  // persisted state and restarts from the still-valid compressed
-  // container. Injected crashes (Internal) are never salvaged — they
-  // model real power loss and must surface to the caller.
-  constexpr int kMaxSalvageRestarts = 2;
+  // Repair/salvage loop. Detected corruption (DataLoss) escalates in
+  // order of blast radius:
+  //   1. scoped repair — re-derive + remap just the damaged blocks and
+  //      resume (attach-path damage is repaired inside TryAttach; this
+  //      loop handles damage the traversal trips over);
+  //   2. salvage restart — discard the persisted state and rebuild from
+  //      the still-valid compressed container;
+  //   3. degraded mode (opt-in) — complete the query treating unreadable
+  //      media as empty, reporting completeness < 1.
+  // Injected crashes (Internal) are never salvaged — they model real
+  // power loss and must surface to the caller.
+  degraded_ = false;
+  degraded_events_ = 0;
+  const uint64_t transient0 = device_->transient_retry_count();
   bool force_fresh = false;
+  uint32_t salvage_attempts = 0;
+  uint32_t scoped_attempts = 0;
   WallTimer timer;
-  for (int attempt = 0;; ++attempt) {
-    // Fault accounting accumulates across salvage attempts; everything
-    // else describes the final (successful) attempt only.
+
+  auto finish_info = [&] {
+    run_info_.transient_retries =
+        device_->transient_retry_count() - transient0;
+    if (degraded_ && degraded_events_ > 0) {
+      run_info_.degraded_queries = 1;
+      const uint64_t steps = run_info_.traversal_steps;
+      run_info_.completeness =
+          steps == 0 ? 0.0
+                     : 1.0 - static_cast<double>(
+                                 std::min(degraded_events_, steps)) /
+                                 static_cast<double>(steps);
+    }
+  };
+
+  for (;;) {
+    // Fault accounting accumulates across repair/salvage attempts;
+    // everything else describes the final (successful) attempt only.
     const uint64_t corruption = run_info_.corruption_detected;
     const uint64_t salvages = run_info_.salvage_restarts;
     const uint64_t lost = run_info_.blocks_lost;
+    const uint64_t remapped = run_info_.blocks_remapped;
+    const uint64_t repairs = run_info_.scoped_repairs;
     run_info_ = NTadocRunInfo();
     run_info_.corruption_detected = corruption;
     run_info_.salvage_restarts = salvages;
     run_info_.blocks_lost = lost;
+    run_info_.blocks_remapped = remapped;
+    run_info_.scoped_repairs = repairs;
     state_ = std::make_unique<State>();
     media_errors_seen_ = device_->media_error_count();
 
     auto salvage = [&](const Status& s) {
       ++run_info_.corruption_detected;
       ++run_info_.salvage_restarts;
-      NTADOC_LOG(Warning) << "salvage restart " << (attempt + 1)
+      ++salvage_attempts;
+      NTADOC_LOG(Warning) << "salvage restart " << salvage_attempts
                           << " after data loss: " << s.message();
       // Invalidate the damaged persistence state so nothing re-attaches
       // to it; the compressed container is the source of truth.
@@ -2190,6 +2776,19 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
         nvm::PhaseMarker(device_, kMarkerOffset).Format();
       }
       force_fresh = true;
+    };
+    // Last resort once repair and salvage budgets are spent: rerun with
+    // media errors absorbed instead of surfaced. Only ever entered once.
+    auto try_degrade = [&] {
+      if (!options_.allow_degraded || degraded_) return false;
+      NTADOC_LOG(Warning)
+          << "repair and salvage exhausted; rerunning degraded";
+      degraded_ = true;
+      force_fresh = true;
+      if (options_.persistence != PersistenceMode::kNone) {
+        nvm::PhaseMarker(device_, kMarkerOffset).Format();
+      }
+      return true;
     };
 
     timer.Reset();
@@ -2199,26 +2798,51 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     const uint64_t init_wall = timer.ElapsedNanos();
     const uint64_t init_sim = device_->clock().NowNanos() - sim0;
     if (!init_status.ok()) {
-      if (init_status.code() == StatusCode::kDataLoss &&
-          attempt < kMaxSalvageRestarts) {
-        salvage(init_status);
-        continue;
+      if (init_status.code() == StatusCode::kDataLoss) {
+        // Scoped repair first: damage in state a fresh rebuild never
+        // rewrites (e.g. a poisoned block under allocator padding, found
+        // by the integrity hash) can only be cleared by repair — salvage
+        // restarts would hit it again forever.
+        if (options_.persistence != PersistenceMode::kNone &&
+            scoped_attempts < options_.max_scoped_repairs &&
+            TryScopedRepair()) {
+          ++scoped_attempts;
+          continue;
+        }
+        if (salvage_attempts < options_.max_salvage_restarts) {
+          salvage(init_status);
+          continue;
+        }
+        if (try_degrade()) continue;
       }
+      finish_info();
       return init_status;
     }
     // Attach-path probes may have tripped media errors that were handled
-    // (counted, salvaged or healed); only errors from here on are fatal.
+    // (counted, repaired, salvaged or healed); only errors from here on
+    // are fatal.
     media_errors_seen_ = device_->media_error_count();
 
     timer.Reset();
     const uint64_t trav_sim0 = device_->clock().NowNanos();
     auto result = TraversalPhase(task, opts, state_.get());
     if (!result.ok()) {
-      if (result.status().code() == StatusCode::kDataLoss &&
-          attempt < kMaxSalvageRestarts) {
-        salvage(result.status());
-        continue;
+      if (result.status().code() == StatusCode::kDataLoss) {
+        if (options_.persistence != PersistenceMode::kNone &&
+            scoped_attempts < options_.max_scoped_repairs &&
+            TryScopedRepair()) {
+          // Repaired in place: the next attempt re-attaches to the
+          // persisted state and resumes (no force_fresh).
+          ++scoped_attempts;
+          continue;
+        }
+        if (salvage_attempts < options_.max_salvage_restarts) {
+          salvage(result.status());
+          continue;
+        }
+        if (try_degrade()) continue;
       }
+      finish_info();
       return result;
     }
     run_info_.pool_used_bytes = state_->pool ? state_->pool->UsedBytes() : 0;
@@ -2233,6 +2857,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
       metrics->traversal_sim_ns = device_->clock().NowNanos() - trav_sim0;
       metrics->used_traversal = state_->strategy;
     }
+    finish_info();
     return result;
   }
 }

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "compress/compressor.h"
 #include "core/nvm_hash_table.h"
@@ -89,6 +91,20 @@ struct NTadocOptions {
   /// With the default 0 the simulated costs are bit-identical to a build
   /// without the cache.
   uint64_t dram_cache_bytes = 0;
+
+  /// Bound on scoped repairs (re-derive + remap of damaged blocks) within
+  /// one Run before escalating to a salvage restart.
+  uint32_t max_scoped_repairs = 8;
+
+  /// Bound on full salvage restarts (fresh init from the compressed
+  /// container) within one Run.
+  uint32_t max_salvage_restarts = 2;
+
+  /// When repair and salvage are both exhausted (or disabled), complete
+  /// the query in degraded mode instead of failing: unreadable media
+  /// contributes nothing and RunInfo::completeness reports the fraction
+  /// of traversal steps that saw clean media.
+  bool allow_degraded = false;
 };
 
 /// Aggregate accounting of one run, beyond RunMetrics.
@@ -105,7 +121,12 @@ struct NTadocRunInfo {
   // Media-fault accounting (see DESIGN.md "Fault model").
   uint64_t corruption_detected = 0;  // corrupt persisted state found
   uint64_t salvage_restarts = 0;     // full restarts from the container
-  uint64_t blocks_lost = 0;          // unreadable media blocks scrubbed
+  uint64_t blocks_lost = 0;          // unrepairable blocks (pre-salvage)
+  uint64_t transient_retries = 0;    // device retries absorbed this run
+  uint64_t blocks_remapped = 0;      // bad blocks moved to spare media
+  uint64_t scoped_repairs = 0;       // objects re-derived in place
+  uint64_t degraded_queries = 0;     // 1 if this run completed degraded
+  double completeness = 1.0;         // fraction of clean traversal steps
 
   // Decoded-rule DRAM cache (options.dram_cache_bytes > 0).
   uint64_t rule_cache_hits = 0;
@@ -138,6 +159,11 @@ class NTadocEngine {
   /// Resolves kAuto for a task (mirrors the DRAM engine's policy).
   TraversalStrategy ResolveStrategy(Task task) const;
 
+  /// Device extent of the pruned payload region from the engine's current
+  /// state ({0, 0} before the first init). Tests use it to aim media
+  /// faults at re-derivable data.
+  std::pair<uint64_t, uint64_t> payload_region() const;
+
  private:
   struct State;      // pool-resident structure handles + host scratch
   struct RuleCache;  // decoded-payload DRAM cache (engine.cc)
@@ -168,6 +194,17 @@ class NTadocEngine {
   Result<AnalyticsOutput> BottomUp(Task task, const AnalyticsOptions& opts,
                                    State* st);
 
+  // Scoped repair: re-derives the contents of each damaged block from the
+  // compressed container (payloads, local n-gram lists) or resets it
+  // (mutable traversal state), then remaps the media. Returns false when
+  // any block cannot be repaired — the caller escalates to salvage.
+  bool RepairDamage(State* st,
+                    const std::vector<nvm::NvmPool::Damage>& damage);
+
+  // Mid-run repair entry point: scrubs the pool and repairs in place so
+  // the interrupted traversal can resume instead of restarting.
+  bool TryScopedRepair();
+
   // Persistence helpers.
   void CommitPhase(uint64_t phase);
   Status StepCommit(State* st);  // operation-level: commit current txn
@@ -186,6 +223,8 @@ class NTadocEngine {
   NTadocOptions options_;
   NTadocRunInfo run_info_;
   uint64_t media_errors_seen_ = 0;
+  bool degraded_ = false;            // current attempt runs degraded
+  uint64_t degraded_events_ = 0;     // media errors absorbed while degraded
   std::unique_ptr<State> state_;
   std::unique_ptr<RuleCache> rule_cache_;
 };

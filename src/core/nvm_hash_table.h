@@ -328,7 +328,9 @@ class NvmHashTable {
   /// Double-hash probe: the slot holding `key`, or the first free slot.
   /// kExhausted means the probe visited every slot without finding either
   /// — impossible under the load-factor invariant unless status bytes are
-  /// corrupt (poisoned media reads as 0xDB = occupied).
+  /// corrupt. Poisoned media reads as zeros (= free), so a probe over a
+  /// damaged block cannot detect the damage itself; the engine catches it
+  /// via the per-step media-error check instead.
   Probe FindSlot(const K& key, uint64_t* out) const {
     const uint64_t mask = capacity_ - 1;
     const uint64_t h = KHash()(key);

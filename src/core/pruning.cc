@@ -189,6 +189,8 @@ Result<PrunedDag> BuildPrunedDag(const Grammar& grammar, nvm::NvmPool* pool,
   }
 
   dag.payload_bytes = pool->top() - payload_begin;
+  dag.payload_begin = payload_begin;
+  dag.payload_end = pool->top();
   dag.raw_bytes = raw_symbols * sizeof(Symbol);
   if (stats != nullptr) {
     stats->rules = dag.num_rules;
@@ -290,6 +292,108 @@ DecodedPayload ReadSegmentPayload(const PrunedDag& dag, nvm::NvmPool* pool,
              static_cast<uint64_t>(m.num_subrules) + m.num_words, extent);
   return DecodePayload(dag, pool, m.payload_off, m.num_subrules,
                        m.num_words);
+}
+
+namespace {
+
+/// Rewrites one payload's bytes at its original offset after validating
+/// the (possibly damaged) metadata against the re-derivation. The encoded
+/// bytes are identical to what BuildPrunedDag wrote, so healed blocks
+/// still match the init-region integrity hash.
+Status RewritePayload(const PrunedDag& dag, nvm::NvmPool* pool,
+                      uint64_t payload_off, uint32_t num_subrules,
+                      uint32_t num_words, std::span<const Symbol> body,
+                      uint32_t raw_len, bool check_raw_len) {
+  auto bad = [](const char* what) {
+    return Status::DataLoss(std::string("rederive: metadata mismatch: ") +
+                            what);
+  };
+  if (dag.pruned) {
+    std::vector<PrunedEntry> subrules;
+    std::vector<PrunedEntry> words;
+    BucketCount(body, &subrules, &words);
+    if (num_subrules != subrules.size() || num_words != words.size()) {
+      return bad("entry counts");
+    }
+    const uint64_t bytes =
+        (subrules.size() + words.size()) * sizeof(PrunedEntry);
+    if (payload_off < dag.payload_begin ||
+        payload_off + bytes > dag.payload_end) {
+      return bad("payload bounds");
+    }
+    if (!subrules.empty()) {
+      pool->device().WriteBytes(payload_off, subrules.data(),
+                                subrules.size() * sizeof(PrunedEntry));
+    }
+    if (!words.empty()) {
+      pool->device().WriteBytes(
+          payload_off + subrules.size() * sizeof(PrunedEntry), words.data(),
+          words.size() * sizeof(PrunedEntry));
+    }
+    pool->device().FlushRange(payload_off, bytes);
+  } else {
+    if (check_raw_len && raw_len != body.size()) return bad("raw length");
+    uint32_t subs = 0;
+    uint32_t ws = 0;
+    for (Symbol s : body) {
+      if (IsRule(s)) {
+        ++subs;
+      } else {
+        ++ws;
+      }
+    }
+    if (num_subrules != subs || num_words != ws) return bad("entry counts");
+    const uint64_t bytes = body.size() * sizeof(Symbol);
+    if (payload_off < dag.payload_begin ||
+        payload_off + bytes > dag.payload_end) {
+      return bad("payload bounds");
+    }
+    if (!body.empty()) {
+      pool->device().WriteBytes(payload_off, body.data(), bytes);
+      pool->device().FlushRange(payload_off, bytes);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RederiveRulePayload(const Grammar& grammar, const PrunedDag& dag,
+                           nvm::NvmPool* pool, uint32_t r) {
+  if (r == 0 || r >= dag.num_rules || r >= grammar.NumRules()) {
+    return Status::InvalidArgument("rederive: rule index out of range");
+  }
+  const RuleMeta m = dag.rule_meta.Get(r);
+  const auto& body = grammar.rules[r];
+  return RewritePayload(dag, pool, m.payload_off, m.num_subrules,
+                        m.num_words, body, m.raw_len,
+                        /*check_raw_len=*/true);
+}
+
+Status RederiveSegmentPayload(const Grammar& grammar, const PrunedDag& dag,
+                              nvm::NvmPool* pool, uint32_t f) {
+  if (f >= dag.num_files || grammar.rules.empty()) {
+    return Status::InvalidArgument("rederive: segment index out of range");
+  }
+  // Recompute the separator-delimited segment spans of the root body,
+  // exactly as BuildPrunedDag laid them out.
+  const auto& root = grammar.rules[0];
+  std::vector<std::pair<uint32_t, uint32_t>> segments;
+  uint32_t begin = 0;
+  for (uint32_t i = 0; i < root.size(); ++i) {
+    if (IsWord(root[i]) && IsFileSep(root[i])) {
+      segments.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  if (f >= segments.size()) {
+    return Status::DataLoss("rederive: segment spans inconsistent");
+  }
+  const auto [sb, se] = segments[f];
+  const std::span<const Symbol> seg(root.data() + sb, se - sb);
+  const SegmentMeta m = dag.seg_meta.Get(f);
+  return RewritePayload(dag, pool, m.payload_off, m.num_subrules,
+                        m.num_words, seg, 0, /*check_raw_len=*/false);
 }
 
 }  // namespace ntadoc::core

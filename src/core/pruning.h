@@ -84,6 +84,11 @@ struct PrunedDag {
   /// Total payload bytes written (compressed-on-NVM size measure).
   uint64_t payload_bytes = 0;
 
+  /// Device extent holding every rule and segment payload (recorded in
+  /// the catalog; scoped salvage classifies damaged blocks against it).
+  uint64_t payload_begin = 0;
+  uint64_t payload_end = 0;
+
   /// Grammar bytes before pruning (for the redundancy-elimination stat).
   uint64_t raw_bytes = 0;
 };
@@ -131,6 +136,18 @@ DecodedPayload ReadRulePayload(const PrunedDag& dag, nvm::NvmPool* pool,
 DecodedPayload ReadSegmentPayload(const PrunedDag& dag, nvm::NvmPool* pool,
                                   uint32_t f,
                                   PayloadExtent* extent = nullptr);
+
+/// Scoped salvage: re-derives rule `r`'s payload from the compressed
+/// container and rewrites it byte-exactly at its original pool offset
+/// (payload layout is deterministic, so the init-region integrity hash
+/// still verifies afterward). The rule's metadata must be readable and
+/// consistent with the re-derivation; returns DataLoss when it is not.
+Status RederiveRulePayload(const Grammar& grammar, const PrunedDag& dag,
+                           nvm::NvmPool* pool, uint32_t r);
+
+/// Scoped salvage for file segment `f`'s payload; see RederiveRulePayload.
+Status RederiveSegmentPayload(const Grammar& grammar, const PrunedDag& dag,
+                              nvm::NvmPool* pool, uint32_t f);
 
 }  // namespace ntadoc::core
 

@@ -7,14 +7,24 @@ namespace ntadoc::nvm {
 FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed, uint64_t capacity)
     : plan_(std::move(plan)), rng_(seed ^ 0x464C54494E4A4354ull),
       capacity_(capacity) {
+  transient_remaining_.assign(plan_.faults.size(), 0);
   // Address-range unreadable blocks are armed immediately: the media was
-  // already bad when the device was attached.
-  for (const FaultSpec& s : plan_.faults) {
-    if (s.effect == FaultEffect::kUnreadableBlock) reads_relevant_ = true;
+  // already bad when the device was attached. Address-range transient
+  // specs likewise start with their full fail budget.
+  for (size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& s = plan_.faults[i];
+    if (s.effect == FaultEffect::kUnreadableBlock ||
+        s.effect == FaultEffect::kTransientRead) {
+      reads_relevant_ = true;
+    }
     if (s.effect == FaultEffect::kUnreadableBlock &&
         s.trigger == FaultTrigger::kAddressRange) {
       const auto [begin, end] = EffectiveRange(s);
-      if (end > begin) PoisonRange(begin, end - begin);
+      if (end > begin) PoisonRange(begin, end - begin, s.sticky);
+    }
+    if (s.effect == FaultEffect::kTransientRead &&
+        s.trigger == FaultTrigger::kAddressRange) {
+      transient_remaining_[i] = std::max<uint32_t>(1, s.transient_fail_count);
     }
   }
 }
@@ -37,18 +47,23 @@ bool FaultInjector::Overlaps(const FaultSpec& s, uint64_t offset, uint64_t len,
   return offset < end && offset + len > begin;
 }
 
-bool FaultInjector::OnRead(uint64_t offset, uint64_t len) {
-  if (len == 0) return false;
+FaultInjector::ReadFault FaultInjector::OnRead(uint64_t offset, uint64_t len) {
+  if (len == 0) return ReadFault::kNone;
   ++read_calls_;
   for (size_t i = 0; i < plan_.faults.size(); ++i) {
     const FaultSpec& s = plan_.faults[i];
-    if (s.effect != FaultEffect::kUnreadableBlock ||
-        s.trigger != FaultTrigger::kNthRead || read_fired_.count(i)) {
+    if (s.trigger != FaultTrigger::kNthRead || read_fired_.count(i)) continue;
+    if (s.effect != FaultEffect::kUnreadableBlock &&
+        s.effect != FaultEffect::kTransientRead) {
       continue;
     }
     if (!Overlaps(s, offset, len, capacity_)) continue;
     if (read_calls_ < s.n) continue;
     read_fired_.insert(i);
+    if (s.effect == FaultEffect::kTransientRead) {
+      transient_remaining_[i] = std::max<uint32_t>(1, s.transient_fail_count);
+      continue;
+    }
     // One media block inside the intersection of the read and the spec's
     // window goes bad — a single failed ECC block, not the whole
     // transfer. Which block is a seeded pick for determinism.
@@ -59,12 +74,34 @@ bool FaultInjector::OnRead(uint64_t offset, uint64_t len) {
       const uint64_t first = begin / kBlock;
       const uint64_t last = (end - 1) / kBlock;
       const uint64_t b = first + PickIndex(last - first + 1);
-      PoisonRange(b * kBlock, 1);
+      PoisonRange(b * kBlock, 1, s.sticky);
     }
   }
-  const bool poisoned = IsPoisoned(offset, len);
-  if (poisoned) ++stats_.failed_reads;
-  return poisoned;
+  return Probe(offset, len);
+}
+
+FaultInjector::ReadFault FaultInjector::OnRetryRead(uint64_t offset,
+                                                    uint64_t len) {
+  if (len == 0) return ReadFault::kNone;
+  return Probe(offset, len);
+}
+
+FaultInjector::ReadFault FaultInjector::Probe(uint64_t offset, uint64_t len) {
+  if (IsPoisoned(offset, len)) {
+    ++stats_.failed_reads;
+    return ReadFault::kPermanent;
+  }
+  for (size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& s = plan_.faults[i];
+    if (s.effect != FaultEffect::kTransientRead) continue;
+    if (transient_remaining_[i] == 0) continue;
+    if (s.trigger == FaultTrigger::kNthRead && !read_fired_.count(i)) continue;
+    if (!Overlaps(s, offset, len, capacity_)) continue;
+    --transient_remaining_[i];
+    ++stats_.transient_faults;
+    return ReadFault::kTransient;
+  }
+  return ReadFault::kNone;
 }
 
 int FaultInjector::OnFlush(uint64_t offset, uint64_t len) {
@@ -102,11 +139,13 @@ uint64_t FaultInjector::PickIndex(uint64_t count) {
 }
 
 bool FaultInjector::IsPoisoned(uint64_t offset, uint64_t len) const {
-  if (poisoned_blocks_.empty() || len == 0) return false;
+  if ((poisoned_blocks_.empty() && sticky_blocks_.empty()) || len == 0) {
+    return false;
+  }
   const uint64_t first = offset / kBlock;
   const uint64_t last = (offset + len - 1) / kBlock;
   for (uint64_t b = first; b <= last; ++b) {
-    if (poisoned_blocks_.count(b)) return true;
+    if (poisoned_blocks_.count(b) || sticky_blocks_.count(b)) return true;
   }
   return false;
 }
@@ -115,7 +154,8 @@ void FaultInjector::OnWrite(uint64_t offset, uint64_t len) {
   if (poisoned_blocks_.empty() || len == 0) return;
   // A store remaps every block it touches (the emulated controller
   // rewrites the whole ECC block on a partial store), so a fresh init
-  // that rewrites a region heals the media under it.
+  // that rewrites a region heals the media under it. Sticky blocks are
+  // dead beyond the controller's reach and stay unreadable.
   const uint64_t first = offset / kBlock;
   const uint64_t last = (offset + len - 1) / kBlock;
   for (uint64_t b = first; b <= last; ++b) {
@@ -123,12 +163,13 @@ void FaultInjector::OnWrite(uint64_t offset, uint64_t len) {
   }
 }
 
-void FaultInjector::PoisonRange(uint64_t offset, uint64_t len) {
+void FaultInjector::PoisonRange(uint64_t offset, uint64_t len, bool sticky) {
   if (len == 0) return;
+  auto& set = sticky ? sticky_blocks_ : poisoned_blocks_;
   const uint64_t first = offset / kBlock;
   const uint64_t last = (offset + len - 1) / kBlock;
   for (uint64_t b = first; b <= last; ++b) {
-    if (poisoned_blocks_.insert(b).second) ++stats_.blocks_poisoned;
+    if (set.insert(b).second) ++stats_.blocks_poisoned;
   }
 }
 

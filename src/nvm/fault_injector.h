@@ -20,13 +20,19 @@
 //   kUnreadableBlock Marks 256 B media blocks sticky-unreadable; reads
 //                    overlapping them fail with Status::DataLoss until
 //                    the block is rewritten (media remap).
+//   kTransientRead   A flaky window: once armed, the next
+//                    `transient_fail_count` read attempts overlapping the
+//                    spec's range fail, then the fault heals on its own
+//                    (ECC retry succeeds). The device's RetryPolicy
+//                    absorbs these without surfacing an error.
 //
 // Triggers:
 //   kNthFlush        The Nth FlushRange call that covers >= 1 dirty line
 //                    (1-based).
 //   kNthRead         The Nth ReadBytes/TryReadBytes call (1-based).
 //   kAddressRange    Armed immediately at device construction; only
-//                    meaningful for kUnreadableBlock and kCrashBitFlip.
+//                    meaningful for kUnreadableBlock, kCrashBitFlip and
+//                    kTransientRead.
 
 #ifndef NTADOC_NVM_FAULT_INJECTOR_H_
 #define NTADOC_NVM_FAULT_INJECTOR_H_
@@ -44,6 +50,7 @@ enum class FaultEffect : uint8_t {
   kTornFlush = 0,
   kCrashBitFlip = 1,
   kUnreadableBlock = 2,
+  kTransientRead = 3,
 };
 
 /// When the fault fires.
@@ -76,6 +83,16 @@ struct FaultSpec {
   /// [8, 56].
   static constexpr uint32_t kAuto = ~0u;
   uint32_t torn_keep_bytes = kAuto;
+
+  /// kTransientRead: number of read attempts that fail before the fault
+  /// heals (each retry counts as one attempt).
+  uint32_t transient_fail_count = 2;
+
+  /// kUnreadableBlock: sticky poison survives rewrites — the media is
+  /// dead beyond what the controller's block remapping can redirect, so
+  /// reads keep failing no matter what is stored. Models the
+  /// "re-derivation impossible" case behind degraded-mode queries.
+  bool sticky = false;
 };
 
 /// A reproducible set of faults.
@@ -96,14 +113,28 @@ class FaultInjector {
     uint64_t bits_flipped = 0;
     uint64_t blocks_poisoned = 0;
     uint64_t failed_reads = 0;
+    uint64_t transient_faults = 0;  // failed attempts that later heal
+  };
+
+  /// Outcome of one read attempt.
+  enum class ReadFault : uint8_t {
+    kNone = 0,       // read succeeds
+    kTransient = 1,  // attempt fails; a retry may succeed
+    kPermanent = 2,  // overlaps a sticky-unreadable block
   };
 
   FaultInjector(FaultPlan plan, uint64_t seed, uint64_t capacity);
 
-  /// Called once per ReadBytes/TryReadBytes. Returns true if the read
-  /// overlaps an unreadable block (caller must fail with DataLoss). May
-  /// poison blocks as a side effect of an armed kNthRead spec.
-  bool OnRead(uint64_t offset, uint64_t len);
+  /// Called once per ReadBytes/TryReadBytes. Counts toward kNthRead
+  /// ordinals and may arm/poison as a side effect. kPermanent means the
+  /// read overlaps an unreadable block (DataLoss unless repaired);
+  /// kTransient means this attempt failed but the device may retry.
+  ReadFault OnRead(uint64_t offset, uint64_t len);
+
+  /// A retry of the immediately preceding failed attempt. Does NOT count
+  /// toward kNthRead ordinals (retries are controller-internal), but does
+  /// consume the transient fault's remaining fail budget.
+  ReadFault OnRetryRead(uint64_t offset, uint64_t len);
 
   /// Called once per FlushRange that covers at least one dirty line.
   /// Returns the index of a spec whose kNthFlush trigger fired with a
@@ -150,22 +181,29 @@ class FaultInjector {
   void OnWrite(uint64_t offset, uint64_t len);
 
   /// Marks every block overlapping [offset, offset+len) unreadable.
-  void PoisonRange(uint64_t offset, uint64_t len);
+  /// Sticky poison is immune to the OnWrite heal.
+  void PoisonRange(uint64_t offset, uint64_t len, bool sticky = false);
 
   const Stats& stats() const { return stats_; }
-  uint64_t poisoned_block_count() const { return poisoned_blocks_.size(); }
+  uint64_t poisoned_block_count() const {
+    return poisoned_blocks_.size() + sticky_blocks_.size();
+  }
 
   /// True when reads can ever fail or poison blocks under this plan, i.e.
-  /// it contains an unreadable-block spec (armed now or by a future
-  /// kNthRead trigger). When false, the device's read path skips the
-  /// injector entirely and its write path skips the poison-clearing hook
-  /// (nothing can ever be poisoned).
+  /// it contains an unreadable-block or transient-read spec (armed now or
+  /// by a future kNthRead trigger). When false, the device's read path
+  /// skips the injector entirely and its write path skips the
+  /// poison-clearing hook (nothing can ever be poisoned).
   bool reads_relevant() const { return reads_relevant_; }
 
  private:
   std::pair<uint64_t, uint64_t> EffectiveRange(const FaultSpec& s) const;
   static bool Overlaps(const FaultSpec& s, uint64_t offset, uint64_t len,
                        uint64_t capacity);
+
+  /// Shared read-attempt check: permanent poison wins, then armed
+  /// transient specs with remaining fail budget.
+  ReadFault Probe(uint64_t offset, uint64_t len);
 
   FaultPlan plan_;
   Rng rng_;
@@ -176,6 +214,8 @@ class FaultInjector {
   std::unordered_set<size_t> read_fired_;
   std::unordered_set<size_t> crash_fired_;
   std::unordered_set<uint64_t> poisoned_blocks_;  // block index = off/kBlock
+  std::unordered_set<uint64_t> sticky_blocks_;    // never healed by writes
+  std::vector<uint32_t> transient_remaining_;     // per spec; 0 = healed
   Stats stats_;
   bool reads_relevant_ = false;
 };

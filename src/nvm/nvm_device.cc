@@ -22,6 +22,7 @@ NvmDevice::NvmDevice(DeviceOptions options)
       random_evict_probability_(options.random_evict_probability),
       evict_rng_(options.evict_seed),
       data_(options.capacity, 0),
+      retry_(options.retry),
       snapshot_at_drain_(options.snapshot_at_drain) {
   if (!options.fault_plan.empty()) {
     injector_ = std::make_unique<FaultInjector>(std::move(options.fault_plan),
@@ -45,15 +46,44 @@ void NvmDevice::ReadBytes(uint64_t offset, void* dst, uint64_t len) {
   model_.TouchRead(offset, len);
   if (read_slow_) {
     if (check_ != nullptr) check_->OnRead(offset, len);
-    if (injector_ != nullptr && injector_->OnRead(offset, len)) {
-      // Uncorrectable media error: the caller gets a poison pattern,
-      // never stale plausible-looking data.
-      std::memset(dst, 0xDB, len);
-      ++media_errors_;
-      return;
+    if (injector_ != nullptr) {
+      FaultInjector::ReadFault f = injector_->OnRead(offset, len);
+      if (f == FaultInjector::ReadFault::kTransient) {
+        f = RetryRead(offset, len, 0, /*extent=*/false);
+      }
+      if (f != FaultInjector::ReadFault::kNone) {
+        // Uncorrectable media error: the caller gets deterministic
+        // zeros, never stale plausible-looking data and never
+        // uninitialized bytes (degraded-mode consumers may keep going).
+        std::memset(dst, 0, len);
+        ++media_errors_;
+        return;
+      }
     }
   }
   std::memcpy(dst, data_.data() + offset, len);
+}
+
+FaultInjector::ReadFault NvmDevice::RetryRead(uint64_t offset, uint64_t len,
+                                              uint64_t quantum, bool extent) {
+  FaultInjector::ReadFault f = FaultInjector::ReadFault::kTransient;
+  uint64_t backoff = retry_.backoff_ns;
+  for (uint32_t attempt = 0;
+       attempt < retry_.max_read_retries &&
+       f == FaultInjector::ReadFault::kTransient;
+       ++attempt) {
+    ++transient_retries_;
+    model_.clock().Charge(backoff);
+    backoff *= 2;
+    // The controller re-issues the read; charge it like the original.
+    if (extent) {
+      model_.TouchReadExtent(offset, len, quantum);
+    } else {
+      model_.TouchRead(offset, len);
+    }
+    f = injector_->OnRetryRead(offset, len);
+  }
+  return f;
 }
 
 Status NvmDevice::TryReadBytes(uint64_t offset, void* dst, uint64_t len) {
@@ -73,13 +103,30 @@ Result<const uint8_t*> NvmDevice::TryReadSpan(uint64_t offset, uint64_t len,
   model_.TouchReadExtent(offset, len, quantum);
   if (read_slow_) {
     if (check_ != nullptr) check_->OnRead(offset, len);
-    if (injector_ != nullptr && injector_->OnRead(offset, len)) {
-      ++media_errors_;
-      return Status::DataLoss("uncorrectable media error at offset " +
-                              std::to_string(offset));
+    if (injector_ != nullptr) {
+      FaultInjector::ReadFault f = injector_->OnRead(offset, len);
+      if (f == FaultInjector::ReadFault::kTransient) {
+        f = RetryRead(offset, len, quantum, /*extent=*/true);
+      }
+      if (f != FaultInjector::ReadFault::kNone) {
+        ++media_errors_;
+        return Status::DataLoss("uncorrectable media error at offset " +
+                                std::to_string(offset));
+      }
     }
   }
   return static_cast<const uint8_t*>(data_.data() + offset);
+}
+
+void NvmDevice::PoisonForTesting(uint64_t offset, uint64_t len, bool sticky) {
+  if (injector_ == nullptr) {
+    injector_ = std::make_unique<FaultInjector>(FaultPlan{}, 1, capacity_);
+  }
+  injector_->PoisonRange(offset, len, sticky);
+  // The device may have been built with the fast read/write paths; the
+  // injector is now load-bearing on both.
+  read_slow_ = true;
+  write_slow_ = true;
 }
 
 void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len,

@@ -33,6 +33,18 @@
 
 namespace ntadoc::nvm {
 
+/// Bounded read-retry policy for transient media errors. Each retry
+/// charges an exponentially growing controller backoff to the simulated
+/// clock plus the re-issued read itself, so absorbed faults still cost
+/// simulated time. Retries never help against sticky-unreadable blocks.
+struct RetryPolicy {
+  /// Maximum retry attempts after the initial failed read (0 disables).
+  uint32_t max_read_retries = 4;
+
+  /// Backoff before the first retry; doubles each further attempt.
+  uint64_t backoff_ns = 2000;
+};
+
 /// Construction options for NvmDevice.
 struct DeviceOptions {
   /// Device capacity in bytes.
@@ -64,6 +76,9 @@ struct DeviceOptions {
   /// Seed for all randomized fault choices; the same plan + seed
   /// reproduces byte-identical post-crash device states.
   uint64_t fault_seed = 1;
+
+  /// Read-retry policy for transient media errors (see RetryPolicy).
+  RetryPolicy retry;
 
   /// Run the PersistCheck persistency-order analyzer on every access
   /// (see nvm/persist_check.h). Independent of strict_persistence.
@@ -108,10 +123,11 @@ class NvmDevice {
     WriteBytes(offset, &value, sizeof(T));
   }
 
-  /// Charged bulk load. If the range overlaps an unreadable block the
-  /// destination is filled with a poison pattern (0xDB) and the media
-  /// error counter is bumped; callers on recovery paths should prefer
-  /// TryReadBytes.
+  /// Charged bulk load. Transient media errors are absorbed by the retry
+  /// policy; if the range overlaps a sticky-unreadable block (or the
+  /// retry budget runs out) the destination is deterministically
+  /// zero-filled and the media error counter is bumped. Callers on
+  /// recovery paths should prefer TryReadBytes.
   void ReadBytes(uint64_t offset, void* dst, uint64_t len);
 
   /// Charged bulk load that reports uncorrectable media errors: returns
@@ -200,6 +216,19 @@ class NvmDevice {
   /// Number of reads that hit an unreadable block since construction.
   uint64_t media_error_count() const { return media_errors_; }
 
+  /// Number of read retries issued against transient faults since
+  /// construction (both absorbed and budget-exhausted attempts).
+  uint64_t transient_retry_count() const { return transient_retries_; }
+
+  /// Marks every block overlapping [offset, offset+len) unreadable,
+  /// lazily creating an injector when the device was built without a
+  /// fault plan. Models media that went bad while the device was powered
+  /// off; tests use it to damage a persisted image between runs. By
+  /// default a rewrite heals the block (remappable damage); `sticky`
+  /// poison survives rewrites — media dead beyond re-derivation, the
+  /// degraded-mode case.
+  void PoisonForTesting(uint64_t offset, uint64_t len, bool sticky = false);
+
   /// The persistency-order analyzer, if enabled (null otherwise).
   const PersistCheck* persist_check() const { return check_.get(); }
   PersistCheck* mutable_persist_check() { return check_.get(); }
@@ -231,6 +260,13 @@ class NvmDevice {
   /// Returns the torn line index (which must stay dirty) or kNoTornLine.
   uint64_t MaybeTearFlush(uint64_t first, uint64_t last);
 
+  /// Bounded retry loop after a transient read failure: charges backoff
+  /// and the re-issued read per attempt. Returns the final outcome
+  /// (kNone once healed, kTransient if the budget ran out, kPermanent if
+  /// the range also overlaps poison).
+  FaultInjector::ReadFault RetryRead(uint64_t offset, uint64_t len,
+                                     uint64_t quantum, bool extent);
+
   uint64_t capacity_;
   MemoryModel model_;
   bool strict_;
@@ -246,6 +282,8 @@ class NvmDevice {
   std::unordered_map<uint64_t, std::array<uint8_t, kLine>> dirty_lines_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<PersistCheck> check_;
+  RetryPolicy retry_;
+  uint64_t transient_retries_ = 0;
   uint64_t media_errors_ = 0;
   uint64_t drain_count_ = 0;
   uint64_t snapshot_at_drain_ = 0;

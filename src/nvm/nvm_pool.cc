@@ -1,7 +1,9 @@
 #include "nvm/nvm_pool.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "nvm/obj_log.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -11,8 +13,27 @@ uint64_t NvmPool::HeaderChecksum(const Header& h) {
   return Fnv1a64(&h, offsetof(Header, checksum));
 }
 
+uint32_t NvmPool::RemapChecksum(const RemapEntry& e) {
+  return Crc32(&e, offsetof(RemapEntry, checksum));
+}
+
+NvmPool::Header NvmPool::MakeHeader(uint32_t remap_count) const {
+  Header h{};
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.spare_blocks = spare_blocks_;
+  h.size = size_;
+  h.top = top_;
+  h.spare_off = spare_off_;
+  h.remap_off = remap_off_;
+  h.remap_count = remap_count;
+  h.remap_capacity = remap_capacity_;
+  h.checksum = HeaderChecksum(h);
+  return h;
+}
+
 Result<NvmPool> NvmPool::Create(NvmDevice* device, uint64_t base,
-                                uint64_t size) {
+                                uint64_t size, const PoolOptions& opts) {
   NTADOC_CHECK(device != nullptr);
   if (size < 2 * kHeaderSlot) {
     return Status::InvalidArgument("pool size too small");
@@ -21,6 +42,29 @@ Result<NvmPool> NvmPool::Create(NvmDevice* device, uint64_t base,
     return Status::InvalidArgument("pool exceeds device capacity");
   }
   NvmPool pool(device, base, size, base + kHeaderSlot);
+  if (opts.spare_blocks > 0) {
+    const uint32_t entries =
+        opts.remap_capacity > 0 ? opts.remap_capacity : opts.spare_blocks;
+    const uint64_t spare_bytes = uint64_t{opts.spare_blocks} * kMediaBlock;
+    const uint64_t table_bytes = uint64_t{entries} * sizeof(RemapEntry);
+    // The spare region is media-block aligned so each spare slot is a
+    // whole ECC block; the table sits just below it, line-aligned.
+    const uint64_t spare_off = ((base + size - spare_bytes) / kMediaBlock) *
+                               kMediaBlock;
+    if (spare_off < base + size - spare_bytes ||
+        spare_off < base + 2 * kHeaderSlot + table_bytes) {
+      return Status::InvalidArgument("pool too small for spare region");
+    }
+    const uint64_t remap_off = ((spare_off - table_bytes) / kHeaderSlot) *
+                               kHeaderSlot;
+    if (remap_off < base + 2 * kHeaderSlot) {
+      return Status::InvalidArgument("pool too small for remap table");
+    }
+    pool.spare_off_ = spare_off;
+    pool.remap_off_ = remap_off;
+    pool.spare_blocks_ = opts.spare_blocks;
+    pool.remap_capacity_ = entries;
+  }
   pool.PersistHeader();
   return pool;
 }
@@ -45,13 +89,42 @@ Result<NvmPool> NvmPool::Open(NvmDevice* device, uint64_t base) {
       h.top > base + h.size) {
     return Status::DataLoss("pool header bounds corrupt");
   }
-  return NvmPool(device, base, h.size, h.top);
+  NvmPool pool(device, base, h.size, h.top);
+  if (h.spare_blocks > 0) {
+    const uint64_t spare_bytes = uint64_t{h.spare_blocks} * kMediaBlock;
+    const uint64_t table_bytes = uint64_t{h.remap_capacity} *
+                                 sizeof(RemapEntry);
+    if (h.spare_off % kMediaBlock != 0 ||
+        h.spare_off + spare_bytes > base + h.size ||
+        h.remap_off % kHeaderSlot != 0 ||
+        h.remap_off + table_bytes > h.spare_off ||
+        h.remap_off < base + 2 * kHeaderSlot ||
+        h.remap_count > h.remap_capacity ||
+        h.remap_count > h.spare_blocks || h.top > h.remap_off) {
+      return Status::DataLoss("pool repair-region bounds corrupt");
+    }
+    pool.spare_off_ = h.spare_off;
+    pool.remap_off_ = h.remap_off;
+    pool.spare_blocks_ = h.spare_blocks;
+    pool.remap_capacity_ = h.remap_capacity;
+    pool.remap_count_ = h.remap_count;
+    // Every committed remap record must validate; a corrupt table means
+    // we no longer know which media was redirected.
+    for (uint32_t i = 0; i < h.remap_count; ++i) {
+      auto entry = pool.ReadRemapEntry(i);
+      NTADOC_RETURN_IF_ERROR(entry.status());
+    }
+  } else if (h.spare_off != 0 || h.remap_off != 0 || h.remap_count != 0 ||
+             h.remap_capacity != 0) {
+    return Status::DataLoss("pool repair-region fields inconsistent");
+  }
+  return pool;
 }
 
 Result<PoolOffset> NvmPool::Alloc(uint64_t size, uint64_t align) {
   NTADOC_DCHECK((align & (align - 1)) == 0) << "alignment not a power of 2";
   uint64_t start = (top_ + align - 1) & ~(align - 1);
-  if (start + size > base_ + size_) {
+  if (start + size > alloc_limit()) {
     return Status::ResourceExhausted(
         "NVM pool exhausted: need " + std::to_string(size) + " bytes, " +
         std::to_string(Remaining()) + " remaining");
@@ -61,13 +134,7 @@ Result<PoolOffset> NvmPool::Alloc(uint64_t size, uint64_t align) {
 }
 
 void NvmPool::PersistHeader() {
-  Header h{};
-  h.magic = kMagic;
-  h.version = kVersion;
-  h.reserved = 0;
-  h.size = size_;
-  h.top = top_;
-  h.checksum = HeaderChecksum(h);
+  const Header h = MakeHeader(remap_count_);
   device_->Write(base_, h);
   device_->FlushRange(base_, sizeof(Header));
   device_->Drain();
@@ -86,6 +153,103 @@ void NvmPool::Reset() {
   PersistHeader();
 }
 
+Result<uint32_t> NvmPool::RemapBlock(uint64_t block_off, const void* content,
+                                     uint64_t len, RedoLog* log) {
+  if (spare_blocks_ == 0) {
+    return Status::FailedPrecondition("pool has no spare region");
+  }
+  if (block_off % kMediaBlock != 0 || len == 0 || len > kMediaBlock ||
+      block_off + len > alloc_limit() || block_off + kMediaBlock <= base_) {
+    return Status::InvalidArgument("remap target outside pool data region");
+  }
+  if (remap_count_ >= remap_capacity_ || remap_count_ >= spare_blocks_) {
+    return Status::ResourceExhausted("remap table full");
+  }
+  const uint32_t slot = remap_count_;
+  const uint64_t spare_dst = spare_off_ + uint64_t{slot} * kMediaBlock;
+  // Recovered contents go to the spare block AND the home block: the
+  // emulated controller redirects the bad media on the store, so every
+  // existing absolute offset into the pool stays valid.
+  device_->WriteBytes(spare_dst, content, len);
+  device_->WriteBytes(block_off, content, len);
+  device_->FlushRange(spare_dst, len);
+  device_->FlushRange(block_off, len);
+
+  RemapEntry entry{};
+  entry.orig_off = block_off;
+  entry.spare_slot = slot;
+  entry.checksum = RemapChecksum(entry);
+  const uint64_t entry_off = remap_off_ + uint64_t{slot} * sizeof(RemapEntry);
+  const Header new_header = MakeHeader(remap_count_ + 1);
+
+  if (log != nullptr) {
+    // Journaled commit: contents are durable first, then the entry and
+    // the count bump become visible atomically through the log.
+    device_->Drain();
+    device_->AssertPersisted(spare_dst, len);
+    device_->AssertPersisted(block_off, len);
+    if (log->in_transaction()) log->Abort();
+    log->Begin();
+    log->StageValue(entry_off, entry);
+    log->StageValue(base_, new_header);
+    Status s = log->Commit();
+    if (s.code() == StatusCode::kResourceExhausted) {
+      log->FlushAppliedHome();
+      log->Truncate();
+      s = log->Commit();
+    }
+    NTADOC_RETURN_IF_ERROR(s);
+  } else {
+    // Ordered commit: spare copy + healed home + entry are durable
+    // before the header's count bump, which is a single-line write and
+    // therefore crash-atomic — recovery sees either the old count (entry
+    // ignored, media still bad, repair redone) or the new one.
+    device_->Write(entry_off, entry);
+    device_->FlushRange(entry_off, sizeof(entry));
+    device_->Drain();
+    device_->AssertPersisted(spare_dst, len);
+    device_->AssertPersisted(block_off, len);
+    device_->AssertPersisted(entry_off, sizeof(entry));
+    device_->Write(base_, new_header);
+    device_->FlushRange(base_, sizeof(new_header));
+    device_->Drain();
+    device_->AssertPersisted(base_, sizeof(new_header));
+  }
+  remap_count_ = remap_count_ + 1;
+  return slot;
+}
+
+Result<NvmPool::RemapEntry> NvmPool::ReadRemapEntry(uint32_t index) {
+  if (index >= remap_count_) {
+    return Status::InvalidArgument("remap index out of range");
+  }
+  RemapEntry e;
+  const uint64_t off = remap_off_ + uint64_t{index} * sizeof(RemapEntry);
+  NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(off, &e, sizeof(e)));
+  if (e.checksum != RemapChecksum(e)) {
+    return Status::DataLoss("remap entry checksum mismatch");
+  }
+  if (e.orig_off % kMediaBlock != 0 || e.orig_off >= alloc_limit() ||
+      e.spare_slot >= spare_blocks_) {
+    return Status::DataLoss("remap entry bounds corrupt");
+  }
+  return e;
+}
+
+void NvmPool::ClearOwners() { owners_.clear(); }
+
+void NvmPool::RegisterOwner(uint64_t begin, uint64_t len, std::string name) {
+  if (len == 0) return;
+  owners_.push_back(OwnerExtent{begin, begin + len, std::move(name)});
+}
+
+std::string NvmPool::OwnerOf(uint64_t off, uint64_t len) const {
+  for (const OwnerExtent& e : owners_) {
+    if (off < e.end && off + len > e.begin) return e.name;
+  }
+  return "";
+}
+
 Result<NvmPool::ScrubReport> NvmPool::Scrub() {
   // The header must itself be readable and consistent with our in-memory
   // view before the data walk means anything.
@@ -100,16 +264,20 @@ Result<NvmPool::ScrubReport> NvmPool::Scrub() {
     return Status::DataLoss("pool header bounds corrupt during scrub");
   }
   ScrubReport report;
-  constexpr uint64_t kBlock = 256;  // media ECC block size
-  std::vector<uint8_t> buf(kBlock);
+  std::vector<uint8_t> buf(kMediaBlock);
   // Walk block-aligned chunks so bad_blocks counts distinct media
   // blocks (data_start is only 64-aligned).
   for (uint64_t off = data_start(); off < h.top;
-       off = (off / kBlock + 1) * kBlock) {
-    const uint64_t len = std::min((off / kBlock + 1) * kBlock, h.top) - off;
+       off = (off / kMediaBlock + 1) * kMediaBlock) {
+    const uint64_t len =
+        std::min((off / kMediaBlock + 1) * kMediaBlock, h.top) - off;
     report.scanned_bytes += len;
     if (!device_->TryReadBytes(off, buf.data(), len).ok()) {
       ++report.bad_blocks;
+      Damage d;
+      d.block_off = (off / kMediaBlock) * kMediaBlock;
+      d.owner = OwnerOf(off, len);
+      report.damage.push_back(std::move(d));
     }
   }
   return report;

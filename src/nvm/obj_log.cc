@@ -162,12 +162,19 @@ uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to) {
   const uint64_t end = data_start() + to;
   uint64_t applied = 0;
   while (off + sizeof(EntryHeader) <= end) {
-    const EntryHeader eh = device_->Read<EntryHeader>(off);
+    // An unreadable header ends the walk: a zero-filled (or otherwise
+    // poisoned) length would desynchronize every later record boundary
+    // and apply garbage-targeted writes. The failed read already bumped
+    // the media error counter, so the engine's per-step check turns the
+    // lost entries into DataLoss and repairs or salvages.
+    EntryHeader eh;
+    if (!device_->TryReadBytes(off, &eh, sizeof(eh)).ok()) break;
     const uint64_t payload = off + sizeof(EntryHeader);
     if (payload + eh.len > end) break;  // torn tail; stop
     // Zero-copy home apply. An unreadable payload block has nothing to
-    // copy home — skip the write (the bumped media error counter makes
-    // the engine's per-step check fail and salvage).
+    // copy home — the header is intact, so the record boundary is still
+    // trustworthy: skip just this write (the bumped media error counter
+    // makes the engine's per-step check fail and salvage).
     auto src = device_->TryReadSpan(payload, eh.len);
     if (!src.ok()) {
       off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);

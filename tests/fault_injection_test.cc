@@ -142,6 +142,68 @@ INSTANTIATE_TEST_SUITE_P(
                                          PersistenceMode::kOperation),
                        ::testing::Values(3, 25, 250, 2500, 12500)));
 
+// ---- Transient read faults ------------------------------------------
+//
+// Flaky reads that heal within the device's retry budget are a
+// controller-internal event: the run completes exactly, nothing is
+// reported as corruption, and the only trace is the retry counter (plus
+// the simulated backoff cost).
+
+TEST(TransientReadTest, RetriesAbsorbFlakyReadsSilently) {
+  const auto corpus = RandomCorpus(909, 20, 4, 220);
+  const auto expected = ReferenceRun(corpus, tadoc::Task::kWordCount, {});
+
+  nvm::FaultSpec flaky = MakeSpec(nvm::FaultEffect::kTransientRead,
+                                  nvm::FaultTrigger::kNthRead, 40);
+  flaky.transient_fail_count = 3;  // within the default retry budget of 4
+  nvm::FaultPlan plan;
+  plan.faults.push_back(flaky);
+  auto device = nvm::NvmDevice::Create(FaultyDeviceOptions(plan, 7));
+  ASSERT_TRUE(device.ok());
+
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kPhase;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  auto got = engine.Run(tadoc::Task::kWordCount);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, expected);
+
+  EXPECT_GT((*device)->transient_retry_count(), 0u);
+  EXPECT_EQ((*device)->media_error_count(), 0u);
+  EXPECT_GT((*device)->fault_injector()->stats().transient_faults, 0u);
+  EXPECT_GT(engine.run_info().transient_retries, 0u);
+  EXPECT_EQ(engine.run_info().corruption_detected, 0u);
+  EXPECT_EQ(engine.run_info().salvage_restarts, 0u);
+}
+
+// A transient window deeper than the retry budget is indistinguishable
+// from permanent loss at the failing read — it must surface through the
+// normal detect-and-repair machinery, never as a silent wrong answer.
+
+TEST(TransientReadTest, BudgetExhaustionEscalatesLikePermanentLoss) {
+  const auto corpus = RandomCorpus(909, 20, 4, 220);
+  const auto expected = ReferenceRun(corpus, tadoc::Task::kWordCount, {});
+
+  nvm::FaultSpec flaky = MakeSpec(nvm::FaultEffect::kTransientRead,
+                                  nvm::FaultTrigger::kNthRead, 40);
+  flaky.transient_fail_count = 64;  // outlives any retry budget
+  nvm::FaultPlan plan;
+  plan.faults.push_back(flaky);
+  auto device = nvm::NvmDevice::Create(FaultyDeviceOptions(plan, 7));
+  ASSERT_TRUE(device.ok());
+
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kPhase;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  auto got = engine.Run(tadoc::Task::kWordCount);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, expected);
+  EXPECT_GT((*device)->media_error_count(), 0u);
+  EXPECT_TRUE(engine.run_info().corruption_detected > 0 ||
+              engine.run_info().salvage_restarts > 0)
+      << "exhausted retries were consumed without detection";
+}
+
 // ---- Crash-time bit rot ---------------------------------------------
 //
 // SimulateCrash flips seeded bits anywhere on the device. With phase

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The full local CI wall: tier-1 ctest, ASan+UBSan, TSan, clang-tidy,
-# bench smoke (sim-clock drift gate) — run in sequence, with a summary
+# bench smoke (sim-clock drift gate), chaos soak (media-repair seed
+# sweep) — run in sequence, with a summary
 # table at the end. Exits nonzero if any
 # stage fails. A stage that self-skips (e.g. clang-tidy not installed)
 # counts as SKIP, not failure.
@@ -47,6 +48,7 @@ run_stage "check_asan" "${REPO_ROOT}/tools/check_asan.sh"
 run_stage "check_tsan" "${REPO_ROOT}/tools/check_tsan.sh"
 run_stage "check_tidy" "${REPO_ROOT}/tools/check_tidy.sh"
 run_stage "check_bench" "${REPO_ROOT}/tools/check_bench.sh"
+run_stage "check_chaos" "${REPO_ROOT}/tools/check_chaos.sh"
 
 echo
 echo "==== summary ===="

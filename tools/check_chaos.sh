@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Chaos gate: sweeps the media-repair acceptance suite (chaos_soak_test)
+# across a fixed set of corpus seeds. Each seed re-runs every scenario —
+# transient absorption, attach-time and mid-run scoped repair with
+# bad-block remapping, degraded completion, metadata-mirror failover —
+# on a freshly generated corpus, so repair correctness is not an
+# artifact of one grammar shape.
+#
+# Override the sweep with NTADOC_CHAOS_SEEDS="..." (space-separated).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SEEDS=${NTADOC_CHAOS_SEEDS:-"909 4242 31337"}
+
+if ! cmake --build "$BUILD_DIR" --target chaos_soak_test -j >/dev/null; then
+  echo "SKIPPED: could not build chaos_soak_test (configure $BUILD_DIR first)"
+  exit 0
+fi
+
+for seed in $SEEDS; do
+  echo "== chaos sweep: seed $seed =="
+  NTADOC_CHAOS_SEED="$seed" "$BUILD_DIR/tests/chaos_soak_test" \
+    --gtest_brief=1
+done
+
+echo "chaos soak OK: all scenarios across seeds: $SEEDS"

@@ -7,11 +7,12 @@
 //                    [--persistence=none|phase|operation]
 //                    [--traversal=auto|topdown|bottomup]
 //                    [--ngram=N] [--topk=K] [--limit=N]
-//                    [--dram-cache-mb=M]
+//                    [--dram-cache-mb=M] [--stats]
 //
 // `run` executes one of the six analytics tasks with N-TADOC on an
 // emulated device and prints the first --limit result rows plus the
-// phase timing.
+// phase timing. With --stats it also prints the run's accounting
+// counters as stable key=value lines on stdout.
 
 #include <cstdio>
 #include <cstring>
@@ -40,7 +41,8 @@ int Usage() {
                "[--persistence=none|phase|operation]\n"
                "                  [--traversal=auto|topdown|bottomup] "
                "[--ngram=N] [--topk=K] [--limit=N]\n"
-               "                  [--persist-check] [--dram-cache-mb=M]\n");
+               "                  [--persist-check] [--dram-cache-mb=M] "
+               "[--stats]\n");
   return 2;
 }
 
@@ -158,10 +160,13 @@ int CmdRun(int argc, char** argv) {
   tadoc::AnalyticsOptions opts;
   uint64_t limit = 10;
   bool persist_check = false;
+  bool show_stats = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--persist-check") {
       persist_check = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else if (arg.rfind("--medium=", 0) == 0) {
       const std::string m = arg.substr(9);
       if (m == "nvm") {
@@ -299,6 +304,31 @@ int CmdRun(int argc, char** argv) {
         stderr, "[rule cache] %llu hits, %llu misses\n",
         (unsigned long long)engine.run_info().rule_cache_hits,
         (unsigned long long)engine.run_info().rule_cache_misses);
+  }
+  if (show_stats) {
+    // Stable key=value lines (stdout) for scripted consumers; keep the
+    // key set append-only.
+    const core::NTadocRunInfo& info = engine.run_info();
+    auto kv = [](const char* key, uint64_t value) {
+      std::printf("%s=%llu\n", key, (unsigned long long)value);
+    };
+    kv("traversal_steps", info.traversal_steps);
+    kv("pool_used_bytes", info.pool_used_bytes);
+    kv("init_phase_reused", info.init_phase_reused ? 1 : 0);
+    kv("counter_rebuilds", info.counter_rebuilds);
+    kv("redo_logged_bytes", info.redo_logged_bytes);
+    kv("resumed_at_step", info.resumed_at_step);
+    kv("group_checkpoints", info.group_checkpoints);
+    kv("corruption_detected", info.corruption_detected);
+    kv("salvage_restarts", info.salvage_restarts);
+    kv("blocks_lost", info.blocks_lost);
+    kv("transient_retries", info.transient_retries);
+    kv("blocks_remapped", info.blocks_remapped);
+    kv("scoped_repairs", info.scoped_repairs);
+    kv("degraded_queries", info.degraded_queries);
+    std::printf("completeness=%.6f\n", info.completeness);
+    kv("rule_cache_hits", info.rule_cache_hits);
+    kv("rule_cache_misses", info.rule_cache_misses);
   }
   if (const nvm::PersistCheck* check = (*device)->persist_check()) {
     std::fprintf(stderr, "%s", check->report().ToString().c_str());
