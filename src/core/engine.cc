@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <list>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/summation.h"
 #include "tadoc/canonical.h"
@@ -198,24 +200,56 @@ struct U32Hash {
 using WordTable = NvmHashTable<uint32_t, uint64_t, U32Hash>;
 using GramTable = NvmHashTable<NgramKey, uint64_t, NgramKeyHash>;
 
-/// Direct-or-transactional writer for one traversal step.
+/// Direct-or-transactional writer for traversal steps.
+///
+/// Three regimes, selected at construction:
+///   * no log              — volatile/phase persistence: plain device
+///     writes, no transactions;
+///   * commit_interval 1   — strict libpmemobj-style operation
+///     persistence: each step is one redo-log transaction
+///     (Begin/Stage/Commit), bit-for-bit the historical per-step
+///     protocol;
+///   * commit_interval K>1 — epoch group commit: stores write through to
+///     their home locations immediately (volatile) and are recorded
+///     host-side; every K steps the records are coalesced — overlapping
+///     or adjacent writes merged into one interval, so repeated updates
+///     of the same counter collapse to one final-value record — and
+///     staged into a single redo-log transaction. The epoch's durable
+///     commit record is what makes the written-through home state
+///     recoverable; a crash loses at most the open epoch, and recovery
+///     resumes at the last committed epoch boundary. In-place bulk data
+///     (bottom-up lists) is flush-deferred: its dirty 64 B lines are
+///     collected per epoch, deduplicated, and flushed as contiguous runs
+///     under one drain.
 class StepWriter {
  public:
-  StepWriter(nvm::NvmDevice* device, nvm::RedoLog* log)
-      : device_(device), log_(log) {}
+  StepWriter(nvm::NvmDevice* device, nvm::RedoLog* log,
+             uint32_t commit_interval = 1, NTadocRunInfo* info = nullptr)
+      : device_(device),
+        log_(log),
+        interval_(log != nullptr ? std::max<uint32_t>(1, commit_interval)
+                                 : 1),
+        info_(info) {}
 
   bool transactional() const { return log_ != nullptr; }
+  bool epoch_mode() const { return interval_ > 1; }
   nvm::RedoLog* log() { return log_; }
 
   void Begin() {
-    if (log_ != nullptr) log_->Begin();
+    if (log_ == nullptr || epoch_mode()) return;  // epochs span steps
+    log_->Begin();
   }
 
   void Write(uint64_t off, const void* data, uint32_t len) {
-    if (log_ != nullptr) {
+    if (log_ == nullptr) {
+      device_->WriteBytes(off, data, len);
+    } else if (!epoch_mode()) {
       log_->Stage(off, data, len);
     } else {
+      // Write through now; the epoch's commit record restores the value
+      // after a crash. Recording coalesces repeated/adjacent writes.
       device_->WriteBytes(off, data, len);
+      Record(off, static_cast<const uint8_t*>(data), len);
     }
   }
 
@@ -224,11 +258,199 @@ class StepWriter {
     Write(off, &v, sizeof(T));
   }
 
-  Status Commit() { return log_ != nullptr ? log_->Commit() : Status::OK(); }
+  /// Epoch mode only: the caller wrote `len` in-place bytes at `off`
+  /// (bulk data bypassing the log) and relies on this epoch's commit for
+  /// their durability — the lines join the epoch's one batched flush.
+  void DeferDataFlush(uint64_t off, uint64_t len) {
+    if (len == 0) return;
+    const uint64_t first = off / kLine;
+    const uint64_t last = (off + len - 1) / kLine;
+    for (uint64_t l = first; l <= last; ++l) deferred_lines_.push_back(l);
+    line_events_ += last - first + 1;
+  }
+
+  /// Commits the step. K=1 commits the step's transaction; epoch mode
+  /// counts the step and commits the whole epoch when it is full, when
+  /// the coalesced records approach the log reserve, or when `force` is
+  /// set (phase boundaries: the cursor must be durable before the phase
+  /// marker advances past it).
+  Status Commit(bool force = false) {
+    if (log_ == nullptr) return Status::OK();
+    if (!epoch_mode()) return log_->Commit();
+    ++steps_;
+    if (!force && steps_ < interval_ &&
+        pending_encoded_ < log_->capacity_bytes() / 4) {
+      return Status::OK();
+    }
+    return CommitEpoch();
+  }
 
  private:
+  static constexpr uint64_t kLine = nvm::PersistCheck::kLine;
+
+  /// Coalesces [off, off+len) into the staged interval map: an interval
+  /// fully containing the write is patched in place; otherwise every
+  /// interval overlapping or adjacent to it is merged (newest bytes
+  /// win). Intervals stay pairwise disjoint and non-adjacent.
+  void Record(uint64_t off, const uint8_t* data, uint32_t len) {
+    if (len == 0) return;
+    ++writes_recorded_;
+    const uint64_t end = off + len;
+    line_events_ += (end - 1) / kLine - off / kLine + 1;
+    auto it = staged_.upper_bound(off);
+    if (it != staged_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first <= off && prev->first + prev->second.size() >= end) {
+        std::copy(data, data + len,
+                  prev->second.begin() + (off - prev->first));
+        return;
+      }
+    }
+    // Candidates start at most one interval before upper_bound(off);
+    // everything they do not cover of [nb, ne) is covered by the new
+    // write, so the merged buffer has no gaps.
+    auto first = staged_.upper_bound(off);
+    if (first != staged_.begin()) {
+      auto prev = std::prev(first);
+      if (prev->first + prev->second.size() >= off) first = prev;
+    }
+    auto last = first;
+    uint64_t nb = off;
+    uint64_t ne = end;
+    while (last != staged_.end() && last->first <= end) {
+      nb = std::min(nb, last->first);
+      ne = std::max(ne, last->first + last->second.size());
+      pending_encoded_ -= nvm::RedoLog::EncodedRecordBytes(
+          static_cast<uint32_t>(last->second.size()));
+      ++last;
+    }
+    std::vector<uint8_t> buf(ne - nb);
+    for (auto i = first; i != last; ++i) {
+      std::copy(i->second.begin(), i->second.end(),
+                buf.begin() + (i->first - nb));
+    }
+    std::copy(data, data + len, buf.begin() + (off - nb));
+    staged_.erase(first, last);
+    pending_encoded_ +=
+        nvm::RedoLog::EncodedRecordBytes(static_cast<uint32_t>(buf.size()));
+    staged_.emplace(nb, std::move(buf));
+  }
+
+  /// Commits the accumulated epoch: flushes deferred in-place data under
+  /// one drain, stages the coalesced records as one transaction, and
+  /// publishes the durable commit record. The group checkpoint happens
+  /// only here, immediately after a successful commit — home state is
+  /// consistent exactly at epoch boundaries, so FlushAppliedHome can
+  /// never leak an uncommitted write-through value to durable home.
+  Status CommitEpoch() {
+    steps_ = 0;
+    if (staged_.empty() && deferred_lines_.empty()) return Status::OK();
+
+    // 1. Deferred data first: the commit record publishes metadata that
+    // points at it, so the data must be durable before the record is.
+    std::vector<uint64_t> deferred;
+    deferred.swap(deferred_lines_);
+    std::sort(deferred.begin(), deferred.end());
+    deferred.erase(std::unique(deferred.begin(), deferred.end()),
+                   deferred.end());
+    uint64_t flushed_now = 0;
+    if (!deferred.empty()) {
+      std::vector<uint64_t> runs = deferred;  // FlushLineRuns consumes
+      flushed_now = device_->FlushLineRuns(runs);
+      // Those lines are clean now; no later checkpoint may re-flush
+      // them (including stale entries from earlier epochs).
+      log_->NoteHomeLinesFlushed(deferred);
+    }
+    if (staged_.empty()) {
+      if (info_ != nullptr) {
+        info_->coalesced_flush_lines += line_events_ - flushed_now;
+      }
+      DropEpoch();
+      return Status::OK();
+    }
+
+    // 2. One transaction for the epoch's coalesced records.
+    log_->Begin();
+    std::vector<uint64_t> home_lines;
+    for (const auto& [off, buf] : staged_) {
+      log_->Stage(off, buf.data(), static_cast<uint32_t>(buf.size()));
+      for (uint64_t l = off / kLine; l <= (off + buf.size() - 1) / kLine;
+           ++l) {
+        home_lines.push_back(l);
+      }
+    }
+    std::sort(home_lines.begin(), home_lines.end());
+    home_lines.erase(std::unique(home_lines.begin(), home_lines.end()),
+                     home_lines.end());
+    if (!deferred.empty()) {
+      // Lines the deferred flush above already made durable stay out of
+      // the checkpoint set (list data packs against its descriptor
+      // array, so sharing a 64 B line is routine).
+      std::vector<uint64_t> kept;
+      kept.reserve(home_lines.size());
+      std::set_difference(home_lines.begin(), home_lines.end(),
+                          deferred.begin(), deferred.end(),
+                          std::back_inserter(kept));
+      home_lines = std::move(kept);
+    }
+    const uint64_t home_kept = home_lines.size();
+    Status s = log_->CommitApplied(std::move(home_lines));
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) {
+        // The per-step protocol checkpoints and retries here, but a
+        // mid-epoch FlushAppliedHome would flush home lines carrying
+        // uncommitted write-through values — leaked durable state that
+        // recovery would then double-apply. The reserve policy (early
+        // commit at capacity/4, checkpoint above capacity/2) makes this
+        // reachable only when a single step outgrows the reserve, so
+        // fail honestly instead.
+        log_->Abort();
+        s = Status::InvalidArgument(
+            "epoch exceeds redo log reserve: increase redo_log_bytes or "
+            "lower commit_interval");
+      }
+      DropEpoch();
+      return s;
+    }
+    if (info_ != nullptr) {
+      ++info_->epoch_commits;
+      info_->coalesced_records += writes_recorded_ - staged_.size();
+      info_->coalesced_flush_lines +=
+          line_events_ - (flushed_now + home_kept);
+    }
+    DropEpoch();
+
+    // 3. Clean-boundary group checkpoint, deferred until the remaining
+    // reserve could no longer absorb a worst-case epoch (the early-commit
+    // threshold above): checkpointing re-flushes every home line dirtied
+    // since the last one, so eagerness directly multiplies line flushes.
+    if (log_->used_bytes() > log_->capacity_bytes() -
+                                 log_->capacity_bytes() / 4) {
+      log_->FlushAppliedHome();
+      log_->Truncate();
+    }
+    return Status::OK();
+  }
+
+  void DropEpoch() {
+    staged_.clear();
+    deferred_lines_.clear();
+    pending_encoded_ = 0;
+    writes_recorded_ = 0;
+    line_events_ = 0;
+  }
+
   nvm::NvmDevice* device_;
   nvm::RedoLog* log_;
+  uint32_t interval_;
+  NTadocRunInfo* info_;
+  uint32_t steps_ = 0;  // steps since the last epoch commit
+  // off -> bytes; pairwise disjoint, non-adjacent coalesced intervals.
+  std::map<uint64_t, std::vector<uint8_t>> staged_;
+  uint64_t pending_encoded_ = 0;  // Σ EncodedRecordBytes over staged_
+  uint64_t writes_recorded_ = 0;  // Write() calls this epoch
+  uint64_t line_events_ = 0;      // line flushes the strict path would pay
+  std::vector<uint64_t> deferred_lines_;
 };
 
 
@@ -266,7 +488,12 @@ Status WriteList(NvmVector<ListMeta>* metas, nvm::NvmPool* pool,
     for (const auto& kv : acc) buf.push_back(make_entry(kv));
     if (!buf.empty()) {
       device->WriteBytes(m.off, buf.data(), buf.size() * sizeof(Entry));
-      if (writer->transactional()) {
+      if (writer->epoch_mode()) {
+        // List data bypasses the redo log (large objects are written in
+        // place); epoch mode defers its durability to the epoch commit,
+        // where all deferred lines share one deduplicated flush + drain.
+        writer->DeferDataFlush(m.off, buf.size() * sizeof(Entry));
+      } else if (writer->transactional()) {
         // List data bypasses the redo log (large objects are written in
         // place); it must be durable before the meta/cursor commit.
         device->FlushRange(m.off, buf.size() * sizeof(Entry));
@@ -447,6 +674,33 @@ struct NTadocEngine::RuleCache {
     return &it->second.payload;
   }
 
+  /// Admission policy. Caching is only a win when BOTH hold:
+  ///   (a) the payload is re-read — the second miss proves reuse, so
+  ///       single-use rules (read once to build the estimator, once to
+  ///       traverse) never displace anything; and
+  ///   (b) a DRAM replay is actually cheaper than what the device just
+  ///       charged for this decode: a warm device buffer often re-reads
+  ///       a payload for less than the worst-case DRAM line replay a hit
+  ///       would charge, in which case caching *slows the run down*.
+  /// The measured cost of the current miss captures the device buffer's
+  /// real behavior; the replay side is a worst-case (all-miss) estimate.
+  /// The 2x margin covers the other direction of error: one expensive
+  /// miss does not mean future re-reads stay expensive (the device
+  /// buffer may have warmed by then), so a payload is admitted only when
+  /// replaying it from DRAM wins even if re-reads turn out to cost half
+  /// of what this miss did.
+  bool ShouldAdmit(bool segment, uint32_t id, const PayloadExtent& e,
+                   uint64_t measured_device_ns) {
+    if (seen_once.insert(KeyOf(segment, id)).second) return false;
+    const nvm::DeviceProfile& p = dram.profile();
+    auto blocks = [&p](uint64_t len) {
+      return (len + p.block_size - 1) / p.block_size;
+    };
+    uint64_t replay = blocks(e.meta_len) * p.read_miss_ns;
+    if (e.payload_len > 0) replay += blocks(e.payload_len) * p.read_miss_ns;
+    return measured_device_ns > 2 * replay;
+  }
+
   void Insert(bool segment, uint32_t id, const DecodedPayload& payload,
               const PayloadExtent& extent) {
     const uint64_t bytes = PayloadBytes(payload);
@@ -466,6 +720,7 @@ struct NTadocEngine::RuleCache {
   void Clear() {
     map.clear();
     lru.clear();
+    seen_once.clear();
     used = 0;
   }
 
@@ -473,7 +728,59 @@ struct NTadocEngine::RuleCache {
   uint64_t used = 0;
   std::list<uint64_t> lru;  // front = most recently used key
   std::unordered_map<uint64_t, Entry> map;
+  std::unordered_set<uint64_t> seen_once;  // keys missed at least once
   nvm::MemoryModel dram;
+};
+
+// ---------------------------------------------------------------------------
+// RunBatch shared init state
+// ---------------------------------------------------------------------------
+
+/// What one full initialization leaves behind that every later task in the
+/// same batch can reuse: the pool prefix holding the catalog slot and the
+/// pruned DAG (immutable after init — traversals reset rule weights before
+/// reading them), and the host-side estimator scratch whose derivation is
+/// task-independent (it depends only on the grammar and the pruning
+/// setting). Later tasks roll the pool's bump pointer back to `dag_top`
+/// and re-allocate only their own tables/lists/cursor. When the first
+/// sequence task lays its local n-gram lists directly after the DAG, the
+/// reusable prefix extends to `gram_top` for later sequence tasks with the
+/// same n — a non-sequence task in between allocates over that region and
+/// invalidates it.
+struct NTadocEngine::BatchShared {
+  bool valid = false;
+  uint64_t pool_base = 0;
+  uint64_t catalog_off = 0;
+  uint64_t dag_top = 0;  // pool top right after BuildPrunedDag
+  PrunedDag dag;         // NvmVector handles are re-attached on reuse
+  PruneStats prune;
+
+  // Task-independent estimator scratch (Algorithm 2 inputs/outputs).
+  DagChildren children;
+  std::vector<uint64_t> own_words;
+  std::vector<uint64_t> own_len;
+  std::vector<uint64_t> explen;
+  std::vector<uint64_t> word_ub;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> seg_children;
+  std::vector<uint64_t> seg_explen;
+  std::vector<uint64_t> seg_word_ub;
+  std::vector<uint64_t> seg_own_distinct;  // distinct own words per segment
+
+  // Local n-gram prefix extension (valid only until a non-sequence task
+  // allocates over it).
+  bool gram_valid = false;
+  uint32_t gram_ngram = 0;
+  uint64_t gram_top = 0;  // pool top right after the gram payloads
+  uint64_t local_gram_meta_off = 0;
+  uint64_t seg_gram_meta_off = 0;
+  uint64_t gram_begin = 0;
+  uint64_t gram_end = 0;
+  std::vector<uint64_t> gram_ub;
+
+  void Invalidate() {
+    valid = false;
+    gram_valid = false;
+  }
 };
 
 DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
@@ -488,13 +795,16 @@ DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
   }
   ++run_info_.rule_cache_misses;
   PayloadExtent extent;
+  const uint64_t decode_t0 = device_->clock().NowNanos();
   DecodedPayload payload =
       segment ? ReadSegmentPayload(st->dag, &*st->pool, id, &extent)
               : ReadRulePayload(st->dag, &*st->pool, id, &extent);
+  const uint64_t decode_ns = device_->clock().NowNanos() - decode_t0;
   // Never cache a payload read through an unreadable block: the decode
   // came back empty with the media error counter bumped, and the caller
   // is about to salvage.
-  if (device_->media_error_count() == media_errors_seen_) {
+  if (device_->media_error_count() == media_errors_seen_ &&
+      rule_cache_->ShouldAdmit(segment, id, extent, decode_ns)) {
     rule_cache_->Insert(segment, id, payload, extent);
   }
   return payload;
@@ -609,15 +919,18 @@ void PersistTraversalState(nvm::NvmDevice* device, StateT* st) {
 /// through the log).
 template <typename StateT, typename Writer>
 Status CommitWithCheckpoint(nvm::NvmDevice* device, StateT* st,
-                            Writer* writer) {
+                            Writer* writer, bool force = false) {
   (void)device;
-  Status s = writer->Commit();
+  Status s = writer->Commit(force);
   if (s.code() != StatusCode::kResourceExhausted) return s;
+  // Only the strict per-step protocol reaches this retry: epoch commits
+  // handle their reserve internally (a mid-epoch checkpoint would leak
+  // uncommitted write-through state) and never return ResourceExhausted.
   if (st->log) {
     st->log->FlushAppliedHome();
     st->log->Truncate();
   }
-  return writer->Commit();
+  return writer->Commit(force);
 }
 
 /// Byte extents of pool state that legitimately mutates during the
@@ -882,6 +1195,28 @@ CursorSlot ReadCursor(nvm::NvmDevice* device, uint64_t cursor_off) {
     return CursorSlot{kCursorMagic, 0, 0, 0, 0};
   }
   return c;
+}
+
+/// Epoch-mode error unwinding. A step that fails mid-epoch (media damage
+/// surfacing as DataLoss — never an injected crash, which must not write
+/// post-crash) leaves uncommitted write-through values in home with no
+/// power loss to roll them back; scoped repair would then resume
+/// mid-phase and re-apply deltas on top of them. Reset to a clean
+/// boundary instead: drop any open transaction, checkpoint the committed
+/// state, and move the durable cursor back to stage 0 so the next
+/// attempt re-runs the phase from its idempotent reset (which rewrites
+/// every line the abandoned epoch dirtied).
+void AbortToPhaseStart(nvm::NvmDevice* device, nvm::RedoLog* log,
+                       uint64_t cursor_off) {
+  if (log->in_transaction()) log->Abort();
+  log->FlushAppliedHome();
+  log->Truncate();
+  CursorSlot fresh{kCursorMagic, 0, 0, 0, 0};
+  fresh.checksum = CursorChecksum(fresh);
+  device->Write(cursor_off, fresh);
+  device->FlushRange(cursor_off, sizeof(CursorSlot));
+  device->Drain();
+  device->AssertPersisted(cursor_off, sizeof(CursorSlot));
 }
 
 }  // namespace
@@ -1502,10 +1837,21 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   }
 
   // ---- Fresh initialization ----
+  // Inside a RunBatch, a valid shared prefix replaces the expensive
+  // task-independent half of this phase: the container load, the pruned
+  // DAG build, and the estimator's payload reads.
+  const bool batch_reuse = batch_shared_ && batch_shared_->valid &&
+                           batch_shared_->pool_base == pool_base &&
+                           !force_fresh;
+  // The local-gram region extends the reusable prefix only when it was
+  // laid down for the same n and nothing allocated over it since.
+  const bool gram_reuse = batch_reuse && st->use_local_grams &&
+                          batch_shared_->gram_valid &&
+                          batch_shared_->gram_ngram == opts.ngram;
   nvm::PhaseMarker marker(device_, kMarkerOffset);
-  // Reading the compressed container from the source disk (the paper
-  // times dataset loading; N-TADOC reads the compressed representation).
-  {
+  if (!batch_reuse) {
+    // Reading the compressed container from the source disk (the paper
+    // times dataset loading; N-TADOC reads the compressed representation).
     uint64_t container_bytes =
         grammar.TotalSymbols() * sizeof(Symbol) + 16 * grammar.NumRules();
     for (compress::WordId w = 0; w < corpus_->dict.size(); ++w) {
@@ -1521,29 +1867,61 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
         nvm::RedoLog::Create(device_, kMarkerRegion, options_.redo_log_bytes));
     st->log.emplace(std::move(log));
   }
-  // Persistent pools carry spare blocks + a remap table so single-block
-  // media failures can be repaired in place instead of restarting.
-  nvm::PoolOptions pool_opts;
-  if (options_.persistence != PersistenceMode::kNone) {
-    pool_opts.spare_blocks =
-        pool_size >= (1ull << 20) ? 64 : (pool_size >= (64ull << 10) ? 8 : 0);
-  }
-  NTADOC_ASSIGN_OR_RETURN(
-      auto pool, nvm::NvmPool::Create(device_, pool_base, pool_size,
-                                      pool_opts));
-  st->pool.emplace(std::move(pool));
-
   Catalog cat{};
   cat.magic = kCatalogMagic;
   cat.signature = st->signature;
   cat.pruned = options_.enable_pruning ? 1 : 0;
-  NTADOC_ASSIGN_OR_RETURN(const uint64_t catalog_off,
-                          st->pool->Alloc(sizeof(Catalog), 64));
+  uint64_t catalog_off = 0;
+  if (batch_reuse) {
+    // Re-open the pool over the previous task's layout and roll the bump
+    // pointer back to the end of the shared prefix; the catalog slot and
+    // the pruned DAG stay in place, everything later is reallocated.
+    NTADOC_ASSIGN_OR_RETURN(auto pool,
+                            nvm::NvmPool::Open(device_, pool_base));
+    st->pool.emplace(std::move(pool));
+    NTADOC_RETURN_IF_ERROR(st->pool->ResetTopTo(
+        gram_reuse ? batch_shared_->gram_top : batch_shared_->dag_top));
+    if (!gram_reuse) batch_shared_->gram_valid = false;
+    catalog_off = batch_shared_->catalog_off;
+    st->dag = batch_shared_->dag;
+    st->dag.rule_meta = NvmVector<RuleMeta>::Attach(
+        &*st->pool, batch_shared_->dag.rule_meta.offset(),
+        batch_shared_->dag.rule_meta.capacity(),
+        batch_shared_->dag.rule_meta.size());
+    st->dag.seg_meta = NvmVector<SegmentMeta>::Attach(
+        &*st->pool, batch_shared_->dag.seg_meta.offset(),
+        batch_shared_->dag.seg_meta.capacity(),
+        batch_shared_->dag.seg_meta.size());
+    run_info_.prune = batch_shared_->prune;
+    ++run_info_.batch_init_reuses;
+  } else {
+    // Persistent pools carry spare blocks + a remap table so single-block
+    // media failures can be repaired in place instead of restarting.
+    nvm::PoolOptions pool_opts;
+    if (options_.persistence != PersistenceMode::kNone) {
+      pool_opts.spare_blocks =
+          pool_size >= (1ull << 20) ? 64
+                                    : (pool_size >= (64ull << 10) ? 8 : 0);
+    }
+    NTADOC_ASSIGN_OR_RETURN(
+        auto pool, nvm::NvmPool::Create(device_, pool_base, pool_size,
+                                        pool_opts));
+    st->pool.emplace(std::move(pool));
+    NTADOC_ASSIGN_OR_RETURN(catalog_off, st->pool->Alloc(sizeof(Catalog), 64));
 
-  // Pruning with NVM pool management (Algorithm 1).
-  NTADOC_ASSIGN_OR_RETURN(
-      st->dag, BuildPrunedDag(grammar, &*st->pool, options_.enable_pruning,
-                              &run_info_.prune));
+    // Pruning with NVM pool management (Algorithm 1).
+    NTADOC_ASSIGN_OR_RETURN(
+        st->dag, BuildPrunedDag(grammar, &*st->pool, options_.enable_pruning,
+                                &run_info_.prune));
+    if (batch_shared_) {
+      batch_shared_->pool_base = pool_base;
+      batch_shared_->catalog_off = catalog_off;
+      batch_shared_->dag_top = st->pool->top();
+      batch_shared_->dag = st->dag;
+      batch_shared_->prune = run_info_.prune;
+      batch_shared_->gram_valid = false;
+    }
+  }
   cat.rule_meta_off = st->dag.rule_meta.offset();
   cat.seg_meta_off = st->dag.seg_meta.offset();
   cat.payload_begin = st->dag.payload_begin;
@@ -1553,87 +1931,137 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   const uint32_t nf = grammar.num_files;
 
   // Host-side adjacency and per-rule item counts for the estimator.
-  DagChildren children(nr);
-  std::vector<uint64_t> own_words(nr, 0);
-  std::vector<uint64_t> own_len(nr, 0);  // occurrences, not distinct
-  for (uint32_t r = 1; r < nr; ++r) {
-    const DecodedPayload p = ReadPayloadCached(st, /*segment=*/false, r);
-    children[r] = p.subrules;
-    if (!st->dag.pruned) CombineEntries(&children[r]);
-    // Distinct own words (pruned payloads are already unique).
-    if (st->dag.pruned) {
-      own_words[r] = p.words.size();
-      for (const auto& [w, f] : p.words) {
-        (void)w;
-        own_len[r] += f;
+  DagChildren children;
+  std::vector<uint64_t> own_words;
+  std::vector<uint64_t> own_len;  // occurrences, not distinct
+  std::vector<uint64_t> explen;
+  std::vector<uint64_t> word_ub;
+  std::vector<uint64_t> seg_word_ub;
+  std::vector<uint64_t> seg_explen;
+  std::vector<uint64_t> seg_own_distinct;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> seg_children;
+  if (batch_reuse) {
+    // The scratch depends only on the grammar and the pruning setting,
+    // never on the task — reuse it without touching the device.
+    children = batch_shared_->children;
+    own_words = batch_shared_->own_words;
+    own_len = batch_shared_->own_len;
+    explen = batch_shared_->explen;
+    word_ub = batch_shared_->word_ub;
+    seg_children = batch_shared_->seg_children;
+    seg_explen = batch_shared_->seg_explen;
+    seg_word_ub = batch_shared_->seg_word_ub;
+    seg_own_distinct = batch_shared_->seg_own_distinct;
+  } else {
+    children.resize(nr);
+    own_words.assign(nr, 0);
+    own_len.assign(nr, 0);
+    for (uint32_t r = 1; r < nr; ++r) {
+      const DecodedPayload p = ReadPayloadCached(st, /*segment=*/false, r);
+      children[r] = p.subrules;
+      if (!st->dag.pruned) CombineEntries(&children[r]);
+      // Distinct own words (pruned payloads are already unique).
+      if (st->dag.pruned) {
+        own_words[r] = p.words.size();
+        for (const auto& [w, f] : p.words) {
+          (void)w;
+          own_len[r] += f;
+        }
+      } else {
+        auto w = p.words;
+        own_len[r] = w.size();
+        CombineEntries(&w);
+        own_words[r] = w.size();
       }
-    } else {
-      auto w = p.words;
-      own_len[r] = w.size();
-      CombineEntries(&w);
-      own_words[r] = w.size();
     }
-  }
-  // Poisoned payload reads above would feed garbage rule ids into the
-  // estimator's index arithmetic; stop here if any read failed.
-  NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
-
-  // Expansion lengths (occurrence counts), children first: a structure
-  // can never hold more entries than the expansion has tokens, so these
-  // sharpen the distinct-item bounds below.
-  std::vector<uint64_t> explen(nr, 0);
-  for (auto it = st->dag.layout_order.rbegin();
-       it != st->dag.layout_order.rend(); ++it) {
-    const uint32_t r = *it;
-    if (r == 0) continue;
-    explen[r] = own_len[r];
-    for (const auto& [child, freq] : children[r]) {
-      explen[r] += explen[child] * freq;
-    }
-  }
-
-  // Bottom-up summation (Algorithm 2): distinct-word upper bounds,
-  // capped by the expansion length and the dictionary size.
-  std::vector<uint64_t> word_ub = BottomUpSummation(children, own_words);
-  for (uint32_t r = 0; r < nr; ++r) {
-    word_ub[r] = std::min<uint64_t>(
-        std::min<uint64_t>(word_ub[r], grammar.dict_size),
-        r == 0 ? word_ub[r] : std::max<uint64_t>(explen[r], 1));
-  }
-
-  // Segment bounds, capped by the segment's expansion length.
-  std::vector<uint64_t> seg_word_ub(nf, 0);
-  std::vector<uint64_t> seg_explen(nf, 0);
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> seg_children(nf);
-  for (uint32_t f = 0; f < nf; ++f) {
-    DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
+    // Poisoned payload reads above would feed garbage rule ids into the
+    // estimator's index arithmetic; stop here if any read failed.
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
-    if (!st->dag.pruned) {
-      CombineEntries(&p.subrules);
-      CombineEntries(&p.words);
+
+    // Expansion lengths (occurrence counts), children first: a structure
+    // can never hold more entries than the expansion has tokens, so these
+    // sharpen the distinct-item bounds below.
+    explen.assign(nr, 0);
+    for (auto it = st->dag.layout_order.rbegin();
+         it != st->dag.layout_order.rend(); ++it) {
+      const uint32_t r = *it;
+      if (r == 0) continue;
+      explen[r] = own_len[r];
+      for (const auto& [child, freq] : children[r]) {
+        explen[r] += explen[child] * freq;
+      }
     }
-    seg_children[f] = p.subrules;
-    uint64_t own = 0;
-    for (const auto& [w, freq] : p.words) {
-      (void)w;
-      own += freq;
+
+    // Bottom-up summation (Algorithm 2): distinct-word upper bounds,
+    // capped by the expansion length and the dictionary size.
+    word_ub = BottomUpSummation(children, own_words);
+    for (uint32_t r = 0; r < nr; ++r) {
+      word_ub[r] = std::min<uint64_t>(
+          std::min<uint64_t>(word_ub[r], grammar.dict_size),
+          r == 0 ? word_ub[r] : std::max<uint64_t>(explen[r], 1));
     }
-    seg_explen[f] = own;
-    for (const auto& [child, freq] : p.subrules) {
-      seg_explen[f] += explen[child] * freq;
+
+    // Segment bounds, capped by the segment's expansion length.
+    seg_word_ub.assign(nf, 0);
+    seg_explen.assign(nf, 0);
+    seg_own_distinct.assign(nf, 0);
+    seg_children.assign(nf, {});
+    for (uint32_t f = 0; f < nf; ++f) {
+      DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
+      NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
+      if (!st->dag.pruned) {
+        CombineEntries(&p.subrules);
+        CombineEntries(&p.words);
+      }
+      seg_children[f] = p.subrules;
+      seg_own_distinct[f] = p.words.size();
+      uint64_t own = 0;
+      for (const auto& [w, freq] : p.words) {
+        (void)w;
+        own += freq;
+      }
+      seg_explen[f] = own;
+      for (const auto& [child, freq] : p.subrules) {
+        seg_explen[f] += explen[child] * freq;
+      }
+      seg_word_ub[f] = std::min<uint64_t>(
+          std::min<uint64_t>(
+              SpanUpperBound(p.subrules, p.words.size(), word_ub),
+              grammar.dict_size),
+          std::max<uint64_t>(seg_explen[f], 1));
     }
-    seg_word_ub[f] = std::min<uint64_t>(
-        std::min<uint64_t>(
-            SpanUpperBound(p.subrules, p.words.size(), word_ub),
-            grammar.dict_size),
-        std::max<uint64_t>(seg_explen[f], 1));
+    if (batch_shared_) {
+      batch_shared_->children = children;
+      batch_shared_->own_words = own_words;
+      batch_shared_->own_len = own_len;
+      batch_shared_->explen = explen;
+      batch_shared_->word_ub = word_ub;
+      batch_shared_->seg_children = seg_children;
+      batch_shared_->seg_explen = seg_explen;
+      batch_shared_->seg_word_ub = seg_word_ub;
+      batch_shared_->seg_own_distinct = seg_own_distinct;
+      batch_shared_->valid = true;
+    }
   }
 
   // Sequence support: local boundary windows per rule / segment, stored
   // as pool payloads (order information preserved via head/tail
   // preprocessing — Section IV-D).
   std::vector<uint64_t> gram_ub;
-  if (st->use_local_grams) {
+  if (gram_reuse) {
+    // The gram lists sit directly after the DAG in the shared prefix,
+    // written by an earlier task of the same batch for the same n;
+    // re-attach to them instead of scanning the grammar again.
+    st->local_gram_meta = NvmVector<GramMeta>::Attach(
+        &*st->pool, batch_shared_->local_gram_meta_off, nr, nr);
+    st->seg_gram_meta = NvmVector<GramMeta>::Attach(
+        &*st->pool, batch_shared_->seg_gram_meta_off, nf, nf);
+    st->gram_begin = batch_shared_->gram_begin;
+    st->gram_end = batch_shared_->gram_end;
+    cat.local_gram_meta_off = st->local_gram_meta.offset();
+    cat.seg_gram_meta_off = st->seg_gram_meta.offset();
+    gram_ub = batch_shared_->gram_ub;
+  } else if (st->use_local_grams) {
     const tadoc::HeadTailTable ht =
         tadoc::HeadTailTable::Build(grammar, opts.ngram);
     tadoc::WindowScanner scanner(&ht, opts.ngram);
@@ -1696,6 +2124,19 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     for (uint32_t r = 1; r < nr; ++r) {
       gram_ub[r] = std::min<uint64_t>(gram_ub[r],
                                       std::max<uint64_t>(explen[r], 1));
+    }
+    // Written right after the DAG (nothing allocated between), so the
+    // reusable prefix can extend over the gram region for later sequence
+    // tasks of this batch.
+    if (batch_shared_) {
+      batch_shared_->gram_valid = batch_shared_->valid;
+      batch_shared_->gram_ngram = opts.ngram;
+      batch_shared_->gram_top = st->pool->top();
+      batch_shared_->local_gram_meta_off = st->local_gram_meta.offset();
+      batch_shared_->seg_gram_meta_off = st->seg_gram_meta.offset();
+      batch_shared_->gram_begin = st->gram_begin;
+      batch_shared_->gram_end = st->gram_end;
+      batch_shared_->gram_ub = gram_ub;
     }
   }
 
@@ -1791,16 +2232,23 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   if (st->use_file_table) {
     uint64_t expected = 0;
     for (uint32_t f = 0; f < nf; ++f) {
-      DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
-      NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
-      if (!st->dag.pruned) {
-        CombineEntries(&p.subrules);
-        CombineEntries(&p.words);
+      uint64_t root_items = 0;
+      if (batch_reuse) {
+        // The shared scratch already holds this segment's combined
+        // adjacency and distinct-word count; no device reads needed.
+        root_items =
+            reachable_sum(seg_children[f], own_words) + seg_own_distinct[f];
+      } else {
+        DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
+        NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
+        if (!st->dag.pruned) {
+          CombineEntries(&p.subrules);
+          CombineEntries(&p.words);
+        }
+        root_items = reachable_sum(p.subrules, own_words) + p.words.size();
       }
       const uint64_t file_bound = std::min<uint64_t>(
-          std::min<uint64_t>(
-              reachable_sum(p.subrules, own_words) + p.words.size(),
-              seg_word_ub[f]),
+          std::min<uint64_t>(root_items, seg_word_ub[f]),
           std::max<uint64_t>(seg_explen[f], 1));
       expected = std::max(expected, file_bound);
     }
@@ -1991,13 +2439,21 @@ void ReadList(nvm::NvmDevice* device, const ListMeta& m, Vec* out) {
 
 Result<AnalyticsOutput> NTadocEngine::TraversalPhase(
     Task task, const AnalyticsOptions& opts, State* st) {
-  if (st->strategy == TraversalStrategy::kBottomUp) {
-    return BottomUp(task, opts, st);
+  auto result = [&]() -> Result<AnalyticsOutput> {
+    if (st->strategy == TraversalStrategy::kBottomUp) {
+      return BottomUp(task, opts, st);
+    }
+    if (tadoc::IsPerFileTask(task)) {
+      return TopDownPerFile(task, opts, st);
+    }
+    return TopDownGlobal(task, opts, st);
+  }();
+  if (!result.ok() && result.status().code() == StatusCode::kDataLoss &&
+      options_.persistence == PersistenceMode::kOperation &&
+      options_.commit_interval > 1 && st->log && st->cursor_off != 0) {
+    AbortToPhaseStart(device_, &*st->log, st->cursor_off);
   }
-  if (tadoc::IsPerFileTask(task)) {
-    return TopDownPerFile(task, opts, st);
-  }
-  return TopDownGlobal(task, opts, st);
+  return result;
 }
 
 Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
@@ -2006,7 +2462,8 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
   const uint32_t nr = st->dag.num_rules;
   const uint32_t nf = st->dag.num_files;
   const bool op = options_.persistence == PersistenceMode::kOperation;
-  StepWriter writer(device_, op ? st->tx_log() : nullptr);
+  StepWriter writer(device_, op ? st->tx_log() : nullptr,
+                    options_.commit_interval, &run_info_);
 
   // Resume point (operation level) or fresh working state.
   CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
@@ -2105,7 +2562,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     if (!st->dag.pruned) CombineEntries(&words);
     for (const auto& [word, freq] : words) {
       Status s;
-      if (w->transactional()) {
+      if (w->epoch_mode()) {
+        s = st->word_table.AddDeltaVia(word, wr * freq, w);
+      } else if (w->transactional()) {
         s = st->word_table.AddDeltaTx(word, wr * freq, w->log(),
                                       &st->word_pending);
       } else {
@@ -2139,7 +2598,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     for (uint64_t i = 0; i < gm.count; ++i) {
       const GramEntry e = buf[i];
       Status s;
-      if (w->transactional()) {
+      if (w->epoch_mode()) {
+        s = st->gram_table.AddDeltaVia(e.key, wr * e.count, w);
+      } else if (w->transactional()) {
         s = st->gram_table.AddDeltaTx(e.key, wr * e.count, w->log(),
                                       &st->gram_pending);
       } else {
@@ -2221,11 +2682,13 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
   // The extracted counters must be real data, not poison fill.
   NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
 
-  // Phase boundary.
+  // Phase boundary. The final commit is forced: the done-cursor (and any
+  // open epoch) must be durable before the phase marker advances.
   if (op) {
     writer.Begin();
     StageCursor(&writer, st->cursor_off, 3, 0, 0);
-    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    NTADOC_RETURN_IF_ERROR(
+        CommitWithCheckpoint(device_, st, &writer, /*force=*/true));
   } else if (options_.persistence == PersistenceMode::kPhase) {
     PersistTraversalState(device_, st);
   }
@@ -2422,7 +2885,8 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
   const uint32_t nf = st->dag.num_files;
   const bool op = options_.persistence == PersistenceMode::kOperation;
   const bool seq = tadoc::IsSequenceTask(task);
-  StepWriter writer(device_, op ? st->tx_log() : nullptr);
+  StepWriter writer(device_, op ? st->tx_log() : nullptr,
+                    options_.commit_interval, &run_info_);
 
   CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
                       : CursorSlot{kCursorMagic, 0, 0, 0, 0};
@@ -2564,7 +3028,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       if (task == Task::kWordCount || task == Task::kSort) {
         for (const auto& [w, c] : acc) {
           Status s;
-          if (writer.transactional()) {
+          if (writer.epoch_mode()) {
+            s = st->word_table.AddDeltaVia(w, c, &writer);
+          } else if (writer.transactional()) {
             s = st->word_table.AddDeltaTx(w, c, writer.log(),
                                           &st->word_pending);
           } else {
@@ -2614,7 +3080,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       if (task == Task::kSequenceCount) {
         for (const auto& [k, c] : acc) {
           Status s;
-          if (writer.transactional()) {
+          if (writer.epoch_mode()) {
+            s = st->gram_table.AddDeltaVia(k, c, &writer);
+          } else if (writer.transactional()) {
             s = st->gram_table.AddDeltaTx(k, c, writer.log(),
                                           &st->gram_pending);
           } else {
@@ -2686,7 +3154,8 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
   if (op) {
     writer.Begin();
     StageCursor(&writer, st->cursor_off, 3, 0, 0);
-    NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    NTADOC_RETURN_IF_ERROR(
+        CommitWithCheckpoint(device_, st, &writer, /*force=*/true));
   } else if (options_.persistence == PersistenceMode::kPhase) {
     PersistTraversalState(device_, st);
   }
@@ -2765,6 +3234,9 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     media_errors_seen_ = device_->media_error_count();
 
     auto salvage = [&](const Status& s) {
+      // A batch's shared prefix lives in the pool being discarded; drop
+      // it so every remaining task of the batch does a full init.
+      batch_shared_.reset();
       ++run_info_.corruption_detected;
       ++run_info_.salvage_restarts;
       ++salvage_attempts;
@@ -2781,6 +3253,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     // media errors absorbed instead of surfaced. Only ever entered once.
     auto try_degrade = [&] {
       if (!options_.allow_degraded || degraded_) return false;
+      batch_shared_.reset();
       NTADOC_LOG(Warning)
           << "repair and salvage exhausted; rerunning degraded";
       degraded_ = true;
@@ -2806,6 +3279,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
         if (options_.persistence != PersistenceMode::kNone &&
             scoped_attempts < options_.max_scoped_repairs &&
             TryScopedRepair()) {
+          batch_shared_.reset();  // prefix repaired under the batch's feet
           ++scoped_attempts;
           continue;
         }
@@ -2833,6 +3307,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
             TryScopedRepair()) {
           // Repaired in place: the next attempt re-attaches to the
           // persisted state and resumes (no force_fresh).
+          batch_shared_.reset();
           ++scoped_attempts;
           continue;
         }
@@ -2860,6 +3335,38 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     finish_info();
     return result;
   }
+}
+
+Result<std::vector<AnalyticsOutput>> NTadocEngine::RunBatch(
+    std::span<const Task> tasks, const AnalyticsOptions& opts,
+    std::vector<RunMetrics>* metrics) {
+  std::vector<AnalyticsOutput> outputs;
+  outputs.reserve(tasks.size());
+  if (metrics != nullptr) metrics->assign(tasks.size(), RunMetrics{});
+  if (tasks.empty()) return outputs;
+
+  // Arm the shared-prefix capture: the first full init fills it, every
+  // later task's InitPhase consumes it. A salvage or scoped repair along
+  // the way drops it (Run resets the pointer), after which the remaining
+  // tasks initialize from scratch.
+  batch_shared_ = std::make_unique<BatchShared>();
+  uint64_t reuses = 0;
+  Status failure = Status::OK();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    auto out = Run(tasks[i], opts, metrics ? &(*metrics)[i] : nullptr);
+    reuses += run_info_.batch_init_reuses;
+    if (!out.ok()) {
+      failure = out.status();
+      break;
+    }
+    outputs.push_back(std::move(*out));
+  }
+  batch_shared_.reset();
+  // run_info() after a batch reports the last task's run, with the reuse
+  // counter aggregated over the whole batch.
+  run_info_.batch_init_reuses = reuses;
+  if (!failure.ok()) return failure;
+  return outputs;
 }
 
 }  // namespace ntadoc::core

@@ -202,6 +202,35 @@ class NvmHashTable {
     return Status::OK();
   }
 
+  /// AddDelta routed through a write-through recorder (epoch group
+  /// commit): probes and reads exactly like AddDelta — the writer writes
+  /// every value through to home immediately, so device reads observe
+  /// the newest state — but issues the stores via `writer`, which both
+  /// applies them and records them for the epoch's coalesced redo
+  /// record. Repeated updates of one slot therefore collapse to a single
+  /// final-value log record at epoch commit.
+  template <typename Writer>
+  Status AddDeltaVia(const K& key, const V& delta, Writer* writer) {
+    uint64_t slot = 0;
+    const Probe p = FindSlot(key, &slot);
+    if (p == Probe::kExhausted) {
+      return Status::DataLoss("hash table probe cycle exhausted");
+    }
+    if (p == Probe::kFound) {
+      const V cur = pool_->device().template Read<V>(ValOff(slot));
+      writer->WriteValue(ValOff(slot), static_cast<V>(cur + delta));
+      return Status::OK();
+    }
+    if (size_ + 1 > MaxEntries()) {
+      return Status::ResourceExhausted("NvmHashTable over max load");
+    }
+    writer->WriteValue(StatusOff(slot), uint8_t{1});
+    writer->WriteValue(KeyOff(slot), key);
+    writer->WriteValue(ValOff(slot), delta);
+    ++size_;
+    return Status::OK();
+  }
+
   /// Overwrites (or inserts) key -> value.
   Status Put(const K& key, const V& value) {
     uint64_t slot = 0;

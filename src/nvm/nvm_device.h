@@ -178,6 +178,14 @@ class NvmDevice {
   /// Persistence fence (sfence); charges the drain cost.
   void Drain();
 
+  /// Batched durability for a set of (possibly duplicated, unsorted) 64 B
+  /// line indices: dedupes, coalesces adjacent lines into contiguous
+  /// runs, issues one FlushRange per run, a single Drain(), and asserts
+  /// the persistence contract per run. `lines` is consumed (sorted in
+  /// place). Returns the number of distinct lines made durable. An empty
+  /// set is a no-op (no fence is charged).
+  uint64_t FlushLineRuns(std::vector<uint64_t>& lines);
+
   /// Durability contract: declares that [offset, offset+len) must be
   /// persisted (stored -> flushed -> fenced) at this point. A no-op unless
   /// the device was created with persist_check; the checker emits

@@ -153,6 +153,15 @@ void NvmPool::Reset() {
   PersistHeader();
 }
 
+Status NvmPool::ResetTopTo(PoolOffset new_top) {
+  if (new_top < data_start() || new_top > alloc_limit()) {
+    return Status::InvalidArgument("pool reset target outside data region");
+  }
+  top_ = new_top;
+  PersistHeader();
+  return Status::OK();
+}
+
 Result<uint32_t> NvmPool::RemapBlock(uint64_t block_off, const void* content,
                                      uint64_t len, RedoLog* log) {
   if (spare_blocks_ == 0) {

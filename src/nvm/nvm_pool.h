@@ -92,6 +92,16 @@ class NvmPool {
   /// are kept (the media behind them is still bad).
   void Reset();
 
+  /// Sets the bump pointer to `new_top` (a value previously returned by
+  /// top()), logically freeing every later allocation while keeping the
+  /// prefix, and persists the header. Batch runs use this to keep a
+  /// sealed DAG prefix across tasks while reallocating the per-task
+  /// tail; the in-memory top may be behind the caller's saved value when
+  /// the pool was reopened from a header persisted before the prefix was
+  /// laid down (volatile runs persist the header only at creation).
+  /// InvalidArgument if `new_top` is outside the allocatable data region.
+  Status ResetTopTo(PoolOffset new_top);
+
   NvmDevice& device() { return *device_; }
   uint64_t base() const { return base_; }
   uint64_t size() const { return size_; }

@@ -1,6 +1,8 @@
 #include "nvm/obj_log.h"
 
 #include <algorithm>
+#include <cstring>
+#include <unordered_set>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -11,16 +13,20 @@ uint64_t RedoLog::HeaderChecksum(const Header& h) {
   return Fnv1a64(&h, offsetof(Header, checksum));
 }
 
-uint32_t RedoLog::EntryChecksum(uint64_t target, uint32_t len,
-                                const void* payload) {
+uint32_t RedoLog::EntryChecksum(uint64_t generation, uint64_t target,
+                                uint32_t len, const void* payload) {
   // CRC32 rather than folded FNV: a torn cache-line flush corrupts a
   // contiguous burst of payload bytes, exactly the error class CRC is
   // guaranteed to detect. The chain covers target and len as well as the
   // payload — a payload-only checksum lets a torn header silently
   // redirect a valid payload, and makes an all-zero record
   // self-validating (CRC of an empty payload is 0, matching a zeroed
-  // checksum field).
-  uint32_t c = Crc32(&target, sizeof(target));
+  // checksum field). The log generation is chained in first: sealed
+  // epoch recovery scans past the header's committed extent, and the
+  // generation is what keeps checksum-valid records from a truncated
+  // earlier life of the log from ever revalidating.
+  uint32_t c = Crc32(&generation, sizeof(generation));
+  c = Crc32(&target, sizeof(target), c);
   c = Crc32(&len, sizeof(len), c);
   return Crc32(payload, len, c);
 }
@@ -53,6 +59,7 @@ Result<RedoLog> RedoLog::Open(NvmDevice* device, uint64_t base) {
   }
   RedoLog log(device, base, h.size);
   log.tail_ = h.state == 1 ? h.used : 0;
+  log.generation_ = h.generation;
   return log;
 }
 
@@ -63,6 +70,7 @@ void RedoLog::WriteHeader(uint32_t state, uint64_t used) {
   h.state = state;
   h.size = size_;
   h.used = used;
+  h.generation = generation_;
   h.checksum = HeaderChecksum(h);
   device_->Write(base_, h);
   device_->FlushRange(base_, sizeof(Header));
@@ -85,18 +93,12 @@ void RedoLog::Stage(uint64_t target, const void* data, uint32_t len) {
   staged_.push_back(StagedWrite{target, off, len});
 }
 
-Status RedoLog::Commit() {
-  NTADOC_CHECK(in_txn_) << "Commit outside transaction";
-  if (staged_.empty()) {
-    in_txn_ = false;
-    return Status::OK();
-  }
-
+Status RedoLog::AppendStaged(uint64_t* out_new_tail) {
   // Space check first: on a full log the staged writes are kept so the
   // caller can checkpoint, Truncate() and retry.
   uint64_t need = 0;
   for (const auto& w : staged_) {
-    need += sizeof(EntryHeader) + ((static_cast<uint64_t>(w.len) + 7) & ~7ull);
+    need += EncodedRecordBytes(w.len);
   }
   if (need > data_capacity()) {
     in_txn_ = false;
@@ -112,14 +114,13 @@ Status RedoLog::Commit() {
   uint64_t off = data_start() + tail_;
   for (const auto& w : staged_) {
     EntryHeader eh{w.target, w.len,
-                   EntryChecksum(w.target, w.len,
+                   EntryChecksum(generation_, w.target, w.len,
                                  stage_buf_.data() + w.buf_offset)};
     device_->Write(off, eh);
     device_->WriteBytes(off + sizeof(EntryHeader),
                         stage_buf_.data() + w.buf_offset, w.len);
     logged_payload_bytes_ += w.len;
-    off += sizeof(EntryHeader) +
-           ((static_cast<uint64_t>(w.len) + 7) & ~7ull);
+    off += EncodedRecordBytes(w.len);
   }
   const uint64_t new_tail = off - data_start();
   device_->FlushRange(data_start() + tail_, new_tail - tail_);
@@ -129,6 +130,18 @@ Status RedoLog::Commit() {
 
   // 2. Durability point: advance the commit record.
   WriteHeader(/*state=*/1, new_tail);
+  *out_new_tail = new_tail;
+  return Status::OK();
+}
+
+Status RedoLog::Commit() {
+  NTADOC_CHECK(in_txn_) << "Commit outside transaction";
+  if (staged_.empty()) {
+    in_txn_ = false;
+    return Status::OK();
+  }
+  uint64_t new_tail = 0;
+  NTADOC_RETURN_IF_ERROR(AppendStaged(&new_tail));
 
   // 3. Apply to home locations without flushing (the log is durable; the
   //    home side is flushed in bulk at checkpoint time).
@@ -139,14 +152,92 @@ Status RedoLog::Commit() {
   return Status::OK();
 }
 
+Status RedoLog::CommitApplied(std::vector<uint64_t> home_lines) {
+  NTADOC_CHECK(in_txn_) << "CommitApplied outside transaction";
+  if (staged_.empty()) {
+    in_txn_ = false;
+    return Status::OK();
+  }
+
+  // 1. Pack the whole epoch into ONE batch record: sub-records are laid
+  // out back to back with 12-byte sub-headers (target, len) and no
+  // alignment padding, and the record's single checksum covers them all.
+  // Relative to one EntryHeader per staged write this saves 4 checksum
+  // bytes plus up to 7 padding bytes per sub-record — log appends pay
+  // per cold block and per flushed line, so encoded bytes are the cost.
+  batch_buf_.clear();
+  for (const auto& w : staged_) {
+    const uint8_t* p = stage_buf_.data() + w.buf_offset;
+    batch_buf_.insert(batch_buf_.end(),
+                      reinterpret_cast<const uint8_t*>(&w.target),
+                      reinterpret_cast<const uint8_t*>(&w.target) + 8);
+    batch_buf_.insert(batch_buf_.end(),
+                      reinterpret_cast<const uint8_t*>(&w.len),
+                      reinterpret_cast<const uint8_t*>(&w.len) + 4);
+    batch_buf_.insert(batch_buf_.end(), p, p + w.len);
+  }
+  const uint32_t packed = static_cast<uint32_t>(batch_buf_.size());
+  const uint64_t need = EncodedRecordBytes(packed);
+  if (need > data_capacity()) {
+    in_txn_ = false;
+    staged_.clear();
+    return Status::InvalidArgument("transaction exceeds redo log size");
+  }
+  if (tail_ + need > data_capacity()) {
+    return Status::ResourceExhausted("redo log full: checkpoint required");
+  }
+  in_txn_ = false;
+
+  // 2. Append and flush. The batch record's kSealTarget sentinel marks
+  // it as an epoch seal, so the flush below IS the durability point:
+  // recovery accepts any checksum-valid sealed suffix of the current
+  // generation without the header ever being rewritten. That saves the
+  // per-epoch header write + flush + fence of the strict protocol.
+  const uint64_t off = data_start() + tail_;
+  EntryHeader eh{kSealTarget, packed,
+                 EntryChecksum(generation_, kSealTarget, packed,
+                               batch_buf_.data())};
+  device_->Write(off, eh);
+  device_->WriteBytes(off + sizeof(EntryHeader), batch_buf_.data(), packed);
+  logged_payload_bytes_ += packed;
+  const uint64_t new_tail = tail_ + need;
+  device_->FlushRange(off, need);
+  device_->Drain();
+  device_->AssertPersisted(off, need);
+
+  // 3. The caller already wrote every staged value through to its home
+  // location (write-through epoch mode), so there is nothing to apply —
+  // but the caller's unflushed home lines are dirty, and a later group
+  // checkpoint truncates the log assuming FlushAppliedHome() covers
+  // them. Record them exactly as ApplyEntries() would have.
+  applied_home_lines_.insert(applied_home_lines_.end(), home_lines.begin(),
+                             home_lines.end());
+  tail_ = new_tail;
+  staged_.clear();
+  ++committed_txns_;
+  return Status::OK();
+}
+
+void RedoLog::NoteHomeLinesFlushed(const std::vector<uint64_t>& lines) {
+  if (applied_home_lines_.empty() || lines.empty()) return;
+  const std::unordered_set<uint64_t> drop(lines.begin(), lines.end());
+  std::erase_if(applied_home_lines_,
+                [&drop](uint64_t l) { return drop.contains(l); });
+}
+
 void RedoLog::FlushAppliedHome() {
   ++checkpoints_;
   if (applied_home_lines_.empty()) return;
-  FlushHomeLines(applied_home_lines_);
+  device_->FlushLineRuns(applied_home_lines_);
   applied_home_lines_.clear();
 }
 
 void RedoLog::Truncate() {
+  // Bumping the generation before the header write retires every record
+  // still sitting in the data region: their checksums chain the old
+  // generation, so a post-truncate sealed-extent scan rejects them even
+  // though their bytes are intact.
+  ++generation_;
   WriteHeader(/*state=*/0, 0);
   tail_ = 0;
   applied_home_lines_.clear();
@@ -193,29 +284,37 @@ uint64_t RedoLog::ApplyEntries(uint64_t from, uint64_t to) {
   return applied;
 }
 
-void RedoLog::FlushHomeLines(const std::vector<uint64_t>& lines) {
-  // Flush every dirtied home line exactly once, after ALL home writes:
-  // flushing per entry would clwb lines that a later entry re-dirties
-  // before the fence (a store-after-flush-before-drain hazard — the log's
-  // cursor slot is rewritten by nearly every transaction).
-  constexpr uint64_t kLine = 64;
-  std::vector<uint64_t> sorted = lines;
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  std::vector<std::pair<uint64_t, uint64_t>> runs;  // (first line, count)
-  for (size_t i = 0; i < sorted.size();) {
-    size_t j = i + 1;
-    while (j < sorted.size() && sorted[j] == sorted[j - 1] + 1) ++j;
-    runs.emplace_back(sorted[i], j - i);
-    i = j;
+
+uint64_t RedoLog::ScanSealedExtent(uint64_t from) {
+  uint64_t off = data_start() + from;
+  const uint64_t end = data_start() + data_capacity();
+  uint64_t sealed = from;
+  while (off + sizeof(EntryHeader) <= end) {
+    EntryHeader eh;
+    if (!device_->TryReadBytes(off, &eh, sizeof(eh)).ok()) break;
+    const uint64_t payload = off + sizeof(EntryHeader);
+    const uint64_t rec_end =
+        payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
+    if (rec_end > end || rec_end < payload) break;
+    const uint8_t* src = nullptr;
+    if (eh.len > 0) {
+      auto r = device_->TryReadSpan(payload, eh.len);
+      if (!r.ok()) break;
+      src = *r;
+    }
+    // A checksum miss ends the scan rather than skipping the record: a
+    // torn record desynchronizes every later boundary, and any record
+    // from a truncated generation marks dead space. Either way, a seal
+    // beyond this point never covers a fully durable epoch.
+    if (EntryChecksum(generation_, eh.target, eh.len, src) != eh.checksum) {
+      break;
+    }
+    off = rec_end;
+    if (eh.target == kSealTarget) {
+      sealed = off - data_start();
+    }
   }
-  for (const auto& [first, count] : runs) {
-    device_->FlushRange(first * kLine, count * kLine);
-  }
-  device_->Drain();
-  for (const auto& [first, count] : runs) {
-    device_->AssertPersisted(first * kLine, count * kLine);
-  }
+  return sealed;
 }
 
 Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
@@ -239,13 +338,58 @@ Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
     if (payload + eh.len > end) {
       return Status::DataLoss("redo log record length exceeds extent");
     }
+    if (eh.target == kSealTarget) {
+      // Epoch batch record: its payload is packed sub-records (target,
+      // len, bytes — no padding) covered by the one record checksum.
+      // The sentinel target must not reach the bounds check below.
+      // Unlike the single-record path, sub-records are still being
+      // parsed while earlier ones are written home, so the payload is
+      // copied out of the log region first — a home write overlapping
+      // the log must not clobber sub-records not yet consumed.
+      NTADOC_ASSIGN_OR_RETURN(const uint8_t* borrowed,
+                              device_->TryReadSpan(payload, eh.len));
+      if (EntryChecksum(generation_, kSealTarget, eh.len, borrowed) !=
+          eh.checksum) {
+        return Status::DataLoss("epoch batch checksum mismatch");
+      }
+      const std::vector<uint8_t> copy(borrowed, borrowed + eh.len);
+      const uint8_t* batch = copy.data();
+      uint64_t pos = 0;
+      while (pos < eh.len) {
+        if (pos + 12 > eh.len) {
+          return Status::DataLoss("epoch batch sub-record truncated");
+        }
+        uint64_t target;
+        uint32_t len;
+        std::memcpy(&target, batch + pos, sizeof(target));
+        std::memcpy(&len, batch + pos + 8, sizeof(len));
+        pos += 12;
+        if (pos + len > eh.len) {
+          return Status::DataLoss("epoch batch sub-record truncated");
+        }
+        if (target + len > device_->capacity() || target + len < target) {
+          return Status::DataLoss("epoch batch target out of range");
+        }
+        device_->WriteBytes(target, batch + pos, len);
+        if (len > 0) {
+          for (uint64_t line = target / 64;
+               line <= (target + len - 1) / 64; ++line) {
+            home_lines.push_back(line);
+          }
+        }
+        ++applied;
+        pos += len;
+      }
+      off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
+      continue;
+    }
     if (eh.target + eh.len > device_->capacity() ||
         eh.target + eh.len < eh.target) {
       return Status::DataLoss("redo log record target out of range");
     }
     NTADOC_ASSIGN_OR_RETURN(const uint8_t* src,
                             device_->TryReadSpan(payload, eh.len));
-    if (EntryChecksum(eh.target, eh.len, src) != eh.checksum) {
+    if (EntryChecksum(generation_, eh.target, eh.len, src) != eh.checksum) {
       return Status::DataLoss("redo log record checksum mismatch");
     }
     device_->WriteBytes(eh.target, src, eh.len);
@@ -258,7 +402,7 @@ Result<uint64_t> RedoLog::VerifiedApply(uint64_t to) {
     ++applied;
     off = payload + ((static_cast<uint64_t>(eh.len) + 7) & ~7ull);
   }
-  FlushHomeLines(home_lines);
+  device_->FlushLineRuns(home_lines);
   return applied;
 }
 
@@ -268,18 +412,24 @@ Result<uint64_t> RedoLog::Recover() {
   if (h.magic != kMagic || h.checksum != HeaderChecksum(h)) {
     return Status::DataLoss("redo log header corrupt during recovery");
   }
-  if (h.state == 0) {
+  generation_ = h.generation;
+  if (h.used > data_capacity()) {
+    return Status::DataLoss("redo log committed extent exceeds region");
+  }
+  // The header lower-bounds the committed extent: sealed epoch commits
+  // advance durability without rewriting it, so scan the suffix for
+  // checksum-valid records of the current generation ending in a SEAL.
+  const uint64_t committed = h.state == 1 ? h.used : 0;
+  const uint64_t extent = ScanSealedExtent(committed);
+  if (extent == 0) {
     // Nothing committed: any partially written entries are dead.
     tail_ = 0;
     return uint64_t{0};
   }
-  if (h.used > data_capacity()) {
-    return Status::DataLoss("redo log committed extent exceeds region");
-  }
   // Replay the committed prefix in order; later txns overwrite earlier
   // values, converging to the newest durable state. Every record is
   // bounds- and checksum-validated before its home copy.
-  NTADOC_ASSIGN_OR_RETURN(const uint64_t replayed, VerifiedApply(h.used));
+  NTADOC_ASSIGN_OR_RETURN(const uint64_t replayed, VerifiedApply(extent));
   Truncate();
   return replayed;
 }

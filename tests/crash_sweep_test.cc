@@ -24,6 +24,9 @@ struct SweepCase {
   PersistenceMode persistence;
   tadoc::TraversalStrategy strategy;
   tadoc::Task task;
+  // Operation-level group commit: 1 = strict per-step transactions,
+  // K > 1 = epoch commits (crashes land mid-epoch for most step counts).
+  uint32_t commit_interval = 1;
 };
 
 class CrashSweepTest
@@ -44,22 +47,55 @@ TEST_P(CrashSweepTest, ExactRecoveryAtEveryStep) {
   NTadocOptions opts;
   opts.persistence = c.persistence;
   opts.traversal = c.strategy;
-  opts.crash_after_traversal_steps = step;
-  {
-    NTadocEngine engine(&corpus, device->get(), opts);
-    auto crashed = engine.Run(c.task);
-    ASSERT_FALSE(crashed.ok());
-  }
-  opts.crash_after_traversal_steps = 0;
-  NTadocEngine engine(&corpus, device->get(), opts);
-  auto got = engine.Run(c.task);
-  ASSERT_TRUE(got.ok()) << got.status();
-  EXPECT_EQ(*got, expected)
-      << "persistence=" << PersistenceModeToString(c.persistence)
-      << " strategy=" << tadoc::TraversalStrategyToString(c.strategy)
-      << " task=" << tadoc::TaskToString(c.task) << " crash step=" << step;
+  opts.commit_interval = c.commit_interval;
+
+  // Crash at `step`, then recover on the same device; returns the
+  // recovery engine's resume cursor (phase-local, hence only comparable
+  // between runs that crashed at the same step).
+  const auto crash_and_recover =
+      [&](NTadocOptions o, nvm::NvmDevice* dev) -> uint64_t {
+    o.crash_after_traversal_steps = step;
+    {
+      NTadocEngine engine(&corpus, dev, o);
+      auto crashed = engine.Run(c.task);
+      EXPECT_FALSE(crashed.ok());
+    }
+    o.crash_after_traversal_steps = 0;
+    NTadocEngine engine(&corpus, dev, o);
+    auto got = engine.Run(c.task);
+    EXPECT_TRUE(got.ok()) << got.status();
+    if (got.ok()) {
+      EXPECT_EQ(*got, expected)
+          << "persistence=" << PersistenceModeToString(c.persistence)
+          << " strategy=" << tadoc::TraversalStrategyToString(c.strategy)
+          << " task=" << tadoc::TaskToString(c.task)
+          << " crash step=" << step;
+    }
+    return engine.run_info().resumed_at_step;
+  };
+
+  const uint64_t resumed = crash_and_recover(opts, device->get());
   EXPECT_TRUE((*device)->persist_check()->report().empty())
       << (*device)->persist_check()->report().ToString();
+
+  if (c.persistence == PersistenceMode::kOperation &&
+      c.commit_interval > 1) {
+    // Epoch recovery resumes at the last committed epoch boundary
+    // (rounded down), so it may trail strict per-step recovery of the
+    // identical crash by at most the open epoch's commit_interval - 1
+    // steps — and never lead it.
+    auto strict_device = nvm::NvmDevice::Create(dopts);
+    ASSERT_TRUE(strict_device.ok());
+    NTadocOptions strict = opts;
+    strict.commit_interval = 1;
+    const uint64_t resumed_strict =
+        crash_and_recover(strict, strict_device->get());
+    EXPECT_LE(resumed, resumed_strict);
+    EXPECT_LT(resumed_strict - resumed, uint64_t{c.commit_interval})
+        << "lost more than the open epoch: crash step=" << step
+        << " strict resumed=" << resumed_strict
+        << " epoch resumed=" << resumed;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -83,7 +119,19 @@ INSTANTIATE_TEST_SUITE_P(
                       tadoc::Task::kTermVector},
             SweepCase{PersistenceMode::kPhase,
                       tadoc::TraversalStrategy::kBottomUp,
-                      tadoc::Task::kRankedInvertedIndex}),
+                      tadoc::Task::kRankedInvertedIndex},
+            // Epoch group commit: the step sweep below lands most
+            // crashes mid-epoch (interval 3 divides none of 1,2,5,8,13),
+            // exercising the lose-at-most-the-open-epoch contract.
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kTopDown,
+                      tadoc::Task::kWordCount, /*commit_interval=*/8},
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kTopDown,
+                      tadoc::Task::kSequenceCount, /*commit_interval=*/3},
+            SweepCase{PersistenceMode::kOperation,
+                      tadoc::TraversalStrategy::kBottomUp,
+                      tadoc::Task::kTermVector, /*commit_interval=*/8}),
         ::testing::Values(1, 2, 3, 5, 8, 13, 21)));
 
 TEST(CrashSweepTest, DoubleCrashStillRecovers) {
@@ -141,6 +189,7 @@ TEST_P(DrainPointSweepTest, ExactRecoveryFromEveryDrainPoint) {
   NTadocOptions opts;
   opts.persistence = c.persistence;
   opts.traversal = c.strategy;
+  opts.commit_interval = c.commit_interval;
 
   // Pass 1: a clean instrumented run — counts the fences and proves the
   // whole protocol is diagnostic-free end to end.
@@ -185,17 +234,28 @@ TEST_P(DrainPointSweepTest, ExactRecoveryFromEveryDrainPoint) {
   }
 }
 
-TEST(GroupCheckpointSweepTest, ExactRecoveryAcrossCheckpoints) {
+class GroupCheckpointSweepTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GroupCheckpointSweepTest, ExactRecoveryAcrossCheckpoints) {
   // Same fence enumeration, but with a redo log small enough that group
   // checkpoints (flush applied home lines, truncate) happen repeatedly:
   // crashing right after a truncation fence is only recoverable if every
-  // home line the discarded records covered was durable first.
+  // home line the discarded records covered was durable first. Swept for
+  // both the strict per-step protocol and epoch group commit — the epoch
+  // variant additionally interleaves sealed batch records with
+  // truncations, so recovery must reject resurrected records from the
+  // pre-truncate generation.
   const auto corpus = RandomCorpus(913, 6, 3, 60);
   const auto expected = ReferenceRun(corpus, tadoc::Task::kWordCount, {});
 
   NTadocOptions opts;
   opts.persistence = PersistenceMode::kOperation;
-  opts.redo_log_bytes = 4096;
+  opts.commit_interval = GetParam();
+  // Small enough that the log fills and truncates repeatedly — the epoch
+  // variant needs a smaller log still, because record coalescing and
+  // batch packing shrink what each epoch appends.
+  opts.redo_log_bytes = opts.commit_interval > 1 ? 2048 : 4096;
 
   uint64_t total_drains = 0;
   {
@@ -325,7 +385,9 @@ TEST_P(RemapCommitSweepTest, RemapIsAtomicAtEveryDrainPoint) {
       // prefix before trusting anything it may cover (the remap entry
       // and the header bump are log records in this variant).
       auto log = nvm::RedoLog::Open(device->get(), kLogBase);
-      if (log.ok()) ASSERT_TRUE(log->Recover().ok());
+      if (log.ok()) {
+        ASSERT_TRUE(log->Recover().ok());
+      }
     }
 
     auto pool = nvm::NvmPool::Open(device->get(), kPoolBase);
@@ -356,6 +418,9 @@ TEST_P(RemapCommitSweepTest, RemapIsAtomicAtEveryDrainPoint) {
 INSTANTIATE_TEST_SUITE_P(CommitProtocols, RemapCommitSweepTest,
                          ::testing::Bool());
 
+INSTANTIATE_TEST_SUITE_P(CommitIntervals, GroupCheckpointSweepTest,
+                         ::testing::Values(1u, 4u));
+
 INSTANTIATE_TEST_SUITE_P(
     Modes, DrainPointSweepTest,
     ::testing::Values(SweepCase{PersistenceMode::kPhase,
@@ -369,7 +434,19 @@ INSTANTIATE_TEST_SUITE_P(
                                 tadoc::Task::kWordCount},
                       SweepCase{PersistenceMode::kOperation,
                                 tadoc::TraversalStrategy::kBottomUp,
-                                tadoc::Task::kTermVector}));
+                                tadoc::Task::kTermVector},
+                      // Epoch group commit: fences now include the
+                      // sealed batch-record flushes; a crash between an
+                      // epoch's seal and the next must recover to that
+                      // epoch's boundary exactly.
+                      SweepCase{PersistenceMode::kOperation,
+                                tadoc::TraversalStrategy::kTopDown,
+                                tadoc::Task::kWordCount,
+                                /*commit_interval=*/8},
+                      SweepCase{PersistenceMode::kOperation,
+                                tadoc::TraversalStrategy::kBottomUp,
+                                tadoc::Task::kTermVector,
+                                /*commit_interval=*/8}));
 
 }  // namespace
 }  // namespace ntadoc::core

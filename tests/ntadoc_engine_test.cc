@@ -319,6 +319,71 @@ TEST(NTadocEngineTest, WriteAmplificationVisibleAtOperationLevel) {
   EXPECT_GT(om.TotalSimNs(), pm.TotalSimNs());
 }
 
+// Epoch group commit: the stats counters the CLI exports must be live.
+// At commit_interval=1 the strict per-step protocol runs and all epoch
+// counters stay zero; at commit_interval=8 every counter is exercised
+// and the result is still bit-identical to the reference.
+TEST(NTadocEngineTest, EpochCommitCountersPopulated) {
+  const auto corpus = RandomCorpus(55, 30, 3, 500);
+  const AnalyticsOutput expected =
+      ReferenceRun(corpus, Task::kWordCount, {});
+
+  auto strict_dev = MakeDevice();
+  NTadocOptions strict_opts;
+  strict_opts.persistence = PersistenceMode::kOperation;
+  strict_opts.commit_interval = 1;
+  NTadocEngine strict_engine(&corpus, strict_dev.get(), strict_opts);
+  tadoc::RunMetrics sm;
+  auto strict_got = strict_engine.Run(Task::kWordCount, {}, &sm);
+  ASSERT_TRUE(strict_got.ok()) << strict_got.status();
+  EXPECT_EQ(*strict_got, expected);
+  EXPECT_EQ(strict_engine.run_info().epoch_commits, 0u);
+  EXPECT_EQ(strict_engine.run_info().coalesced_records, 0u);
+  EXPECT_EQ(strict_engine.run_info().coalesced_flush_lines, 0u);
+
+  auto epoch_dev = MakeDevice();
+  NTadocOptions epoch_opts = strict_opts;
+  epoch_opts.commit_interval = 8;
+  NTadocEngine epoch_engine(&corpus, epoch_dev.get(), epoch_opts);
+  tadoc::RunMetrics em;
+  auto epoch_got = epoch_engine.Run(Task::kWordCount, {}, &em);
+  ASSERT_TRUE(epoch_got.ok()) << epoch_got.status();
+  EXPECT_EQ(*epoch_got, expected);
+  const NTadocRunInfo& info = epoch_engine.run_info();
+  EXPECT_GT(info.epoch_commits, 0u);
+  EXPECT_GT(info.coalesced_records, 0u);
+  EXPECT_GT(info.coalesced_flush_lines, 0u);
+  EXPECT_EQ(info.batch_init_reuses, 0u);  // single Run, no batch
+  // The whole point: grouping commits must be cheaper on the device.
+  EXPECT_LT(em.traversal_sim_ns, sm.traversal_sim_ns);
+}
+
+// RunBatch shares one pool init across tasks: every task after the
+// first reuses the sealed DAG prefix, and each output still matches the
+// standalone reference.
+TEST(NTadocEngineTest, RunBatchPaysInitOnce) {
+  const auto corpus = RandomCorpus(56, 30, 3, 500);
+  const std::vector<Task> tasks = {Task::kWordCount, Task::kSort,
+                                   Task::kTermVector};
+  auto device = MakeDevice();
+  NTadocEngine engine(&corpus, device.get());
+  std::vector<tadoc::RunMetrics> metrics;
+  auto got = engine.RunBatch(tasks, {}, &metrics);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->size(), tasks.size());
+  ASSERT_EQ(metrics.size(), tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ((*got)[i], ReferenceRun(corpus, tasks[i], {}))
+        << TaskToString(tasks[i]);
+  }
+  EXPECT_EQ(engine.run_info().batch_init_reuses, tasks.size() - 1);
+  // Reused inits must be much cheaper than the first, paid-for init.
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_LT(metrics[i].init_sim_ns, metrics[0].init_sim_ns / 2)
+        << TaskToString(tasks[i]);
+  }
+}
+
 TEST(NTadocEngineTest, PoolTooSmallIsGracefulError) {
   const auto corpus = RandomCorpus(54, 800, 4, 4000);
   auto device = MakeDevice(/*capacity=*/1 << 15);

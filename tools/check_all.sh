@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# The full local CI wall: tier-1 ctest, ASan+UBSan, TSan, clang-tidy,
-# bench smoke (sim-clock drift gate), chaos soak (media-repair seed
+# The full local CI wall: tier-1 ctest, soak ctest (crash/chaos
+# sweeps), ASan+UBSan, TSan, clang-tidy, bench smoke (sim-clock drift
+# gate), chaos soak (media-repair seed
 # sweep) — run in sequence, with a summary
 # table at the end. Exits nonzero if any
 # stage fails. A stage that self-skips (e.g. clang-tidy not installed)
@@ -40,10 +41,20 @@ run_stage() {
 tier1() {
   cmake -B "${REPO_ROOT}/build" -S "${REPO_ROOT}" &&
     cmake --build "${REPO_ROOT}/build" -j "${JOBS}" &&
-    ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}"
+    ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}" \
+      -L tier1
+}
+
+# The long-running sweeps (crash fences, chaos seeds) live behind the
+# `soak` ctest label so `ctest -L tier1` stays fast during iteration;
+# the wall still runs them all.
+soak() {
+  ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}" \
+    -L soak
 }
 
 run_stage "tier-1 ctest" tier1
+run_stage "soak ctest" soak
 run_stage "check_asan" "${REPO_ROOT}/tools/check_asan.sh"
 run_stage "check_tsan" "${REPO_ROOT}/tools/check_tsan.sh"
 run_stage "check_tidy" "${REPO_ROOT}/tools/check_tidy.sh"

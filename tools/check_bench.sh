@@ -5,6 +5,20 @@
 # more than 1% — or appearing/disappearing — fails. Wall-clock times are
 # machine-dependent and are not checked.
 #
+# On top of baseline drift, three relational gates run on the current
+# output itself (so they hold regardless of baseline refreshes):
+#   * epoch group commit: operation-level traversal at commit_interval=8
+#     is >=2x cheaper than the per-step protocol on the table-update
+#     bound tasks (word_count/sort), >=1.8x on sequence_count (its
+#     traversal is dominated by bulk list writes that both protocols
+#     flush exactly once, which caps the achievable ratio);
+#   * decoded-rule DRAM cache: the cache-8MB rows must not regress
+#     against cache-0 beyond 0.2% (admission cannot observe future
+#     device-buffer warmth, so a tiny residual is tolerated);
+#   * RunBatch: summed over the non-first tasks of each batch config,
+#     init sim time is under 60% of the standalone inits (the remainder
+#     is per-task persistence flushing and the sequence gram scan).
+#
 # Refresh the baseline after an *intentional* cost-model change with:
 #   tools/check_bench.sh --update
 set -euo pipefail
@@ -20,6 +34,51 @@ cmake --build "$BUILD_DIR" --target bench_hotpath -j >/dev/null
 OUT=$("$BUILD_DIR/bench/bench_hotpath" --scale=0.05 --datasets=C \
         --cache-dir="$BUILD_DIR/bench_smoke_cache" --repeat=1)
 CURRENT=$(grep -E '^SIMK? ' <<<"$OUT")
+
+# Relational perf gates (run in --update mode too: a baseline refresh
+# must not paper over a lost speedup).
+awk '
+  $1 == "SIM" { init[$2 " " $3 " " $4 " " $5] = $6; trav[$2 " " $3 " " $4 " " $5] = $7 }
+  END {
+    bad = 0
+    n = split("word_count sort", heavy, " ")
+    for (i = 1; i <= n; ++i) {
+      t = heavy[i]
+      std = trav[t " operation-level std 0"] + 0
+      ci = trav[t " operation-level ci8 0"] + 0
+      if (std == 0 || ci == 0) { printf "FAIL: missing operation-level std/ci8 rows for %s\n", t; bad = 1 }
+      else if (2 * ci > std) { printf "FAIL: epoch commit <2x on %s traversal: std %d, ci8 %d\n", t, std, ci; bad = 1 }
+    }
+    std = trav["sequence_count operation-level std 0"] + 0
+    ci = trav["sequence_count operation-level ci8 0"] + 0
+    if (std == 0 || ci == 0) { printf "FAIL: missing operation-level std/ci8 rows for sequence_count\n"; bad = 1 }
+    else if (18 * ci > 10 * std) { printf "FAIL: epoch commit <1.8x on sequence_count traversal: std %d, ci8 %d\n", std, ci; bad = 1 }
+    for (k in trav) {
+      split(k, f, " ")
+      if (f[2] == "none" && f[3] == "std" && f[4] == "8") {
+        k0 = f[1] " none std 0"
+        if (1000 * trav[k] > 1002 * trav[k0] || 1000 * init[k] > 1002 * init[k0]) {
+          printf "FAIL: dram cache regresses on %s: cache0 %d/%d, cache8 %d/%d\n", f[1], init[k0], trav[k0], init[k], trav[k]; bad = 1
+        }
+      }
+    }
+    nt = split("sort term_vector inverted_index sequence_count ranked_inverted_index", rest, " ")
+    nc = split("none:batch:std phase-level:batch:std operation-level:batch-ci8:std", cfgs, " ")
+    for (i = 1; i <= nc; ++i) {
+      split(cfgs[i], c, ":")
+      bsum = 0; ssum = 0; missing = 0
+      for (j = 1; j <= nt; ++j) {
+        bk = rest[j] " " c[1] " " c[2] " 0"; sk = rest[j] " " c[1] " " c[3] " 0"
+        if (!(bk in init) || !(sk in init)) { missing = 1; break }
+        bsum += init[bk]; ssum += init[sk]
+      }
+      if (missing) { printf "FAIL: missing batch rows for mode %s\n", c[1]; bad = 1 }
+      else if (10 * bsum > 6 * ssum) { printf "FAIL: batch init reuse too weak in mode %s: batch %d vs standalone %d\n", c[1], bsum, ssum; bad = 1 }
+    }
+    exit bad ? 1 : 0
+  }
+' <(printf '%s\n' "$CURRENT") || { echo "FAIL: relational perf gates" >&2; exit 1; }
+echo "perf gates OK: epoch >=2x, cache non-regressing, batch init reuse"
 
 if [[ "$UPDATE" == 1 ]]; then
   printf '%s\n' "$CURRENT" > "$BASELINE"

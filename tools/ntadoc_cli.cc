@@ -7,7 +7,7 @@
 //                    [--persistence=none|phase|operation]
 //                    [--traversal=auto|topdown|bottomup]
 //                    [--ngram=N] [--topk=K] [--limit=N]
-//                    [--dram-cache-mb=M] [--stats]
+//                    [--commit-interval=K] [--dram-cache-mb=M] [--stats]
 //
 // `run` executes one of the six analytics tasks with N-TADOC on an
 // emulated device and prints the first --limit result rows plus the
@@ -41,8 +41,8 @@ int Usage() {
                "[--persistence=none|phase|operation]\n"
                "                  [--traversal=auto|topdown|bottomup] "
                "[--ngram=N] [--topk=K] [--limit=N]\n"
-               "                  [--persist-check] [--dram-cache-mb=M] "
-               "[--stats]\n");
+               "                  [--persist-check] [--commit-interval=K] "
+               "[--dram-cache-mb=M] [--stats]\n");
   return 2;
 }
 
@@ -200,6 +200,10 @@ int CmdRun(int argc, char** argv) {
       opts.top_k = static_cast<uint32_t>(std::stoul(arg.substr(7)));
     } else if (arg.rfind("--limit=", 0) == 0) {
       limit = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--commit-interval=", 0) == 0) {
+      engine_opts.commit_interval =
+          static_cast<uint32_t>(std::stoul(arg.substr(18)));
+      if (engine_opts.commit_interval == 0) return Usage();
     } else if (arg.rfind("--dram-cache-mb=", 0) == 0) {
       engine_opts.dram_cache_bytes = std::stoull(arg.substr(16)) << 20;
     } else {
@@ -329,6 +333,10 @@ int CmdRun(int argc, char** argv) {
     std::printf("completeness=%.6f\n", info.completeness);
     kv("rule_cache_hits", info.rule_cache_hits);
     kv("rule_cache_misses", info.rule_cache_misses);
+    kv("epoch_commits", info.epoch_commits);
+    kv("coalesced_records", info.coalesced_records);
+    kv("coalesced_flush_lines", info.coalesced_flush_lines);
+    kv("batch_init_reuses", info.batch_init_reuses);
   }
   if (const nvm::PersistCheck* check = (*device)->persist_check()) {
     std::fprintf(stderr, "%s", check->report().ToString().c_str());

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Produces BENCH_pr3.json from bench_hotpath: wall + sim time for every
-# task x persistence mode (plus rule-cache and no-summation ablations)
-# and the traversal-kernel microbenchmarks.
+# Produces BENCH_pr5.json from bench_hotpath: wall + sim time for every
+# task x persistence mode (plus rule-cache, no-summation, epoch group
+# commit, and RunBatch variants) and the traversal-kernel
+# microbenchmarks.
 #
-# Usage: tools/run_bench.sh [--build-dir=build] [--out=BENCH_pr3.json]
+# Usage: tools/run_bench.sh [--build-dir=build] [--out=BENCH_pr5.json]
 #                           [--scale=0.25] [--repeat=3]
 #                           [--prepr-bin=/path/to/old/bench_hotpath]
 #
@@ -14,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_pr3.json
+OUT=BENCH_pr5.json
 SCALE=0.25
 REPEAT=3
 PREPR_BIN=""
