@@ -1,0 +1,220 @@
+// Serving-layer benchmark: concurrent sessions over one sealed pool.
+//
+// Measures query throughput and sim-latency percentiles for worker
+// fleets of N = 1, 4, 16, each with and without a media-fault mix (a
+// repairable poisoned payload block in 1 of 4 sessions). All timing is
+// simulated device time on the per-worker clock lanes, so the numbers
+// are deterministic: round-robin placement with work stealing off gives
+// every lane a fixed query set.
+//
+// Lines starting with "SERVE" are a stable plain-text record for
+// tools/check_bench.sh's relational serving gates:
+//   SERVE <workers> <fault_pct> <queries> <qps> <p50_ns> <p99_ns> <makespan_ns>
+//
+// Extra flags on top of the shared ones (see bench_common.h):
+//   --json=PATH   also emit machine-readable results as JSON
+//   --queries=N   queries per fleet configuration (default 48)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/serving.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ntadoc;
+using namespace ntadoc::bench;
+
+struct ServeResult {
+  uint32_t workers = 0;
+  uint32_t fault_pct = 0;
+  uint32_t queries = 0;
+  double qps = 0;  // simulated queries per simulated second
+  uint64_t p50_sim_ns = 0;
+  uint64_t p99_sim_ns = 0;
+  uint64_t makespan_sim_ns = 0;
+  uint64_t wall_ns = 0;
+  uint64_t scoped_repairs = 0;
+  uint64_t salvage_restarts = 0;
+  uint64_t degraded = 0;
+};
+
+uint64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Device extent of the sealed payload region (deterministic layout: a
+// fresh solo run reproduces the sealed pool's geometry).
+std::pair<uint64_t, uint64_t> LocatePayload(const DatasetBundle& d,
+                                            const serve::SealOptions& so) {
+  nvm::DeviceOptions dopts;
+  dopts.capacity = so.capacity;
+  dopts.profile = so.profile;
+  auto device = nvm::NvmDevice::Create(dopts);
+  NTADOC_CHECK(device.ok()) << device.status();
+  core::NTadocEngine engine(&d.corpus, device->get(), so.engine);
+  auto out = engine.Run(Task::kWordCount);
+  NTADOC_CHECK(out.ok()) << out.status();
+  return engine.payload_region();
+}
+
+ServeResult RunFleet(const serve::SealedPool& pool, uint32_t workers,
+                     uint32_t queries, uint32_t fault_pct,
+                     uint64_t bad_block) {
+  serve::ServingOptions sopts;
+  sopts.workers = workers;
+  sopts.queue_capacity = queries;
+  sopts.work_stealing = false;  // fixed lane assignment => deterministic
+  serve::ServingEngine server(&pool, sopts);
+
+  const uint64_t wall0 = WallNowNs();
+  std::vector<uint64_t> tickets;
+  tickets.reserve(queries);
+  for (uint32_t i = 0; i < queries; ++i) {
+    serve::QueryRequest req;
+    req.task = tadoc::kAllTasks[i % tadoc::kAllTasks.size()];
+    if (fault_pct > 0 && i % (100 / fault_pct) == 0) {
+      // Repairable single-block damage: the session's escalation ladder
+      // absorbs it (scoped repair, salvage at worst) without spilling
+      // into siblings.
+      req.poison.push_back({bad_block, 1, /*sticky=*/false});
+    }
+    auto t = server.Submit(std::move(req));
+    NTADOC_CHECK(t.ok()) << t.status();
+    tickets.push_back(*t);
+  }
+  server.Drain();
+
+  ServeResult r;
+  r.workers = workers;
+  r.fault_pct = fault_pct;
+  r.queries = queries;
+  r.wall_ns = WallNowNs() - wall0;
+  std::vector<uint64_t> lat;
+  lat.reserve(tickets.size());
+  for (uint64_t t : tickets) {
+    const serve::QueryResult& q = server.result(t);
+    NTADOC_CHECK(q.status.ok()) << q.status;
+    lat.push_back(q.latency_sim_ns);
+  }
+  std::sort(lat.begin(), lat.end());
+  r.p50_sim_ns = lat[lat.size() / 2];
+  r.p99_sim_ns = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  r.makespan_sim_ns = server.makespan_sim_ns();
+  r.qps = r.makespan_sim_ns > 0
+              ? static_cast<double>(queries) * 1e9 / r.makespan_sim_ns
+              : 0;
+  const serve::ServingStats st = server.stats();
+  r.scoped_repairs = st.scoped_repairs;
+  r.salvage_restarts = st.salvage_restarts;
+  r.degraded = st.degraded;
+  return r;
+}
+
+void EmitJson(const std::string& path, const std::string& dataset,
+              double scale, uint32_t queries,
+              const std::vector<ServeResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  NTADOC_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"generated_by\": \"bench_serving\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n  \"scale\": %g,\n",
+               dataset.c_str(), scale);
+  std::fprintf(f, "  \"queries_per_fleet\": %u,\n  \"results\": [\n",
+               queries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ServeResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": %u, \"fault_pct\": %u, \"queries\": %u, "
+        "\"qps_sim\": %.3f, \"p50_sim_ns\": %llu, \"p99_sim_ns\": %llu, "
+        "\"makespan_sim_ns\": %llu, \"wall_ns\": %llu, "
+        "\"scoped_repairs\": %llu, \"salvage_restarts\": %llu, "
+        "\"degraded\": %llu}%s\n",
+        r.workers, r.fault_pct, r.queries, r.qps,
+        static_cast<unsigned long long>(r.p50_sim_ns),
+        static_cast<unsigned long long>(r.p99_sim_ns),
+        static_cast<unsigned long long>(r.makespan_sim_ns),
+        static_cast<unsigned long long>(r.wall_ns),
+        static_cast<unsigned long long>(r.scoped_repairs),
+        static_cast<unsigned long long>(r.salvage_restarts),
+        static_cast<unsigned long long>(r.degraded),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  if (config.datasets.empty()) config.datasets = {"C"};
+
+  std::string json_path;
+  uint32_t queries = 48;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--json=", 7) == 0) json_path = a + 7;
+    if (std::strncmp(a, "--queries=", 10) == 0) {
+      queries = static_cast<uint32_t>(std::strtoul(a + 10, nullptr, 10));
+    }
+  }
+
+  const auto datasets = LoadDatasets(config);
+  NTADOC_CHECK(!datasets.empty());
+  const DatasetBundle& d = datasets[0];
+
+  serve::SealOptions so;
+  so.capacity = d.device_capacity;
+  so.engine.persistence = PersistenceMode::kPhase;
+
+  const auto [pbegin, pend] = LocatePayload(d, so);
+  NTADOC_CHECK(pbegin < pend);
+  const uint64_t bad_block = ((pbegin + pend) / 2) & ~uint64_t{255};
+
+  auto sealed = serve::SealPool(&d.corpus, so);
+  NTADOC_CHECK(sealed.ok()) << sealed.status();
+
+  PrintTitle("Concurrent serving on dataset " + d.spec.name,
+             "sealed pool, per-session clones, per-worker sim lanes");
+  PrintRow({"Workers", "Faults", "Queries", "QPS(sim)", "p50", "p99",
+            "Makespan", "Repairs"});
+
+  std::vector<ServeResult> results;
+  for (uint32_t workers : {1u, 4u, 16u}) {
+    for (uint32_t fault_pct : {0u, 25u}) {
+      const ServeResult r =
+          RunFleet(*sealed, workers, queries, fault_pct, bad_block);
+      PrintRow({std::to_string(r.workers),
+                std::to_string(r.fault_pct) + "%",
+                std::to_string(r.queries),
+                std::to_string(r.qps).substr(0, 8), Secs(r.p50_sim_ns),
+                Secs(r.p99_sim_ns), Secs(r.makespan_sim_ns),
+                std::to_string(r.scoped_repairs + r.salvage_restarts)});
+      results.push_back(r);
+    }
+  }
+
+  std::printf("\n");
+  for (const ServeResult& r : results) {
+    std::printf("SERVE %u %u %u %.3f %llu %llu %llu\n", r.workers,
+                r.fault_pct, r.queries, r.qps,
+                static_cast<unsigned long long>(r.p50_sim_ns),
+                static_cast<unsigned long long>(r.p99_sim_ns),
+                static_cast<unsigned long long>(r.makespan_sim_ns));
+  }
+
+  if (!json_path.empty()) {
+    EmitJson(json_path, d.spec.name, config.scale, queries, results);
+  }
+  return 0;
+}

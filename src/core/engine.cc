@@ -1,9 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -637,10 +640,13 @@ struct NTadocEngine::State {
 /// Bounded LRU cache of decoded payloads (options.dram_cache_bytes). The
 /// pool payloads are immutable after init, so a decoded copy can be
 /// reused for the whole traversal; a hit replays the payload's device
-/// extents against a DRAM cost model that shares the run's SimClock, so
-/// the simulated run still pays (cheap DRAM) access costs rather than
-/// getting the data for free. Cleared at every InitPhase entry: a fresh
-/// init or salvage rewrites the pool under the cached offsets.
+/// extents against a DRAM cost model that shares the looking-up run's
+/// SimClock, so the simulated run still pays (cheap DRAM) access costs
+/// rather than getting the data for free. A private cache is cleared at
+/// every InitPhase entry (a fresh init or salvage rewrites the pool under
+/// the cached offsets); a SharedRuleCache survives across sessions over
+/// one sealed pool — deterministic init makes the offsets stable — and is
+/// explicitly invalidated whenever any session repairs or salvages.
 struct NTadocEngine::RuleCache {
   struct Entry {
     DecodedPayload payload;
@@ -649,8 +655,7 @@ struct NTadocEngine::RuleCache {
     std::list<uint64_t>::iterator lru_it;
   };
 
-  RuleCache(uint64_t budget_bytes, nvm::SimClockPtr clock)
-      : budget(budget_bytes), dram(nvm::DramProfile(), std::move(clock)) {}
+  explicit RuleCache(uint64_t budget_bytes) : budget(budget_bytes) {}
 
   static uint64_t KeyOf(bool segment, uint32_t id) {
     return (segment ? (1ull << 32) : 0) | id;
@@ -662,15 +667,18 @@ struct NTadocEngine::RuleCache {
                sizeof(std::pair<uint32_t, uint32_t>);
   }
 
-  /// Returns the cached payload or null; charges the DRAM model for the
-  /// extents the device read would have touched.
-  const DecodedPayload* Lookup(bool segment, uint32_t id) {
+  /// Returns the cached payload or null; charges `dram` — the caller's
+  /// per-session DRAM model, so a hit on a shared cache lands on the
+  /// lane of the session that performed the lookup — for the extents
+  /// the device read would have touched.
+  const DecodedPayload* Lookup(bool segment, uint32_t id,
+                               nvm::MemoryModel* dram) {
     auto it = map.find(KeyOf(segment, id));
     if (it == map.end()) return nullptr;
     lru.splice(lru.begin(), lru, it->second.lru_it);
     const PayloadExtent& e = it->second.extent;
-    dram.TouchRead(e.meta_off, e.meta_len);
-    if (e.payload_len > 0) dram.TouchReadExtent(e.payload_off, e.payload_len);
+    dram->TouchRead(e.meta_off, e.meta_len);
+    if (e.payload_len > 0) dram->TouchReadExtent(e.payload_off, e.payload_len);
     return &it->second.payload;
   }
 
@@ -692,7 +700,7 @@ struct NTadocEngine::RuleCache {
   bool ShouldAdmit(bool segment, uint32_t id, const PayloadExtent& e,
                    uint64_t measured_device_ns) {
     if (seen_once.insert(KeyOf(segment, id)).second) return false;
-    const nvm::DeviceProfile& p = dram.profile();
+    const nvm::DeviceProfile p = nvm::DramProfile();
     auto blocks = [&p](uint64_t len) {
       return (len + p.block_size - 1) / p.block_size;
     };
@@ -729,7 +737,6 @@ struct NTadocEngine::RuleCache {
   std::list<uint64_t> lru;  // front = most recently used key
   std::unordered_map<uint64_t, Entry> map;
   std::unordered_set<uint64_t> seen_once;  // keys missed at least once
-  nvm::MemoryModel dram;
 };
 
 // ---------------------------------------------------------------------------
@@ -754,6 +761,11 @@ struct NTadocEngine::BatchShared {
   uint64_t dag_top = 0;  // pool top right after BuildPrunedDag
   PrunedDag dag;         // NvmVector handles are re-attached on reuse
   PruneStats prune;
+  // Simulated cost the full init paid for the shared portion (container
+  // load + DAG build + estimator reads); reusing tasks report it as
+  // RunMetrics::shared_init_sim_ns without paying it again.
+  uint64_t shared_sim_ns = 0;
+  uint64_t gram_sim_ns = 0;  // extra cost of the gram-region extension
 
   // Task-independent estimator scratch (Algorithm 2 inputs/outputs).
   DagChildren children;
@@ -783,17 +795,65 @@ struct NTadocEngine::BatchShared {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Per-session mutable state
+// ---------------------------------------------------------------------------
+
+/// Everything one run/serving session mutates. The engine object itself
+/// holds only the immutable wiring (corpus, device, options); pulling the
+/// traversal cursors, counters, degraded/repair flags and cache handles
+/// into one struct is what lets N snapshot-isolated sessions coexist over
+/// one sealed pool with zero cross-session state bleed — each session is
+/// one engine instance with its own SessionContext.
+struct NTadocEngine::SessionContext {
+  NTadocRunInfo run_info;
+  uint64_t media_errors_seen = 0;
+  bool degraded = false;
+  uint64_t degraded_events = 0;
+
+  // Absolute lane-clock deadline (0 = none), armed at Run() entry from
+  // options.deadline_sim_ns, and checked at every cooperative cancel
+  // point (traversal steps, estimator loops).
+  uint64_t deadline_ns = 0;
+
+  std::unique_ptr<State> state;
+  std::unique_ptr<RuleCache> rule_cache;  // private per-session cache
+  std::unique_ptr<BatchShared> batch_shared;
+
+  // DRAM replay model for decoded-rule cache hits. Charges this session's
+  // clock lane even when the hit came from a SharedRuleCache.
+  std::optional<nvm::MemoryModel> cache_dram;
+
+  // Satellite (b): init cost this run consumed from a shared prefix
+  // without paying it (RunBatch reuse / sealed prefix).
+  uint64_t shared_init_sim_ns = 0;
+  bool init_shared = false;
+};
+
 DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
                                                uint32_t id) {
-  if (!rule_cache_) {
+  SharedRuleCache* shared = options_.shared_cache.get();
+  RuleCache* cache =
+      shared ? shared->cache_.get() : ses_->rule_cache.get();
+  if (!cache || !ses_->cache_dram) {
     return segment ? ReadSegmentPayload(st->dag, &*st->pool, id)
                    : ReadRulePayload(st->dag, &*st->pool, id);
   }
-  if (const DecodedPayload* hit = rule_cache_->Lookup(segment, id)) {
-    ++run_info_.rule_cache_hits;
+  if (shared) {
+    // Lookup under the cache lock; the DRAM replay charges this
+    // session's model (its own clock lane), never a sibling's.
+    std::lock_guard<std::mutex> lock(shared->mu_);
+    if (const DecodedPayload* hit =
+            cache->Lookup(segment, id, &*ses_->cache_dram)) {
+      ++ses_->run_info.rule_cache_hits;
+      return *hit;  // copied into the return value before unlock
+    }
+  } else if (const DecodedPayload* hit =
+                 cache->Lookup(segment, id, &*ses_->cache_dram)) {
+    ++ses_->run_info.rule_cache_hits;
     return *hit;
   }
-  ++run_info_.rule_cache_misses;
+  ++ses_->run_info.rule_cache_misses;
   PayloadExtent extent;
   const uint64_t decode_t0 = device_->clock().NowNanos();
   DecodedPayload payload =
@@ -803,9 +863,14 @@ DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
   // Never cache a payload read through an unreadable block: the decode
   // came back empty with the media error counter bumped, and the caller
   // is about to salvage.
-  if (device_->media_error_count() == media_errors_seen_ &&
-      rule_cache_->ShouldAdmit(segment, id, extent, decode_ns)) {
-    rule_cache_->Insert(segment, id, payload, extent);
+  if (device_->media_error_count() != ses_->media_errors_seen) return payload;
+  if (shared) {
+    std::lock_guard<std::mutex> lock(shared->mu_);
+    if (cache->ShouldAdmit(segment, id, extent, decode_ns)) {
+      cache->Insert(segment, id, payload, extent);
+    }
+  } else if (cache->ShouldAdmit(segment, id, extent, decode_ns)) {
+    cache->Insert(segment, id, payload, extent);
   }
   return payload;
 }
@@ -1100,12 +1165,62 @@ void RegisterPoolOwners(nvm::NvmPool* pool, const StateT& st,
 
 NTadocEngine::NTadocEngine(const CompressedCorpus* corpus,
                            nvm::NvmDevice* device, NTadocOptions options)
-    : corpus_(corpus), device_(device), options_(options) {
+    : corpus_(corpus),
+      device_(device),
+      options_(options),
+      ses_(std::make_unique<SessionContext>()) {
   NTADOC_CHECK(corpus != nullptr);
   NTADOC_CHECK(device != nullptr);
 }
 
 NTadocEngine::~NTadocEngine() = default;
+
+const NTadocRunInfo& NTadocEngine::run_info() const { return ses_->run_info; }
+
+Status NTadocEngine::CheckSessionLimits() const {
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("session cancelled");
+  }
+  if (ses_->deadline_ns != 0 &&
+      device_->clock().NowNanos() > ses_->deadline_ns) {
+    return Status::DeadlineExceeded("session sim-clock deadline expired");
+  }
+  return Status::OK();
+}
+
+void NTadocEngine::InvalidateRuleCaches() {
+  if (ses_->rule_cache) ses_->rule_cache->Clear();
+  if (options_.shared_cache) options_.shared_cache->Invalidate();
+}
+
+// ---------------------------------------------------------------------------
+// SharedRuleCache / SealedPrefix
+// ---------------------------------------------------------------------------
+
+SharedRuleCache::SharedRuleCache(uint64_t budget_bytes)
+    : cache_(std::make_unique<NTadocEngine::RuleCache>(budget_bytes)) {}
+
+SharedRuleCache::~SharedRuleCache() = default;
+
+void SharedRuleCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_->Clear();
+  ++invalidations_;
+}
+
+uint64_t SharedRuleCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_->map.size();
+}
+
+uint64_t SharedRuleCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+SealedPrefix::SealedPrefix() = default;
+SealedPrefix::~SealedPrefix() = default;
 
 TraversalStrategy NTadocEngine::ResolveStrategy(Task task) const {
   if (options_.traversal != TraversalStrategy::kAuto) {
@@ -1152,10 +1267,10 @@ void NTadocEngine::CommitPhase(uint64_t phase) {
 
 Status NTadocEngine::MaybeInjectCrash(State* st) {
   if (options_.crash_after_traversal_steps != 0 &&
-      run_info_.traversal_steps >= options_.crash_after_traversal_steps) {
+      ses_->run_info.traversal_steps >= options_.crash_after_traversal_steps) {
     device_->SimulateCrash();
     return Status::Internal("injected crash after " +
-                            std::to_string(run_info_.traversal_steps) +
+                            std::to_string(ses_->run_info.traversal_steps) +
                             " traversal steps");
   }
   (void)st;
@@ -1164,12 +1279,12 @@ Status NTadocEngine::MaybeInjectCrash(State* st) {
 
 Status NTadocEngine::CheckMediaErrors() {
   const uint64_t n = device_->media_error_count();
-  if (n != media_errors_seen_) {
-    media_errors_seen_ = n;
-    if (degraded_) {
+  if (n != ses_->media_errors_seen) {
+    ses_->media_errors_seen = n;
+    if (ses_->degraded) {
       // Degraded mode: the lost data contributes nothing; the event is
       // folded into the run's completeness fraction instead of failing.
-      ++degraded_events_;
+      ++ses_->degraded_events;
       return Status::OK();
     }
     return Status::DataLoss(
@@ -1233,7 +1348,7 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   // it, and fall back to a fresh init (which rewrites — and thereby
   // heals — the damaged state).
   auto corrupt = [&](const char* what) -> bool {
-    ++run_info_.corruption_detected;
+    ++ses_->run_info.corruption_detected;
     NTADOC_LOG(Warning) << "recovery attach rejected: " << what
                         << "; restarting from the compressed container";
     return false;
@@ -1253,8 +1368,8 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
     return mirror ? &*mirror : nullptr;
   };
   auto failover = [&](const char* what) {
-    ++run_info_.corruption_detected;
-    ++run_info_.scoped_repairs;
+    ++ses_->run_info.corruption_detected;
+    ++ses_->run_info.scoped_repairs;
     NTADOC_LOG(Warning) << what << "; restored from the metadata mirror";
   };
 
@@ -1390,7 +1505,7 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
   if (!scrub.ok()) return corrupt("pool scrub failed");
   if (scrub.value().bad_blocks > 0) {
     if (!RepairDamage(st, scrub.value().damage)) {
-      run_info_.blocks_lost += scrub.value().bad_blocks;
+      ses_->run_info.blocks_lost += scrub.value().bad_blocks;
       return corrupt("unrepairable media damage in pool");
     }
   }
@@ -1470,7 +1585,7 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
     return corrupt("immutable region hash mismatch (torn write or bit rot)");
   }
 
-  run_info_.init_phase_reused = true;
+  ses_->run_info.init_phase_reused = true;
   return true;
 }
 
@@ -1485,6 +1600,13 @@ Result<bool> NTadocEngine::TryAttach(State* st, uint64_t pool_base) {
 bool NTadocEngine::RepairDamage(
     State* st, const std::vector<nvm::NvmPool::Damage>& damage) {
   if (!st->pool || st->dag.num_rules == 0) return false;
+  // Serving sessions serialize repairs on the pool-level lock: at most
+  // one session rewrites (its private copy of) pool state at a time,
+  // keeping repair burst load off the device model while siblings read.
+  std::unique_lock<std::mutex> repair_lk;
+  if (options_.repair_lock) {
+    repair_lk = std::unique_lock<std::mutex>(*options_.repair_lock);
+  }
   nvm::NvmPool& pool = *st->pool;
   const auto& grammar = corpus_->grammar;
   constexpr uint64_t kBlock = nvm::NvmPool::kMediaBlock;
@@ -1594,7 +1716,7 @@ bool NTadocEngine::RepairDamage(
   std::optional<MetaMirror> mirror;  // loaded on first metadata restore
 
   for (const nvm::NvmPool::Damage& d : damage) {
-    ++run_info_.corruption_detected;
+    ++ses_->run_info.corruption_detected;
     const uint64_t b0 = d.block_off;
     const uint64_t b1 = std::min(b0 + kBlock, top);
     if (b0 < pool.base() || b1 <= b0) {
@@ -1738,8 +1860,8 @@ bool NTadocEngine::RepairDamage(
     if (!device_->TryReadBytes(b0, buf, b1 - b0).ok()) return false;
     const auto slot = pool.RemapBlock(b0, buf, b1 - b0, st->tx_log());
     if (!slot.ok()) return false;  // out of spares / remap table full
-    ++run_info_.blocks_remapped;
-    ++run_info_.scoped_repairs;
+    ++ses_->run_info.blocks_remapped;
+    ++ses_->run_info.scoped_repairs;
   }
   device_->Drain();
 
@@ -1759,6 +1881,10 @@ bool NTadocEngine::RepairDamage(
     device_->FlushRange(st->cursor_off, sizeof(fresh));
     device_->Drain();
   }
+  // The repair rewrote pool payloads under the offsets the decoded-rule
+  // caches are keyed by; drop them (private and shared) before anything
+  // replays a stale entry.
+  InvalidateRuleCaches();
   return true;
 }
 
@@ -1766,8 +1892,8 @@ bool NTadocEngine::RepairDamage(
 // to find all current damage and repair it in place so the run can
 // re-attach and resume instead of restarting from the container.
 bool NTadocEngine::TryScopedRepair() {
-  if (!state_ || !state_->pool) return false;
-  State* st = state_.get();
+  if (!ses_->state || !ses_->state->pool) return false;
+  State* st = ses_->state.get();
   const uint64_t catalog_off =
       st->pool->base() + nvm::NvmPool::kHeaderSlot;
   RegisterPoolOwners(&*st->pool, *st, catalog_off);
@@ -1778,22 +1904,33 @@ bool NTadocEngine::TryScopedRepair() {
 }
 
 std::pair<uint64_t, uint64_t> NTadocEngine::payload_region() const {
-  if (!state_) return {0, 0};
-  return {state_->dag.payload_begin, state_->dag.payload_end};
+  if (!ses_->state) return {0, 0};
+  return {ses_->state->dag.payload_begin, ses_->state->dag.payload_end};
 }
 
 Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                                State* st, bool force_fresh) {
   const auto& grammar = corpus_->grammar;
-  // The cache is keyed by (kind, id) against the pool this phase lays
-  // out; anything decoded from a previous attempt (or a salvaged pool) is
-  // stale now.
-  if (options_.dram_cache_bytes > 0) {
-    if (!rule_cache_) {
-      rule_cache_ = std::make_unique<RuleCache>(options_.dram_cache_bytes,
-                                                device_->clock_ptr());
+  // A private cache is keyed by (kind, id) against the pool this phase
+  // lays out; anything decoded from a previous attempt (or a salvaged
+  // pool) is stale now. A shared cache is NOT cleared here: concurrent
+  // sessions init private clones of one deterministic sealed layout, so
+  // cross-session entries stay valid until a repair/salvage explicitly
+  // invalidates them.
+  if (options_.shared_cache) {
+    ses_->rule_cache.reset();
+    if (!ses_->cache_dram) {
+      ses_->cache_dram.emplace(nvm::DramProfile(), device_->clock_ptr());
+    }
+  } else if (options_.dram_cache_bytes > 0) {
+    if (!ses_->rule_cache) {
+      ses_->rule_cache =
+          std::make_unique<RuleCache>(options_.dram_cache_bytes);
     } else {
-      rule_cache_->Clear();
+      ses_->rule_cache->Clear();
+    }
+    if (!ses_->cache_dram) {
+      ses_->cache_dram.emplace(nvm::DramProfile(), device_->clock_ptr());
     }
   }
   st->task = task;
@@ -1830,24 +1967,49 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
       device_->capacity() - pool_base -
       (options_.persistence != PersistenceMode::kNone ? kMirrorRegion : 0);
 
-  // ---- Attach path: a completed, signature-matching init is reused ----
+  // Shared init prefix, if one applies: a RunBatch-local prefix from an
+  // earlier task of this batch takes priority; otherwise a SealedPrefix
+  // captured over the image this session's device was cloned from. Both
+  // replace the expensive task-independent half of this phase — the
+  // container load, the pruned DAG build, and the estimator's payload
+  // reads.
+  const BatchShared* reuse_src = nullptr;
   if (!force_fresh) {
+    if (ses_->batch_shared && ses_->batch_shared->valid &&
+        ses_->batch_shared->pool_base == pool_base) {
+      reuse_src = ses_->batch_shared.get();
+    } else if (const SealedPrefix* sp = options_.sealed_prefix.get();
+               sp != nullptr && sp->shared_ != nullptr &&
+               sp->shared_->valid && sp->corpus_ == corpus_ &&
+               sp->pruned_ == options_.enable_pruning &&
+               sp->persistence_ == options_.persistence &&
+               (sp->persistence_ != PersistenceMode::kOperation ||
+                sp->redo_log_bytes_ == options_.redo_log_bytes) &&
+               sp->shared_->pool_base == pool_base) {
+      reuse_src = sp->shared_.get();
+    }
+  }
+  // True only for the mutable RunBatch prefix: a sealed prefix is shared
+  // read-only across sessions and must never be written through.
+  const bool own_reuse = reuse_src != nullptr &&
+                         reuse_src == ses_->batch_shared.get();
+
+  // ---- Attach path: a completed, signature-matching init is reused ----
+  // Skipped when a shared prefix applies: the prefix already proves the
+  // image's init half, and per-task structures are reallocated anyway.
+  if (!force_fresh && reuse_src == nullptr) {
     NTADOC_ASSIGN_OR_RETURN(const bool attached, TryAttach(st, pool_base));
     if (attached) return Status::OK();
   }
 
   // ---- Fresh initialization ----
-  // Inside a RunBatch, a valid shared prefix replaces the expensive
-  // task-independent half of this phase: the container load, the pruned
-  // DAG build, and the estimator's payload reads.
-  const bool batch_reuse = batch_shared_ && batch_shared_->valid &&
-                           batch_shared_->pool_base == pool_base &&
-                           !force_fresh;
+  const bool batch_reuse = reuse_src != nullptr;
   // The local-gram region extends the reusable prefix only when it was
   // laid down for the same n and nothing allocated over it since.
   const bool gram_reuse = batch_reuse && st->use_local_grams &&
-                          batch_shared_->gram_valid &&
-                          batch_shared_->gram_ngram == opts.ngram;
+                          reuse_src->gram_valid &&
+                          reuse_src->gram_ngram == opts.ngram;
+  const uint64_t init_sim_t0 = device_->clock().NowNanos();
   nvm::PhaseMarker marker(device_, kMarkerOffset);
   if (!batch_reuse) {
     // Reading the compressed container from the source disk (the paper
@@ -1880,20 +2042,30 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                             nvm::NvmPool::Open(device_, pool_base));
     st->pool.emplace(std::move(pool));
     NTADOC_RETURN_IF_ERROR(st->pool->ResetTopTo(
-        gram_reuse ? batch_shared_->gram_top : batch_shared_->dag_top));
-    if (!gram_reuse) batch_shared_->gram_valid = false;
-    catalog_off = batch_shared_->catalog_off;
-    st->dag = batch_shared_->dag;
+        gram_reuse ? reuse_src->gram_top : reuse_src->dag_top));
+    // A non-sequence task allocates over the gram region, invalidating
+    // the extension — but only for the mutable batch prefix; a sealed
+    // prefix's sessions each overwrite a private device clone, never the
+    // shared image.
+    if (!gram_reuse && own_reuse) ses_->batch_shared->gram_valid = false;
+    catalog_off = reuse_src->catalog_off;
+    st->dag = reuse_src->dag;
     st->dag.rule_meta = NvmVector<RuleMeta>::Attach(
-        &*st->pool, batch_shared_->dag.rule_meta.offset(),
-        batch_shared_->dag.rule_meta.capacity(),
-        batch_shared_->dag.rule_meta.size());
+        &*st->pool, reuse_src->dag.rule_meta.offset(),
+        reuse_src->dag.rule_meta.capacity(),
+        reuse_src->dag.rule_meta.size());
     st->dag.seg_meta = NvmVector<SegmentMeta>::Attach(
-        &*st->pool, batch_shared_->dag.seg_meta.offset(),
-        batch_shared_->dag.seg_meta.capacity(),
-        batch_shared_->dag.seg_meta.size());
-    run_info_.prune = batch_shared_->prune;
-    ++run_info_.batch_init_reuses;
+        &*st->pool, reuse_src->dag.seg_meta.offset(),
+        reuse_src->dag.seg_meta.capacity(),
+        reuse_src->dag.seg_meta.size());
+    ses_->run_info.prune = reuse_src->prune;
+    ++ses_->run_info.batch_init_reuses;
+    // Satellite (b): report the shared cost this run consumed without
+    // paying it, so batch/serving tasks stay cost-comparable.
+    ses_->init_shared = true;
+    ses_->shared_init_sim_ns =
+        reuse_src->shared_sim_ns +
+        (gram_reuse ? reuse_src->gram_sim_ns : 0);
   } else {
     // Persistent pools carry spare blocks + a remap table so single-block
     // media failures can be repaired in place instead of restarting.
@@ -1912,14 +2084,14 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     // Pruning with NVM pool management (Algorithm 1).
     NTADOC_ASSIGN_OR_RETURN(
         st->dag, BuildPrunedDag(grammar, &*st->pool, options_.enable_pruning,
-                                &run_info_.prune));
-    if (batch_shared_) {
-      batch_shared_->pool_base = pool_base;
-      batch_shared_->catalog_off = catalog_off;
-      batch_shared_->dag_top = st->pool->top();
-      batch_shared_->dag = st->dag;
-      batch_shared_->prune = run_info_.prune;
-      batch_shared_->gram_valid = false;
+                                &ses_->run_info.prune));
+    if (ses_->batch_shared) {
+      ses_->batch_shared->pool_base = pool_base;
+      ses_->batch_shared->catalog_off = catalog_off;
+      ses_->batch_shared->dag_top = st->pool->top();
+      ses_->batch_shared->dag = st->dag;
+      ses_->batch_shared->prune = ses_->run_info.prune;
+      ses_->batch_shared->gram_valid = false;
     }
   }
   cat.rule_meta_off = st->dag.rule_meta.offset();
@@ -1943,20 +2115,21 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   if (batch_reuse) {
     // The scratch depends only on the grammar and the pruning setting,
     // never on the task — reuse it without touching the device.
-    children = batch_shared_->children;
-    own_words = batch_shared_->own_words;
-    own_len = batch_shared_->own_len;
-    explen = batch_shared_->explen;
-    word_ub = batch_shared_->word_ub;
-    seg_children = batch_shared_->seg_children;
-    seg_explen = batch_shared_->seg_explen;
-    seg_word_ub = batch_shared_->seg_word_ub;
-    seg_own_distinct = batch_shared_->seg_own_distinct;
+    children = reuse_src->children;
+    own_words = reuse_src->own_words;
+    own_len = reuse_src->own_len;
+    explen = reuse_src->explen;
+    word_ub = reuse_src->word_ub;
+    seg_children = reuse_src->seg_children;
+    seg_explen = reuse_src->seg_explen;
+    seg_word_ub = reuse_src->seg_word_ub;
+    seg_own_distinct = reuse_src->seg_own_distinct;
   } else {
     children.resize(nr);
     own_words.assign(nr, 0);
     own_len.assign(nr, 0);
     for (uint32_t r = 1; r < nr; ++r) {
+      NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
       const DecodedPayload p = ReadPayloadCached(st, /*segment=*/false, r);
       children[r] = p.subrules;
       if (!st->dag.pruned) CombineEntries(&children[r]);
@@ -2007,6 +2180,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     seg_own_distinct.assign(nf, 0);
     seg_children.assign(nf, {});
     for (uint32_t f = 0; f < nf; ++f) {
+      NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
       DecodedPayload p = ReadPayloadCached(st, /*segment=*/true, f);
       NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
       if (!st->dag.pruned) {
@@ -2030,17 +2204,22 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
               grammar.dict_size),
           std::max<uint64_t>(seg_explen[f], 1));
     }
-    if (batch_shared_) {
-      batch_shared_->children = children;
-      batch_shared_->own_words = own_words;
-      batch_shared_->own_len = own_len;
-      batch_shared_->explen = explen;
-      batch_shared_->word_ub = word_ub;
-      batch_shared_->seg_children = seg_children;
-      batch_shared_->seg_explen = seg_explen;
-      batch_shared_->seg_word_ub = seg_word_ub;
-      batch_shared_->seg_own_distinct = seg_own_distinct;
-      batch_shared_->valid = true;
+    if (ses_->batch_shared) {
+      ses_->batch_shared->children = children;
+      ses_->batch_shared->own_words = own_words;
+      ses_->batch_shared->own_len = own_len;
+      ses_->batch_shared->explen = explen;
+      ses_->batch_shared->word_ub = word_ub;
+      ses_->batch_shared->seg_children = seg_children;
+      ses_->batch_shared->seg_explen = seg_explen;
+      ses_->batch_shared->seg_word_ub = seg_word_ub;
+      ses_->batch_shared->seg_own_distinct = seg_own_distinct;
+      ses_->batch_shared->valid = true;
+      // Everything charged since init_sim_t0 is the shared portion
+      // (container load, DAG build, estimator reads); per-task costs
+      // start after this capture point.
+      ses_->batch_shared->shared_sim_ns =
+          device_->clock().NowNanos() - init_sim_t0;
     }
   }
 
@@ -2053,15 +2232,16 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     // written by an earlier task of the same batch for the same n;
     // re-attach to them instead of scanning the grammar again.
     st->local_gram_meta = NvmVector<GramMeta>::Attach(
-        &*st->pool, batch_shared_->local_gram_meta_off, nr, nr);
+        &*st->pool, reuse_src->local_gram_meta_off, nr, nr);
     st->seg_gram_meta = NvmVector<GramMeta>::Attach(
-        &*st->pool, batch_shared_->seg_gram_meta_off, nf, nf);
-    st->gram_begin = batch_shared_->gram_begin;
-    st->gram_end = batch_shared_->gram_end;
+        &*st->pool, reuse_src->seg_gram_meta_off, nf, nf);
+    st->gram_begin = reuse_src->gram_begin;
+    st->gram_end = reuse_src->gram_end;
     cat.local_gram_meta_off = st->local_gram_meta.offset();
     cat.seg_gram_meta_off = st->seg_gram_meta.offset();
-    gram_ub = batch_shared_->gram_ub;
+    gram_ub = reuse_src->gram_ub;
   } else if (st->use_local_grams) {
+    const uint64_t gram_sim_t0 = device_->clock().NowNanos();
     const tadoc::HeadTailTable ht =
         tadoc::HeadTailTable::Build(grammar, opts.ngram);
     tadoc::WindowScanner scanner(&ht, opts.ngram);
@@ -2098,6 +2278,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
 
     for (uint32_t r : st->dag.layout_order) {
       if (r == 0) continue;
+      NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
       NTADOC_ASSIGN_OR_RETURN(const auto loc, write_local(grammar.rules[r]));
       st->local_gram_meta.Set(r, GramMeta{loc.first, loc.second});
       own_grams[r] = loc.second;
@@ -2128,15 +2309,17 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     // Written right after the DAG (nothing allocated between), so the
     // reusable prefix can extend over the gram region for later sequence
     // tasks of this batch.
-    if (batch_shared_) {
-      batch_shared_->gram_valid = batch_shared_->valid;
-      batch_shared_->gram_ngram = opts.ngram;
-      batch_shared_->gram_top = st->pool->top();
-      batch_shared_->local_gram_meta_off = st->local_gram_meta.offset();
-      batch_shared_->seg_gram_meta_off = st->seg_gram_meta.offset();
-      batch_shared_->gram_begin = st->gram_begin;
-      batch_shared_->gram_end = st->gram_end;
-      batch_shared_->gram_ub = gram_ub;
+    if (ses_->batch_shared) {
+      ses_->batch_shared->gram_valid = ses_->batch_shared->valid;
+      ses_->batch_shared->gram_ngram = opts.ngram;
+      ses_->batch_shared->gram_top = st->pool->top();
+      ses_->batch_shared->local_gram_meta_off = st->local_gram_meta.offset();
+      ses_->batch_shared->seg_gram_meta_off = st->seg_gram_meta.offset();
+      ses_->batch_shared->gram_begin = st->gram_begin;
+      ses_->batch_shared->gram_end = st->gram_end;
+      ses_->batch_shared->gram_ub = gram_ub;
+      ses_->batch_shared->gram_sim_ns =
+          device_->clock().NowNanos() - gram_sim_t0;
     }
   }
 
@@ -2362,12 +2545,12 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                             CollectMutableExtents(*st, integrity_off));
     if (hash.ok()) {
       ii.region_hash = hash.value();
-    } else if (degraded_) {
+    } else if (ses_->degraded) {
       // Part of the immutable region is permanently unreadable, so no
       // honest hash exists. Seal with an intentionally invalid record:
       // a later attach can never trust a degraded init.
       ii.magic = 0;
-      ++degraded_events_;
+      ++ses_->degraded_events;
     } else {
       return hash.status();
     }
@@ -2463,7 +2646,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
   const uint32_t nf = st->dag.num_files;
   const bool op = options_.persistence == PersistenceMode::kOperation;
   StepWriter writer(device_, op ? st->tx_log() : nullptr,
-                    options_.commit_interval, &run_info_);
+                    options_.commit_interval, &ses_->run_info);
 
   // Resume point (operation level) or fresh working state.
   CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
@@ -2513,12 +2696,12 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     seg_start = cur.a;
     st->qhead = 0;
     st->qtail = cur.b;
-    run_info_.resumed_at_step = cur.a;
+    ses_->run_info.resumed_at_step = cur.a;
   } else if (cur.stage == 2) {
     seg_start = nf;
     st->qhead = cur.a;
     st->qtail = cur.b;
-    run_info_.resumed_at_step = cur.a;
+    ses_->run_info.resumed_at_step = cur.a;
   }
 
   const uint64_t weight_field = offsetof(RuleMeta, weight);
@@ -2572,7 +2755,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       }
       if (s.code() == StatusCode::kResourceExhausted) {
         NTADOC_RETURN_IF_ERROR(GrowTable(&st->word_table, &*st->pool,
-                                          &run_info_.counter_rebuilds));
+                                          &ses_->run_info.counter_rebuilds));
         s = st->word_table.AddDelta(word, wr * freq);
       }
       NTADOC_RETURN_IF_ERROR(s);
@@ -2608,7 +2791,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       }
       if (s.code() == StatusCode::kResourceExhausted) {
         NTADOC_RETURN_IF_ERROR(GrowTable(&st->gram_table, &*st->pool,
-                                          &run_info_.counter_rebuilds));
+                                          &ses_->run_info.counter_rebuilds));
         s = st->gram_table.AddDelta(e.key, wr * e.count);
       }
       NTADOC_RETURN_IF_ERROR(s);
@@ -2631,8 +2814,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     }
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 1, f + 1, st->qtail);
-    ++run_info_.traversal_steps;
+    ++ses_->run_info.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
   }
 
@@ -2656,8 +2840,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     }
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 2, st->qhead, st->qtail);
-    ++run_info_.traversal_steps;
+    ++ses_->run_info.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
   }
 
@@ -2742,7 +2927,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
       Status s = st->file_table.AddDelta(word, delta);
       if (s.code() == StatusCode::kResourceExhausted) {
         NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_table, &*st->pool,
-                                          &run_info_.counter_rebuilds));
+                                          &ses_->run_info.counter_rebuilds));
         s = st->file_table.AddDelta(word, delta);
       }
       return s;
@@ -2765,7 +2950,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
         Status s = st->file_gram_table.AddDelta(e.key, wr * e.count);
         if (s.code() == StatusCode::kResourceExhausted) {
           NTADOC_RETURN_IF_ERROR(GrowTable(&st->file_gram_table, &*st->pool,
-                                            &run_info_.counter_rebuilds));
+                                            &ses_->run_info.counter_rebuilds));
           s = st->file_gram_table.AddDelta(e.key, wr * e.count);
         }
         NTADOC_RETURN_IF_ERROR(s);
@@ -2848,8 +3033,9 @@ Result<AnalyticsOutput> NTadocEngine::TopDownPerFile(
       }
     }
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
-    ++run_info_.traversal_steps;
+    ++ses_->run_info.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
   }
 
   if (task == Task::kInvertedIndex) {
@@ -2886,7 +3072,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
   const bool op = options_.persistence == PersistenceMode::kOperation;
   const bool seq = tadoc::IsSequenceTask(task);
   StepWriter writer(device_, op ? st->tx_log() : nullptr,
-                    options_.commit_interval, &run_info_);
+                    options_.commit_interval, &ses_->run_info);
 
   CursorSlot cur = op ? ReadCursor(device_, st->cursor_off)
                       : CursorSlot{kCursorMagic, 0, 0, 0, 0};
@@ -2899,13 +3085,13 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
   uint64_t file_start = 0;
   if (cur.stage == 1) {
     rule_start = cur.a;
-    run_info_.resumed_at_step = cur.a;
+    ses_->run_info.resumed_at_step = cur.a;
   } else if (cur.stage == 2) {
     rule_start = nr;  // list building complete
     // Per-file host results cannot survive a crash; only global tasks
     // resume mid-aggregation.
     file_start = tadoc::IsPerFileTask(task) ? 0 : cur.a;
-    run_info_.resumed_at_step = cur.a;
+    ses_->run_info.resumed_at_step = cur.a;
   } else {
     if (st->use_word_table) st->word_table.Clear();
     if (st->use_gram_table) st->gram_table.Clear();
@@ -2952,7 +3138,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       }
       NTADOC_RETURN_IF_ERROR(WriteList<WordEntry>(
           &st->word_list_meta, &*st->pool, device_, r, acc, &writer,
-          options_.enable_summation, &run_info_.counter_rebuilds));
+          options_.enable_summation, &ses_->run_info.counter_rebuilds));
     } else {
       tracked::vector<std::pair<NgramKey, uint64_t>> acc;
       const GramMeta gm = st->local_gram_meta.Get(r);
@@ -2982,12 +3168,13 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       }
       NTADOC_RETURN_IF_ERROR(WriteList<GramEntry>(
           &st->gram_list_meta, &*st->pool, device_, r, acc, &writer,
-          options_.enable_summation, &run_info_.counter_rebuilds));
+          options_.enable_summation, &ses_->run_info.counter_rebuilds));
     }
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 1, p + 1, 0);
-    ++run_info_.traversal_steps;
+    ++ses_->run_info.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
   }
 
@@ -3038,7 +3225,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
           }
           if (s.code() == StatusCode::kResourceExhausted) {
             NTADOC_RETURN_IF_ERROR(GrowTable(&st->word_table, &*st->pool,
-                                          &run_info_.counter_rebuilds));
+                                          &ses_->run_info.counter_rebuilds));
             s = st->word_table.AddDelta(w, c);
           }
           NTADOC_RETURN_IF_ERROR(s);
@@ -3090,7 +3277,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
           }
           if (s.code() == StatusCode::kResourceExhausted) {
             NTADOC_RETURN_IF_ERROR(GrowTable(&st->gram_table, &*st->pool,
-                                          &run_info_.counter_rebuilds));
+                                          &ses_->run_info.counter_rebuilds));
             s = st->gram_table.AddDelta(k, c);
           }
           NTADOC_RETURN_IF_ERROR(s);
@@ -3111,8 +3298,9 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     }
     NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
     if (op) StageCursor(&writer, st->cursor_off, 2, f + 1, 0);
-    ++run_info_.traversal_steps;
+    ++ses_->run_info.traversal_steps;
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
+    NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
   }
 
@@ -3181,7 +3369,14 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     return Status::InvalidArgument(
         "operation-level persistence requires the summation estimator");
   }
-  run_info_ = NTadocRunInfo();
+  ses_->run_info = NTadocRunInfo();
+  // Arm the session deadline as an absolute lane-clock timestamp; every
+  // cancellation point compares against it, including repair/salvage
+  // attempts (they run on the same clock).
+  ses_->deadline_ns =
+      options_.deadline_sim_ns == 0
+          ? 0
+          : device_->clock().NowNanos() + options_.deadline_sim_ns;
 
   // Repair/salvage loop. Detected corruption (DataLoss) escalates in
   // order of blast radius:
@@ -3194,8 +3389,8 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
   //      media as empty, reporting completeness < 1.
   // Injected crashes (Internal) are never salvaged — they model real
   // power loss and must surface to the caller.
-  degraded_ = false;
-  degraded_events_ = 0;
+  ses_->degraded = false;
+  ses_->degraded_events = 0;
   const uint64_t transient0 = device_->transient_retry_count();
   bool force_fresh = false;
   uint32_t salvage_attempts = 0;
@@ -3203,15 +3398,15 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
   WallTimer timer;
 
   auto finish_info = [&] {
-    run_info_.transient_retries =
+    ses_->run_info.transient_retries =
         device_->transient_retry_count() - transient0;
-    if (degraded_ && degraded_events_ > 0) {
-      run_info_.degraded_queries = 1;
-      const uint64_t steps = run_info_.traversal_steps;
-      run_info_.completeness =
+    if (ses_->degraded && ses_->degraded_events > 0) {
+      ses_->run_info.degraded_queries = 1;
+      const uint64_t steps = ses_->run_info.traversal_steps;
+      ses_->run_info.completeness =
           steps == 0 ? 0.0
                      : 1.0 - static_cast<double>(
-                                 std::min(degraded_events_, steps)) /
+                                 std::min(ses_->degraded_events, steps)) /
                                  static_cast<double>(steps);
     }
   };
@@ -3219,32 +3414,41 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
   for (;;) {
     // Fault accounting accumulates across repair/salvage attempts;
     // everything else describes the final (successful) attempt only.
-    const uint64_t corruption = run_info_.corruption_detected;
-    const uint64_t salvages = run_info_.salvage_restarts;
-    const uint64_t lost = run_info_.blocks_lost;
-    const uint64_t remapped = run_info_.blocks_remapped;
-    const uint64_t repairs = run_info_.scoped_repairs;
-    run_info_ = NTadocRunInfo();
-    run_info_.corruption_detected = corruption;
-    run_info_.salvage_restarts = salvages;
-    run_info_.blocks_lost = lost;
-    run_info_.blocks_remapped = remapped;
-    run_info_.scoped_repairs = repairs;
-    state_ = std::make_unique<State>();
-    media_errors_seen_ = device_->media_error_count();
+    const uint64_t corruption = ses_->run_info.corruption_detected;
+    const uint64_t salvages = ses_->run_info.salvage_restarts;
+    const uint64_t lost = ses_->run_info.blocks_lost;
+    const uint64_t remapped = ses_->run_info.blocks_remapped;
+    const uint64_t repairs = ses_->run_info.scoped_repairs;
+    ses_->run_info = NTadocRunInfo();
+    ses_->run_info.corruption_detected = corruption;
+    ses_->run_info.salvage_restarts = salvages;
+    ses_->run_info.blocks_lost = lost;
+    ses_->run_info.blocks_remapped = remapped;
+    ses_->run_info.scoped_repairs = repairs;
+    ses_->state = std::make_unique<State>();
+    ses_->media_errors_seen = device_->media_error_count();
+    ses_->shared_init_sim_ns = 0;
+    ses_->init_shared = false;
 
     auto salvage = [&](const Status& s) {
       // A batch's shared prefix lives in the pool being discarded; drop
-      // it so every remaining task of the batch does a full init.
-      batch_shared_.reset();
-      ++run_info_.corruption_detected;
-      ++run_info_.salvage_restarts;
+      // it so every remaining task of the batch does a full init, and
+      // drop decoded-rule caches built over the doomed layout.
+      ses_->batch_shared.reset();
+      InvalidateRuleCaches();
+      ++ses_->run_info.corruption_detected;
+      ++ses_->run_info.salvage_restarts;
       ++salvage_attempts;
       NTADOC_LOG(Warning) << "salvage restart " << salvage_attempts
                           << " after data loss: " << s.message();
       // Invalidate the damaged persistence state so nothing re-attaches
-      // to it; the compressed container is the source of truth.
+      // to it; the compressed container is the source of truth. Serving
+      // sessions serialize this rewrite on the pool-level repair lock.
       if (options_.persistence != PersistenceMode::kNone) {
+        std::unique_lock<std::mutex> repair_lk;
+        if (options_.repair_lock) {
+          repair_lk = std::unique_lock<std::mutex>(*options_.repair_lock);
+        }
         nvm::PhaseMarker(device_, kMarkerOffset).Format();
       }
       force_fresh = true;
@@ -3252,13 +3456,18 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     // Last resort once repair and salvage budgets are spent: rerun with
     // media errors absorbed instead of surfaced. Only ever entered once.
     auto try_degrade = [&] {
-      if (!options_.allow_degraded || degraded_) return false;
-      batch_shared_.reset();
+      if (!options_.allow_degraded || ses_->degraded) return false;
+      ses_->batch_shared.reset();
+      InvalidateRuleCaches();
       NTADOC_LOG(Warning)
           << "repair and salvage exhausted; rerunning degraded";
-      degraded_ = true;
+      ses_->degraded = true;
       force_fresh = true;
       if (options_.persistence != PersistenceMode::kNone) {
+        std::unique_lock<std::mutex> repair_lk;
+        if (options_.repair_lock) {
+          repair_lk = std::unique_lock<std::mutex>(*options_.repair_lock);
+        }
         nvm::PhaseMarker(device_, kMarkerOffset).Format();
       }
       return true;
@@ -3267,7 +3476,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     timer.Reset();
     const uint64_t sim0 = device_->clock().NowNanos();
     const Status init_status =
-        InitPhase(task, opts, state_.get(), force_fresh);
+        InitPhase(task, opts, ses_->state.get(), force_fresh);
     const uint64_t init_wall = timer.ElapsedNanos();
     const uint64_t init_sim = device_->clock().NowNanos() - sim0;
     if (!init_status.ok()) {
@@ -3279,7 +3488,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
         if (options_.persistence != PersistenceMode::kNone &&
             scoped_attempts < options_.max_scoped_repairs &&
             TryScopedRepair()) {
-          batch_shared_.reset();  // prefix repaired under the batch's feet
+          ses_->batch_shared.reset();  // prefix repaired under the batch's feet
           ++scoped_attempts;
           continue;
         }
@@ -3295,11 +3504,11 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
     // Attach-path probes may have tripped media errors that were handled
     // (counted, repaired, salvaged or healed); only errors from here on
     // are fatal.
-    media_errors_seen_ = device_->media_error_count();
+    ses_->media_errors_seen = device_->media_error_count();
 
     timer.Reset();
     const uint64_t trav_sim0 = device_->clock().NowNanos();
-    auto result = TraversalPhase(task, opts, state_.get());
+    auto result = TraversalPhase(task, opts, ses_->state.get());
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kDataLoss) {
         if (options_.persistence != PersistenceMode::kNone &&
@@ -3307,7 +3516,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
             TryScopedRepair()) {
           // Repaired in place: the next attempt re-attaches to the
           // persisted state and resumes (no force_fresh).
-          batch_shared_.reset();
+          ses_->batch_shared.reset();
           ++scoped_attempts;
           continue;
         }
@@ -3320,17 +3529,19 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
       finish_info();
       return result;
     }
-    run_info_.pool_used_bytes = state_->pool ? state_->pool->UsedBytes() : 0;
-    if (state_->log) {
-      run_info_.redo_logged_bytes = state_->log->logged_payload_bytes();
-      run_info_.group_checkpoints = state_->log->checkpoints();
+    ses_->run_info.pool_used_bytes = ses_->state->pool ? ses_->state->pool->UsedBytes() : 0;
+    if (ses_->state->log) {
+      ses_->run_info.redo_logged_bytes = ses_->state->log->logged_payload_bytes();
+      ses_->run_info.group_checkpoints = ses_->state->log->checkpoints();
     }
     if (metrics != nullptr) {
       metrics->init_wall_ns = init_wall;
       metrics->init_sim_ns = init_sim;
       metrics->traversal_wall_ns = timer.ElapsedNanos();
       metrics->traversal_sim_ns = device_->clock().NowNanos() - trav_sim0;
-      metrics->used_traversal = state_->strategy;
+      metrics->used_traversal = ses_->state->strategy;
+      metrics->shared_init_sim_ns = ses_->shared_init_sim_ns;
+      metrics->init_shared = ses_->init_shared;
     }
     finish_info();
     return result;
@@ -3349,24 +3560,54 @@ Result<std::vector<AnalyticsOutput>> NTadocEngine::RunBatch(
   // later task's InitPhase consumes it. A salvage or scoped repair along
   // the way drops it (Run resets the pointer), after which the remaining
   // tasks initialize from scratch.
-  batch_shared_ = std::make_unique<BatchShared>();
+  ses_->batch_shared = std::make_unique<BatchShared>();
   uint64_t reuses = 0;
   Status failure = Status::OK();
   for (size_t i = 0; i < tasks.size(); ++i) {
     auto out = Run(tasks[i], opts, metrics ? &(*metrics)[i] : nullptr);
-    reuses += run_info_.batch_init_reuses;
+    reuses += ses_->run_info.batch_init_reuses;
     if (!out.ok()) {
       failure = out.status();
       break;
     }
     outputs.push_back(std::move(*out));
   }
-  batch_shared_.reset();
+  ses_->batch_shared.reset();
   // run_info() after a batch reports the last task's run, with the reuse
   // counter aggregated over the whole batch.
-  run_info_.batch_init_reuses = reuses;
+  ses_->run_info.batch_init_reuses = reuses;
   if (!failure.ok()) return failure;
   return outputs;
+}
+
+Result<AnalyticsOutput> NTadocEngine::RunAndCapturePrefix(
+    Task task, const AnalyticsOptions& opts,
+    std::shared_ptr<const SealedPrefix>* prefix, RunMetrics* metrics) {
+  NTADOC_CHECK(prefix != nullptr);
+  prefix->reset();
+  // Arm the capture exactly like RunBatch's first task: the full init
+  // fills the shared state, which then moves into the immutable handle.
+  ses_->batch_shared = std::make_unique<BatchShared>();
+  auto out = Run(task, opts, metrics);
+  std::unique_ptr<BatchShared> captured = std::move(ses_->batch_shared);
+  if (!out.ok()) return out;
+  if (captured == nullptr || !captured->valid) {
+    // Attach reuse, repair or salvage got in the way; the caller should
+    // seal over a fresh device (serve::SealPool always does).
+    return Status::Internal(
+        "sealed-prefix capture requires an undisturbed full init");
+  }
+  auto sealed = std::shared_ptr<SealedPrefix>(new SealedPrefix());
+  sealed->corpus_ = corpus_;
+  sealed->pruned_ = options_.enable_pruning;
+  sealed->persistence_ = options_.persistence;
+  sealed->redo_log_bytes_ = options_.redo_log_bytes;
+  sealed->shared_init_sim_ns_ =
+      captured->shared_sim_ns +
+      (captured->gram_valid ? captured->gram_sim_ns : 0);
+  sealed->shared_ = std::move(captured);
+  *prefix = std::move(sealed);
+  return out;
 }
 
 }  // namespace ntadoc::core

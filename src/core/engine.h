@@ -23,8 +23,10 @@
 #ifndef NTADOC_CORE_ENGINE_H_
 #define NTADOC_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -56,6 +58,9 @@ using tadoc::TraversalStrategy;
 enum class PersistenceMode : uint8_t { kNone = 0, kPhase, kOperation };
 
 const char* PersistenceModeToString(PersistenceMode m);
+
+class SealedPrefix;      // immutable cross-session init prefix (below)
+class SharedRuleCache;   // thread-safe decoded-rule cache (below)
 
 /// N-TADOC configuration.
 struct NTadocOptions {
@@ -116,6 +121,43 @@ struct NTadocOptions {
   /// contributes nothing and RunInfo::completeness reports the fraction
   /// of traversal steps that saw clean media.
   bool allow_degraded = false;
+
+  // ---- Concurrent serving (src/serve) ----
+
+  /// Per-query simulated-time budget in nanoseconds (0 = unlimited),
+  /// measured on the run's SimClock from Run() entry. Repair and salvage
+  /// attempts count against the same budget. When it expires, the run
+  /// stops at the next cancellation point (every traversal step plus the
+  /// init estimator loops) and returns DeadlineExceeded — the session
+  /// fails, never the engine or its siblings.
+  uint64_t deadline_sim_ns = 0;
+
+  /// Cooperative cancellation flag, polled at the same points as the
+  /// deadline; may be flipped from another thread (the scheduler's
+  /// load-shedding path). Null = never cancelled. A cancelled run also
+  /// returns DeadlineExceeded.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Decoded-rule cache shared by concurrent sessions over one sealed
+  /// pool. Overrides dram_cache_bytes when set: hits replay against a
+  /// DRAM model on *this session's* clock, so siblings never pay for each
+  /// other's lookups. Entries survive across sessions (the sealed payload
+  /// layout is deterministic) and are invalidated on any repair/salvage.
+  std::shared_ptr<SharedRuleCache> shared_cache;
+
+  /// Task-independent init prefix of the sealed pool this session's
+  /// device image was cloned from (see RunAndCapturePrefix). Lets every
+  /// session skip the container load, DAG rebuild and estimator reads,
+  /// like RunBatch's cross-task reuse but across engines. Ignored when a
+  /// RunBatch-local prefix exists or the prefix does not match this
+  /// engine's corpus/options.
+  std::shared_ptr<const SealedPrefix> sealed_prefix;
+
+  /// Pool-level repair lock shared by concurrent sessions. Scoped
+  /// repair, salvage formatting and attach-path repair serialize on it,
+  /// so at most one session rewrites (its private copy of) pool state at
+  /// a time while the others keep reading; null = no serving, no lock.
+  std::shared_ptr<std::mutex> repair_lock;
 };
 
 /// Aggregate accounting of one run, beyond RunMetrics.
@@ -183,8 +225,19 @@ class NTadocEngine {
       std::span<const Task> tasks, const AnalyticsOptions& opts = {},
       std::vector<RunMetrics>* metrics = nullptr);
 
+  /// Runs `task` like Run() while capturing the task-independent init
+  /// prefix. On success `*prefix` receives an immutable handle that any
+  /// number of later engines can consume via NTadocOptions::sealed_prefix
+  /// — each paired with a clone of this device's image as its
+  /// DeviceOptions::base_image (the sealed pool). serve::SealPool wraps
+  /// this.
+  Result<AnalyticsOutput> RunAndCapturePrefix(
+      Task task, const AnalyticsOptions& opts,
+      std::shared_ptr<const SealedPrefix>* prefix,
+      RunMetrics* metrics = nullptr);
+
   /// Accounting for the most recent Run().
-  const NTadocRunInfo& run_info() const { return run_info_; }
+  const NTadocRunInfo& run_info() const;
 
   /// Resolves kAuto for a task (mirrors the DRAM engine's policy).
   TraversalStrategy ResolveStrategy(Task task) const;
@@ -198,6 +251,15 @@ class NTadocEngine {
   struct State;        // pool-resident structure handles + host scratch
   struct RuleCache;    // decoded-payload DRAM cache (engine.cc)
   struct BatchShared;  // cross-task init state for RunBatch (engine.cc)
+  // All per-run mutable state — cursors, RunInfo counters, degraded/
+  // repair flags, cache handles, deadline — lives here rather than in
+  // engine-wide members, so one engine instance is exactly one session
+  // and N engines over clones of one sealed image share nothing mutable
+  // except the explicitly thread-safe SharedRuleCache / repair lock.
+  struct SessionContext;
+
+  friend class SealedPrefix;
+  friend class SharedRuleCache;
 
   // Phase 1: build (or re-attach) all pool structures for `task`. With
   // `force_fresh` the attach path is skipped (salvage restart after
@@ -245,6 +307,15 @@ class NTadocEngine {
   // (the data the caller just consumed is poison, not real).
   Status CheckMediaErrors();
 
+  // Cooperative cancellation point: DeadlineExceeded once the session's
+  // sim-clock budget expired or its cancel flag was flipped. Polled at
+  // every traversal step and inside the init estimator loops.
+  Status CheckSessionLimits() const;
+
+  // Drops decoded-rule cache entries (private and shared) after a
+  // repair/salvage rewrote pool payloads under the cached offsets.
+  void InvalidateRuleCaches();
+
   // Decoded-payload reads routed through the DRAM cache when enabled
   // (straight device reads otherwise). `segment` selects segment vs rule.
   DecodedPayload ReadPayloadCached(State* st, bool segment, uint32_t id);
@@ -252,15 +323,71 @@ class NTadocEngine {
   const CompressedCorpus* corpus_;
   nvm::NvmDevice* device_;
   NTadocOptions options_;
-  NTadocRunInfo run_info_;
-  uint64_t media_errors_seen_ = 0;
-  bool degraded_ = false;            // current attempt runs degraded
-  uint64_t degraded_events_ = 0;     // media errors absorbed while degraded
-  std::unique_ptr<State> state_;
-  std::unique_ptr<RuleCache> rule_cache_;
-  // Non-null only while RunBatch is driving Run(): holds the sealed DAG
-  // prefix and estimator scratch later tasks reuse.
-  std::unique_ptr<BatchShared> batch_shared_;
+  std::unique_ptr<SessionContext> ses_;
+};
+
+/// Thread-safe decoded-rule DRAM cache shared by concurrent sessions over
+/// one sealed pool (NTadocOptions::shared_cache). The sealed payload
+/// layout is deterministic, so an entry decoded by one session is valid
+/// for every sibling; the hit replay is charged to the *looking-up*
+/// session's clock through its own DRAM model. Repair or salvage in any
+/// session invalidates the cache (the only cross-session effect repairs
+/// are allowed to have).
+class SharedRuleCache {
+ public:
+  /// `budget_bytes` bounds the decoded payloads held in host memory.
+  explicit SharedRuleCache(uint64_t budget_bytes);
+  ~SharedRuleCache();
+
+  SharedRuleCache(const SharedRuleCache&) = delete;
+  SharedRuleCache& operator=(const SharedRuleCache&) = delete;
+
+  /// Drops every entry and the cross-query reuse history. Engines call
+  /// this after any repair/salvage; tests use it to observe invalidation.
+  void Invalidate();
+
+  /// Number of cached payloads right now.
+  uint64_t entries() const;
+
+  /// Invalidations performed so far (repair-triggered plus explicit).
+  uint64_t invalidations() const;
+
+ private:
+  friend class NTadocEngine;
+  mutable std::mutex mu_;
+  std::unique_ptr<NTadocEngine::RuleCache> cache_;
+  uint64_t invalidations_ = 0;
+};
+
+/// Immutable capture of the task-independent init prefix of a sealed
+/// pool: the pruned DAG layout, prune stats, estimator scratch and (when
+/// sealed by a sequence task) the local n-gram region. Produced by
+/// NTadocEngine::RunAndCapturePrefix, consumed read-only by any number of
+/// concurrent engines whose devices were cloned from the same sealed
+/// image.
+class SealedPrefix {
+ public:
+  ~SealedPrefix();
+
+  SealedPrefix(const SealedPrefix&) = delete;
+  SealedPrefix& operator=(const SealedPrefix&) = delete;
+
+  /// Simulated cost of the shared init work this prefix replaces (see
+  /// RunMetrics::shared_init_sim_ns).
+  uint64_t shared_init_sim_ns() const { return shared_init_sim_ns_; }
+
+ private:
+  friend class NTadocEngine;
+  SealedPrefix();
+  const CompressedCorpus* corpus_ = nullptr;
+  bool pruned_ = true;
+  // Pool layout depends on the sealing engine's persistence mode (marker
+  // region, redo-log reservation, spare blocks); a consuming session must
+  // match it exactly or fall back to a full init.
+  PersistenceMode persistence_ = PersistenceMode::kPhase;
+  uint64_t redo_log_bytes_ = 0;
+  uint64_t shared_init_sim_ns_ = 0;
+  std::unique_ptr<NTadocEngine::BatchShared> shared_;
 };
 
 }  // namespace ntadoc::core

@@ -11,6 +11,11 @@ Result<std::unique_ptr<NvmDevice>> NvmDevice::Create(DeviceOptions options) {
   if (options.capacity == 0) {
     return Status::InvalidArgument("device capacity must be > 0");
   }
+  if (options.base_image != nullptr &&
+      options.base_image->size() > options.capacity) {
+    return Status::InvalidArgument(
+        "base image larger than device capacity");
+  }
   if (options.clock == nullptr) options.clock = MakeSimClock();
   return std::unique_ptr<NvmDevice>(new NvmDevice(std::move(options)));
 }
@@ -24,6 +29,13 @@ NvmDevice::NvmDevice(DeviceOptions options)
       data_(options.capacity, 0),
       retry_(options.retry),
       snapshot_at_drain_(options.snapshot_at_drain) {
+  if (options.base_image != nullptr && !options.base_image->empty()) {
+    // Session-private materialization of the shared sealed image (see
+    // DeviceOptions::base_image). Uncharged: the copy models mapping the
+    // sealed pool, not device traffic.
+    std::memcpy(data_.data(), options.base_image->data(),
+                options.base_image->size());
+  }
   if (!options.fault_plan.empty()) {
     injector_ = std::make_unique<FaultInjector>(std::move(options.fault_plan),
                                                 options.fault_seed, capacity_);

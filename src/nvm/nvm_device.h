@@ -88,6 +88,18 @@ struct DeviceOptions {
   /// (1-based) while the run continues. The crash-point sweeper uses this
   /// to enumerate every drain point of a workload in one pass each.
   uint64_t snapshot_at_drain = 0;
+
+  /// Shared immutable base image (sealed-pool serving). When set, the
+  /// device starts holding this image (zero-padded to `capacity`) instead
+  /// of zeros: N session devices built over one image model N snapshot-
+  /// isolated readers of one sealed NVM pool. Each device materializes a
+  /// private working copy at construction, so per-session writes, media
+  /// faults and repairs never reach the shared image or sibling sessions.
+  /// Materialization is an uncharged host-side copy — simulated costs
+  /// start with the session's own accesses, exactly as if the session had
+  /// DAX-mapped the sealed pool read-only. The image must not exceed
+  /// `capacity`.
+  std::shared_ptr<const std::vector<uint8_t>> base_image;
 };
 
 /// Emulated NVM device (see file comment).

@@ -16,9 +16,16 @@ namespace ntadoc::nvm {
 /// Monotonic simulated clock (nanoseconds).
 ///
 /// The counter is a relaxed atomic: one clock is shared by every memory
-/// model of a run, and future parallel traversals will charge it from
-/// multiple threads. Relaxed ordering is enough — the clock is a pure
-/// accumulator, never used to synchronize memory.
+/// model of a run, and charges may arrive from multiple threads. Relaxed
+/// ordering is enough — the clock is a pure accumulator, never used to
+/// synchronize memory.
+///
+/// The serving layer (src/serve) gives every worker its own persistent
+/// clock "lane": queries executed back to back on one worker accumulate
+/// onto that lane, so a query's simulated latency is the lane delta
+/// across its run and the fleet's makespan is the maximum lane time.
+/// Charges from the shared decoded-rule cache land on the lane of the
+/// session that performed the lookup, never on a sibling's lane.
 class SimClock {
  public:
   SimClock() = default;

@@ -1,0 +1,287 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ntadoc::serve {
+
+// ---------------------------------------------------------------------------
+// SealPool
+// ---------------------------------------------------------------------------
+
+Result<SealedPool> SealPool(const CompressedCorpus* corpus,
+                            const SealOptions& options) {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("SealPool: corpus must not be null");
+  }
+  nvm::DeviceOptions dopts;
+  dopts.capacity = options.capacity;
+  dopts.profile = options.profile;
+  dopts.strict_persistence = options.strict_persistence;
+  NTADOC_ASSIGN_OR_RETURN(auto device, nvm::NvmDevice::Create(dopts));
+
+  core::NTadocOptions eng_opts = options.engine;
+  // The sealing run is a plain single-session run.
+  eng_opts.deadline_sim_ns = 0;
+  eng_opts.cancel = nullptr;
+  eng_opts.shared_cache.reset();
+  eng_opts.sealed_prefix.reset();
+  eng_opts.repair_lock.reset();
+
+  core::NTadocEngine engine(corpus, device.get(), eng_opts);
+  SealedPool sealed;
+  NTADOC_RETURN_IF_ERROR(engine
+                             .RunAndCapturePrefix(options.seal_task,
+                                                  options.seal_opts,
+                                                  &sealed.prefix)
+                             .status());
+  sealed.corpus = corpus;
+  sealed.options = options;
+  sealed.seal_sim_ns = device->clock().NowNanos();
+  // The persisted snapshot *is* the sealed pool: what survives power
+  // loss is exactly what every session clone starts from.
+  sealed.image = std::make_shared<const std::vector<uint8_t>>(
+      device->PersistedSnapshot());
+  return sealed;
+}
+
+// ---------------------------------------------------------------------------
+// ServingEngine
+// ---------------------------------------------------------------------------
+
+ServingEngine::ServingEngine(const SealedPool* pool, ServingOptions options)
+    : pool_(pool), options_(std::move(options)) {
+  NTADOC_CHECK(pool_ != nullptr);
+  NTADOC_CHECK(pool_->image != nullptr);
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.shared_cache_bytes > 0) {
+    shared_cache_ =
+        std::make_shared<core::SharedRuleCache>(options_.shared_cache_bytes);
+  }
+  repair_lock_ = std::make_shared<std::mutex>();
+  lanes_.reserve(options_.workers);
+  queues_.resize(options_.workers);
+  for (uint32_t w = 0; w < options_.workers; ++w) {
+    lanes_.push_back(nvm::MakeSimClock());
+  }
+  paused_ = options_.start_paused;
+  threads_.reserve(options_.workers);
+  for (uint32_t w = 0; w < options_.workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (pending_ >= options_.queue_capacity) {
+    // Fast-reject: no ticket, no session state, the caller backs off.
+    ++stats_.rejected_queue_full;
+    return Status::ResourceExhausted("serving queue full");
+  }
+  const uint64_t ticket = results_.size();
+  results_.push_back(std::make_unique<QueryResult>());
+  requests_.push_back(std::move(request));
+  if (options_.shed_watermark > 0 &&
+      pending_ >= options_.shed_watermark &&
+      requests_[ticket].sheddable) {
+    // Load shedding: admitted-and-dropped, never queued.
+    QueryResult& r = *results_[ticket];
+    r.status = Status::DeadlineExceeded("shed under load");
+    r.shed = true;
+    r.done = true;
+    ++stats_.shed;
+    return ticket;
+  }
+  ++stats_.accepted;
+  ++pending_;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, pending_);
+  // Deterministic round-robin placement; with work_stealing off this
+  // fixes each lane's query set independent of execution timing.
+  const uint32_t w = next_worker_;
+  next_worker_ = (next_worker_ + 1) % options_.workers;
+  queues_[w].push_back(ticket);
+  lock.unlock();
+  cv_.notify_all();
+  return ticket;
+}
+
+void ServingEngine::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void ServingEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ServingEngine::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+    shutdown_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+const QueryResult& ServingEngine::result(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  NTADOC_CHECK(ticket < results_.size());
+  return *results_[ticket];
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t ServingEngine::worker_lane_ns(uint32_t w) const {
+  NTADOC_CHECK(w < lanes_.size());
+  return lanes_[w]->NowNanos();
+}
+
+uint64_t ServingEngine::makespan_sim_ns() const {
+  uint64_t mk = 0;
+  for (const auto& lane : lanes_) mk = std::max(mk, lane->NowNanos());
+  return mk;
+}
+
+void ServingEngine::WorkerLoop(uint32_t w) {
+  for (;;) {
+    uint64_t ticket = 0;
+    bool stolen = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        if (shutdown_) return true;
+        if (paused_) return false;
+        if (!queues_[w].empty()) return true;
+        if (!options_.work_stealing) return false;
+        for (const auto& q : queues_) {
+          if (!q.empty()) return true;
+        }
+        return false;
+      });
+      if (!paused_ && !queues_[w].empty()) {
+        ticket = queues_[w].front();
+        queues_[w].pop_front();
+      } else if (!paused_ && options_.work_stealing) {
+        // Steal from the tail of the deepest sibling queue.
+        size_t victim = queues_.size();
+        size_t depth = 0;
+        for (size_t v = 0; v < queues_.size(); ++v) {
+          if (queues_[v].size() > depth) {
+            depth = queues_[v].size();
+            victim = v;
+          }
+        }
+        if (victim == queues_.size()) {
+          if (shutdown_) return;
+          continue;
+        }
+        ticket = queues_[victim].back();
+        queues_[victim].pop_back();
+        stolen = true;
+        ++stats_.stolen;
+      } else {
+        if (shutdown_) return;
+        continue;
+      }
+    }
+    (void)stolen;
+    Execute(w, ticket);
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      drained = pending_ == 0;
+    }
+    if (drained) drain_cv_.notify_all();
+  }
+}
+
+void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
+  // Snapshot the request under the lock; everything below runs without
+  // it — session construction and the query itself touch only private
+  // state plus the explicitly thread-safe shared pieces.
+  QueryRequest req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req = requests_[ticket];
+  }
+
+  QueryResult local;
+  local.worker = w;
+
+  nvm::DeviceOptions dopts;
+  dopts.capacity = pool_->options.capacity;
+  dopts.profile = pool_->options.profile;
+  dopts.strict_persistence = pool_->options.strict_persistence;
+  dopts.clock = lanes_[w];  // persistent per-worker lane
+  dopts.base_image = pool_->image;
+  dopts.fault_plan = req.fault_plan;
+  dopts.fault_seed = req.fault_seed;
+  auto device = nvm::NvmDevice::Create(dopts);
+  if (!device.ok()) {
+    local.status = device.status();
+    local.done = true;
+  } else {
+    for (const QueryRequest::Poison& p : req.poison) {
+      (*device)->PoisonForTesting(p.offset, p.len, p.sticky);
+    }
+    core::NTadocOptions eng_opts = pool_->options.engine;
+    eng_opts.deadline_sim_ns = req.deadline_sim_ns != 0
+                                   ? req.deadline_sim_ns
+                                   : options_.default_deadline_sim_ns;
+    eng_opts.cancel = &cancel_all_;
+    eng_opts.sealed_prefix = pool_->prefix;
+    eng_opts.repair_lock = repair_lock_;
+    if (shared_cache_) {
+      eng_opts.shared_cache = shared_cache_;
+    } else {
+      eng_opts.dram_cache_bytes = options_.dram_cache_bytes;
+    }
+    if (req.allow_degraded) eng_opts.allow_degraded = true;
+
+    core::NTadocEngine engine(pool_->corpus, device->get(), eng_opts);
+    const uint64_t lane0 = lanes_[w]->NowNanos();
+    auto out = engine.Run(req.task, req.opts, &local.metrics);
+    local.latency_sim_ns = lanes_[w]->NowNanos() - lane0;
+    local.info = engine.run_info();
+    if (out.ok()) {
+      local.output = std::move(*out);
+      local.status = Status::OK();
+    } else {
+      local.status = out.status();
+    }
+    local.done = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (local.status.ok()) {
+    ++stats_.completed;
+    if (local.info.degraded_queries > 0) ++stats_.degraded;
+  } else if (local.status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_expired;
+  } else {
+    ++stats_.failed;
+  }
+  stats_.scoped_repairs += local.info.scoped_repairs;
+  stats_.salvage_restarts += local.info.salvage_restarts;
+  *results_[ticket] = std::move(local);
+}
+
+}  // namespace ntadoc::serve

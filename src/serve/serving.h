@@ -1,0 +1,244 @@
+// Fault-isolated concurrent query serving over one sealed N-TADOC pool.
+//
+// The serving model (DESIGN.md "Session model"):
+//   * SealPool runs one initialization on a private device and freezes
+//     the persisted image plus the task-independent init prefix
+//     (core::SealedPrefix) into an immutable SealedPool.
+//   * ServingEngine spawns N worker threads. Every admitted query becomes
+//     one *session*: a private NvmDevice cloned from the sealed image, a
+//     private NTadocEngine (one engine instance = one SessionContext),
+//     and the worker's persistent SimClock lane. Sessions share only the
+//     immutable image/prefix, an optional thread-safe decoded-rule cache,
+//     and the pool-level repair lock — so media faults, repairs, salvage
+//     and degraded mode stay scoped to the session that hit them, and a
+//     failing session can never corrupt a sibling's answer or counters.
+//   * Admission control bounds the pending queue: Submit fast-rejects
+//     with ResourceExhausted when the queue is full, and load-sheds
+//     sheddable requests above the shed watermark. Expired per-session
+//     sim-clock deadlines surface as DeadlineExceeded without stalling
+//     the queue.
+//
+// Timing: each worker accumulates simulated time on its own clock lane;
+// a query's latency is the lane delta across its run, and the fleet's
+// makespan is the maximum lane time — queries on different workers
+// overlap, queries on one worker serialize.
+
+#ifndef NTADOC_SERVE_SERVING_H_
+#define NTADOC_SERVE_SERVING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace ntadoc::serve {
+
+using compress::CompressedCorpus;
+
+/// How to build the sealed pool.
+struct SealOptions {
+  /// Device geometry for the sealed image and every session clone.
+  uint64_t capacity = 64ull << 20;
+  nvm::DeviceProfile profile = nvm::OptaneProfile();
+
+  /// Strict persistence for session devices (required for torn-flush /
+  /// bit-flip fault effects; slower). The sealing run itself always uses
+  /// the same setting so the persisted image is representative.
+  bool strict_persistence = false;
+
+  /// Engine configuration shared by the sealing run and every session.
+  /// The serving fields (deadline, cancel, shared_cache, sealed_prefix,
+  /// repair_lock) are overwritten per session by ServingEngine.
+  core::NTadocOptions engine;
+
+  /// Task whose init seals the pool. Any task works — the captured
+  /// prefix is task-independent; sealing with a sequence task
+  /// additionally freezes the local n-gram region for that n.
+  tadoc::Task seal_task = tadoc::Task::kWordCount;
+  tadoc::AnalyticsOptions seal_opts;
+};
+
+/// Immutable product of SealPool: the persisted device image plus the
+/// captured init prefix. Safe to share across any number of concurrent
+/// ServingEngines/sessions.
+struct SealedPool {
+  const CompressedCorpus* corpus = nullptr;
+  SealOptions options;
+  std::shared_ptr<const std::vector<uint8_t>> image;
+  std::shared_ptr<const core::SealedPrefix> prefix;
+  /// Simulated cost of the sealing run (paid once, off the serving path).
+  uint64_t seal_sim_ns = 0;
+};
+
+/// Runs one init + traversal on a fresh private device and captures the
+/// sealed image/prefix. `corpus` must outlive the returned pool.
+Result<SealedPool> SealPool(const CompressedCorpus* corpus,
+                            const SealOptions& options);
+
+/// One query. Fault fields model media trouble of *this session's*
+/// device clone only — the sealed image and sibling sessions never see
+/// them.
+struct QueryRequest {
+  tadoc::Task task = tadoc::Task::kWordCount;
+  tadoc::AnalyticsOptions opts;
+
+  /// Per-query sim-clock budget; 0 = ServingOptions default.
+  uint64_t deadline_sim_ns = 0;
+
+  /// Sheddable requests are dropped (status DeadlineExceeded, shed=true)
+  /// when the pending queue reaches the shed watermark.
+  bool sheddable = false;
+
+  /// Overrides the engine default: complete under unreadable media with
+  /// completeness < 1 instead of failing the session.
+  bool allow_degraded = false;
+
+  /// Declarative media faults for this session's device.
+  nvm::FaultPlan fault_plan;
+  uint64_t fault_seed = 1;
+
+  /// Powered-off damage applied to the session clone before the run.
+  struct Poison {
+    uint64_t offset = 0;
+    uint64_t len = 0;
+    bool sticky = false;
+  };
+  std::vector<Poison> poison;
+};
+
+/// Outcome of one session.
+struct QueryResult {
+  Status status;  // OK, DeadlineExceeded, DataLoss, ...
+  tadoc::AnalyticsOutput output;
+  tadoc::RunMetrics metrics;
+  core::NTadocRunInfo info;
+  uint64_t latency_sim_ns = 0;  // lane delta across the session
+  uint32_t worker = 0;
+  bool shed = false;  // dropped by admission control, never ran
+  bool done = false;  // set when the session finished (or was shed)
+};
+
+/// Scheduler configuration.
+struct ServingOptions {
+  uint32_t workers = 4;
+
+  /// Bound on admitted-but-unfinished queries; Submit fast-rejects with
+  /// ResourceExhausted beyond it.
+  uint32_t queue_capacity = 64;
+
+  /// Pending depth at which sheddable requests are dropped; 0 disables
+  /// shedding.
+  uint32_t shed_watermark = 0;
+
+  /// Deadline for requests that do not set their own; 0 = unlimited.
+  uint64_t default_deadline_sim_ns = 0;
+
+  /// Idle workers steal from the busiest sibling's queue tail. Turn off
+  /// (with round-robin placement) for bit-deterministic per-lane timing.
+  bool work_stealing = true;
+
+  /// Thread-safe decoded-rule cache shared by all sessions; 0 disables.
+  /// Mutually exclusive with dram_cache_bytes (shared wins).
+  uint64_t shared_cache_bytes = 0;
+
+  /// Private per-session decoded-rule cache; 0 disables.
+  uint64_t dram_cache_bytes = 0;
+
+  /// Construct workers parked; no query runs until Start(). Lets tests
+  /// fill the queue deterministically to exercise rejection/shedding.
+  bool start_paused = false;
+};
+
+/// Aggregate serving counters (see stats()).
+struct ServingStats {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;          // sessions that returned OK
+  uint64_t failed = 0;             // non-OK, non-deadline sessions
+  uint64_t deadline_expired = 0;   // DeadlineExceeded sessions
+  uint64_t degraded = 0;           // OK sessions with completeness < 1
+  uint64_t scoped_repairs = 0;     // summed across sessions
+  uint64_t salvage_restarts = 0;
+  uint64_t stolen = 0;             // queries run off a sibling's queue
+  uint64_t max_queue_depth = 0;
+};
+
+/// Concurrent fault-isolated query server over one SealedPool (see file
+/// comment). Thread-safe: Submit may be called from any thread.
+class ServingEngine {
+ public:
+  /// `pool` must outlive the engine.
+  ServingEngine(const SealedPool* pool, ServingOptions options);
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Admits a query and returns its ticket, or ResourceExhausted when
+  /// the pending queue is full (fast-reject: no session state is built).
+  /// Sheddable requests above the shed watermark are admitted-and-
+  /// dropped: they get a ticket whose result has shed=true.
+  Result<uint64_t> Submit(QueryRequest request);
+
+  /// Releases workers parked by ServingOptions::start_paused.
+  void Start();
+
+  /// Blocks until every admitted query has finished.
+  void Drain();
+
+  /// Drains and joins the workers; idempotent (the destructor calls it).
+  void Shutdown();
+
+  /// Result of an admitted query; valid after Drain()/Shutdown() (or
+  /// whenever result(t).done is observed true after a Drain call).
+  const QueryResult& result(uint64_t ticket) const;
+
+  ServingStats stats() const;
+
+  /// Simulated time accumulated on worker `w`'s lane so far.
+  uint64_t worker_lane_ns(uint32_t w) const;
+
+  /// Fleet makespan: the maximum worker lane time.
+  uint64_t makespan_sim_ns() const;
+
+  uint32_t workers() const { return static_cast<uint32_t>(lanes_.size()); }
+
+ private:
+  void WorkerLoop(uint32_t w);
+  void Execute(uint32_t w, uint64_t ticket);
+
+  const SealedPool* pool_;
+  ServingOptions options_;
+  std::shared_ptr<core::SharedRuleCache> shared_cache_;
+  std::shared_ptr<std::mutex> repair_lock_;
+  std::vector<nvm::SimClockPtr> lanes_;  // one persistent clock per worker
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // workers: work available / unpause
+  std::condition_variable drain_cv_;  // Drain(): pending hit zero
+  bool paused_ = false;
+  bool shutdown_ = false;
+  uint64_t pending_ = 0;  // admitted, not yet finished
+  uint32_t next_worker_ = 0;
+  std::vector<std::deque<uint64_t>> queues_;  // per-worker tickets
+  std::vector<std::unique_ptr<QueryResult>> results_;
+  std::vector<QueryRequest> requests_;
+  ServingStats stats_;
+
+  std::atomic<bool> cancel_all_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ntadoc::serve
+
+#endif  // NTADOC_SERVE_SERVING_H_

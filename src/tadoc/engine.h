@@ -57,6 +57,15 @@ struct RunMetrics {
   uint64_t traversal_wall_ns = 0;
   uint64_t init_sim_ns = 0;       // simulated device time in init phase
   uint64_t traversal_sim_ns = 0;  // simulated device time in traversal
+  /// Simulated init cost this run consumed from a shared prefix without
+  /// paying it itself (RunBatch reuse / sealed-prefix sessions): the
+  /// container load, DAG build and estimator reads another task already
+  /// charged. 0 when this run paid its full init (init_sim_ns has it
+  /// all), so init_sim_ns + shared_init_sim_ns is comparable across all
+  /// tasks of a batch and across serving sessions.
+  uint64_t shared_init_sim_ns = 0;
+  /// True when this run's init consumed a shared prefix.
+  bool init_shared = false;
   TraversalStrategy used_traversal = TraversalStrategy::kTopDown;
 
   uint64_t TotalWallNs() const { return init_wall_ns + traversal_wall_ns; }

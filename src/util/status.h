@@ -30,6 +30,7 @@ enum class StatusCode : uint8_t {
   kIoError,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,    // e.g. per-session sim-clock budget expired
 };
 
 /// Returns a stable human-readable name for `code` ("InvalidArgument", ...).
@@ -60,6 +61,7 @@ class Status {
   static Status IoError(std::string msg);
   static Status Internal(std::string msg);
   static Status Unimplemented(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,0 +1,464 @@
+// Fast serving-layer unit tests (tier1): session isolation over a sealed
+// pool, sealed-prefix init reuse and its cost attribution, per-session
+// deadlines and cooperative cancellation, admission control (queue-full
+// fast-reject, load shedding), shared decoded-rule cache invalidation
+// after repair, and degraded-mode completeness accounting across batch
+// and concurrent sessions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "reference_impl.h"
+#include "serve/serving.h"
+#include "util/logging.h"
+
+namespace ntadoc::serve {
+namespace {
+
+using core::NTadocEngine;
+using core::NTadocOptions;
+using core::NTadocRunInfo;
+using core::PersistenceMode;
+using tests::RandomCorpus;
+using tests::ReferenceRun;
+
+constexpr uint64_t kCapacity = 32ull << 20;
+
+SealOptions BaseSealOptions() {
+  SealOptions so;
+  so.capacity = kCapacity;
+  so.engine.persistence = PersistenceMode::kPhase;
+  return so;
+}
+
+// Payload region of the sealed layout: init is deterministic, so a solo
+// engine over the same corpus/options lays out the identical region.
+std::pair<uint64_t, uint64_t> LocatePayload(
+    const compress::CompressedCorpus& corpus, const SealOptions& so) {
+  nvm::DeviceOptions dopts;
+  dopts.capacity = so.capacity;
+  dopts.profile = so.profile;
+  auto device = nvm::NvmDevice::Create(dopts);
+  NTADOC_CHECK(device.ok());
+  NTadocEngine engine(&corpus, device->get(), so.engine);
+  NTADOC_CHECK(engine.Run(tadoc::Task::kWordCount).ok());
+  return engine.payload_region();
+}
+
+// ---- Sealed prefix: cross-engine init reuse -------------------------
+
+TEST(SealedPrefixTest, SessionReusesInitAndMatchesSolo) {
+  const auto corpus = RandomCorpus(41, 20, 4, 220);
+  const auto so = BaseSealOptions();
+  auto sealed = SealPool(&corpus, so);
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+  ASSERT_NE(sealed->prefix, nullptr);
+  EXPECT_GT(sealed->prefix->shared_init_sim_ns(), 0u);
+
+  for (tadoc::Task task : tadoc::kAllTasks) {
+    // Session: private clone of the sealed image + the captured prefix.
+    nvm::DeviceOptions dopts;
+    dopts.capacity = so.capacity;
+    dopts.base_image = sealed->image;
+    auto device = nvm::NvmDevice::Create(dopts);
+    ASSERT_TRUE(device.ok());
+    NTadocOptions opts = so.engine;
+    opts.sealed_prefix = sealed->prefix;
+    NTadocEngine session(&corpus, device->get(), opts);
+    tadoc::RunMetrics m;
+    auto got = session.Run(task, {}, &m);
+    ASSERT_TRUE(got.ok()) << tadoc::TaskToString(task) << ": "
+                          << got.status();
+    EXPECT_EQ(*got, ReferenceRun(corpus, task, {}))
+        << tadoc::TaskToString(task);
+    // Satellite (b): the reused init is visible and cost-attributed.
+    EXPECT_TRUE(m.init_shared) << tadoc::TaskToString(task);
+    EXPECT_EQ(m.shared_init_sim_ns, sealed->prefix->shared_init_sim_ns())
+        << tadoc::TaskToString(task);
+    EXPECT_EQ(session.run_info().batch_init_reuses, 1u);
+
+    // Reuse must actually skip work: a full init of the same task on a
+    // fresh device pays strictly more simulated time.
+    nvm::DeviceOptions fresh_opts;
+    fresh_opts.capacity = so.capacity;
+    auto fresh = nvm::NvmDevice::Create(fresh_opts);
+    ASSERT_TRUE(fresh.ok());
+    NTadocEngine full(&corpus, fresh->get(), so.engine);
+    tadoc::RunMetrics mf;
+    ASSERT_TRUE(full.Run(task, {}, &mf).ok());
+    EXPECT_LT(m.init_sim_ns, mf.init_sim_ns) << tadoc::TaskToString(task);
+  }
+}
+
+TEST(SealedPrefixTest, MismatchedOptionsFallBackToFullInit) {
+  const auto corpus = RandomCorpus(42, 20, 4, 200);
+  auto sealed = SealPool(&corpus, BaseSealOptions());
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  // Different persistence mode: the pool layout differs, the prefix must
+  // be ignored and the run still be exact.
+  nvm::DeviceOptions dopts;
+  dopts.capacity = kCapacity;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kNone;
+  opts.sealed_prefix = sealed->prefix;
+  NTadocEngine session(&corpus, device->get(), opts);
+  tadoc::RunMetrics m;
+  auto got = session.Run(tadoc::Task::kWordCount, {}, &m);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, ReferenceRun(corpus, tadoc::Task::kWordCount, {}));
+  EXPECT_FALSE(m.init_shared);
+  EXPECT_EQ(m.shared_init_sim_ns, 0u);
+}
+
+// ---- Deadlines and cancellation -------------------------------------
+
+TEST(SessionLimitsTest, DeadlineExpiresWithoutCorruptingEngine) {
+  const auto corpus = RandomCorpus(43, 20, 4, 220);
+  nvm::DeviceOptions dopts;
+  dopts.capacity = kCapacity;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kPhase;
+  opts.deadline_sim_ns = 1;  // expires at the first cancellation point
+  NTadocEngine engine(&corpus, device->get(), opts);
+  auto got = engine.Run(tadoc::Task::kWordCount);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  // Deadline is a session outcome, not media damage: no salvage, no
+  // repair, no degraded accounting.
+  EXPECT_EQ(engine.run_info().salvage_restarts, 0u);
+  EXPECT_EQ(engine.run_info().scoped_repairs, 0u);
+  EXPECT_EQ(engine.run_info().degraded_queries, 0u);
+
+  // A fresh engine over the same device (no deadline) still answers
+  // exactly — the expired session left nothing poisoned behind.
+  NTadocOptions clean = opts;
+  clean.deadline_sim_ns = 0;
+  NTadocEngine retry(&corpus, device->get(), clean);
+  auto ok = retry.Run(tadoc::Task::kWordCount);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(*ok, ReferenceRun(corpus, tadoc::Task::kWordCount, {}));
+}
+
+TEST(SessionLimitsTest, CancelFlagStopsTheRun) {
+  const auto corpus = RandomCorpus(44, 20, 4, 220);
+  nvm::DeviceOptions dopts;
+  dopts.capacity = kCapacity;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+
+  std::atomic<bool> cancel{true};
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kPhase;
+  opts.cancel = &cancel;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  auto got = engine.Run(tadoc::Task::kWordCount);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---- Serving: correctness and isolation -----------------------------
+
+TEST(ServingEngineTest, ConcurrentSessionsMatchReference) {
+  const auto corpus = RandomCorpus(45, 20, 4, 220);
+  auto sealed = SealPool(&corpus, BaseSealOptions());
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  ServingOptions sopts;
+  sopts.workers = 4;
+  sopts.queue_capacity = 64;
+  ServingEngine server(&*sealed, sopts);
+
+  std::vector<uint64_t> tickets;
+  for (int round = 0; round < 2; ++round) {
+    for (tadoc::Task task : tadoc::kAllTasks) {
+      QueryRequest req;
+      req.task = task;
+      auto t = server.Submit(std::move(req));
+      ASSERT_TRUE(t.ok()) << t.status();
+      tickets.push_back(*t);
+    }
+  }
+  server.Drain();
+
+  for (uint64_t t : tickets) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.done);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.output, ReferenceRun(corpus, r.output.task, {}));
+    EXPECT_TRUE(r.metrics.init_shared);
+    EXPECT_GT(r.latency_sim_ns, 0u);
+  }
+  const ServingStats st = server.stats();
+  EXPECT_EQ(st.completed, tickets.size());
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.rejected_queue_full, 0u);
+  EXPECT_GT(server.makespan_sim_ns(), 0u);
+}
+
+// ---- Admission control ----------------------------------------------
+
+TEST(ServingEngineTest, QueueFullFastRejects) {
+  const auto corpus = RandomCorpus(46, 16, 2, 120);
+  auto sealed = SealPool(&corpus, BaseSealOptions());
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  ServingOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_capacity = 3;
+  sopts.start_paused = true;  // nothing runs: the queue depth is exact
+  ServingEngine server(&*sealed, sopts);
+
+  std::vector<uint64_t> admitted;
+  for (int i = 0; i < 3; ++i) {
+    auto t = server.Submit(QueryRequest{});
+    ASSERT_TRUE(t.ok()) << t.status();
+    admitted.push_back(*t);
+  }
+  auto overflow = server.Submit(QueryRequest{});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+
+  server.Start();
+  server.Drain();
+  for (uint64_t t : admitted) {
+    EXPECT_TRUE(server.result(t).status.ok()) << server.result(t).status;
+  }
+  const ServingStats st = server.stats();
+  EXPECT_EQ(st.rejected_queue_full, 1u);
+  EXPECT_EQ(st.accepted, 3u);
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.max_queue_depth, 3u);
+
+  // After the drain the queue has room again.
+  auto retry = server.Submit(QueryRequest{});
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  server.Drain();
+  EXPECT_TRUE(server.result(*retry).status.ok());
+}
+
+TEST(ServingEngineTest, SheddableRequestsDropAboveWatermark) {
+  const auto corpus = RandomCorpus(47, 16, 2, 120);
+  auto sealed = SealPool(&corpus, BaseSealOptions());
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  ServingOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_capacity = 16;
+  sopts.shed_watermark = 2;
+  sopts.start_paused = true;
+  ServingEngine server(&*sealed, sopts);
+
+  auto a = server.Submit(QueryRequest{});
+  auto b = server.Submit(QueryRequest{});
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryRequest sheddable;
+  sheddable.sheddable = true;
+  auto c = server.Submit(std::move(sheddable));
+  ASSERT_TRUE(c.ok());
+  // Non-sheddable requests above the watermark still queue.
+  auto d = server.Submit(QueryRequest{});
+  ASSERT_TRUE(d.ok());
+
+  server.Start();
+  server.Drain();
+  EXPECT_TRUE(server.result(*c).shed);
+  EXPECT_EQ(server.result(*c).status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(server.result(*a).status.ok());
+  EXPECT_TRUE(server.result(*b).status.ok());
+  EXPECT_TRUE(server.result(*d).status.ok());
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+// ---- Shared rule cache: invalidation after repair (satellite a) ------
+
+TEST(SharedCacheTest, RepairInvalidatesSharedEntries) {
+  const auto corpus = RandomCorpus(48, 20, 4, 220);
+  auto so = BaseSealOptions();
+  // Expensive reads (and a one-block page cache) so the cache's
+  // admission heuristic actually admits decoded payloads.
+  so.profile = nvm::SsdProfile(/*cache_bytes=*/4096);
+  const auto [pbegin, pend] = LocatePayload(corpus, so);
+  ASSERT_LT(pbegin, pend);
+
+  auto sealed = SealPool(&corpus, so);
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+  auto cache = std::make_shared<core::SharedRuleCache>(1ull << 20);
+
+  // Session A fills the shared cache (two runs so the second-miss
+  // admission policy can admit).
+  {
+    nvm::DeviceOptions dopts;
+    dopts.capacity = so.capacity;
+    dopts.profile = so.profile;
+    dopts.base_image = sealed->image;
+    auto device = nvm::NvmDevice::Create(dopts);
+    ASSERT_TRUE(device.ok());
+    NTadocOptions opts = so.engine;
+    opts.sealed_prefix = sealed->prefix;
+    opts.shared_cache = cache;
+    NTadocEngine session(&corpus, device->get(), opts);
+    // Admission is second-miss: the first run records the payloads, the
+    // second run's re-misses admit them.
+    ASSERT_TRUE(session.Run(tadoc::Task::kWordCount).ok());
+    ASSERT_TRUE(session.Run(tadoc::Task::kWordCount).ok());
+  }
+  ASSERT_GT(cache->entries(), 0u);
+
+  // Session B hits a bad payload block, repairs it in place — and must
+  // drop the shared entries (they were decoded from pre-repair media).
+  {
+    nvm::DeviceOptions dopts;
+    dopts.capacity = so.capacity;
+    dopts.profile = so.profile;
+    dopts.base_image = sealed->image;
+    auto device = nvm::NvmDevice::Create(dopts);
+    ASSERT_TRUE(device.ok());
+    const uint64_t block = ((pbegin + pend) / 2) & ~uint64_t{255};
+    (*device)->PoisonForTesting(block, 1);
+    NTadocOptions opts = so.engine;
+    opts.sealed_prefix = sealed->prefix;
+    opts.shared_cache = cache;
+    NTadocEngine session(&corpus, device->get(), opts);
+    auto got = session.Run(tadoc::Task::kWordCount);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, ReferenceRun(corpus, tadoc::Task::kWordCount, {}));
+    EXPECT_GT(session.run_info().scoped_repairs +
+                  session.run_info().salvage_restarts,
+              0u);
+  }
+  EXPECT_EQ(cache->entries(), 0u);
+  EXPECT_GT(cache->invalidations(), 0u);
+}
+
+// ---- RunBatch shared-init attribution (satellite b) ------------------
+
+TEST(BatchAttributionTest, SharedInitCostReportedPerTask) {
+  const auto corpus = RandomCorpus(49, 20, 4, 220);
+  nvm::DeviceOptions dopts;
+  dopts.capacity = kCapacity;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+
+  NTadocOptions opts;
+  opts.persistence = PersistenceMode::kPhase;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  const std::vector<tadoc::Task> tasks = {tadoc::Task::kWordCount,
+                                          tadoc::Task::kSort,
+                                          tadoc::Task::kTermVector};
+  std::vector<tadoc::RunMetrics> metrics;
+  auto outs = engine.RunBatch(tasks, {}, &metrics);
+  ASSERT_TRUE(outs.ok()) << outs.status();
+  ASSERT_EQ(metrics.size(), tasks.size());
+
+  // First task pays everything itself.
+  EXPECT_FALSE(metrics[0].init_shared);
+  EXPECT_EQ(metrics[0].shared_init_sim_ns, 0u);
+  // Later tasks consume the same shared prefix and report the identical
+  // shared cost — making init_sim_ns + shared_init_sim_ns comparable
+  // across all tasks of the batch.
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_TRUE(metrics[i].init_shared) << i;
+    EXPECT_GT(metrics[i].shared_init_sim_ns, 0u) << i;
+    EXPECT_EQ(metrics[i].shared_init_sim_ns, metrics[1].shared_init_sim_ns)
+        << i;
+    EXPECT_LT(metrics[i].init_sim_ns, metrics[0].init_sim_ns) << i;
+    EXPECT_GT(metrics[i].init_sim_ns + metrics[i].shared_init_sim_ns,
+              metrics[i].init_sim_ns)
+        << i;
+  }
+  EXPECT_EQ(engine.run_info().batch_init_reuses, tasks.size() - 1);
+}
+
+// ---- Degraded completeness under batch / multi-session (satellite c) -
+
+TEST(DegradedAccountingTest, BatchReportsCompletenessPerTask) {
+  const auto corpus = RandomCorpus(50, 20, 4, 220);
+  const auto so = BaseSealOptions();
+  const auto [pbegin, pend] = LocatePayload(corpus, so);
+  ASSERT_LT(pbegin, pend);
+
+  nvm::DeviceOptions dopts;
+  dopts.capacity = so.capacity;
+  auto device = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(device.ok());
+  const uint64_t block = ((pbegin + pend) / 2) & ~uint64_t{255};
+  (*device)->PoisonForTesting(block, 1, /*sticky=*/true);
+
+  NTadocOptions opts = so.engine;
+  opts.max_scoped_repairs = 0;
+  opts.max_salvage_restarts = 0;
+  opts.allow_degraded = true;
+  NTadocEngine engine(&corpus, device->get(), opts);
+  const std::vector<tadoc::Task> tasks = {tadoc::Task::kWordCount,
+                                          tadoc::Task::kSort};
+  auto outs = engine.RunBatch(tasks, {});
+  ASSERT_TRUE(outs.ok()) << outs.status();
+  // The last task's accounting is visible; it ran over dead media and
+  // must say so rather than claim a complete answer.
+  const NTadocRunInfo& info = engine.run_info();
+  EXPECT_EQ(info.degraded_queries, 1u);
+  EXPECT_LT(info.completeness, 1.0);
+  EXPECT_GE(info.completeness, 0.0);
+}
+
+TEST(DegradedAccountingTest, DegradedSessionDoesNotBleedIntoSiblings) {
+  const auto corpus = RandomCorpus(51, 20, 4, 220);
+  const auto so = BaseSealOptions();
+  const auto [pbegin, pend] = LocatePayload(corpus, so);
+  ASSERT_LT(pbegin, pend);
+
+  auto sealed = SealPool(&corpus, so);
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  ServingOptions sopts;
+  sopts.workers = 3;
+  ServingEngine server(&*sealed, sopts);
+
+  // One degraded session among clean siblings.
+  QueryRequest faulty;
+  faulty.task = tadoc::Task::kWordCount;
+  faulty.allow_degraded = true;
+  faulty.poison.push_back(
+      {((pbegin + pend) / 2) & ~uint64_t{255}, 1, /*sticky=*/true});
+  auto ft = server.Submit(std::move(faulty));
+  ASSERT_TRUE(ft.ok());
+  std::vector<uint64_t> clean;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest req;
+    req.task = tadoc::Task::kWordCount;
+    auto t = server.Submit(std::move(req));
+    ASSERT_TRUE(t.ok());
+    clean.push_back(*t);
+  }
+  server.Drain();
+
+  const QueryResult& fr = server.result(*ft);
+  ASSERT_TRUE(fr.status.ok()) << fr.status;
+  EXPECT_EQ(fr.info.degraded_queries, 1u);
+  EXPECT_LT(fr.info.completeness, 1.0);
+  const auto expected = ReferenceRun(corpus, tadoc::Task::kWordCount, {});
+  for (uint64_t t : clean) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    // Zero bleed: exact answers, pristine per-session counters.
+    EXPECT_EQ(r.output, expected);
+    EXPECT_EQ(r.info.degraded_queries, 0u);
+    EXPECT_EQ(r.info.completeness, 1.0);
+    EXPECT_EQ(r.info.corruption_detected, 0u);
+    EXPECT_EQ(r.info.salvage_restarts, 0u);
+  }
+  EXPECT_EQ(server.stats().degraded, 1u);
+}
+
+}  // namespace
+}  // namespace ntadoc::serve

@@ -80,6 +80,40 @@ awk '
 ' <(printf '%s\n' "$CURRENT") || { echo "FAIL: relational perf gates" >&2; exit 1; }
 echo "perf gates OK: epoch >=2x, cache non-regressing, batch init reuse"
 
+# Serving gates (relational, no baseline): concurrent sessions over one
+# sealed pool must actually scale, and the fault-isolated escalation
+# ladder must keep tail latency bounded. bench_serving's SERVE lines are
+#   SERVE <workers> <fault_pct> <queries> <qps> <p50> <p99> <makespan>
+# with deterministic simulated timing (round-robin lanes, stealing off):
+#   * N=16 workers deliver >=3x the N=1 sim throughput;
+#   * at every fleet size, the 25%-fault mix's p99 stays within 2x of
+#     the clean p99 (scoped repair, not salvage, absorbs the damage).
+cmake --build "$BUILD_DIR" --target bench_serving -j >/dev/null
+SERVE_OUT=$("$BUILD_DIR/bench/bench_serving" --scale=0.05 --datasets=C \
+        --cache-dir="$BUILD_DIR/bench_smoke_cache")
+grep '^SERVE ' <<<"$SERVE_OUT" | awk '
+  { qps[$2 " " $3] = $5; p99[$2 " " $3] = $7 }
+  END {
+    bad = 0
+    if (!("1 0" in qps) || !("16 0" in qps)) { print "FAIL: missing serving rows"; bad = 1 }
+    else if (qps["16 0"] + 0 < 3 * qps["1 0"]) {
+      printf "FAIL: serving scaling <3x: N1 %s, N16 %s\n", qps["1 0"], qps["16 0"]; bad = 1
+    }
+    for (k in p99) {
+      split(k, f, " ")
+      if (f[2] == "25") {
+        k0 = f[1] " 0"
+        if (!(k0 in p99)) { printf "FAIL: missing clean row for N=%s\n", f[1]; bad = 1 }
+        else if (p99[k] + 0 > 2 * p99[k0]) {
+          printf "FAIL: fault p99 unbounded at N=%s: clean %s, fault %s\n", f[1], p99[k0], p99[k]; bad = 1
+        }
+      }
+    }
+    exit bad ? 1 : 0
+  }
+' || { echo "FAIL: serving gates" >&2; exit 1; }
+echo "serving gates OK: N16 >=3x N1 throughput, fault-mix p99 within 2x"
+
 if [[ "$UPDATE" == 1 ]]; then
   printf '%s\n' "$CURRENT" > "$BASELINE"
   echo "baseline updated: $BASELINE"

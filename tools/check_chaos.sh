@@ -6,6 +6,11 @@
 # on a freshly generated corpus, so repair correctness is not an
 # artifact of one grammar shape.
 #
+# The serving soak suite (serving_soak_test) rides the same sweep: k of
+# N concurrent sessions hit faults while siblings must stay bit-identical
+# to solo runs, deadlines must not stall the queue, and deterministic
+# scheduling must reproduce lane timings exactly.
+#
 # Override the sweep with NTADOC_CHAOS_SEEDS="..." (space-separated).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,14 +18,16 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 SEEDS=${NTADOC_CHAOS_SEEDS:-"909 4242 31337"}
 
-if ! cmake --build "$BUILD_DIR" --target chaos_soak_test -j >/dev/null; then
-  echo "SKIPPED: could not build chaos_soak_test (configure $BUILD_DIR first)"
+if ! cmake --build "$BUILD_DIR" --target chaos_soak_test serving_soak_test -j >/dev/null; then
+  echo "SKIPPED: could not build soak tests (configure $BUILD_DIR first)"
   exit 0
 fi
 
 for seed in $SEEDS; do
   echo "== chaos sweep: seed $seed =="
   NTADOC_CHAOS_SEED="$seed" "$BUILD_DIR/tests/chaos_soak_test" \
+    --gtest_brief=1
+  NTADOC_CHAOS_SEED="$seed" "$BUILD_DIR/tests/serving_soak_test" \
     --gtest_brief=1
 done
 

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Builds the tree with ThreadSanitizer and runs the tier-1 test suite
-# under it. The suite is single-threaded today; this wall is groundwork
-# for the parallel-traversal work (shared SimClock, logging statics).
+# Builds the tree with ThreadSanitizer and runs the full test suite
+# under it (all ctest labels, so the genuinely concurrent serving tests
+# — serving_session_test and the soak-labelled serving_soak_test, which
+# exercise work stealing, the shared decoded-rule cache and the pool
+# repair lock under real interleavings — are in scope by default).
 #
 # Usage: tools/check_tsan.sh [ctest args...]
-#   e.g. tools/check_tsan.sh -R nvm_test
+#   e.g. tools/check_tsan.sh -R serving_soak_test
+#        tools/check_tsan.sh -L soak
 
 set -euo pipefail
 

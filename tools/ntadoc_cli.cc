@@ -8,11 +8,19 @@
 //                    [--traversal=auto|topdown|bottomup]
 //                    [--ngram=N] [--topk=K] [--limit=N]
 //                    [--commit-interval=K] [--dram-cache-mb=M] [--stats]
+//   ntadoc serve     <in.ntdc> [--workers=N] [--queries=N]
+//                    [--medium=...] [--persistence=...]
+//                    [--deadline-us=D] [--shared-cache-mb=M] [--stats]
 //
 // `run` executes one of the six analytics tasks with N-TADOC on an
 // emulated device and prints the first --limit result rows plus the
 // phase timing. With --stats it also prints the run's accounting
 // counters as stable key=value lines on stdout.
+//
+// `serve` seals the container into an immutable pool once, then answers
+// --queries queries (cycling through all six tasks) on --workers
+// concurrent fault-isolated sessions and prints per-query latency plus
+// aggregate throughput (see DESIGN.md "Session model").
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +31,7 @@
 #include "compress/format.h"
 #include "compress/random_access.h"
 #include "core/engine.h"
+#include "serve/serving.h"
 #include "util/string_util.h"
 
 using namespace ntadoc;
@@ -42,7 +51,12 @@ int Usage() {
                "                  [--traversal=auto|topdown|bottomup] "
                "[--ngram=N] [--topk=K] [--limit=N]\n"
                "                  [--persist-check] [--commit-interval=K] "
-               "[--dram-cache-mb=M] [--stats]\n");
+               "[--dram-cache-mb=M] [--stats]\n"
+               "  ntadoc serve    <in.ntdc> [--workers=N] [--queries=N]\n"
+               "                  [--medium=nvm|reram|pcm|ssd|hdd] "
+               "[--persistence=none|phase|operation]\n"
+               "                  [--deadline-us=D] [--shared-cache-mb=M] "
+               "[--stats]\n");
   return 2;
 }
 
@@ -345,6 +359,121 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto corpus = LoadOrFail(argv[2]);
+  if (!corpus.ok()) return 1;
+
+  serve::SealOptions seal_opts;
+  serve::ServingOptions serving_opts;
+  uint32_t queries = 12;
+  bool show_stats = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      serving_opts.workers =
+          static_cast<uint32_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      queries = static_cast<uint32_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--deadline-us=", 0) == 0) {
+      serving_opts.default_deadline_sim_ns =
+          std::stoull(arg.substr(14)) * 1000;
+    } else if (arg.rfind("--shared-cache-mb=", 0) == 0) {
+      serving_opts.shared_cache_bytes = std::stoull(arg.substr(18)) << 20;
+    } else if (arg.rfind("--medium=", 0) == 0) {
+      const std::string m = arg.substr(9);
+      if (m == "nvm") {
+        seal_opts.profile = nvm::OptaneProfile();
+      } else if (m == "reram") {
+        seal_opts.profile = nvm::ReRamProfile();
+      } else if (m == "pcm") {
+        seal_opts.profile = nvm::PcmProfile();
+      } else if (m == "ssd") {
+        seal_opts.profile = nvm::SsdProfile();
+      } else if (m == "hdd") {
+        seal_opts.profile = nvm::HddProfile();
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--persistence=", 0) == 0) {
+      const std::string p = arg.substr(14);
+      seal_opts.engine.persistence =
+          p == "none"        ? core::PersistenceMode::kNone
+          : p == "operation" ? core::PersistenceMode::kOperation
+                             : core::PersistenceMode::kPhase;
+    } else {
+      return Usage();
+    }
+  }
+
+  seal_opts.capacity = std::max<uint64_t>(
+      256ull << 20, corpus->grammar.ExpandedLength() * 48);
+  serving_opts.queue_capacity = std::max(serving_opts.queue_capacity,
+                                         queries);
+  auto sealed = serve::SealPool(&*corpus, seal_opts);
+  if (!sealed.ok()) {
+    std::fprintf(stderr, "%s\n", sealed.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[sealed pool on %s: %s sim, image %s]\n",
+               seal_opts.profile.name.c_str(),
+               HumanDuration(sealed->seal_sim_ns).c_str(),
+               WithThousandsSeparators(sealed->image->size()).c_str());
+
+  serve::ServingEngine server(&*sealed, serving_opts);
+  std::vector<uint64_t> tickets;
+  for (uint32_t i = 0; i < queries; ++i) {
+    serve::QueryRequest req;
+    req.task = tadoc::kAllTasks[i % tadoc::kAllTasks.size()];
+    auto t = server.Submit(std::move(req));
+    if (!t.ok()) {
+      std::fprintf(stderr, "submit %u: %s\n", i,
+                   t.status().ToString().c_str());
+      continue;
+    }
+    tickets.push_back(*t);
+  }
+  server.Drain();
+
+  for (uint64_t t : tickets) {
+    const serve::QueryResult& r = server.result(t);
+    std::printf("query %llu  %-22s worker %u  %-12s latency %s%s\n",
+                (unsigned long long)t, tadoc::TaskToString(r.output.task),
+                r.worker,
+                r.status.ok() ? "ok"
+                              : StatusCodeToString(r.status.code()),
+                HumanDuration(r.latency_sim_ns).c_str(),
+                r.info.degraded_queries > 0 ? "  (degraded)" : "");
+  }
+  const serve::ServingStats st = server.stats();
+  const uint64_t makespan = server.makespan_sim_ns();
+  std::fprintf(stderr,
+               "[%u workers, %zu queries] makespan %s sim, %.1f q/s sim\n",
+               server.workers(), tickets.size(),
+               HumanDuration(makespan).c_str(),
+               makespan > 0 ? tickets.size() * 1e9 / makespan : 0.0);
+  if (show_stats) {
+    auto kv = [](const char* key, uint64_t value) {
+      std::printf("%s=%llu\n", key, (unsigned long long)value);
+    };
+    kv("submitted", st.submitted);
+    kv("accepted", st.accepted);
+    kv("rejected_queue_full", st.rejected_queue_full);
+    kv("shed", st.shed);
+    kv("completed", st.completed);
+    kv("failed", st.failed);
+    kv("deadline_expired", st.deadline_expired);
+    kv("degraded", st.degraded);
+    kv("scoped_repairs", st.scoped_repairs);
+    kv("salvage_restarts", st.salvage_restarts);
+    kv("stolen", st.stolen);
+    kv("max_queue_depth", st.max_queue_depth);
+  }
+  return st.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -354,5 +483,6 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "extract") return CmdExtract(argc, argv);
   if (cmd == "run") return CmdRun(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   return Usage();
 }
