@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,6 +17,7 @@
 #include "util/dram_tracker.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace ntadoc::core {
@@ -842,7 +842,7 @@ DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
   if (shared) {
     // Lookup under the cache lock; the DRAM replay charges this
     // session's model (its own clock lane), never a sibling's.
-    std::lock_guard<std::mutex> lock(shared->mu_);
+    util::MutexLock lock(&shared->mu_);
     if (const DecodedPayload* hit =
             cache->Lookup(segment, id, &*ses_->cache_dram)) {
       ++ses_->run_info.rule_cache_hits;
@@ -865,7 +865,7 @@ DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
   // is about to salvage.
   if (device_->media_error_count() != ses_->media_errors_seen) return payload;
   if (shared) {
-    std::lock_guard<std::mutex> lock(shared->mu_);
+    util::MutexLock lock(&shared->mu_);
     if (cache->ShouldAdmit(segment, id, extent, decode_ns)) {
       cache->Insert(segment, id, payload, extent);
     }
@@ -1204,18 +1204,18 @@ SharedRuleCache::SharedRuleCache(uint64_t budget_bytes)
 SharedRuleCache::~SharedRuleCache() = default;
 
 void SharedRuleCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   cache_->Clear();
   ++invalidations_;
 }
 
 uint64_t SharedRuleCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return cache_->map.size();
 }
 
 uint64_t SharedRuleCache::invalidations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return invalidations_;
 }
 
@@ -1603,10 +1603,7 @@ bool NTadocEngine::RepairDamage(
   // Serving sessions serialize repairs on the pool-level lock: at most
   // one session rewrites (its private copy of) pool state at a time,
   // keeping repair burst load off the device model while siblings read.
-  std::unique_lock<std::mutex> repair_lk;
-  if (options_.repair_lock) {
-    repair_lk = std::unique_lock<std::mutex>(*options_.repair_lock);
-  }
+  util::OptionalMutexLock repair_lk(options_.repair_lock.get());
   nvm::NvmPool& pool = *st->pool;
   const auto& grammar = corpus_->grammar;
   constexpr uint64_t kBlock = nvm::NvmPool::kMediaBlock;
@@ -3445,10 +3442,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
       // to it; the compressed container is the source of truth. Serving
       // sessions serialize this rewrite on the pool-level repair lock.
       if (options_.persistence != PersistenceMode::kNone) {
-        std::unique_lock<std::mutex> repair_lk;
-        if (options_.repair_lock) {
-          repair_lk = std::unique_lock<std::mutex>(*options_.repair_lock);
-        }
+        util::OptionalMutexLock repair_lk(options_.repair_lock.get());
         nvm::PhaseMarker(device_, kMarkerOffset).Format();
       }
       force_fresh = true;
@@ -3464,10 +3458,7 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
       ses_->degraded = true;
       force_fresh = true;
       if (options_.persistence != PersistenceMode::kNone) {
-        std::unique_lock<std::mutex> repair_lk;
-        if (options_.repair_lock) {
-          repair_lk = std::unique_lock<std::mutex>(*options_.repair_lock);
-        }
+        util::OptionalMutexLock repair_lk(options_.repair_lock.get());
         nvm::PhaseMarker(device_, kMarkerOffset).Format();
       }
       return true;

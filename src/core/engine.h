@@ -26,7 +26,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -42,7 +41,9 @@
 #include "nvm/pmem.h"
 #include "tadoc/analytics.h"
 #include "tadoc/engine.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ntadoc::core {
 
@@ -157,7 +158,10 @@ struct NTadocOptions {
   /// repair, salvage formatting and attach-path repair serialize on it,
   /// so at most one session rewrites (its private copy of) pool state at
   /// a time while the others keep reading; null = no serving, no lock.
-  std::shared_ptr<std::mutex> repair_lock;
+  /// Lock order: always acquired *before* any SharedRuleCache lock
+  /// (repair paths invalidate the cache while holding it; lookups never
+  /// take the repair lock), so the pair cannot deadlock.
+  std::shared_ptr<util::Mutex> repair_lock;
 };
 
 /// Aggregate accounting of one run, beyond RunMetrics.
@@ -344,19 +348,21 @@ class SharedRuleCache {
 
   /// Drops every entry and the cross-query reuse history. Engines call
   /// this after any repair/salvage; tests use it to observe invalidation.
-  void Invalidate();
+  void Invalidate() NTADOC_EXCLUDES(mu_);
 
   /// Number of cached payloads right now.
-  uint64_t entries() const;
+  uint64_t entries() const NTADOC_EXCLUDES(mu_);
 
   /// Invalidations performed so far (repair-triggered plus explicit).
-  uint64_t invalidations() const;
+  uint64_t invalidations() const NTADOC_EXCLUDES(mu_);
 
  private:
   friend class NTadocEngine;
-  mutable std::mutex mu_;
-  std::unique_ptr<NTadocEngine::RuleCache> cache_;
-  uint64_t invalidations_ = 0;
+  mutable util::Mutex mu_;
+  // The cache_ handle itself is set once in the constructor; the
+  // pointed-to LRU state is what every session mutates under mu_.
+  std::unique_ptr<NTadocEngine::RuleCache> cache_ NTADOC_PT_GUARDED_BY(mu_);
+  uint64_t invalidations_ NTADOC_GUARDED_BY(mu_) = 0;
 };
 
 /// Immutable capture of the task-independent init prefix of a sealed

@@ -46,6 +46,15 @@ struct PoolOptions {
 
 /// Bump allocator over a device region. Not thread-safe (the paper's
 /// engine is sequential).
+///
+/// Concurrency discipline (enforced one layer up, see
+/// docs/static_analysis.md): each serving session owns a private NvmPool
+/// over its private device clone, so allocation and reads never race.
+/// The mutating repair surface — RemapBlock, Scrub-then-repair, and the
+/// remap_count_/spare bookkeeping it updates — is serialized across
+/// sessions by the engine-level repair lock (NTadocOptions::repair_lock,
+/// an annotated util::Mutex); callers reach it only through
+/// NTadocEngine::RepairDamage / salvage, which hold that lock.
 class NvmPool {
  public:
   /// One persistent bad-block remap record.

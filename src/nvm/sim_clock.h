@@ -26,6 +26,14 @@ namespace ntadoc::nvm {
 /// across its run and the fleet's makespan is the maximum lane time.
 /// Charges from the shared decoded-rule cache land on the lane of the
 /// session that performed the lookup, never on a sibling's lane.
+///
+/// Thread-safety: lock-free by design — Charge/NowNanos/Reset are single
+/// relaxed atomic operations, so SimClock needs no NTADOC_GUARDED_BY
+/// annotation and no util::Mutex. The serving layer's lane vector
+/// (ServingEngine::lanes_) is immutable after construction; only the
+/// counters inside each lane move. ntadoc-lint rule L5 keeps wall-clock
+/// sources (std::chrono::system_clock, rand()) out of sim-charged code
+/// so lanes stay the only time base results depend on.
 class SimClock {
  public:
   SimClock() = default;

@@ -60,13 +60,18 @@ ServingEngine::ServingEngine(const SealedPool* pool, ServingOptions options)
     shared_cache_ =
         std::make_shared<core::SharedRuleCache>(options_.shared_cache_bytes);
   }
-  repair_lock_ = std::make_shared<std::mutex>();
+  repair_lock_ = std::make_shared<util::Mutex>();
   lanes_.reserve(options_.workers);
-  queues_.resize(options_.workers);
   for (uint32_t w = 0; w < options_.workers; ++w) {
     lanes_.push_back(nvm::MakeSimClock());
   }
-  paused_ = options_.start_paused;
+  {
+    // No worker exists yet, but the guarded fields are initialized under
+    // the lock anyway so the annotated invariant holds from birth.
+    util::MutexLock lock(&mu_);
+    queues_.resize(options_.workers);
+    paused_ = options_.start_paused;
+  }
   threads_.reserve(options_.workers);
   for (uint32_t w = 0; w < options_.workers; ++w) {
     threads_.emplace_back([this, w] { WorkerLoop(w); });
@@ -76,7 +81,7 @@ ServingEngine::ServingEngine(const SealedPool* pool, ServingOptions options)
 ServingEngine::~ServingEngine() { Shutdown(); }
 
 Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ++stats_.submitted;
   if (pending_ >= options_.queue_capacity) {
     // Fast-reject: no ticket, no session state, the caller backs off.
@@ -105,32 +110,32 @@ Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
   const uint32_t w = next_worker_;
   next_worker_ = (next_worker_ + 1) % options_.workers;
   queues_[w].push_back(ticket);
-  lock.unlock();
-  cv_.notify_all();
+  lock.Unlock();
+  cv_.NotifyAll();
   return ticket;
 }
 
 void ServingEngine::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ServingEngine::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return pending_ == 0; });
+  util::MutexLock lock(&mu_);
+  while (pending_ != 0) drain_cv_.Wait(&mu_);
 }
 
 void ServingEngine::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [this] { return pending_ == 0; });
+    util::MutexLock lock(&mu_);
+    while (pending_ != 0) drain_cv_.Wait(&mu_);
     shutdown_ = true;
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -138,13 +143,13 @@ void ServingEngine::Shutdown() {
 }
 
 const QueryResult& ServingEngine::result(uint64_t ticket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   NTADOC_CHECK(ticket < results_.size());
   return *results_[ticket];
 }
 
 ServingStats ServingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -164,17 +169,26 @@ void ServingEngine::WorkerLoop(uint32_t w) {
     uint64_t ticket = 0;
     bool stolen = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        if (shutdown_) return true;
-        if (paused_) return false;
-        if (!queues_[w].empty()) return true;
-        if (!options_.work_stealing) return false;
-        for (const auto& q : queues_) {
-          if (!q.empty()) return true;
+      util::MutexLock lock(&mu_);
+      // Explicit wait loop (not a predicate lambda): the analysis cannot
+      // see that a lambda body runs with mu_ held.
+      for (;;) {
+        if (shutdown_) break;
+        if (!paused_) {
+          if (!queues_[w].empty()) break;
+          if (options_.work_stealing) {
+            bool any = false;
+            for (const auto& q : queues_) {
+              if (!q.empty()) {
+                any = true;
+                break;
+              }
+            }
+            if (any) break;
+          }
         }
-        return false;
-      });
+        cv_.Wait(&mu_);
+      }
       if (!paused_ && !queues_[w].empty()) {
         ticket = queues_[w].front();
         queues_[w].pop_front();
@@ -205,11 +219,11 @@ void ServingEngine::WorkerLoop(uint32_t w) {
     Execute(w, ticket);
     bool drained = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       --pending_;
       drained = pending_ == 0;
     }
-    if (drained) drain_cv_.notify_all();
+    if (drained) drain_cv_.NotifyAll();
   }
 }
 
@@ -219,7 +233,7 @@ void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
   // state plus the explicitly thread-safe shared pieces.
   QueryRequest req;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     req = requests_[ticket];
   }
 
@@ -270,7 +284,7 @@ void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
     local.done = true;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (local.status.ok()) {
     ++stats_.completed;
     if (local.info.degraded_queries > 0) ++stats_.degraded;

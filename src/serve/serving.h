@@ -27,17 +27,17 @@
 #define NTADOC_SERVE_SERVING_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "nvm/nvm_device.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ntadoc::serve {
 
@@ -188,22 +188,22 @@ class ServingEngine {
   /// the pending queue is full (fast-reject: no session state is built).
   /// Sheddable requests above the shed watermark are admitted-and-
   /// dropped: they get a ticket whose result has shed=true.
-  Result<uint64_t> Submit(QueryRequest request);
+  Result<uint64_t> Submit(QueryRequest request) NTADOC_EXCLUDES(mu_);
 
   /// Releases workers parked by ServingOptions::start_paused.
-  void Start();
+  void Start() NTADOC_EXCLUDES(mu_);
 
   /// Blocks until every admitted query has finished.
-  void Drain();
+  void Drain() NTADOC_EXCLUDES(mu_);
 
   /// Drains and joins the workers; idempotent (the destructor calls it).
-  void Shutdown();
+  void Shutdown() NTADOC_EXCLUDES(mu_);
 
   /// Result of an admitted query; valid after Drain()/Shutdown() (or
   /// whenever result(t).done is observed true after a Drain call).
-  const QueryResult& result(uint64_t ticket) const;
+  const QueryResult& result(uint64_t ticket) const NTADOC_EXCLUDES(mu_);
 
-  ServingStats stats() const;
+  ServingStats stats() const NTADOC_EXCLUDES(mu_);
 
   /// Simulated time accumulated on worker `w`'s lane so far.
   uint64_t worker_lane_ns(uint32_t w) const;
@@ -214,28 +214,39 @@ class ServingEngine {
   uint32_t workers() const { return static_cast<uint32_t>(lanes_.size()); }
 
  private:
-  void WorkerLoop(uint32_t w);
-  void Execute(uint32_t w, uint64_t ticket);
+  void WorkerLoop(uint32_t w) NTADOC_EXCLUDES(mu_);
+  void Execute(uint32_t w, uint64_t ticket) NTADOC_EXCLUDES(mu_);
 
+  // Immutable after construction; shared with sessions only through
+  // thread-safe types (SharedRuleCache locks internally, the repair lock
+  // is itself a mutex, SimClock lanes are atomic accumulators).
   const SealedPool* pool_;
   ServingOptions options_;
   std::shared_ptr<core::SharedRuleCache> shared_cache_;
-  std::shared_ptr<std::mutex> repair_lock_;
+  std::shared_ptr<util::Mutex> repair_lock_;
   std::vector<nvm::SimClockPtr> lanes_;  // one persistent clock per worker
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // workers: work available / unpause
-  std::condition_variable drain_cv_;  // Drain(): pending hit zero
-  bool paused_ = false;
-  bool shutdown_ = false;
-  uint64_t pending_ = 0;  // admitted, not yet finished
-  uint32_t next_worker_ = 0;
-  std::vector<std::deque<uint64_t>> queues_;  // per-worker tickets
-  std::vector<std::unique_ptr<QueryResult>> results_;
-  std::vector<QueryRequest> requests_;
-  ServingStats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;        // workers: work available / unpause
+  util::CondVar drain_cv_;  // Drain(): pending hit zero
+  bool paused_ NTADOC_GUARDED_BY(mu_) = false;
+  bool shutdown_ NTADOC_GUARDED_BY(mu_) = false;
+  // Admitted, not yet finished.
+  uint64_t pending_ NTADOC_GUARDED_BY(mu_) = 0;
+  uint32_t next_worker_ NTADOC_GUARDED_BY(mu_) = 0;
+  // Per-worker tickets.
+  std::vector<std::deque<uint64_t>> queues_ NTADOC_GUARDED_BY(mu_);
+  // The vectors are guarded (push_back may reallocate); a *QueryResult
+  // handed out by result() stays valid unguarded because each lives
+  // behind its own unique_ptr and is written exactly once, under mu_,
+  // before done is observed true.
+  std::vector<std::unique_ptr<QueryResult>> results_ NTADOC_GUARDED_BY(mu_);
+  std::vector<QueryRequest> requests_ NTADOC_GUARDED_BY(mu_);
+  ServingStats stats_ NTADOC_GUARDED_BY(mu_);
 
   std::atomic<bool> cancel_all_{false};
+  // Written by the constructor and Shutdown() only; joining under mu_
+  // would deadlock against workers that need it to finish.
   std::vector<std::thread> threads_;
 };
 

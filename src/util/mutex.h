@@ -1,0 +1,125 @@
+// Annotated mutex wrappers: the project's only sanctioned locking types.
+//
+// Every mutex in the library goes through util::Mutex so Clang's thread
+// safety analysis (util/thread_annotations.h, -Wthread-safety under the
+// NTADOC_WTHREAD_SAFETY cmake option) can see acquisitions and releases.
+// Raw std::mutex / std::lock_guard / std::condition_variable outside this
+// header are rejected by ntadoc-lint rule L4, because the analysis is
+// blind to them: a field "guarded" by an unannotated mutex is a field the
+// compiler silently stops checking.
+//
+// Usage:
+//   class Server {
+//     util::Mutex mu_;
+//     uint64_t pending_ NTADOC_GUARDED_BY(mu_) = 0;
+//     void Bump() { util::MutexLock lock(&mu_); ++pending_; }
+//   };
+//
+// ntadoc-lint: allow-file(L4) — this wrapper owns the raw primitives.
+
+#ifndef NTADOC_UTIL_MUTEX_H_
+#define NTADOC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ntadoc::util {
+
+/// std::mutex with thread-safety-analysis annotations. Non-reentrant.
+class NTADOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() NTADOC_ACQUIRE() { mu_.lock(); }
+  void Unlock() NTADOC_RELEASE() { mu_.unlock(); }
+  bool TryLock() NTADOC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scope holding a Mutex; supports early release for the
+/// unlock-before-notify pattern.
+class NTADOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) NTADOC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() NTADOC_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope exit (the destructor then no-ops). Must not be
+  /// called twice.
+  void Unlock() NTADOC_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// RAII scope over a mutex that may be absent (null): the serving layer
+/// hands solo engine runs a null repair lock, concurrent sessions a real
+/// one. Conditional acquisition is invisible to the static analysis, so
+/// the constructor/destructor opt out of it — the scope is still the only
+/// way the optional lock is ever taken, which keeps the dynamic
+/// discipline auditable (and TSAN-checkable) in one place.
+class OptionalMutexLock {
+ public:
+  explicit OptionalMutexLock(Mutex* mu) NTADOC_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(mu) {
+    if (mu_ != nullptr) mu_->Lock();
+  }
+  ~OptionalMutexLock() NTADOC_NO_THREAD_SAFETY_ANALYSIS {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  OptionalMutexLock(const OptionalMutexLock&) = delete;
+  OptionalMutexLock& operator=(const OptionalMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with util::Mutex. Wait requires the mutex
+/// held (it is released while blocked and re-held on return, which the
+/// analysis models as "still held across the call" — the standard
+/// treatment, same as abseil's CondVar).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) NTADOC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Blocks until `pred()` holds; `pred` runs with the mutex held.
+  template <typename Pred>
+  void Wait(Mutex* mu, Pred pred) NTADOC_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ntadoc::util
+
+#endif  // NTADOC_UTIL_MUTEX_H_

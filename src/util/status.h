@@ -37,7 +37,12 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// Lightweight success-or-error value. An OK status carries no allocation.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides exactly the
+/// errors (media loss, torn state, exhausted pools) this codebase exists
+/// to surface. Intentional discards must say so with a void cast; the
+/// compiler and ntadoc-lint rule L3 both flag the bare form.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -84,8 +89,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// A value-or-error holder. Exactly one of value / status(error) is set.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning code.
   Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to Clang's thread-safety attributes so `-Wthread-safety`
+// (promoted to an error by the NTADOC_WTHREAD_SAFETY cmake option, see
+// tools/check_static.sh) can prove lock discipline at compile time:
+// every field annotated NTADOC_GUARDED_BY(mu) may only be touched while
+// `mu` is held, functions annotated NTADOC_REQUIRES(mu) may only be
+// called with `mu` held, and so on. On compilers without the attributes
+// (GCC, MSVC) every macro expands to nothing, so the annotations are
+// documentation there — the clang build in check_static.sh is the gate.
+//
+// Use these through the annotated wrappers in util/mutex.h; bare
+// std::mutex in annotated code is rejected by ntadoc-lint rule L4
+// (tools/lint/), because the analysis only understands types marked
+// NTADOC_CAPABILITY.
+//
+// The macro set mirrors the de-facto standard header shipped with
+// abseil/LLVM, prefixed NTADOC_ to avoid collisions.
+
+#ifndef NTADOC_UTIL_THREAD_ANNOTATIONS_H_
+#define NTADOC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NTADOC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NTADOC_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define NTADOC_CAPABILITY(x) NTADOC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define NTADOC_SCOPED_CAPABILITY NTADOC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while the given capability is held.
+#define NTADOC_GUARDED_BY(x) NTADOC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointed-to* data is guarded by the capability.
+#define NTADOC_PT_GUARDED_BY(x) NTADOC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-order declarations (must-acquire-before/after relationships).
+#define NTADOC_ACQUIRED_BEFORE(...) \
+  NTADOC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NTADOC_ACQUIRED_AFTER(...) \
+  NTADOC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability (or capabilities) to be held by the
+/// caller and does not release it.
+#define NTADOC_REQUIRES(...) \
+  NTADOC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires that the capability is NOT held by the caller.
+#define NTADOC_EXCLUDES(...) \
+  NTADOC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires / releases the capability itself.
+#define NTADOC_ACQUIRE(...) \
+  NTADOC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NTADOC_RELEASE(...) \
+  NTADOC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability and reports success with the
+/// given boolean return value.
+#define NTADOC_TRY_ACQUIRE(...) \
+  NTADOC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define NTADOC_RETURN_CAPABILITY(x) NTADOC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the capability; the
+/// analysis treats it as proof of possession from here on.
+#define NTADOC_ASSERT_CAPABILITY(x) \
+  NTADOC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for functions whose locking the analysis cannot follow
+/// (e.g. conditional acquisition). Use sparingly; every use should cite
+/// why in a comment.
+#define NTADOC_NO_THREAD_SAFETY_ANALYSIS \
+  NTADOC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // NTADOC_UTIL_THREAD_ANNOTATIONS_H_

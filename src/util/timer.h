@@ -1,4 +1,9 @@
 // Wall-clock timers for the benchmark harness.
+//
+// This is the one sanctioned wall-clock wrapper in src/: experiment
+// results must depend only on the simulated clock (nvm/sim_clock.h), but
+// the harness still reports real elapsed time alongside.
+// ntadoc-lint: allow-file(L5)
 
 #ifndef NTADOC_UTIL_TIMER_H_
 #define NTADOC_UTIL_TIMER_H_

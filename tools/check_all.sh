@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # The full local CI wall: tier-1 ctest, soak ctest (crash/chaos
-# sweeps), ASan+UBSan, TSan, clang-tidy, bench smoke (sim-clock drift
-# gate), chaos soak (media-repair seed
-# sweep) — run in sequence, with a summary
-# table at the end. Exits nonzero if any
-# stage fails. A stage that self-skips (e.g. clang-tidy not installed)
-# counts as SKIP, not failure.
+# sweeps), ASan+UBSan, pure UBSan, TSan, the unified static analysis
+# gate (ntadoc-lint + -Wthread-safety + clang-tidy, see
+# tools/check_static.sh), bench smoke (sim-clock drift gate), chaos soak
+# (media-repair seed sweep) — run in sequence, with a summary table at
+# the end. Exits nonzero if any stage fails. A stage that self-skips
+# (e.g. clang-tidy not installed) counts as SKIP, not failure.
 #
 # Usage: tools/check_all.sh
 
@@ -56,8 +56,9 @@ soak() {
 run_stage "tier-1 ctest" tier1
 run_stage "soak ctest" soak
 run_stage "check_asan" "${REPO_ROOT}/tools/check_asan.sh"
+run_stage "check_ubsan" "${REPO_ROOT}/tools/check_ubsan.sh"
 run_stage "check_tsan" "${REPO_ROOT}/tools/check_tsan.sh"
-run_stage "check_tidy" "${REPO_ROOT}/tools/check_tidy.sh"
+run_stage "check_static" "${REPO_ROOT}/tools/check_static.sh"
 run_stage "check_bench" "${REPO_ROOT}/tools/check_bench.sh"
 run_stage "check_chaos" "${REPO_ROOT}/tools/check_chaos.sh"
 

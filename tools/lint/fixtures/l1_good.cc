@@ -1,0 +1,55 @@
+// L1 positive fixture: all sanctioned borrow idioms — must stay clean.
+
+#include <cstdint>
+#include <vector>
+
+struct FakeDevice {
+  const uint8_t* TryReadSpan(uint64_t off, uint64_t len);
+  void WriteBytes(uint64_t off, const void* src, uint64_t len);
+};
+
+// Borrow used before any mutation.
+uint8_t ReadOnly(FakeDevice* dev) {
+  auto span = dev->TryReadSpan(0, 16);
+  return span[0] + span[1];
+}
+
+// The zero-copy idiom: the borrow is an argument OF the mutating call
+// (the device handles overlapping extents).
+void CopyWithin(FakeDevice* dev) {
+  auto src = dev->TryReadSpan(0, 256);
+  dev->WriteBytes(1024, src, 256);
+}
+
+// Copy-out before mutating, then use the copy.
+uint8_t CopyOut(FakeDevice* dev) {
+  auto span = dev->TryReadSpan(0, 16);
+  std::vector<uint8_t> copy(span, span + 16);
+  dev->WriteBytes(0, copy.data(), 16);
+  return copy[0];
+}
+
+// Re-borrowing after the mutation is fine.
+uint8_t Reborrow(FakeDevice* dev) {
+  auto span = dev->TryReadSpan(0, 16);
+  dev->WriteBytes(64, nullptr, 8);
+  span = dev->TryReadSpan(0, 16);
+  return span[0];
+}
+
+// Scope ends before the mutation: nothing live to taint.
+void ScopedBorrow(FakeDevice* dev) {
+  {
+    auto span = dev->TryReadSpan(0, 16);
+    (void)span;
+  }
+  dev->WriteBytes(0, nullptr, 8);
+}
+
+// Suppressed escape: the author vouches the extent is disjoint.
+uint8_t Suppressed(FakeDevice* dev) {
+  auto span = dev->TryReadSpan(0, 16);
+  dev->WriteBytes(4096, nullptr, 8);
+  // ntadoc-lint: allow(L1)
+  return span[0];
+}

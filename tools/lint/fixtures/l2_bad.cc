@@ -1,0 +1,10 @@
+// L2 negative fixture: raw memory primitives in an analytics layer.
+// The test lints this under a synthetic src/core/ path.
+
+#include <cstring>
+
+void RawCopies(char* dst, const char* src) {
+  std::memcpy(dst, src, 16);   // finding
+  memmove(dst, src, 16);       // finding
+  std::memset(dst, 0, 16);     // finding
+}

@@ -1,0 +1,21 @@
+// L2 positive fixture: clean under src/core/ (charged accessors and a
+// suppressed host-only copy), and raw primitives are fine outside the
+// analytics layers (the test also lints this under src/nvm/).
+
+#include <cstring>
+
+struct FakeDevice {
+  void ReadBytes(uint64_t off, void* dst, uint64_t len);
+  void WriteBytes(uint64_t off, const void* src, uint64_t len);
+};
+
+void ChargedCopy(FakeDevice* dev, char* host) {
+  dev->ReadBytes(0, host, 16);
+  dev->WriteBytes(64, host, 16);
+}
+
+void HostOnlyCopy(char* dst, const char* src) {
+  // Host-to-host scratch copy, never touches pool memory.
+  // ntadoc-lint: allow(L2)
+  std::memcpy(dst, src, 16);
+}

@@ -1,0 +1,25 @@
+// L3 negative fixture: ignored Status/Result returns must fire.
+
+#include <cstdint>
+
+struct Status {
+  bool ok() const;
+};
+template <typename T>
+struct Result {
+  bool ok() const;
+};
+
+Status Persist();
+Result<uint64_t> Submit(uint64_t session);
+
+struct Engine {
+  Status Flush();
+};
+
+void IgnoresEverything(Engine* e, bool cond) {
+  Persist();     // finding: bare Status call as a full statement
+  Submit(1);     // finding: Result<T> discarded
+  e->Flush();    // finding: member call discarded
+  if (cond) Persist();  // finding: discarded inside a control body
+}

@@ -1,0 +1,31 @@
+// L3 positive fixture: every sanctioned way to consume a Status.
+
+#include <cstdint>
+
+struct Status {
+  bool ok() const;
+};
+template <typename T>
+struct Result {
+  bool ok() const;
+};
+
+Status Persist();
+Result<uint64_t> Submit(uint64_t session);
+void Log(bool v);
+
+Status Propagated() {
+  return Persist();  // returned, not discarded
+}
+
+void Checked() {
+  Status s = Persist();      // bound
+  Log(s.ok());
+  Log(Persist().ok());       // immediately inspected
+  auto r = Submit(1);        // Result bound
+  Log(r.ok());
+  (void)Persist();           // explicit discard
+  // Shutdown path: best-effort flush, failure already logged inside.
+  // ntadoc-lint: allow(L3)
+  Persist();
+}

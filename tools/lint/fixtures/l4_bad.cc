@@ -1,0 +1,13 @@
+// L4 negative fixture: bare std:: locking primitives must fire.
+
+#include <condition_variable>
+#include <mutex>
+
+struct Server {
+  std::mutex mu;                 // finding
+  std::condition_variable cv;    // finding
+
+  void Tick() {
+    std::lock_guard<std::mutex> lock(mu);  // finding (twice: guard + type)
+  }
+};

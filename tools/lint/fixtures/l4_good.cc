@@ -1,0 +1,19 @@
+// L4 positive fixture: the annotated wrappers and std::atomic are clean.
+
+#include <atomic>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+struct Server {
+  mutable ntadoc::util::Mutex mu;
+  ntadoc::util::CondVar cv;
+  int pending NTADOC_GUARDED_BY(mu) = 0;
+  std::atomic<int> ticks{0};  // atomics are fine, only locks are gated
+
+  void Tick() {
+    ntadoc::util::MutexLock lock(&mu);
+    ++pending;
+    cv.NotifyAll();
+  }
+};

@@ -1,0 +1,21 @@
+// L5 negative fixture: wall-clock sources in sim-charged code must fire.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+uint64_t WallNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // finding
+}
+
+uint64_t Monotonic() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // finding
+}
+
+int NonDeterministic() {
+  return rand();  // finding
+}
+
+void Seed() {
+  srand(42);  // finding
+}

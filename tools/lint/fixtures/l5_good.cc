@@ -1,0 +1,27 @@
+// L5 positive fixture: simulated time and seeded deterministic PRNGs.
+
+#include <cstdint>
+#include <random>
+
+struct SimClock {
+  void Charge(uint64_t ns);
+  uint64_t NowNanos() const;
+};
+
+uint64_t SimNow(SimClock* clock) {
+  clock->Charge(120);
+  return clock->NowNanos();
+}
+
+// Deterministic, explicitly seeded PRNG is fine — only the global
+// rand()/srand() and wall clocks are gated.
+uint64_t SeededDraw(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return rng();
+}
+
+// A member named rand() is not libc rand().
+struct Sampler {
+  uint64_t rand();
+  uint64_t Draw() { return this->rand(); }
+};

@@ -1,0 +1,685 @@
+#include "ntadoc_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace ntadoc::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind : uint8_t { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// Per-file suppression state parsed out of comments.
+struct Suppressions {
+  std::set<std::string> file_rules;
+  std::map<int, std::set<std::string>> line_rules;
+
+  bool Allowed(const std::string& rule, int line) const {
+    if (file_rules.count(rule) != 0) return true;
+    auto it = line_rules.find(line);
+    return it != line_rules.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// Parses "ntadoc-lint: allow(L1,L3)" / "allow-file(L4)" out of one
+/// comment. A line suppression covers the comment's own line and the
+/// next (so it can sit above the flagged statement).
+void ParseSuppressionComment(const std::string& text, int line,
+                             Suppressions* sup) {
+  const size_t tag = text.find("ntadoc-lint:");
+  if (tag == std::string::npos) return;
+  size_t pos = tag + 12;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  bool whole_file = false;
+  if (text.compare(pos, 11, "allow-file(") == 0) {
+    whole_file = true;
+    pos += 11;
+  } else if (text.compare(pos, 6, "allow(") == 0) {
+    pos += 6;
+  } else {
+    return;
+  }
+  const size_t close = text.find(')', pos);
+  if (close == std::string::npos) return;
+  std::string list = text.substr(pos, close - pos);
+  std::replace(list.begin(), list.end(), ',', ' ');
+  std::istringstream in(list);
+  std::string rule;
+  while (in >> rule) {
+    if (whole_file) {
+      sup->file_rules.insert(rule);
+    } else {
+      sup->line_rules[line].insert(rule);
+      sup->line_rules[line + 1].insert(rule);
+    }
+  }
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// C++-enough tokenizer: skips comments (harvesting suppressions),
+/// string/char literals (kept as single tokens), and preprocessor
+/// directives; splits punctuation one char at a time except `::` and
+/// `->`, which the rules need as units.
+std::vector<Token> Tokenize(const std::string& src, Suppressions* sup) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: skip the logical line (incl. \-splices).
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t eol = src.find('\n', i);
+      const std::string text =
+          src.substr(i, (eol == std::string::npos ? n : eol) - i);
+      ParseSuppressionComment(text, line, sup);
+      i = (eol == std::string::npos) ? n : eol;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      ParseSuppressionComment(src.substr(i, j + 2 - i), start_line, sup);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    if (c == '"' || (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+                     (out.empty() || out.back().text != "operator"))) {
+      // String literal; R"delim(...)delim" handled for robustness.
+      if (c == 'R') {
+        size_t j = i + 2;
+        std::string delim;
+        while (j < n && src[j] != '(') delim += src[j++];
+        const std::string terminator = ")" + delim + "\"";
+        size_t end = src.find(terminator, j);
+        if (end == std::string::npos) end = n;
+        for (size_t k = i; k < end && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        out.push_back({Token::kString, "<raw-string>", line});
+        i = std::min(n, end + terminator.size());
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      out.push_back({Token::kString, src.substr(i, j + 1 - i), line});
+      i = std::min(n, j + 1);
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      out.push_back({Token::kChar, src.substr(i, j + 1 - i), line});
+      i = std::min(n, j + 1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.push_back({Token::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       src[j] == '\'')) {
+        ++j;
+      }
+      out.push_back({Token::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.push_back({Token::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.push_back({Token::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.push_back({Token::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Layers that own no device-charging code: raw memory primitives there
+/// bypass the cost model (rule L2).
+bool InAnalyticsLayer(const std::string& path) {
+  return StartsWith(path, "src/core/") || StartsWith(path, "src/serve/") ||
+         StartsWith(path, "src/tadoc/");
+}
+
+bool InSrc(const std::string& path) { return StartsWith(path, "src/"); }
+
+/// Index of the token after the group that closes the `(` at `open`
+/// (tokens[open] must be "("); tokens.size() on imbalance.
+size_t SkipBalancedParens(const std::vector<Token>& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Token::kPunct) continue;
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+const std::set<std::string>& CppKeywords() {
+  static const std::set<std::string> kw = {
+      "if",     "else",   "for",      "while",  "do",       "switch",
+      "case",   "return", "break",    "continue", "goto",   "sizeof",
+      "new",    "delete", "throw",    "co_return", "co_await", "static",
+      "const",  "constexpr", "auto",  "using",  "typedef",  "template",
+      "typename", "class", "struct",  "enum",   "namespace", "public",
+      "private", "protected", "friend", "operator", "default"};
+  return kw;
+}
+
+/// Device / engine calls after which a TryReadSpan borrow may point at
+/// stale or redirected media (rule L1). Passing the borrow as an
+/// argument of the call itself is fine — NvmDevice::WriteBytes handles
+/// overlapping source extents — but any use after the call returns is
+/// use-after-invalidate.
+const std::set<std::string>& MutatingCalls() {
+  static const std::set<std::string> m = {
+      "Write",        "WriteBytes",   "FillBytes",     "RemapBlock",
+      "SimulateCrash", "LoadSnapshot", "LoadImage",    "Format",
+      "RepairDamage", "TryScopedRepair", "Scrub",      "Salvage"};
+  return m;
+}
+
+const std::set<std::string>& RawMemoryCalls() {
+  static const std::set<std::string> m = {"memcpy", "memmove", "memset",
+                                          "strcpy", "strncpy", "strcat",
+                                          "sprintf"};
+  return m;
+}
+
+const std::set<std::string>& BareMutexTypes() {
+  static const std::set<std::string> m = {
+      "mutex",         "timed_mutex",     "recursive_mutex",
+      "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+      "condition_variable", "condition_variable_any", "lock_guard",
+      "unique_lock",   "scoped_lock",     "shared_lock"};
+  return m;
+}
+
+const std::set<std::string>& WallClockIdents() {
+  static const std::set<std::string> m = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "srand"};
+  return m;
+}
+
+void Report(const std::string& path, int line, const char* rule,
+            std::string message, const Suppressions& sup,
+            std::vector<Finding>* findings) {
+  if (sup.Allowed(rule, line)) return;
+  findings->push_back({path, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// L1: borrowed-span escape
+// ---------------------------------------------------------------------------
+
+void LintBorrowedSpans(const std::string& path, const std::vector<Token>& t,
+                       const Suppressions& sup,
+                       std::vector<Finding>* findings) {
+  struct Borrow {
+    int decl_depth;
+    int decl_line;
+    int tainted_line = -1;      // line of the invalidating call, -1 = clean
+    std::string tainted_call;
+  };
+  std::map<std::string, Borrow> borrows;
+  int depth = 0;
+  size_t args_end = 0;  // > i while inside a mutating call's arguments
+
+  // Statement start of the statement containing token i (index after the
+  // previous top-level ; { }).
+  auto stmt_begin = [&](size_t i) {
+    size_t s = i;
+    while (s > 0) {
+      const Token& p = t[s - 1];
+      if (p.kind == Token::kPunct &&
+          (p.text == ";" || p.text == "{" || p.text == "}")) {
+        break;
+      }
+      --s;
+    }
+    return s;
+  };
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == Token::kPunct) {
+      if (tok.text == "{") ++depth;
+      if (tok.text == "}") {
+        --depth;
+        for (auto it = borrows.begin(); it != borrows.end();) {
+          it = (it->second.decl_depth > depth) ? borrows.erase(it) : ++it;
+        }
+      }
+      continue;
+    }
+    if (tok.kind != Token::kIdent) continue;
+
+    if (tok.text == "TryReadSpan" || tok.text == "TryReadTypedSpan") {
+      // Only calls borrow; declarations/definitions have a type before
+      // the name in the same statement — detected as `(` not directly
+      // reachable backward through = / ASSIGN macro.
+      const size_t begin = stmt_begin(i);
+      std::string lhs;
+      bool is_static = false;
+      bool via_assign_macro =
+          t[begin].kind == Token::kIdent &&
+          t[begin].text == "NTADOC_ASSIGN_OR_RETURN";
+      if (via_assign_macro) {
+        // Lhs is the identifier right before the macro's top-level comma.
+        int pd = 0;
+        for (size_t j = begin + 1; j < i; ++j) {
+          if (t[j].kind != Token::kPunct) continue;
+          if (t[j].text == "(") ++pd;
+          if (t[j].text == ")") --pd;
+          if (t[j].text == "," && pd == 1) {
+            if (j > 0 && t[j - 1].kind == Token::kIdent) lhs = t[j - 1].text;
+            break;
+          }
+        }
+      } else {
+        for (size_t j = begin; j < i; ++j) {
+          if (t[j].kind == Token::kIdent && t[j].text == "static") {
+            is_static = true;
+          }
+          if (t[j].kind == Token::kPunct && t[j].text == "=" && j > 0 &&
+              t[j - 1].kind == Token::kIdent && lhs.empty()) {
+            lhs = t[j - 1].text;
+          }
+        }
+      }
+      if (lhs.empty()) continue;  // declaration or unrecognized shape
+      if (is_static) {
+        Report(path, tok.line, "L1",
+               "TryReadSpan borrow stored in a static ('" + lhs +
+                   "'): the span points into the device image and does "
+                   "not outlive the next mutation",
+               sup, findings);
+        continue;
+      }
+      if (lhs.size() > 1 && lhs.back() == '_') {
+        Report(path, tok.line, "L1",
+               "TryReadSpan borrow stored in member '" + lhs +
+                   "': borrowed spans must stay local to the borrowing "
+                   "scope (copy the bytes to keep them)",
+               sup, findings);
+        continue;
+      }
+      borrows[lhs] = Borrow{depth, tok.line, -1, {}};
+      continue;
+    }
+
+    if (MutatingCalls().count(tok.text) != 0 && i + 1 < t.size() &&
+        t[i + 1].kind == Token::kPunct && t[i + 1].text == "(" &&
+        i >= args_end) {
+      // Uses inside the call's own argument list are the sanctioned
+      // pass-borrow-into-write idiom; everything after is tainted.
+      args_end = SkipBalancedParens(t, i + 1);
+      const int call_line = tok.line;
+      const std::string call = tok.text;
+      for (auto& [name, b] : borrows) {
+        (void)name;
+        if (b.tainted_line < 0) {
+          b.tainted_line = call_line;
+          b.tainted_call = call;
+        }
+      }
+      continue;
+    }
+
+    auto it = borrows.find(tok.text);
+    if (it == borrows.end()) continue;
+    // Rebinding (`span = ...`) forgets the borrow; `==`/`!=`/`<=` stay
+    // uses.
+    if (i + 1 < t.size() && t[i + 1].kind == Token::kPunct &&
+        t[i + 1].text == "=" &&
+        !(i + 2 < t.size() && t[i + 2].kind == Token::kPunct &&
+          t[i + 2].text == "=")) {
+      borrows.erase(it);
+      continue;
+    }
+    if (i < args_end) continue;  // argument of the mutating call itself
+    if (it->second.tainted_line >= 0) {
+      Report(path, tok.line, "L1",
+             "borrowed span '" + tok.text + "' (TryReadSpan at line " +
+                 std::to_string(it->second.decl_line) + ") used after "
+                 "mutating device call " +
+                 it->second.tainted_call + "() at line " +
+                 std::to_string(it->second.tainted_line) +
+                 "; copy the bytes out before mutating",
+             sup, findings);
+      borrows.erase(it);  // one diagnostic per borrow
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L2: uncharged device memory access
+// ---------------------------------------------------------------------------
+
+void LintRawMemory(const std::string& path, const std::vector<Token>& t,
+                   const Suppressions& sup, std::vector<Finding>* findings) {
+  if (!InAnalyticsLayer(path)) return;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || RawMemoryCalls().count(t[i].text) == 0) {
+      continue;
+    }
+    if (!(t[i + 1].kind == Token::kPunct && t[i + 1].text == "(")) continue;
+    Report(path, t[i].line, "L2",
+           "raw " + t[i].text + "() in an analytics layer: pool/device "
+           "memory must be accessed through charged NvmDevice accessors "
+           "(ReadBytes/WriteBytes/TryReadSpan) so the simulated cost "
+           "model stays complete",
+           sup, findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L3: ignored Status/Result returns
+// ---------------------------------------------------------------------------
+
+/// Matches `ident((::|.|->)ident)* ( ... ) ;` starting at `m`; returns
+/// the called name via `callee`.
+bool MatchDiscardedCall(const std::vector<Token>& t, size_t m,
+                        std::string* callee) {
+  if (m >= t.size() || t[m].kind != Token::kIdent) return false;
+  if (CppKeywords().count(t[m].text) != 0) return false;
+  std::string last = t[m].text;
+  size_t i = m + 1;
+  while (i + 1 < t.size() && t[i].kind == Token::kPunct &&
+         (t[i].text == "::" || t[i].text == "." || t[i].text == "->") &&
+         t[i + 1].kind == Token::kIdent) {
+    last = t[i + 1].text;
+    i += 2;
+  }
+  if (i >= t.size() || t[i].kind != Token::kPunct || t[i].text != "(") {
+    return false;
+  }
+  const size_t after = SkipBalancedParens(t, i);
+  if (after >= t.size() || t[after].kind != Token::kPunct ||
+      t[after].text != ";") {
+    return false;
+  }
+  *callee = last;
+  return true;
+}
+
+void LintIgnoredStatus(const std::string& path, const std::vector<Token>& t,
+                       const std::set<std::string>& status_functions,
+                       const Suppressions& sup,
+                       std::vector<Finding>* findings) {
+  auto check_at = [&](size_t m) {
+    std::string callee;
+    if (!MatchDiscardedCall(t, m, &callee)) return;
+    if (status_functions.count(callee) == 0) return;
+    Report(path, t[m].line, "L3",
+           "result of Status/Result-returning call '" + callee +
+               "()' is ignored; propagate it (NTADOC_RETURN_IF_ERROR), "
+               "check it, or discard explicitly with (void)",
+           sup, findings);
+  };
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Token::kPunct &&
+        (t[i].text == ";" || t[i].text == "{" || t[i].text == "}")) {
+      check_at(i + 1);
+      continue;
+    }
+    // `if (...) Foo();` — attempt right after a control header's parens.
+    if (t[i].kind == Token::kIdent &&
+        (t[i].text == "if" || t[i].text == "for" || t[i].text == "while" ||
+         t[i].text == "switch") &&
+        i + 1 < t.size() && t[i + 1].kind == Token::kPunct &&
+        t[i + 1].text == "(") {
+      check_at(SkipBalancedParens(t, i + 1));
+      continue;
+    }
+    if (t[i].kind == Token::kIdent && t[i].text == "else") check_at(i + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L4: bare std:: locking primitives
+// ---------------------------------------------------------------------------
+
+void LintBareMutex(const std::string& path, const std::vector<Token>& t,
+                   const Suppressions& sup, std::vector<Finding>* findings) {
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "std") continue;
+    if (!(t[i + 1].kind == Token::kPunct && t[i + 1].text == "::")) continue;
+    if (t[i + 2].kind != Token::kIdent ||
+        BareMutexTypes().count(t[i + 2].text) == 0) {
+      continue;
+    }
+    Report(path, t[i].line, "L4",
+           "bare std::" + t[i + 2].text + ": use the annotated wrappers "
+           "in util/mutex.h (util::Mutex/MutexLock/CondVar) so Clang "
+           "thread safety analysis can check the lock discipline",
+           sup, findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L5: wall-clock time in sim-charged code
+// ---------------------------------------------------------------------------
+
+void LintWallClock(const std::string& path, const std::vector<Token>& t,
+                   const Suppressions& sup, std::vector<Finding>* findings) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const bool clock_ident = WallClockIdents().count(t[i].text) != 0;
+    const bool rand_call =
+        t[i].text == "rand" && i + 1 < t.size() &&
+        t[i + 1].kind == Token::kPunct && t[i + 1].text == "(" &&
+        // `foo.rand()` / `foo::rand()` is a member, not libc; `Type
+        // rand(` (preceded by a non-keyword identifier) is a declaration.
+        (i == 0 ||
+         (t[i - 1].kind == Token::kPunct
+              ? (t[i - 1].text != "." && t[i - 1].text != "->" &&
+                 t[i - 1].text != "::")
+              : !(t[i - 1].kind == Token::kIdent &&
+                  CppKeywords().count(t[i - 1].text) == 0)));
+    if (!clock_ident && !rand_call) continue;
+    Report(path, t[i].line, "L5",
+           "wall-clock source '" + t[i].text + "' in sim-charged code: "
+           "results must be a deterministic function of the access trace "
+           "(SimClock); wall timing belongs behind util/timer.h WallTimer",
+           sup, findings);
+  }
+}
+
+std::string ReadFileOrEmpty(const std::filesystem::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = true;
+  return buf.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string FormatFinding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+void Linter::IndexStatusFunctions(const std::string& path,
+                                  const std::string& content) {
+  (void)path;
+  Suppressions sup;
+  const std::vector<Token> t = Tokenize(content, &sup);
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    size_t name_at = 0;
+    if (t[i].text == "Status") {
+      name_at = i + 1;
+    } else if (t[i].text == "Result" && i + 1 < t.size() &&
+               t[i + 1].kind == Token::kPunct && t[i + 1].text == "<") {
+      // Skip the balanced template argument list.
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (t[j].kind != Token::kPunct) continue;
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) break;
+      }
+      if (j >= t.size()) continue;
+      name_at = j + 1;
+    } else {
+      continue;
+    }
+    // `Status Name(` / `Status Qualified::Name(` declares or defines a
+    // Status-returning function; collect the final name.
+    std::string last;
+    size_t k = name_at;
+    while (k < t.size() && t[k].kind == Token::kIdent &&
+           CppKeywords().count(t[k].text) == 0) {
+      last = t[k].text;
+      if (!(k + 1 < t.size() && t[k + 1].kind == Token::kPunct &&
+            t[k + 1].text == "::")) {
+        ++k;
+        break;
+      }
+      k += 2;
+    }
+    if (last.empty()) continue;
+    if (k < t.size() && t[k].kind == Token::kPunct && t[k].text == "(") {
+      status_functions_.insert(last);
+    }
+  }
+}
+
+void Linter::LintFile(const std::string& path, const std::string& content,
+                      std::vector<Finding>* findings) const {
+  if (!InSrc(path)) return;
+  Suppressions sup;
+  const std::vector<Token> t = Tokenize(content, &sup);
+  LintBorrowedSpans(path, t, sup, findings);
+  LintRawMemory(path, t, sup, findings);
+  LintIgnoredStatus(path, t, status_functions_, sup, findings);
+  LintBareMutex(path, t, sup, findings);
+  LintWallClock(path, t, sup, findings);
+}
+
+Result<std::vector<Finding>> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path src_dir = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src_dir, ec)) {
+    return Status::InvalidArgument("ntadoc-lint: no src/ under " + root);
+  }
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(src_dir, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+  }
+  if (ec) {
+    return Status::IoError("ntadoc-lint: walking " + src_dir.string() +
+                           ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  std::vector<std::pair<std::string, std::string>> contents;
+  contents.reserve(files.size());
+  for (const fs::path& p : files) {
+    bool ok = false;
+    std::string text = ReadFileOrEmpty(p, &ok);
+    if (!ok) {
+      return Status::IoError("ntadoc-lint: cannot read " + p.string());
+    }
+    std::string rel =
+        fs::relative(p, fs::path(root), ec).generic_string();
+    if (ec) rel = p.generic_string();
+    linter.IndexStatusFunctions(rel, text);
+    contents.emplace_back(std::move(rel), std::move(text));
+  }
+  std::vector<Finding> findings;
+  for (const auto& [rel, text] : contents) {
+    linter.LintFile(rel, text, &findings);
+  }
+  return findings;
+}
+
+}  // namespace ntadoc::lint

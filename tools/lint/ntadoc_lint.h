@@ -1,0 +1,90 @@
+// ntadoc-lint: project-specific static analysis for the N-TADOC tree.
+//
+// A lightweight tokenizer plus five rules that encode invariants no
+// generic tool knows (see docs/static_analysis.md for the motivating bug
+// shapes):
+//
+//   L1  borrowed-span escape — a NvmDevice::TryReadSpan borrow stored in
+//       a member/static, or used again after a mutating device call
+//       (WriteBytes / FillBytes / RemapBlock / repair / salvage) that may
+//       have invalidated or redirected the media behind it. Passing the
+//       borrow *into* the mutating call is the sanctioned zero-copy
+//       idiom and is not flagged.
+//   L2  uncharged device memory access — raw memcpy/memmove/memset in
+//       the analytics layers (src/core, src/serve, src/tadoc), which
+//       must reach pool memory only through charged NvmDevice accessors
+//       so the simulated cost model stays complete.
+//   L3  ignored Status/Result return — a statement that is exactly a
+//       call to a function declared to return Status or Result<T>,
+//       discarding it. Complements [[nodiscard]] (which vanishes under
+//       macro expansion games and non-warning builds).
+//   L4  bare std::mutex family outside src/util/mutex.h — unannotated
+//       primitives are invisible to Clang thread safety analysis, so a
+//       field "guarded" by one silently stops being checked.
+//   L5  wall-clock time in sim-charged code — std::chrono clocks,
+//       rand()/srand(), gettimeofday, clock_gettime anywhere in src/
+//       outside the sanctioned util/timer.h wrapper; results must be a
+//       deterministic function of the access trace and the SimClock.
+//
+// Suppressions (the comment may carry trailing prose):
+//   // ntadoc-lint: allow(L1)        — this line and the next
+//   // ntadoc-lint: allow(L1,L3)     — several rules
+//   // ntadoc-lint: allow-file(L4)   — the whole file
+//
+// The linter is heuristic by design: it sees tokens, not an AST, so it
+// aims for zero false positives on the real tree (enforced by
+// tests/lint_test.cc) over exhaustive recall; the dynamic checkers
+// (PersistCheck, TSAN/ASan/UBSan soaks) backstop what it cannot see.
+
+#ifndef NTADOC_TOOLS_LINT_NTADOC_LINT_H_
+#define NTADOC_TOOLS_LINT_NTADOC_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ntadoc::lint {
+
+/// One diagnostic: `file:line: [rule] message`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // "L1".."L5"
+  std::string message;
+};
+
+/// "file:line: [L#] message" for terminal output.
+std::string FormatFinding(const Finding& f);
+
+/// Two-pass linter. Index every file first (collects the Status-returning
+/// function names rule L3 matches against), then lint each file. `path`
+/// is the repo-relative path with forward slashes; rules L1/L2 scope by
+/// it, so fixture content can be linted "as if" it lived under src/.
+class Linter {
+ public:
+  /// Pass 1: records functions declared to return Status / Result<...>.
+  void IndexStatusFunctions(const std::string& path,
+                            const std::string& content);
+
+  /// Pass 2: runs every rule over `content`, appending to `findings`.
+  void LintFile(const std::string& path, const std::string& content,
+                std::vector<Finding>* findings) const;
+
+  const std::set<std::string>& status_functions() const {
+    return status_functions_;
+  }
+
+ private:
+  std::set<std::string> status_functions_;
+};
+
+/// Lints every .h/.cc under `root`/src (sorted, recursive): one shared
+/// index pass, then per-file rules. Returns the findings (empty = clean
+/// tree) or an error Status if the tree cannot be read.
+Result<std::vector<Finding>> LintTree(const std::string& root);
+
+}  // namespace ntadoc::lint
+
+#endif  // NTADOC_TOOLS_LINT_NTADOC_LINT_H_

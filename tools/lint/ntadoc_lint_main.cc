@@ -1,0 +1,43 @@
+// ntadoc-lint CLI: lints every .h/.cc under <root>/src and exits
+// non-zero on findings. Run from the repo root (or pass --root).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ntadoc_lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strncmp(argv[i], "--root=", 7) == 0) {
+      root = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: ntadoc-lint [--root <repo-root>]\n"
+                  "Lints <root>/src with rules L1-L5 (see "
+                  "docs/static_analysis.md).\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "ntadoc-lint: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto findings = ntadoc::lint::LintTree(root);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "%s\n", findings.status().ToString().c_str());
+    return 2;
+  }
+  for (const auto& f : *findings) {
+    std::fprintf(stderr, "%s\n", ntadoc::lint::FormatFinding(f).c_str());
+  }
+  if (!findings->empty()) {
+    std::fprintf(stderr, "ntadoc-lint: %zu finding(s)\n", findings->size());
+    return 1;
+  }
+  std::printf("ntadoc-lint: clean\n");
+  return 0;
+}
