@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "compress/format.h"
+#include "compress/parallel_compress.h"
 #include "util/dram_tracker.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -28,9 +29,12 @@ BenchConfig ParseArgs(int argc, char** argv) {
       config.cache_dir = arg.substr(12);
     } else if (arg.rfind("--device-mb=", 0) == 0) {
       config.device_capacity = std::stoull(arg.substr(12)) << 20;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.threads = static_cast<uint32_t>(std::stoul(arg.substr(10)));
     } else if (arg == "--help") {
       std::printf(
-          "flags: --scale=F --datasets=A,B --cache-dir=DIR --device-mb=N\n");
+          "flags: --scale=F --datasets=A,B --cache-dir=DIR --device-mb=N "
+          "--threads=N\n");
     }
   }
   return config;
@@ -49,17 +53,26 @@ std::vector<DatasetBundle> LoadDatasets(const BenchConfig& config) {
     bundle.spec = spec;
     char scale_buf[32];
     std::snprintf(scale_buf, sizeof(scale_buf), "%.4f", config.scale);
-    const std::string path = config.cache_dir + "/dataset_" + spec.name +
-                             "_" + scale_buf + ".ntdc";
+    // threads<=1 keeps the historical cache name: those containers (and
+    // the sim baselines derived from them) must stay byte-identical.
+    std::string path =
+        config.cache_dir + "/dataset_" + spec.name + "_" + scale_buf;
+    if (config.threads > 1) path += "_t" + std::to_string(config.threads);
+    path += ".ntdc";
     auto cached = compress::LoadCorpus(path);
     if (cached.ok()) {
       bundle.corpus = std::move(cached).value();
     } else {
       NTADOC_LOG(Info) << "generating + compressing dataset " << spec.name
-                       << " (scale " << config.scale << ")";
+                       << " (scale " << config.scale << ", threads "
+                       << config.threads << ")";
       const auto files = textgen::GenerateCorpus(spec);
       for (const auto& f : files) bundle.raw_text_bytes += f.content.size();
-      auto compressed = compress::Compress(files);
+      compress::ParallelCompressOptions popts;
+      popts.threads = config.threads;
+      Result<CompressedCorpus> compressed =
+          config.threads > 1 ? compress::ParallelCompress(files, popts)
+                             : compress::Compress(files);
       NTADOC_CHECK(compressed.ok()) << compressed.status();
       bundle.corpus = std::move(compressed).value();
       NTADOC_CHECK_OK(compress::SaveCorpus(bundle.corpus, path));

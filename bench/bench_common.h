@@ -58,9 +58,17 @@ struct BenchConfig {
   /// Minimum device capacity for emulated-NVM runs (each dataset gets
   /// max(this, 12x its token-stream bytes)).
   uint64_t device_capacity = 128ull << 20;
+
+  /// Ingest threads for dataset compression. <= 1 keeps the legacy
+  /// sequential Compress() (and the historical cache file names, so
+  /// existing cached containers and sim baselines stay byte-identical);
+  /// > 1 compresses with ParallelCompress and caches under a
+  /// thread-count-suffixed name.
+  uint32_t threads = 1;
 };
 
-/// Parses --scale=, --datasets=A,C, --cache-dir=, --device-mb= flags.
+/// Parses --scale=, --datasets=A,C, --cache-dir=, --device-mb=,
+/// --threads= flags.
 BenchConfig ParseArgs(int argc, char** argv);
 
 /// Generates (or loads from cache) the requested datasets.

@@ -6,8 +6,7 @@
 
 namespace ntadoc::compress {
 
-std::vector<WordId> EncodeTokens(const std::string& content,
-                                 Dictionary* dict) {
+std::vector<WordId> EncodeTokens(std::string_view content, Dictionary* dict) {
   std::vector<WordId> out;
   for (std::string_view tok : SplitTokens(content)) {
     out.push_back(dict->GetOrAdd(tok));

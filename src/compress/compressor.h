@@ -4,6 +4,7 @@
 #define NTADOC_COMPRESS_COMPRESSOR_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "compress/format.h"
@@ -18,8 +19,9 @@ struct InputFile {
 };
 
 /// Tokenizes `content` on whitespace and encodes words into `dict`.
-std::vector<WordId> EncodeTokens(const std::string& content,
-                                 Dictionary* dict);
+/// Allocation-free per token: the string_view slices from SplitTokens
+/// feed the dictionary's heterogeneous lookup directly.
+std::vector<WordId> EncodeTokens(std::string_view content, Dictionary* dict);
 
 /// Compresses a set of documents into a CompressedCorpus. Files keep their
 /// order; a separator is placed after each file's tokens in the root rule.

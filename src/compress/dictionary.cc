@@ -9,16 +9,16 @@ Dictionary::Dictionary() {
 }
 
 WordId Dictionary::GetOrAdd(std::string_view word) {
-  auto it = index_.find(std::string(word));
+  auto it = index_.find(word);  // heterogeneous: no temporary string
   if (it != index_.end()) return it->second;
   const WordId id = static_cast<WordId>(words_.size());
-  words_.emplace_back(word);
+  words_.emplace_back(word);  // the only materialization, on insert
   index_.emplace(words_.back(), id);
   return id;
 }
 
 Result<WordId> Dictionary::Find(std::string_view word) const {
-  auto it = index_.find(std::string(word));
+  auto it = index_.find(word);
   if (it == index_.end()) {
     return Status::NotFound("word not in dictionary: " + std::string(word));
   }

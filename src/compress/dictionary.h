@@ -16,6 +16,11 @@ namespace ntadoc::compress {
 
 /// Bidirectional word <-> id mapping. Id 0 is the reserved file separator
 /// (rendered as "<file-sep>"); real words get ids from kFirstWordId up.
+///
+/// Lookups are heterogeneous: GetOrAdd/Find probe the index with the
+/// string_view itself and materialize an owned std::string only when a
+/// new word is actually inserted — on the ingest hot path most tokens
+/// are repeats, so this removes an allocation per token.
 class Dictionary {
  public:
   Dictionary();
@@ -45,8 +50,19 @@ class Dictionary {
   Status AddWithId(std::string_view word, WordId id);
 
  private:
+  // Transparent hash so find(string_view) needs no temporary string.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  // Keys stay owned std::strings (a string_view key into words_ would
+  // dangle when small-string storage moves on vector growth).
   std::vector<std::string> words_;
-  std::unordered_map<std::string, WordId> index_;
+  std::unordered_map<std::string, WordId, TransparentHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace ntadoc::compress

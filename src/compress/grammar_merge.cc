@@ -1,0 +1,253 @@
+#include "compress/grammar_merge.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ntadoc::compress {
+
+namespace {
+
+// FNV-1a64 over a rule body's symbols (little-endian byte order is
+// irrelevant here: the hash only feeds the in-memory dedup index).
+uint64_t HashBody(const std::vector<Symbol>& body) {
+  uint64_t h = 1469598103934665603ull;
+  for (Symbol s : body) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (s >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+GrammarMerger::GrammarMerger() {
+  // Empty root; chunks append to it.
+  corpus_.grammar.rules.emplace_back();
+  corpus_.grammar.num_files = 0;
+}
+
+Result<GrammarMerger> GrammarMerger::FromCorpus(CompressedCorpus corpus) {
+  NTADOC_RETURN_IF_ERROR(corpus.grammar.Validate());
+  GrammarMerger m;
+  m.corpus_ = std::move(corpus);
+  for (uint32_t r = 1; r < m.corpus_.grammar.NumRules(); ++r) {
+    m.IndexRule(r);
+  }
+  return m;
+}
+
+void GrammarMerger::IndexRule(uint32_t rule_id) {
+  dedup_[HashBody(corpus_.grammar.rules[rule_id])].push_back(rule_id);
+}
+
+Status GrammarMerger::MergeChunk(const Grammar& grammar,
+                                 const Dictionary& dict,
+                                 const std::vector<std::string>& file_names) {
+  if (grammar.rules.empty()) {
+    return Status::InvalidArgument("MergeChunk: chunk grammar has no root");
+  }
+  if (file_names.size() != grammar.num_files) {
+    return Status::InvalidArgument(
+        "MergeChunk: file_names/num_files mismatch");
+  }
+  // Word remap. Visiting local ids in ascending order is what reproduces
+  // the sequential first-occurrence id assignment (see file comment of
+  // grammar_merge.h) — do not reorder.
+  std::vector<WordId> word_map(dict.size());
+  word_map[kFileSepWord] = kFileSepWord;
+  for (WordId id = kFirstWordId; id < dict.size(); ++id) {
+    word_map[id] = corpus_.dict.GetOrAdd(dict.Spell(id));
+  }
+
+  // Non-root rules, children before parents: TopologicalOrder lists every
+  // rule before the rules it references (root first), so the reverse walk
+  // guarantees rule_map is populated for every reference we remap.
+  const std::vector<uint32_t> topo = grammar.TopologicalOrder();
+  constexpr uint32_t kUnmapped = 0xffffffffu;
+  std::vector<uint32_t> rule_map(grammar.rules.size(), kUnmapped);
+  std::vector<Symbol> body;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const uint32_t r = *it;
+    if (r == 0) continue;  // root handled below
+    body.clear();
+    body.reserve(grammar.rules[r].size());
+    for (Symbol s : grammar.rules[r]) {
+      if (IsRule(s)) {
+        const uint32_t child = rule_map[RuleIndex(s)];
+        if (child == kUnmapped) {
+          return Status::InvalidArgument(
+              "MergeChunk: rule references violate topological order");
+        }
+        body.push_back(MakeRuleSymbol(child));
+      } else {
+        if (s >= word_map.size()) {
+          return Status::InvalidArgument(
+              "MergeChunk: word id out of dictionary range");
+        }
+        body.push_back(word_map[s]);
+      }
+    }
+    // Hash-cons: reuse any already-merged rule with the same body.
+    const uint64_t h = HashBody(body);
+    uint32_t merged_id = kUnmapped;
+    auto bucket = dedup_.find(h);
+    if (bucket != dedup_.end()) {
+      for (uint32_t cand : bucket->second) {
+        if (corpus_.grammar.rules[cand] == body) {
+          merged_id = cand;
+          break;
+        }
+      }
+    }
+    if (merged_id != kUnmapped) {
+      ++stats_.deduped_rules;
+    } else {
+      merged_id = corpus_.grammar.NumRules();
+      corpus_.grammar.rules.push_back(body);
+      dedup_[h].push_back(merged_id);
+    }
+    rule_map[r] = merged_id;
+  }
+
+  // Root: append the chunk's remapped top level, preserving file order
+  // and the per-file separators.
+  std::vector<Symbol>& root = corpus_.grammar.rules[0];
+  for (Symbol s : grammar.rules[0]) {
+    if (IsRule(s)) {
+      const uint32_t child = rule_map[RuleIndex(s)];
+      if (child == kUnmapped) {
+        return Status::InvalidArgument(
+            "MergeChunk: root references unmerged rule");
+      }
+      root.push_back(MakeRuleSymbol(child));
+    } else {
+      if (s >= word_map.size()) {
+        return Status::InvalidArgument(
+            "MergeChunk: root word id out of dictionary range");
+      }
+      root.push_back(word_map[s]);
+    }
+  }
+  corpus_.grammar.num_files += grammar.num_files;
+  corpus_.file_names.insert(corpus_.file_names.end(), file_names.begin(),
+                            file_names.end());
+  return Status::OK();
+}
+
+void GrammarMerger::DedupByExpansion() {
+  Grammar& g = corpus_.grammar;
+  const uint32_t num_rules = g.NumRules();
+  if (num_rules <= 1) return;
+
+  // Polynomial rolling hash of each rule's full expansion, combinable
+  // from child hashes without materializing the expansion:
+  //   H(ab) = H(a) + P^len(a) * H(b).
+  struct ExpHash {
+    uint64_t hash = 0;
+    uint64_t pow_len = 1;  // P^len mod 2^64
+    uint64_t len = 0;
+  };
+  constexpr uint64_t kP = 1099511628211ull;
+
+  const std::vector<uint32_t> topo = g.TopologicalOrder();
+  std::vector<ExpHash> exp(num_rules);
+  std::vector<uint32_t> remap(num_rules);
+  for (uint32_t r = 0; r < num_rules; ++r) remap[r] = r;
+  // Expansion hash (mixed with length) -> canonical rule ids. A hash hit
+  // is confirmed by comparing the actual expansions, so a collision can
+  // never merge rules that expand differently.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_expansion;
+  std::vector<Symbol> expansion_a;
+  std::vector<Symbol> expansion_b;
+  // Children before parents: a parent's hash is computed over already
+  // canonicalized children, so two rules whose subtrees differ in
+  // structure but not in expansion still hash (and compare) equal.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const uint32_t r = *it;
+    if (r == 0) continue;  // the root is never a dedup candidate
+    ExpHash x;
+    for (Symbol s : g.rules[r]) {
+      if (IsRule(s)) {
+        const ExpHash& child = exp[remap[RuleIndex(s)]];
+        x.hash += x.pow_len * child.hash;
+        x.pow_len *= child.pow_len;
+        x.len += child.len;
+      } else {
+        x.hash += x.pow_len * (s + 0x9e3779b97f4a7c15ull);
+        x.pow_len *= kP;
+        x.len += 1;
+      }
+    }
+    std::vector<uint32_t>& bucket =
+        by_expansion[x.hash ^ (x.len * 0x2545f4914f6cdd1dull)];
+    bool merged = false;
+    for (uint32_t cand : bucket) {
+      if (exp[cand].len != x.len || exp[cand].hash != x.hash) continue;
+      expansion_a.clear();
+      expansion_b.clear();
+      g.ExpandRule(r, &expansion_a);
+      g.ExpandRule(cand, &expansion_b);
+      if (expansion_a == expansion_b) {
+        remap[r] = cand;
+        ++stats_.deduped_rules;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      bucket.push_back(r);
+      exp[r] = x;
+    }
+  }
+
+  // Rewrite the surviving bodies through the remap, then drop rules no
+  // longer reachable from the root (the duplicates themselves plus any
+  // rules only they referenced), renumbering in stable order.
+  for (uint32_t r = 0; r < num_rules; ++r) {
+    if (remap[r] != r) continue;
+    for (Symbol& s : g.rules[r]) {
+      if (IsRule(s)) s = MakeRuleSymbol(remap[RuleIndex(s)]);
+    }
+  }
+  std::vector<uint8_t> live(num_rules, 0);
+  live[0] = 1;
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const uint32_t r = stack.back();
+    stack.pop_back();
+    for (Symbol s : g.rules[r]) {
+      if (!IsRule(s)) continue;
+      const uint32_t child = RuleIndex(s);
+      if (!live[child]) {
+        live[child] = 1;
+        stack.push_back(child);
+      }
+    }
+  }
+  std::vector<uint32_t> new_id(num_rules, 0);
+  std::vector<std::vector<Symbol>> compacted;
+  compacted.reserve(num_rules);
+  for (uint32_t r = 0; r < num_rules; ++r) {
+    if (!live[r]) continue;
+    new_id[r] = static_cast<uint32_t>(compacted.size());
+    compacted.push_back(std::move(g.rules[r]));
+  }
+  for (std::vector<Symbol>& rule : compacted) {
+    for (Symbol& s : rule) {
+      if (IsRule(s)) s = MakeRuleSymbol(new_id[RuleIndex(s)]);
+    }
+  }
+  g.rules = std::move(compacted);
+}
+
+Result<CompressedCorpus> GrammarMerger::Finish() && {
+  DedupByExpansion();
+  stats_.merged_rules = corpus_.grammar.NumRules() - 1;
+  corpus_.grammar.dict_size = corpus_.dict.size();
+  NTADOC_RETURN_IF_ERROR(corpus_.grammar.Validate());
+  return std::move(corpus_);
+}
+
+}  // namespace ntadoc::compress

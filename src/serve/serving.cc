@@ -65,17 +65,12 @@ ServingEngine::ServingEngine(const SealedPool* pool, ServingOptions options)
   for (uint32_t w = 0; w < options_.workers; ++w) {
     lanes_.push_back(nvm::MakeSimClock());
   }
-  {
-    // No worker exists yet, but the guarded fields are initialized under
-    // the lock anyway so the annotated invariant holds from birth.
-    util::MutexLock lock(&mu_);
-    queues_.resize(options_.workers);
-    paused_ = options_.start_paused;
-  }
-  threads_.reserve(options_.workers);
-  for (uint32_t w = 0; w < options_.workers; ++w) {
-    threads_.emplace_back([this, w] { WorkerLoop(w); });
-  }
+  util::WorkerPool::Options popts;
+  popts.workers = options_.workers;
+  popts.work_stealing = options_.work_stealing;
+  popts.start_paused = options_.start_paused;
+  wpool_ = std::make_unique<util::WorkerPool>(
+      popts, [this](uint32_t w, uint64_t ticket) { Execute(w, ticket); });
 }
 
 ServingEngine::~ServingEngine() { Shutdown(); }
@@ -83,64 +78,43 @@ ServingEngine::~ServingEngine() { Shutdown(); }
 Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
   util::MutexLock lock(&mu_);
   ++stats_.submitted;
-  if (pending_ >= options_.queue_capacity) {
-    // Fast-reject: no ticket, no session state, the caller backs off.
-    ++stats_.rejected_queue_full;
-    return Status::ResourceExhausted("serving queue full");
-  }
+  // Ticket allocation and the admission decision are both serialized by
+  // mu_ (held across TryPost), so a rejected submission can roll its
+  // slot back without another submitter having observed it.
   const uint64_t ticket = results_.size();
   results_.push_back(std::make_unique<QueryResult>());
   requests_.push_back(std::move(request));
-  if (options_.shed_watermark > 0 &&
-      pending_ >= options_.shed_watermark &&
-      requests_[ticket].sheddable) {
-    // Load shedding: admitted-and-dropped, never queued.
-    QueryResult& r = *results_[ticket];
-    r.status = Status::DeadlineExceeded("shed under load");
-    r.shed = true;
-    r.done = true;
-    ++stats_.shed;
-    return ticket;
+  const util::WorkerPool::PostOutcome outcome = wpool_->TryPost(
+      ticket, options_.queue_capacity, options_.shed_watermark,
+      requests_[ticket].sheddable);
+  switch (outcome) {
+    case util::WorkerPool::PostOutcome::kRejected:
+      // Fast-reject: no ticket, no session state, the caller backs off.
+      results_.pop_back();
+      requests_.pop_back();
+      ++stats_.rejected_queue_full;
+      return Status::ResourceExhausted("serving queue full");
+    case util::WorkerPool::PostOutcome::kShed: {
+      // Load shedding: admitted-and-dropped, never queued.
+      QueryResult& r = *results_[ticket];
+      r.status = Status::DeadlineExceeded("shed under load");
+      r.shed = true;
+      r.done = true;
+      ++stats_.shed;
+      return ticket;
+    }
+    case util::WorkerPool::PostOutcome::kQueued:
+      break;
   }
   ++stats_.accepted;
-  ++pending_;
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, pending_);
-  // Deterministic round-robin placement; with work_stealing off this
-  // fixes each lane's query set independent of execution timing.
-  const uint32_t w = next_worker_;
-  next_worker_ = (next_worker_ + 1) % options_.workers;
-  queues_[w].push_back(ticket);
-  lock.Unlock();
-  cv_.NotifyAll();
   return ticket;
 }
 
-void ServingEngine::Start() {
-  {
-    util::MutexLock lock(&mu_);
-    paused_ = false;
-  }
-  cv_.NotifyAll();
-}
+void ServingEngine::Start() { wpool_->Start(); }
 
-void ServingEngine::Drain() {
-  util::MutexLock lock(&mu_);
-  while (pending_ != 0) drain_cv_.Wait(&mu_);
-}
+void ServingEngine::Drain() { wpool_->Drain(); }
 
-void ServingEngine::Shutdown() {
-  {
-    util::MutexLock lock(&mu_);
-    while (pending_ != 0) drain_cv_.Wait(&mu_);
-    shutdown_ = true;
-    paused_ = false;
-  }
-  cv_.NotifyAll();
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  threads_.clear();
-}
+void ServingEngine::Shutdown() { wpool_->Shutdown(); }
 
 const QueryResult& ServingEngine::result(uint64_t ticket) const {
   util::MutexLock lock(&mu_);
@@ -149,8 +123,15 @@ const QueryResult& ServingEngine::result(uint64_t ticket) const {
 }
 
 ServingStats ServingEngine::stats() const {
-  util::MutexLock lock(&mu_);
-  return stats_;
+  ServingStats s;
+  {
+    util::MutexLock lock(&mu_);
+    s = stats_;
+  }
+  const util::WorkerPool::Counters c = wpool_->counters();
+  s.stolen = c.stolen;
+  s.max_queue_depth = c.max_pending;
+  return s;
 }
 
 uint64_t ServingEngine::worker_lane_ns(uint32_t w) const {
@@ -162,69 +143,6 @@ uint64_t ServingEngine::makespan_sim_ns() const {
   uint64_t mk = 0;
   for (const auto& lane : lanes_) mk = std::max(mk, lane->NowNanos());
   return mk;
-}
-
-void ServingEngine::WorkerLoop(uint32_t w) {
-  for (;;) {
-    uint64_t ticket = 0;
-    bool stolen = false;
-    {
-      util::MutexLock lock(&mu_);
-      // Explicit wait loop (not a predicate lambda): the analysis cannot
-      // see that a lambda body runs with mu_ held.
-      for (;;) {
-        if (shutdown_) break;
-        if (!paused_) {
-          if (!queues_[w].empty()) break;
-          if (options_.work_stealing) {
-            bool any = false;
-            for (const auto& q : queues_) {
-              if (!q.empty()) {
-                any = true;
-                break;
-              }
-            }
-            if (any) break;
-          }
-        }
-        cv_.Wait(&mu_);
-      }
-      if (!paused_ && !queues_[w].empty()) {
-        ticket = queues_[w].front();
-        queues_[w].pop_front();
-      } else if (!paused_ && options_.work_stealing) {
-        // Steal from the tail of the deepest sibling queue.
-        size_t victim = queues_.size();
-        size_t depth = 0;
-        for (size_t v = 0; v < queues_.size(); ++v) {
-          if (queues_[v].size() > depth) {
-            depth = queues_[v].size();
-            victim = v;
-          }
-        }
-        if (victim == queues_.size()) {
-          if (shutdown_) return;
-          continue;
-        }
-        ticket = queues_[victim].back();
-        queues_[victim].pop_back();
-        stolen = true;
-        ++stats_.stolen;
-      } else {
-        if (shutdown_) return;
-        continue;
-      }
-    }
-    (void)stolen;
-    Execute(w, ticket);
-    bool drained = false;
-    {
-      util::MutexLock lock(&mu_);
-      --pending_;
-      drained = pending_ == 0;
-    }
-    if (drained) drain_cv_.NotifyAll();
-  }
 }
 
 void ServingEngine::Execute(uint32_t w, uint64_t ticket) {

@@ -28,9 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -38,6 +36,7 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/worker_pool.h"
 
 namespace ntadoc::serve {
 
@@ -214,7 +213,6 @@ class ServingEngine {
   uint32_t workers() const { return static_cast<uint32_t>(lanes_.size()); }
 
  private:
-  void WorkerLoop(uint32_t w) NTADOC_EXCLUDES(mu_);
   void Execute(uint32_t w, uint64_t ticket) NTADOC_EXCLUDES(mu_);
 
   // Immutable after construction; shared with sessions only through
@@ -227,15 +225,6 @@ class ServingEngine {
   std::vector<nvm::SimClockPtr> lanes_;  // one persistent clock per worker
 
   mutable util::Mutex mu_;
-  util::CondVar cv_;        // workers: work available / unpause
-  util::CondVar drain_cv_;  // Drain(): pending hit zero
-  bool paused_ NTADOC_GUARDED_BY(mu_) = false;
-  bool shutdown_ NTADOC_GUARDED_BY(mu_) = false;
-  // Admitted, not yet finished.
-  uint64_t pending_ NTADOC_GUARDED_BY(mu_) = 0;
-  uint32_t next_worker_ NTADOC_GUARDED_BY(mu_) = 0;
-  // Per-worker tickets.
-  std::vector<std::deque<uint64_t>> queues_ NTADOC_GUARDED_BY(mu_);
   // The vectors are guarded (push_back may reallocate); a *QueryResult
   // handed out by result() stays valid unguarded because each lives
   // behind its own unique_ptr and is written exactly once, under mu_,
@@ -245,9 +234,12 @@ class ServingEngine {
   ServingStats stats_ NTADOC_GUARDED_BY(mu_);
 
   std::atomic<bool> cancel_all_{false};
-  // Written by the constructor and Shutdown() only; joining under mu_
-  // would deadlock against workers that need it to finish.
-  std::vector<std::thread> threads_;
+  // Scheduling (queues, stealing, pause/drain) lives in the shared pool.
+  // Lock order: mu_ before the pool's internal lock — Submit calls
+  // TryPost with mu_ held; Execute runs with no pool lock held and takes
+  // mu_ itself. Declared last so it is destroyed (and joined) first,
+  // though Shutdown() has normally already quiesced it.
+  std::unique_ptr<util::WorkerPool> wpool_;
 };
 
 }  // namespace ntadoc::serve

@@ -1,0 +1,125 @@
+// Shared worker-lane scheduler: the queueing/stealing/drain discipline
+// extracted from the serving engine so other subsystems (chunk-parallel
+// ingest, src/compress/parallel_compress.h) can reuse it.
+//
+// The pool owns N threads and N per-worker deques of opaque uint64
+// tickets. Placement is deterministic round-robin; idle workers
+// optionally steal from the tail of the deepest sibling queue. What a
+// ticket *means* is the caller's business: the pool invokes the single
+// task callback with (worker, ticket) outside its own lock, so the
+// callback may take any caller-side mutex without ordering against the
+// pool's.
+//
+// Admission control lives here too (TryPost), because capacity and shed
+// decisions must be atomic with the enqueue: callers that serialize
+// their own ticket allocation (the serving engine holds its mu_ across
+// TryPost) get the same semantics the inlined version had.
+//
+// Memory ordering: Drain() returns only after every posted ticket's
+// callback has completed, and the completion is published through the
+// pool mutex — so results written by callbacks are visible to the
+// thread that called Drain() without extra synchronization.
+
+#ifndef NTADOC_UTIL_WORKER_POOL_H_
+#define NTADOC_UTIL_WORKER_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace ntadoc::util {
+
+/// Fixed-size worker pool over opaque uint64 tickets (see file comment).
+/// Thread-safe: Post/TryPost may be called from any thread.
+class WorkerPool {
+ public:
+  struct Options {
+    uint32_t workers = 1;
+    /// Idle workers steal from the busiest sibling's queue tail. Turn
+    /// off (with round-robin placement) for bit-deterministic per-lane
+    /// assignment.
+    bool work_stealing = true;
+    /// Construct workers parked; no ticket runs until Start().
+    bool start_paused = false;
+  };
+
+  /// Invoked once per posted ticket, on a pool thread, with no pool lock
+  /// held. `worker` is the executing lane (which differs from the
+  /// placement lane when the ticket was stolen).
+  using TaskFn = std::function<void(uint32_t worker, uint64_t ticket)>;
+
+  enum class PostOutcome {
+    kQueued,    // enqueued; the callback will run
+    kRejected,  // pending >= capacity; nothing enqueued
+    kShed,      // sheddable and pending >= watermark; nothing enqueued
+  };
+
+  /// Scheduling counters, cumulative since construction.
+  struct Counters {
+    uint64_t stolen = 0;       // tickets run off a sibling's queue
+    uint64_t max_pending = 0;  // high-water mark of posted-not-finished
+  };
+
+  WorkerPool(Options options, TaskFn task);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Unconditionally enqueues `ticket` round-robin.
+  void Post(uint64_t ticket) NTADOC_EXCLUDES(mu_);
+
+  /// Admission-controlled enqueue: rejects when `capacity` > 0 and
+  /// pending tickets (queued + running) have reached it; sheds when
+  /// `shed_watermark` > 0, pending has reached it, and the ticket is
+  /// sheddable. The decision and the enqueue are atomic under the pool
+  /// lock.
+  PostOutcome TryPost(uint64_t ticket, uint32_t capacity,
+                      uint32_t shed_watermark, bool sheddable)
+      NTADOC_EXCLUDES(mu_);
+
+  /// Releases workers parked by Options::start_paused.
+  void Start() NTADOC_EXCLUDES(mu_);
+
+  /// Blocks until every posted ticket has finished executing.
+  void Drain() NTADOC_EXCLUDES(mu_);
+
+  /// Drains and joins the workers; idempotent (the destructor calls it).
+  void Shutdown() NTADOC_EXCLUDES(mu_);
+
+  Counters counters() const NTADOC_EXCLUDES(mu_);
+
+  uint32_t workers() const { return workers_; }
+
+ private:
+  void WorkerLoop(uint32_t w) NTADOC_EXCLUDES(mu_);
+  void Enqueue(uint64_t ticket) NTADOC_REQUIRES(mu_);
+
+  const Options options_;
+  const uint32_t workers_;  // options_.workers clamped to >= 1
+  const TaskFn task_;
+
+  mutable Mutex mu_;
+  CondVar cv_;        // workers: work available / unpause
+  CondVar drain_cv_;  // Drain(): pending hit zero
+  bool paused_ NTADOC_GUARDED_BY(mu_) = false;
+  bool shutdown_ NTADOC_GUARDED_BY(mu_) = false;
+  // Posted, not yet finished (queued or running).
+  uint64_t pending_ NTADOC_GUARDED_BY(mu_) = 0;
+  uint32_t next_worker_ NTADOC_GUARDED_BY(mu_) = 0;
+  std::vector<std::deque<uint64_t>> queues_ NTADOC_GUARDED_BY(mu_);
+  Counters counters_ NTADOC_GUARDED_BY(mu_);
+
+  // Written by the constructor and Shutdown() only; joining under mu_
+  // would deadlock against workers that need it to finish.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ntadoc::util
+
+#endif  // NTADOC_UTIL_WORKER_POOL_H_

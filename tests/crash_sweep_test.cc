@@ -11,6 +11,8 @@
 #include <cstring>
 #include <optional>
 
+#include "compress/compressor.h"
+#include "core/container_store.h"
 #include "core/engine.h"
 #include "reference_impl.h"
 
@@ -412,6 +414,93 @@ TEST_P(RemapCommitSweepTest, RemapIsAtomicAtEveryDrainPoint) {
       EXPECT_EQ(std::memcmp(raw + block_off, after.data(), kBlock), 0)
           << "home contents torn at drain point " << k;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Container-store append sweep: crash a durable streaming append
+// (ContainerStore::AppendFiles — shadow-slot write, then a one-epoch
+// descriptor flip) at every persistence fence. Recovery must open the
+// store and decode EITHER the pre-append container or the post-append
+// one — never a mix, never a parse failure — with a clean PersistCheck
+// report. The sweep starts after Create's last fence: only AppendFiles
+// claims crash atomicity.
+// ---------------------------------------------------------------------------
+
+TEST(ContainerAppendSweepTest, PreOrPostAppendAtEveryDrainPoint) {
+  const uint64_t kStoreBase = 4096;
+  const uint64_t kStoreRegion = 4ull << 20;
+  const auto batch_a = tests::RandomInputs(991, 60, 5, 90);
+  auto batch_b = tests::RandomInputs(992, 60, 3, 80);
+  for (size_t i = 0; i < batch_b.size(); ++i) {
+    batch_b[i].name = "g" + std::to_string(i);
+  }
+  std::vector<compress::InputFile> all = batch_a;
+  all.insert(all.end(), batch_b.begin(), batch_b.end());
+
+  auto corpus_a = compress::Compress(batch_a);
+  ASSERT_TRUE(corpus_a.ok());
+  auto corpus_all = compress::Compress(all);
+  ASSERT_TRUE(corpus_all.ok());
+  const auto pre_tokens = compress::DecodeToTokens(*corpus_a);
+  const auto post_tokens = compress::DecodeToTokens(*corpus_all);
+
+  compress::ParallelCompressOptions popts;
+  popts.threads = 2;
+  popts.min_chunk_bytes = 1;
+  const auto run_workload = [&](nvm::NvmDevice* dev,
+                                uint64_t* format_drains) {
+    auto store =
+        ContainerStore::Create(dev, kStoreBase, kStoreRegion, *corpus_a);
+    ASSERT_TRUE(store.ok()) << store.status();
+    if (format_drains != nullptr) *format_drains = dev->drain_count();
+    ASSERT_TRUE(store->AppendFiles(batch_b, popts).ok());
+  };
+
+  // Pass 1: clean instrumented run — fence count and a quiet checker.
+  uint64_t format_drains = 0;
+  uint64_t total_drains = 0;
+  {
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    run_workload(device->get(), &format_drains);
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << (*device)->persist_check()->report().ToString();
+    total_drains = (*device)->drain_count();
+  }
+  ASSERT_GT(total_drains, format_drains);
+
+  for (uint64_t k = format_drains + 1; k <= total_drains; ++k) {
+    auto writer = MakeSweepDevice(k);
+    ASSERT_TRUE(writer.ok());
+    run_workload(writer->get(), nullptr);
+    ASSERT_FALSE((*writer)->drain_snapshot().empty())
+        << "snapshot at drain " << k << " not captured";
+
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    (*device)->LoadSnapshot((*writer)->drain_snapshot());
+    auto store = ContainerStore::Open(device->get(), kStoreBase);
+    ASSERT_TRUE(store.ok())
+        << "open failed from drain point " << k << "/" << total_drains
+        << ": " << store.status();
+    auto loaded = store->Load();
+    ASSERT_TRUE(loaded.ok())
+        << "load failed from drain point " << k << ": " << loaded.status();
+    const auto tokens = compress::DecodeToTokens(*loaded);
+    if (store->sequence() == 2) {
+      EXPECT_EQ(tokens, post_tokens)
+          << "post-append container torn at drain point " << k;
+      EXPECT_EQ(loaded->file_names, corpus_all->file_names);
+    } else {
+      ASSERT_EQ(store->sequence(), 1u) << "drain point " << k;
+      EXPECT_EQ(tokens, pre_tokens)
+          << "pre-append container torn at drain point " << k;
+      EXPECT_EQ(loaded->file_names, corpus_a->file_names);
+    }
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << "diagnostics recovering from drain point " << k << ":\n"
+        << (*device)->persist_check()->report().ToString();
   }
 }
 

@@ -1,0 +1,230 @@
+// Differential tests for chunk-parallel ingest: whatever the chunk or
+// thread count, ParallelCompress must decode bit-identically to the
+// single-threaded Compress() — same per-file token ids, same file
+// order, same dictionary contents — and produce deterministic container
+// bytes across repeated runs. Also covers the AppendFiles streaming
+// path (append == full recompress, decoded) and the shared WorkerPool.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/compressor.h"
+#include "compress/format.h"
+#include "compress/grammar_merge.h"
+#include "compress/parallel_compress.h"
+#include "reference_impl.h"
+#include "util/worker_pool.h"
+
+namespace ntadoc {
+namespace {
+
+using compress::CompressedCorpus;
+using compress::InputFile;
+using compress::ParallelCompress;
+using compress::ParallelCompressOptions;
+using compress::ParallelCompressStats;
+using compress::PlanChunks;
+using compress::WordId;
+
+std::vector<InputFile> TestInputs(uint64_t seed = 7) {
+  return tests::RandomInputs(seed, /*vocab=*/300, /*files=*/41,
+                             /*tokens_per_file=*/400);
+}
+
+ParallelCompressOptions Opts(uint32_t threads, uint32_t chunks) {
+  ParallelCompressOptions o;
+  o.threads = threads;
+  o.chunks = chunks;
+  o.min_chunk_bytes = 1;  // tests pin exact chunk counts
+  return o;
+}
+
+// Every aspect of the decoded corpus the paper pipeline consumes:
+// per-file tokens, file order/names, dictionary contents.
+void ExpectDecodesIdentical(const CompressedCorpus& a,
+                            const CompressedCorpus& b) {
+  EXPECT_EQ(compress::DecodeToTokens(a), compress::DecodeToTokens(b));
+  EXPECT_EQ(a.file_names, b.file_names);
+  ASSERT_EQ(a.dict.size(), b.dict.size());
+  for (WordId id = 0; id < a.dict.size(); ++id) {
+    ASSERT_EQ(a.dict.Spell(id), b.dict.Spell(id)) << "word id " << id;
+  }
+}
+
+TEST(PlanChunksTest, CoversAllFilesInOrder) {
+  const std::vector<InputFile> files = TestInputs();
+  for (uint32_t chunks : {1u, 2u, 7u, 40u, 100u}) {
+    const auto plan = PlanChunks(files, Opts(1, chunks));
+    ASSERT_GE(plan.size(), 1u);
+    EXPECT_LE(plan.size(), std::min<size_t>(chunks, files.size()));
+    size_t next = 0;
+    for (const auto& [first, count] : plan) {
+      EXPECT_EQ(first, next);
+      EXPECT_GE(count, 1u);
+      next = first + count;
+    }
+    EXPECT_EQ(next, files.size());
+  }
+}
+
+TEST(PlanChunksTest, MinChunkBytesBoundsChunkCount) {
+  const std::vector<InputFile> files = TestInputs();
+  uint64_t total = 0;
+  for (const auto& f : files) total += f.content.size();
+  ParallelCompressOptions o = Opts(1, 64);
+  o.min_chunk_bytes = total / 2;  // room for at most 2 chunks
+  EXPECT_LE(PlanChunks(files, o).size(), 2u);
+}
+
+TEST(ParallelCompressTest, MatchesSequentialAcrossChunkAndThreadCounts) {
+  const std::vector<InputFile> files = TestInputs();
+  const auto sequential = compress::Compress(files);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  for (uint32_t chunks : {1u, 2u, 7u}) {
+    for (uint32_t threads : {1u, 3u, 8u}) {
+      ParallelCompressStats stats;
+      auto parallel = ParallelCompress(files, Opts(threads, chunks), &stats);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      ASSERT_TRUE(parallel->grammar.Validate().ok());
+      ExpectDecodesIdentical(*parallel, *sequential);
+      EXPECT_EQ(stats.chunks, chunks);
+      EXPECT_GT(stats.merged_rules, 0u);
+      EXPECT_EQ(stats.merged_rules + 1, parallel->grammar.NumRules());
+    }
+  }
+}
+
+TEST(ParallelCompressTest, BytesDeterministicAcrossRunsAndThreadCounts) {
+  const std::vector<InputFile> files = TestInputs();
+  // Same plan, different thread counts, repeated runs: identical bytes.
+  std::string reference;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    for (int run = 0; run < 2; ++run) {
+      auto corpus = ParallelCompress(files, Opts(threads, 7));
+      ASSERT_TRUE(corpus.ok()) << corpus.status();
+      const std::string bytes = compress::SerializeCorpus(*corpus);
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        ASSERT_EQ(bytes, reference)
+            << "threads=" << threads << " run=" << run;
+      }
+    }
+  }
+}
+
+TEST(ParallelCompressTest, CrossChunkDedupFires) {
+  // Identical files in every chunk: the chunk grammars repeat the same
+  // rules, which must hash-cons onto one copy.
+  std::vector<InputFile> files;
+  const std::vector<InputFile> base = tests::RandomInputs(3, 50, 4, 600);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& f : base) {
+      files.push_back(
+          {f.name + "_rep" + std::to_string(rep), f.content});
+    }
+  }
+  ParallelCompressStats stats;
+  auto corpus = ParallelCompress(files, Opts(4, 4), &stats);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_GT(stats.deduped_rules, 0u);
+  const auto sequential = compress::Compress(files);
+  ASSERT_TRUE(sequential.ok());
+  ExpectDecodesIdentical(*corpus, *sequential);
+}
+
+TEST(ParallelCompressTest, SingleFilePerChunkDegenerate) {
+  // More requested chunks than files; single-token files.
+  std::vector<InputFile> files = {{"a", "x"}, {"b", "x"}, {"c", "y z"}};
+  auto corpus = ParallelCompress(files, Opts(8, 100));
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  const auto sequential = compress::Compress(files);
+  ASSERT_TRUE(sequential.ok());
+  ExpectDecodesIdentical(*corpus, *sequential);
+}
+
+TEST(ParallelCompressTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParallelCompress({}, Opts(2, 2)).ok());
+}
+
+TEST(AppendFilesTest, MatchesFullRecompressDecoded) {
+  const std::vector<InputFile> all = TestInputs(11);
+  for (size_t split : {1ul, 20ul, all.size() - 1}) {
+    const std::vector<InputFile> base_files(all.begin(),
+                                            all.begin() + split);
+    const std::vector<InputFile> new_files(all.begin() + split, all.end());
+    auto base = ParallelCompress(base_files, Opts(2, 2));
+    ASSERT_TRUE(base.ok()) << base.status();
+    ParallelCompressStats stats;
+    auto appended =
+        compress::AppendFiles(*base, new_files, Opts(2, 2), &stats);
+    ASSERT_TRUE(appended.ok()) << appended.status();
+    ASSERT_TRUE(appended->grammar.Validate().ok());
+    const auto full = compress::Compress(all);
+    ASSERT_TRUE(full.ok());
+    ExpectDecodesIdentical(*appended, *full);
+    EXPECT_EQ(appended->num_files(), all.size());
+  }
+}
+
+TEST(AppendFilesTest, AppendToSequentialContainer) {
+  // Appending to a container built by the single-threaded path works the
+  // same way (the merger seeds its dedup index from the existing rules).
+  const std::vector<InputFile> all = TestInputs(13);
+  const std::vector<InputFile> base_files(all.begin(), all.begin() + 30);
+  const std::vector<InputFile> new_files(all.begin() + 30, all.end());
+  auto base = compress::Compress(base_files);
+  ASSERT_TRUE(base.ok());
+  auto appended = compress::AppendFiles(*base, new_files, Opts(1, 1));
+  ASSERT_TRUE(appended.ok()) << appended.status();
+  const auto full = compress::Compress(all);
+  ASSERT_TRUE(full.ok());
+  ExpectDecodesIdentical(*appended, *full);
+}
+
+TEST(AppendFilesTest, EmptyAppendRejected) {
+  auto base = compress::Compress(TestInputs());
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(compress::AppendFiles(*base, {}, Opts(1, 1)).ok());
+}
+
+TEST(WorkerPoolTest, RunsEveryTicketAndDrains) {
+  std::atomic<uint64_t> sum{0};
+  util::WorkerPool::Options opts;
+  opts.workers = 4;
+  util::WorkerPool pool(opts, [&](uint32_t, uint64_t t) {
+    sum.fetch_add(t, std::memory_order_relaxed);
+  });
+  uint64_t want = 0;
+  for (uint64_t t = 1; t <= 100; ++t) {
+    pool.Post(t);
+    want += t;
+  }
+  pool.Drain();
+  EXPECT_EQ(sum.load(), want);
+  EXPECT_GE(pool.counters().max_pending, 1u);
+}
+
+TEST(WorkerPoolTest, TryPostAdmissionControl) {
+  util::WorkerPool::Options opts;
+  opts.workers = 2;
+  opts.start_paused = true;  // decide admission deterministically
+  util::WorkerPool pool(opts, [](uint32_t, uint64_t) {});
+  using Outcome = util::WorkerPool::PostOutcome;
+  EXPECT_EQ(pool.TryPost(0, /*capacity=*/2, /*shed_watermark=*/0, false),
+            Outcome::kQueued);
+  // Sheddable ticket at the watermark is shed; non-sheddable queues.
+  EXPECT_EQ(pool.TryPost(1, 2, /*shed_watermark=*/1, true), Outcome::kShed);
+  EXPECT_EQ(pool.TryPost(2, 2, 1, false), Outcome::kQueued);
+  // Queue at capacity: rejected.
+  EXPECT_EQ(pool.TryPost(3, 2, 0, false), Outcome::kRejected);
+  pool.Start();
+  pool.Drain();
+  EXPECT_EQ(pool.counters().max_pending, 2u);
+}
+
+}  // namespace
+}  // namespace ntadoc

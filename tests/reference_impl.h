@@ -105,12 +105,11 @@ inline AnalyticsOutput ReferenceRun(const CompressedCorpus& corpus,
   return out;
 }
 
-/// Builds a random multi-file corpus for property tests: Zipfian words
+/// Builds random multi-file inputs for property tests: Zipfian words
 /// with occasional repeated phrases so the grammar has real structure.
-inline CompressedCorpus RandomCorpus(uint64_t seed, uint32_t vocab,
-                                     uint32_t files,
-                                     uint32_t tokens_per_file,
-                                     double zipf_theta = 1.0) {
+inline std::vector<compress::InputFile> RandomInputs(
+    uint64_t seed, uint32_t vocab, uint32_t files, uint32_t tokens_per_file,
+    double zipf_theta = 1.0) {
   Rng rng(seed);
   ZipfSampler zipf(vocab, zipf_theta);
   // A small phrase library to create compressible repetition.
@@ -136,7 +135,16 @@ inline CompressedCorpus RandomCorpus(uint64_t seed, uint32_t vocab,
       }
     }
   }
-  auto result = compress::Compress(inputs);
+  return inputs;
+}
+
+/// Compresses RandomInputs into a corpus.
+inline CompressedCorpus RandomCorpus(uint64_t seed, uint32_t vocab,
+                                     uint32_t files,
+                                     uint32_t tokens_per_file,
+                                     double zipf_theta = 1.0) {
+  auto result = compress::Compress(
+      RandomInputs(seed, vocab, files, tokens_per_file, zipf_theta));
   NTADOC_CHECK(result.ok()) << result.status();
   return std::move(result).value();
 }

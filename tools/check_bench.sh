@@ -19,6 +19,14 @@
 #     init sim time is under 60% of the standalone inits (the remainder
 #     is per-task persistence flushing and the sequence gram scan).
 #
+# Chunk-parallel ingest gates (bench_ingest, dataset D at scale 1.0 —
+# container bytes are only deterministic at full scale):
+#   * threads=8 lane makespan (deterministic LPT model over measured
+#     per-chunk compute; raw wall stays ungated per the convention
+#     above) is >=2x better than threads=1;
+#   * the chunked container stays within 5% of the single-threaded size;
+#   * the committed BENCH_pr8.json must satisfy the same two relations.
+#
 # Refresh the baseline after an *intentional* cost-model change with:
 #   tools/check_bench.sh --update
 set -euo pipefail
@@ -113,6 +121,51 @@ grep '^SERVE ' <<<"$SERVE_OUT" | awk '
   }
 ' || { echo "FAIL: serving gates" >&2; exit 1; }
 echo "serving gates OK: N16 >=3x N1 throughput, fault-mix p99 within 2x"
+
+# Chunk-parallel ingest gates (see header). Live run first, then the
+# committed BENCH_pr8.json is held to the same relations so a stale or
+# hand-edited record cannot pass.
+cmake --build "$BUILD_DIR" --target bench_ingest -j >/dev/null
+INGEST_OUT=$("$BUILD_DIR/bench/bench_ingest" --scale=1.0 --datasets=D \
+        --threads-list=1,8 --repeat=1 \
+        --cache-dir="$BUILD_DIR/bench_smoke_cache")
+check_ingest_rows() {
+  awk '
+    {
+      for (i = 1; i <= NF; ++i) {
+        n = split($i, a, "="); if (n == 2) kv[a[1]] = a[2]
+      }
+      bytes[kv["threads"]] = kv["bytes"]
+      lane[kv["threads"]] = kv["lane_makespan_ns"]
+    }
+    END {
+      bad = 0
+      if (!("1" in bytes) || !("8" in bytes)) {
+        print "FAIL: missing ingest rows for threads=1/8"; bad = 1
+      } else {
+        if (20 * bytes["8"] > 21 * bytes["1"]) {
+          printf "FAIL: chunked container >5%% larger: t1 %d, t8 %d\n",
+                 bytes["1"], bytes["8"]; bad = 1
+        }
+        if (lane["1"] + 0 < 2 * lane["8"]) {
+          printf "FAIL: ingest lane makespan <2x: t1 %d, t8 %d\n",
+                 lane["1"], lane["8"]; bad = 1
+        }
+      }
+      exit bad ? 1 : 0
+    }
+  '
+}
+grep '^INGEST ' <<<"$INGEST_OUT" | grep 'dataset=D' | check_ingest_rows ||
+  { echo "FAIL: ingest gates (live run)" >&2; exit 1; }
+if [[ ! -f BENCH_pr8.json ]]; then
+  echo "FAIL: missing BENCH_pr8.json (run tools/run_bench.sh)" >&2
+  exit 1
+fi
+sed -n 's/.*"dataset": "D", "threads": \([0-9]*\).*"bytes": \([0-9]*\).*"lane_makespan_ns": \([0-9]*\).*/threads=\1 bytes=\2 lane_makespan_ns=\3/p' \
+    BENCH_pr8.json | check_ingest_rows ||
+  { echo "FAIL: ingest gates (committed BENCH_pr8.json)" >&2; exit 1; }
+echo "ingest gates OK: t8 lane makespan >=2x t1, container within 5%"
 
 if [[ "$UPDATE" == 1 ]]; then
   printf '%s\n' "$CURRENT" > "$BASELINE"

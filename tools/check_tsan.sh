@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer and runs the full test suite
-# under it (all ctest labels, so the genuinely concurrent serving tests
-# — serving_session_test and the soak-labelled serving_soak_test, which
-# exercise work stealing, the shared decoded-rule cache and the pool
-# repair lock under real interleavings — are in scope by default).
+# under it (all ctest labels, so the genuinely concurrent tests —
+# serving_session_test, the soak-labelled serving_soak_test (work
+# stealing, shared decoded-rule cache, pool repair lock), and
+# parallel_compress_test (chunk-parallel ingest workers racing into
+# pre-sized result slots before the join barrier) — are in scope by
+# default).
 #
 # Usage: tools/check_tsan.sh [ctest args...]
 #   e.g. tools/check_tsan.sh -R serving_soak_test
+#        tools/check_tsan.sh -R parallel_compress_test
 #        tools/check_tsan.sh -L soak
 
 set -euo pipefail

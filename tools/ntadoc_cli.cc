@@ -1,6 +1,7 @@
 // ntadoc — command-line front end for the library.
 //
 //   ntadoc compress  <out.ntdc> <file...>     compress text files
+//                    [--threads=N] [--chunks=N] [--append] [--stats]
 //   ntadoc stats     <in.ntdc>                container statistics
 //   ntadoc extract   <in.ntdc> <file#> [off len]   random access
 //   ntadoc run       <in.ntdc> <task> [--medium=nvm|reram|pcm|ssd|hdd]
@@ -29,7 +30,9 @@
 
 #include "compress/compressor.h"
 #include "compress/format.h"
+#include "compress/parallel_compress.h"
 #include "compress/random_access.h"
+#include "core/container_store.h"
 #include "core/engine.h"
 #include "serve/serving.h"
 #include "util/string_util.h"
@@ -41,7 +44,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  ntadoc compress <out.ntdc> <file...>\n"
+               "  ntadoc compress <out.ntdc> <file...> [--threads=N] "
+               "[--chunks=N] [--append] [--stats]\n"
                "  ntadoc stats    <in.ntdc>\n"
                "  ntadoc extract  <in.ntdc> <file#> [offset count]\n"
                "  ntadoc run      <in.ntdc> <wordcount|sort|termvector|"
@@ -69,36 +73,131 @@ Result<compress::CompressedCorpus> LoadOrFail(const std::string& path) {
   return corpus;
 }
 
-int CmdCompress(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  std::vector<compress::InputFile> files;
-  for (int i = 3; i < argc; ++i) {
-    std::ifstream in(argv[i]);
-    if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", argv[i]);
-      return 1;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-    files.push_back({argv[i], text.str()});
-  }
-  auto corpus = compress::Compress(files);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+// `--append` exercises the full durable path: the existing container is
+// formatted into an emulated-NVM ContainerStore and the new files are
+// merged under epoch-commit durability (so `append_epochs` in --stats
+// counts real log epochs), then the appended container is saved back.
+int CmdCompressAppend(const char* out_path,
+                      const std::vector<compress::InputFile>& files,
+                      const compress::ParallelCompressOptions& popts,
+                      compress::ParallelCompressStats* pstats) {
+  auto base = LoadOrFail(out_path);
+  if (!base.ok()) return 1;
+
+  uint64_t new_bytes = 0;
+  for (const auto& f : files) new_bytes += f.content.size();
+  // Slot sizing: the merged container cannot exceed the old container
+  // plus the raw bytes of the new files (appending never inflates past
+  // verbatim); pad one line-aligned page for headers.
+  const uint64_t slot_bytes =
+      (compress::SerializeCorpus(*base).size() + new_bytes + 8192) & ~63ull;
+  core::ContainerStoreOptions sopts;
+  const uint64_t region = 2 * 64 + sopts.log_bytes + 2 * slot_bytes;
+
+  nvm::DeviceOptions dopts;
+  dopts.capacity = region + 4096;
+  auto device = nvm::NvmDevice::Create(dopts);
+  if (!device.ok()) {
+    std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
     return 1;
   }
-  if (auto s = compress::SaveCorpus(*corpus, argv[2]); !s.ok()) {
+  auto store =
+      core::ContainerStore::Create(device->get(), 0, region, *base, sopts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = store->AppendFiles(files, popts, pstats); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  const auto stats = compress::ComputeStats(corpus->grammar);
-  std::printf("%s: %zu files, %llu tokens -> %llu rules (%llu symbols, "
+  auto merged = store->Load();
+  if (!merged.ok()) {
+    std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = compress::SaveCorpus(*merged, out_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdCompress(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  compress::ParallelCompressOptions popts;
+  popts.threads = 1;  // sequential unless asked; bytes match Compress()
+  bool append = false;
+  bool print_stats = false;
+  std::vector<compress::InputFile> files;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      popts.threads = static_cast<uint32_t>(std::atoi(arg.c_str() + 10));
+      if (popts.threads == 0) return Usage();
+    } else if (arg.rfind("--chunks=", 0) == 0) {
+      popts.chunks = static_cast<uint32_t>(std::atoi(arg.c_str() + 9));
+      if (popts.chunks == 0) return Usage();
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      files.push_back({argv[i], text.str()});
+    }
+  }
+  if (files.empty()) return Usage();
+
+  compress::ParallelCompressStats pstats;
+  if (append) {
+    if (int rc = CmdCompressAppend(argv[2], files, popts, &pstats); rc != 0) {
+      return rc;
+    }
+  } else {
+    auto corpus = compress::ParallelCompress(files, popts, &pstats);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    if (auto s = compress::SaveCorpus(*corpus, argv[2]); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto saved = compress::LoadCorpus(argv[2]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = compress::ComputeStats(saved->grammar);
+  std::printf("%s: %u files, %llu tokens -> %llu rules (%llu symbols, "
               "%.2f:1)\n",
-              argv[2], files.size(),
+              argv[2], saved->num_files(),
               (unsigned long long)stats.expanded_tokens,
               (unsigned long long)stats.num_rules,
               (unsigned long long)stats.total_symbols,
               stats.compression_ratio);
+  if (print_stats) {
+    // Stable key=value lines (consumed by scripts; do not reformat).
+    std::printf("threads=%u\n", pstats.threads);
+    std::printf("chunks=%u\n", pstats.chunks);
+    std::printf("merged_rules=%llu\n",
+                (unsigned long long)pstats.merged_rules);
+    std::printf("deduped_rules=%llu\n",
+                (unsigned long long)pstats.deduped_rules);
+    std::printf("append_epochs=%llu\n",
+                (unsigned long long)pstats.append_epochs);
+  }
   return 0;
 }
 

@@ -4,8 +4,16 @@
 # commit, and RunBatch variants) and the traversal-kernel
 # microbenchmarks.
 #
+# Also produces BENCH_pr8.json from bench_ingest: chunk-parallel ingest
+# throughput (wall + deterministic lane-makespan model), container
+# sizes, init sim time, and the EncodeTokens micro-benchmark. Ingest
+# always runs at scale 1.0 regardless of --scale: the gated container
+# bytes are only deterministic at the full dataset size.
+#
 # Usage: tools/run_bench.sh [--build-dir=build] [--out=BENCH_pr5.json]
 #                           [--scale=0.25] [--repeat=3]
+#                           [--ingest-out=BENCH_pr8.json]
+#                           [--skip-ingest]
 #                           [--prepr-bin=/path/to/old/bench_hotpath]
 #
 # With --prepr-bin= the same driver binary built from the pre-PR tree is
@@ -16,15 +24,19 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 OUT=BENCH_pr5.json
+INGEST_OUT=BENCH_pr8.json
 SCALE=0.25
 REPEAT=3
+SKIP_INGEST=0
 PREPR_BIN=""
 for arg in "$@"; do
   case "$arg" in
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     --out=*) OUT="${arg#*=}" ;;
+    --ingest-out=*) INGEST_OUT="${arg#*=}" ;;
     --scale=*) SCALE="${arg#*=}" ;;
     --repeat=*) REPEAT="${arg#*=}" ;;
+    --skip-ingest) SKIP_INGEST=1 ;;
     --prepr-bin=*) PREPR_BIN="${arg#*=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -79,3 +91,19 @@ fi
   echo '}'
 } > "$OUT"
 echo "wrote $OUT" >&2
+
+if [[ "$SKIP_INGEST" == 0 ]]; then
+  INGEST_BIN="$BUILD_DIR/bench/bench_ingest"
+  if [[ ! -x "$INGEST_BIN" ]]; then
+    echo "building bench_ingest..." >&2
+    cmake --build "$BUILD_DIR" --target bench_ingest -j
+  fi
+  echo "== ingest bench (scale 1.0) ==" >&2
+  # Dataset D (few large documents) is the gated configuration; C rides
+  # along as the small-corpus sanity row. threads=1 is the sequential
+  # baseline (identical bytes to Compress()).
+  "$INGEST_BIN" --scale=1.0 --datasets=C,D --threads-list=1,4,8 \
+                --repeat="$REPEAT" --cache-dir="$CACHE_DIR" \
+                --json="$INGEST_OUT"
+  echo "wrote $INGEST_OUT" >&2
+fi
