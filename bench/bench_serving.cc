@@ -11,6 +11,13 @@
 // tools/check_bench.sh's relational serving gates:
 //   SERVE <workers> <fault_pct> <queries> <qps> <p50_ns> <p99_ns> <makespan_ns>
 //
+// A refresh-under-load scenario rides along: the corpus is hosted in a
+// durable ContainerStore, a 16-worker clean fleet answers two query
+// waves, and between the waves a CorpusRefresher appends new files and
+// cuts the fleet over to the new generation while it keeps serving.
+// The stable record (gated against the same run's no-refresh row):
+//   REFRESH <workers> <queries> <p99_ns> <baseline_p99_ns> <failed> <generations>
+//
 // Extra flags on top of the shared ones (see bench_common.h):
 //   --json=PATH   also emit machine-readable results as JSON
 //   --queries=N   queries per fleet configuration (default 48)
@@ -23,6 +30,9 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "compress/format.h"
+#include "core/container_store.h"
+#include "serve/refresh.h"
 #include "serve/serving.h"
 #include "util/logging.h"
 
@@ -119,9 +129,116 @@ ServeResult RunFleet(const serve::SealedPool& pool, uint32_t workers,
   return r;
 }
 
+struct RefreshResult {
+  uint32_t workers = 0;
+  uint32_t queries = 0;
+  uint64_t p99_sim_ns = 0;           // clean sessions, refresh mid-run
+  uint64_t baseline_p99_sim_ns = 0;  // same run, same fleet, no refresh
+  uint64_t makespan_sim_ns = 0;
+  uint64_t failed = 0;
+  uint64_t generations_published = 0;
+  uint64_t drained_sessions = 0;
+  uint64_t wall_ns = 0;
+};
+
+// Deterministic refresh content: no RNG so repeated runs append the
+// same bytes (the merged container, and hence sim times, reproduce).
+std::vector<compress::InputFile> MakeRefreshFiles() {
+  static const char* kWords[] = {"delta", "epoch", "grain", "ledger",
+                                 "motif", "quill", "raster", "sketch"};
+  std::vector<compress::InputFile> files;
+  for (int f = 0; f < 2; ++f) {
+    std::string text;
+    for (int i = 0; i < 600; ++i) {
+      text += kWords[(i * 7 + f * 3) % 8];
+      text += (i % 12 == 11) ? '\n' : ' ';
+    }
+    files.push_back({"refresh" + std::to_string(f), std::move(text)});
+  }
+  return files;
+}
+
+// Two query waves on a clean 16-worker fleet with a generation cutover
+// between them: wave 1 drains on the old generation while wave 2 is
+// answered from the freshly published one.
+RefreshResult RunRefreshFleet(const DatasetBundle& d,
+                              const serve::SealOptions& base_so,
+                              uint32_t queries, uint64_t baseline_p99) {
+  const auto refresh_files = MakeRefreshFiles();
+  uint64_t new_bytes = 0;
+  for (const auto& f : refresh_files) new_bytes += f.content.size();
+  const uint64_t slot_bytes =
+      (compress::SerializeCorpus(d.corpus).size() + new_bytes + 8192) &
+      ~63ull;
+  core::ContainerStoreOptions csopts;
+  const uint64_t region = 2 * 64 + csopts.log_bytes + 2 * slot_bytes;
+  nvm::DeviceOptions dopts;
+  dopts.capacity = region + 4096;
+  auto device = nvm::NvmDevice::Create(dopts);
+  NTADOC_CHECK(device.ok()) << device.status();
+  auto made =
+      core::ContainerStore::Create(device->get(), 0, region, d.corpus, csopts);
+  NTADOC_CHECK(made.ok()) << made.status();
+  core::ContainerStore store = std::move(*made);
+
+  serve::SealOptions so = base_so;
+  so.engine.container_generation = store.generation();
+  auto sealed = serve::SealPool(&d.corpus, so);
+  NTADOC_CHECK(sealed.ok()) << sealed.status();
+
+  serve::ServingOptions sopts;
+  sopts.workers = 16;
+  sopts.queue_capacity = queries;
+  sopts.work_stealing = false;
+  serve::ServingEngine server(&*sealed, sopts);
+  serve::RefreshOptions ropts;
+  ropts.compress.threads = 1;  // deterministic merged bytes
+  serve::CorpusRefresher refresher(&store, &server, ropts);
+
+  const uint64_t wall0 = WallNowNs();
+  std::vector<uint64_t> tickets;
+  tickets.reserve(queries);
+  const auto submit_wave = [&](uint32_t n) {
+    for (uint32_t i = 0; i < n; ++i) {
+      serve::QueryRequest req;
+      req.task = tadoc::kAllTasks[tickets.size() % tadoc::kAllTasks.size()];
+      auto t = server.Submit(std::move(req));
+      NTADOC_CHECK(t.ok()) << t.status();
+      tickets.push_back(*t);
+    }
+  };
+  submit_wave(queries / 2);
+  NTADOC_CHECK(refresher.Refresh(refresh_files).ok());
+  submit_wave(queries - queries / 2);
+  server.Drain();
+  server.WaitGenerationDrained();
+
+  RefreshResult r;
+  r.workers = sopts.workers;
+  r.queries = queries;
+  r.baseline_p99_sim_ns = baseline_p99;
+  r.wall_ns = WallNowNs() - wall0;
+  std::vector<uint64_t> lat;
+  lat.reserve(tickets.size());
+  for (uint64_t t : tickets) {
+    const serve::QueryResult& q = server.result(t);
+    NTADOC_CHECK(q.status.ok()) << q.status;
+    lat.push_back(q.latency_sim_ns);
+  }
+  std::sort(lat.begin(), lat.end());
+  r.p99_sim_ns = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  r.makespan_sim_ns = server.makespan_sim_ns();
+  const serve::ServingStats st = server.stats();
+  r.failed = st.failed;
+  r.generations_published = st.generations_published;
+  r.drained_sessions = st.drained_sessions;
+  return r;
+}
+
 void EmitJson(const std::string& path, const std::string& dataset,
               double scale, uint32_t queries,
-              const std::vector<ServeResult>& results) {
+              const std::vector<ServeResult>& results,
+              const RefreshResult& refresh) {
   FILE* f = std::fopen(path.c_str(), "w");
   NTADOC_CHECK(f != nullptr) << "cannot open " << path;
   std::fprintf(f, "{\n  \"generated_by\": \"bench_serving\",\n");
@@ -148,7 +265,25 @@ void EmitJson(const std::string& path, const std::string& dataset,
         static_cast<unsigned long long>(r.degraded),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Self-contained refresh record: carries its own same-run baseline so
+  // the committed file can be gated without re-running the bench.
+  std::fprintf(
+      f,
+      "  \"refresh\": {\"workers\": %u, \"queries\": %u, "
+      "\"p99_sim_ns\": %llu, \"baseline_p99_sim_ns\": %llu, "
+      "\"makespan_sim_ns\": %llu, \"failed\": %llu, "
+      "\"generations_published\": %llu, \"drained_sessions\": %llu, "
+      "\"wall_ns\": %llu}\n",
+      refresh.workers, refresh.queries,
+      static_cast<unsigned long long>(refresh.p99_sim_ns),
+      static_cast<unsigned long long>(refresh.baseline_p99_sim_ns),
+      static_cast<unsigned long long>(refresh.makespan_sim_ns),
+      static_cast<unsigned long long>(refresh.failed),
+      static_cast<unsigned long long>(refresh.generations_published),
+      static_cast<unsigned long long>(refresh.drained_sessions),
+      static_cast<unsigned long long>(refresh.wall_ns));
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("JSON written to %s\n", path.c_str());
 }
@@ -204,6 +339,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Refresh under load: same fleet size and query count as the clean
+  // 16-worker row, which doubles as the gate baseline.
+  uint64_t baseline_p99 = 0;
+  for (const ServeResult& r : results) {
+    if (r.workers == 16 && r.fault_pct == 0) baseline_p99 = r.p99_sim_ns;
+  }
+  const RefreshResult refresh = RunRefreshFleet(d, so, queries, baseline_p99);
+  PrintRow({"16+refresh", "0%", std::to_string(refresh.queries), "-",
+            "-", Secs(refresh.p99_sim_ns), Secs(refresh.makespan_sim_ns),
+            std::to_string(refresh.generations_published) + " gen"});
+
   std::printf("\n");
   for (const ServeResult& r : results) {
     std::printf("SERVE %u %u %u %.3f %llu %llu %llu\n", r.workers,
@@ -212,9 +358,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.p99_sim_ns),
                 static_cast<unsigned long long>(r.makespan_sim_ns));
   }
+  std::printf("REFRESH %u %u %llu %llu %llu %llu\n", refresh.workers,
+              refresh.queries,
+              static_cast<unsigned long long>(refresh.p99_sim_ns),
+              static_cast<unsigned long long>(refresh.baseline_p99_sim_ns),
+              static_cast<unsigned long long>(refresh.failed),
+              static_cast<unsigned long long>(refresh.generations_published));
 
   if (!json_path.empty()) {
-    EmitJson(json_path, d.spec.name, config.scale, queries, results);
+    EmitJson(json_path, d.spec.name, config.scale, queries, results,
+             refresh);
   }
   return 0;
 }

@@ -1,0 +1,197 @@
+#include "core/container_store.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ntadoc::core {
+
+namespace {
+
+constexpr uint64_t kStoreMagic = 0x4E54414443535452ull;  // "NTADCSTR"
+constexpr uint64_t kLine = 64;
+
+}  // namespace
+
+ContainerStore::ContainerStore(nvm::NvmDevice* device, uint64_t base)
+    : device_(device), base_(base) {}
+
+Result<ContainerStore> ContainerStore::Create(
+    nvm::NvmDevice* device, uint64_t base, uint64_t size,
+    const compress::CompressedCorpus& corpus,
+    const ContainerStoreOptions& opts) {
+  if (base % kLine != 0 || size % kLine != 0) {
+    return Status::InvalidArgument(
+        "ContainerStore::Create: region must be 64 B aligned");
+  }
+  if (opts.log_bytes % kLine != 0 || opts.log_bytes < 512) {
+    return Status::InvalidArgument(
+        "ContainerStore::Create: log_bytes must be >= 512 and 64 B aligned");
+  }
+  const uint64_t meta_bytes = 2 * kLine;  // header line + descriptor line
+  if (size < meta_bytes + opts.log_bytes + 2 * kLine) {
+    return Status::InvalidArgument(
+        "ContainerStore::Create: region too small for layout");
+  }
+  if (base + size > device->capacity()) {
+    return Status::OutOfRange(
+        "ContainerStore::Create: region exceeds device capacity");
+  }
+
+  ContainerStore store(device, base);
+  Header& h = store.header_;
+  h.magic = kStoreMagic;
+  h.region_size = size;
+  h.log_offset = base + meta_bytes;
+  h.log_bytes = opts.log_bytes;
+  const uint64_t data_offset = h.log_offset + h.log_bytes;
+  h.slot_capacity = ((size - meta_bytes - h.log_bytes) / 2) & ~(kLine - 1);
+  h.slot_offset[0] = data_offset;
+  h.slot_offset[1] = data_offset + h.slot_capacity;
+
+  const std::string bytes = compress::SerializeCorpus(corpus);
+  if (bytes.size() > h.slot_capacity) {
+    return Status::ResourceExhausted(
+        "ContainerStore::Create: container does not fit a slot");
+  }
+
+  // Initial container into slot 0, durable before any metadata names it.
+  device->WriteBytes(h.slot_offset[0], bytes.data(), bytes.size());
+  device->FlushRange(h.slot_offset[0], bytes.size());
+  device->Drain();
+
+  SlotDesc& d = store.desc_;
+  d.active_slot = 0;
+  d.sequence = 1;
+  d.length = bytes.size();
+  device->Write(store.header_offset(), h);
+  device->Write(store.desc_offset(), d);
+  device->FlushRange(store.header_offset(), 2 * kLine);
+  device->Drain();
+
+  NTADOC_ASSIGN_OR_RETURN(
+      nvm::RedoLog log, nvm::RedoLog::Create(device, h.log_offset, h.log_bytes));
+  store.log_.emplace(std::move(log));
+  return store;
+}
+
+Result<ContainerStore> ContainerStore::Open(nvm::NvmDevice* device,
+                                            uint64_t base) {
+  ContainerStore store(device, base);
+  NTADOC_RETURN_IF_ERROR(device->TryReadBytes(base, &store.header_,
+                                              sizeof(store.header_)));
+  const Header& h = store.header_;
+  if (h.magic != kStoreMagic) {
+    return Status::DataLoss("ContainerStore::Open: bad magic");
+  }
+  if (h.log_offset != base + 2 * kLine || h.slot_capacity == 0 ||
+      h.slot_offset[1] + h.slot_capacity > base + h.region_size) {
+    return Status::DataLoss("ContainerStore::Open: corrupt geometry header");
+  }
+
+  // Recover the descriptor flip, if one was committed but its home line
+  // never made it to media: Recover() replays the committed prefix
+  // (including any sealed epoch suffix), flushes homes, and truncates.
+  NTADOC_ASSIGN_OR_RETURN(nvm::RedoLog log,
+                          nvm::RedoLog::Open(device, h.log_offset));
+  NTADOC_RETURN_IF_ERROR(log.Recover().status());
+  store.log_.emplace(std::move(log));
+
+  NTADOC_RETURN_IF_ERROR(
+      device->TryReadBytes(store.desc_offset(), &store.desc_,
+                           sizeof(store.desc_)));
+  const SlotDesc& d = store.desc_;
+  if (d.active_slot > 1 || d.sequence == 0 || d.length > h.slot_capacity) {
+    return Status::DataLoss("ContainerStore::Open: corrupt slot descriptor");
+  }
+  return store;
+}
+
+Result<compress::CompressedCorpus> ContainerStore::Load() {
+  std::string bytes(desc_.length, '\0');
+  NTADOC_RETURN_IF_ERROR(device_->TryReadBytes(
+      header_.slot_offset[desc_.active_slot], bytes.data(), bytes.size()));
+  return compress::DeserializeCorpus(bytes);
+}
+
+Status ContainerStore::CommitDescriptor(const SlotDesc& desc) {
+  // Write-through then epoch-commit: the home line carries the new value
+  // before the commit record seals it, so recovery either replays this
+  // exact value or never sees the epoch at all.
+  device_->Write(desc_offset(), desc);
+  log_->Begin();
+  log_->StageValue(desc_offset(), desc);
+  const std::vector<uint64_t> home_lines = {desc_offset() / kLine};
+  Status s = log_->CommitApplied(home_lines);
+  if (s.code() == StatusCode::kResourceExhausted) {
+    // Group checkpoint: make previously applied homes durable, reclaim
+    // the log, and retry — staged writes survive a failed commit.
+    log_->FlushAppliedHome();
+    log_->Truncate();
+    s = log_->CommitApplied(home_lines);
+  }
+  if (!s.ok()) log_->Abort();
+  return s;
+}
+
+Result<PendingAppend> ContainerStore::StageAppend(
+    const std::vector<compress::InputFile>& new_files,
+    const compress::ParallelCompressOptions& popts,
+    compress::ParallelCompressStats* stats) {
+  NTADOC_ASSIGN_OR_RETURN(compress::CompressedCorpus base, Load());
+  NTADOC_ASSIGN_OR_RETURN(
+      compress::CompressedCorpus merged,
+      compress::AppendFiles(base, new_files, popts, stats));
+
+  const std::string bytes = compress::SerializeCorpus(merged);
+  if (bytes.size() > header_.slot_capacity) {
+    return Status::ResourceExhausted(
+        "ContainerStore::StageAppend: merged container does not fit a slot");
+  }
+
+  // Shadow write: the new container lands in the inactive slot and is
+  // drained durable while the descriptor still names the old slot. A
+  // crash anywhere up to the commit record loses only the append.
+  const uint32_t target = 1 - desc_.active_slot;
+  device_->WriteBytes(header_.slot_offset[target], bytes.data(), bytes.size());
+  device_->FlushRange(header_.slot_offset[target], bytes.size());
+  device_->Drain();
+
+  PendingAppend pending;
+  pending.merged = std::move(merged);
+  pending.length = bytes.size();
+  pending.target_slot = target;
+  pending.sequence = desc_.sequence + 1;
+  return pending;
+}
+
+Status ContainerStore::CommitAppend(const PendingAppend& pending) {
+  if (pending.sequence != desc_.sequence + 1 ||
+      pending.target_slot != 1 - desc_.active_slot) {
+    return Status::InvalidArgument(
+        "ContainerStore::CommitAppend: pending append is stale (staged "
+        "against a different descriptor)");
+  }
+  SlotDesc next = desc_;
+  next.active_slot = pending.target_slot;
+  next.sequence = pending.sequence;
+  next.length = pending.length;
+  NTADOC_RETURN_IF_ERROR(CommitDescriptor(next));
+  desc_ = next;
+  ++append_epochs_;
+  if (refresh_hook_) refresh_hook_(desc_.sequence);
+  return Status::OK();
+}
+
+Status ContainerStore::AppendFiles(
+    const std::vector<compress::InputFile>& new_files,
+    const compress::ParallelCompressOptions& popts,
+    compress::ParallelCompressStats* stats) {
+  NTADOC_ASSIGN_OR_RETURN(PendingAppend pending,
+                          StageAppend(new_files, popts, stats));
+  NTADOC_RETURN_IF_ERROR(CommitAppend(pending));
+  if (stats != nullptr) stats->append_epochs = append_epochs_;
+  return Status::OK();
+}
+
+}  // namespace ntadoc::core

@@ -1982,6 +1982,7 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                sp->persistence_ == options_.persistence &&
                (sp->persistence_ != PersistenceMode::kOperation ||
                 sp->redo_log_bytes_ == options_.redo_log_bytes) &&
+               sp->container_generation_ == options_.container_generation &&
                sp->shared_->pool_base == pool_base) {
       reuse_src = sp->shared_.get();
     }
@@ -3593,6 +3594,7 @@ Result<AnalyticsOutput> NTadocEngine::RunAndCapturePrefix(
   sealed->pruned_ = options_.enable_pruning;
   sealed->persistence_ = options_.persistence;
   sealed->redo_log_bytes_ = options_.redo_log_bytes;
+  sealed->container_generation_ = options_.container_generation;
   sealed->shared_init_sim_ns_ =
       captured->shared_sim_ns +
       (captured->gram_valid ? captured->gram_sim_ns : 0);

@@ -154,6 +154,13 @@ struct NTadocOptions {
   /// engine's corpus/options.
   std::shared_ptr<const SealedPrefix> sealed_prefix;
 
+  /// Generation of the durable container this engine's image was sealed
+  /// from (ContainerStore::generation(); 0 = not container-backed). Part
+  /// of the sealed-prefix reuse key: a prefix captured before an append
+  /// mutated the container can never be served against the post-append
+  /// generation, even though corpus pointer and options may match.
+  uint64_t container_generation = 0;
+
   /// Pool-level repair lock shared by concurrent sessions. Scoped
   /// repair, salvage formatting and attach-path repair serialize on it,
   /// so at most one session rewrites (its private copy of) pool state at
@@ -392,6 +399,9 @@ class SealedPrefix {
   // match it exactly or fall back to a full init.
   PersistenceMode persistence_ = PersistenceMode::kPhase;
   uint64_t redo_log_bytes_ = 0;
+  // Container generation the sealing engine was bound to; a session over
+  // a different generation of the same corpus must not reuse the prefix.
+  uint64_t container_generation_ = 0;
   uint64_t shared_init_sim_ns_ = 0;
   std::unique_ptr<NTadocEngine::BatchShared> shared_;
 };

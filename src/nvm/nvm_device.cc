@@ -28,7 +28,11 @@ NvmDevice::NvmDevice(DeviceOptions options)
       evict_rng_(options.evict_seed),
       data_(options.capacity, 0),
       retry_(options.retry),
-      snapshot_at_drain_(options.snapshot_at_drain) {
+      snapshot_at_drain_(options.snapshot_at_drain),
+      snapshot_drains_begin_(options.snapshot_drains_begin),
+      snapshot_drains_end_(options.snapshot_drains_end),
+      snapshot_region_offset_(options.snapshot_region_offset),
+      snapshot_region_len_(options.snapshot_region_len) {
   if (options.base_image != nullptr && !options.base_image->empty()) {
     // Session-private materialization of the shared sealed image (see
     // DeviceOptions::base_image). Uncharged: the copy models mapping the
@@ -250,6 +254,13 @@ void NvmDevice::Drain() {
   if (snapshot_at_drain_ != 0 && drain_count_ == snapshot_at_drain_) {
     drain_snapshot_ = PersistedSnapshot();
   }
+  if (snapshot_drains_begin_ != 0 && drain_count_ >= snapshot_drains_begin_ &&
+      (snapshot_drains_end_ == 0 || drain_count_ <= snapshot_drains_end_)) {
+    const uint64_t len = snapshot_region_len_ == 0
+                             ? capacity_ - snapshot_region_offset_
+                             : snapshot_region_len_;
+    drain_snapshots_.push_back(PersistedRegion(snapshot_region_offset_, len));
+  }
 }
 
 void NvmDevice::AssertPersisted(uint64_t offset, uint64_t len) {
@@ -307,6 +318,32 @@ void NvmDevice::LoadSnapshot(const std::vector<uint8_t>& image) {
   dirty_lines_.clear();
   if (check_ != nullptr) check_->OnCrash();
   model_.InvalidateBuffer();
+}
+
+void NvmDevice::LoadSnapshotRegion(const std::vector<uint8_t>& image,
+                                   uint64_t offset) {
+  NTADOC_CHECK_LE(offset + image.size(), capacity_)
+      << "region snapshot past device end";
+  std::memset(data_.data(), 0, capacity_);
+  std::memcpy(data_.data() + offset, image.data(), image.size());
+  dirty_lines_.clear();
+  if (check_ != nullptr) check_->OnCrash();
+  model_.InvalidateBuffer();
+}
+
+std::vector<uint8_t> NvmDevice::PersistedRegion(uint64_t offset,
+                                                uint64_t len) const {
+  NTADOC_CHECK_LE(offset + len, capacity_) << "region past device end";
+  std::vector<uint8_t> image(data_.begin() + offset,
+                             data_.begin() + offset + len);
+  for (const auto& [line, pre] : dirty_lines_) {
+    const uint64_t lo = line * kLine;
+    if (lo + kLine <= offset || lo >= offset + len) continue;
+    const uint64_t b = std::max(lo, offset);
+    const uint64_t e = std::min(lo + kLine, offset + len);
+    std::memcpy(image.data() + (b - offset), pre.data() + (b - lo), e - b);
+  }
+  return image;
 }
 
 std::vector<uint8_t> NvmDevice::PersistedSnapshot() const {

@@ -89,6 +89,21 @@ struct DeviceOptions {
   /// to enumerate every drain point of a workload in one pass each.
   uint64_t snapshot_at_drain = 0;
 
+  /// Windowed multi-fence capture: when snapshot_drains_begin is nonzero,
+  /// every Drain() whose 1-based ordinal falls in
+  /// [snapshot_drains_begin, snapshot_drains_end] (end 0 = unbounded)
+  /// appends a persisted image of the snapshot region to
+  /// drain_snapshots(). Unlike snapshot_at_drain (one fence per run),
+  /// this enumerates EVERY fence of an epoch in a single run; bounding
+  /// the region to the structure under test keeps N fences affordable.
+  uint64_t snapshot_drains_begin = 0;
+  uint64_t snapshot_drains_end = 0;
+
+  /// Region captured by the windowed snapshots; len 0 = the whole device
+  /// from `offset`. Only consulted when snapshot_drains_begin != 0.
+  uint64_t snapshot_region_offset = 0;
+  uint64_t snapshot_region_len = 0;
+
   /// Shared immutable base image (sealed-pool serving). When set, the
   /// device starts holding this image (zero-padded to `capacity`) instead
   /// of zeros: N session devices built over one image model N snapshot-
@@ -260,11 +275,32 @@ class NvmDevice {
   /// the Nth drain has not happened yet or the option was unset).
   const std::vector<uint8_t>& drain_snapshot() const { return drain_snapshot_; }
 
+  /// Region images captured by the DeviceOptions::snapshot_drains_begin
+  /// window, one per drain in the window, in drain order. Entry i is the
+  /// persisted state of the snapshot region right after drain number
+  /// snapshot_drains_begin + i.
+  const std::vector<std::vector<uint8_t>>& drain_snapshots() const {
+    return drain_snapshots_;
+  }
+
+  /// Uncharged persisted image of [offset, offset+len): current data with
+  /// every unflushed line overlapping the range rolled back to its
+  /// pre-image. Windowed crash sweeps use this to capture just the
+  /// structure under test at every fence of an epoch in one run.
+  std::vector<uint8_t> PersistedRegion(uint64_t offset, uint64_t len) const;
+
   /// Replaces the media contents with `image` (at most capacity bytes;
   /// any tail is zeroed), as if restarting on a device holding that
   /// persisted image. Clears dirty-line tracking and the checker's
   /// in-flight state, exactly like LoadImage but without touching disk.
   void LoadSnapshot(const std::vector<uint8_t>& image);
+
+  /// Region flavor of LoadSnapshot: zeroes the whole device, then places
+  /// `image` at `offset` — restarting on a device whose only surviving
+  /// content is the captured region (valid whenever the region is
+  /// self-contained, like a ContainerStore region). Clears dirty-line
+  /// tracking and checker state like LoadSnapshot.
+  void LoadSnapshotRegion(const std::vector<uint8_t>& image, uint64_t offset);
 
  private:
   static constexpr uint64_t kLine = 64;
@@ -308,6 +344,11 @@ class NvmDevice {
   uint64_t drain_count_ = 0;
   uint64_t snapshot_at_drain_ = 0;
   std::vector<uint8_t> drain_snapshot_;
+  uint64_t snapshot_drains_begin_ = 0;
+  uint64_t snapshot_drains_end_ = 0;
+  uint64_t snapshot_region_offset_ = 0;
+  uint64_t snapshot_region_len_ = 0;
+  std::vector<std::vector<uint8_t>> drain_snapshots_;
 };
 
 }  // namespace ntadoc::nvm

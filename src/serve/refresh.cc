@@ -1,0 +1,149 @@
+#include "serve/refresh.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ntadoc::serve {
+
+CorpusRefresher::CorpusRefresher(core::ContainerStore* store,
+                                 ServingEngine* server,
+                                 RefreshOptions options)
+    : store_(store), server_(server), options_(std::move(options)) {
+  NTADOC_CHECK(store_ != nullptr);
+  NTADOC_CHECK(server_ != nullptr);
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+}
+
+RefreshStats CorpusRefresher::stats() const {
+  util::MutexLock lock(&mu_);
+  return stats_;
+}
+
+Result<core::PendingAppend> CorpusRefresher::StageWithRetry(
+    const std::vector<compress::InputFile>& new_files) {
+  uint64_t backoff = options_.retry_backoff_sim_ns;
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Writer-side backoff: charged to the store device's clock so a
+      // refresh absorbing faults is visibly slower in simulated time.
+      ++stats_.refresh_retries;
+      store_->device()->clock().Charge(backoff);
+      backoff *= 2;
+    }
+    auto staged = store_->StageAppend(new_files, options_.compress);
+    if (staged.ok()) return staged;
+    last = staged.status();
+    // Only media trouble is worth retrying: the next attempt re-reads
+    // the container and re-stages from scratch, so a healed transient
+    // fault succeeds. Bad input or a full slot never heals.
+    if (last.code() != StatusCode::kDataLoss) break;
+  }
+  return last;
+}
+
+Result<SealedPool> CorpusRefresher::SealGeneration(
+    const compress::CompressedCorpus* corpus, uint64_t gen) {
+  // Inherit the serving configuration of the generation being replaced;
+  // only the identity (and, if the corpus outgrew the device, the
+  // capacity) changes.
+  std::shared_ptr<const SealedPool> current = server_->current_pool();
+  NTADOC_CHECK(current != nullptr);
+  SealOptions so = current->options;
+  so.engine.container_generation = gen;
+  so.capacity = std::max<uint64_t>(so.capacity,
+                                   corpus->grammar.ExpandedLength() * 48);
+  return SealPool(corpus, so);
+}
+
+Status CorpusRefresher::Refresh(
+    const std::vector<compress::InputFile>& new_files) {
+  util::MutexLock lock(&mu_);
+
+  // 1. Stage (durable shadow write, old descriptor still live).
+  auto staged = StageWithRetry(new_files);
+
+  std::shared_ptr<compress::CompressedCorpus> holder;
+  uint64_t gen_id = 0;
+
+  if (staged.ok()) {
+    gen_id = staged->sequence;
+    // 2./3. Seal the replacement generation, then flip the descriptor.
+    // Sealing happens BETWEEN stage and commit: if it fails, the store
+    // has not cut over and the old generation keeps serving.
+    holder = std::make_shared<compress::CompressedCorpus>(
+        std::move(staged->merged));
+    core::PendingAppend pending;
+    pending.length = staged->length;
+    pending.target_slot = staged->target_slot;
+    pending.sequence = staged->sequence;
+
+    auto sealed = SealGeneration(holder.get(), gen_id);
+    if (!sealed.ok()) {
+      ++stats_.refresh_aborts;
+      return sealed.status();
+    }
+
+    uint64_t backoff = options_.retry_backoff_sim_ns;
+    Status commit = Status::OK();
+    for (uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++stats_.refresh_retries;
+        store_->device()->clock().Charge(backoff);
+        backoff *= 2;
+      }
+      commit = store_->CommitAppend(pending);
+      if (commit.ok() || commit.code() != StatusCode::kDataLoss) break;
+    }
+    if (!commit.ok()) {
+      if (!options_.allow_degraded) {
+        // Abort: descriptor untouched, old generation keeps serving;
+        // the staged slot is unreferenced garbage the next stage reuses.
+        ++stats_.refresh_aborts;
+        return commit;
+      }
+      // Escalate to degraded: serve the merged corpus from memory.
+      // Nothing durable changed — a crash recovers the old generation.
+      ++stats_.degraded_refreshes;
+    }
+    server_->PublishGeneration(
+        std::make_shared<const SealedPool>(std::move(*sealed)), gen_id,
+        holder, options_.drain_deadline_sim_ns);
+  } else if (options_.allow_degraded) {
+    // Stage never produced a merged corpus (the container itself was
+    // unreadable after retries). Degraded refresh: merge in memory
+    // against the corpus the fleet is serving right now and publish
+    // without durability.
+    std::shared_ptr<const SealedPool> current = server_->current_pool();
+    NTADOC_CHECK(current != nullptr && current->corpus != nullptr);
+    auto merged =
+        compress::AppendFiles(*current->corpus, new_files, options_.compress);
+    if (!merged.ok()) {
+      ++stats_.refresh_aborts;
+      return merged.status();
+    }
+    holder = std::make_shared<compress::CompressedCorpus>(std::move(*merged));
+    gen_id = server_->current_generation() + 1;
+    auto sealed = SealGeneration(holder.get(), gen_id);
+    if (!sealed.ok()) {
+      ++stats_.refresh_aborts;
+      return sealed.status();
+    }
+    ++stats_.degraded_refreshes;
+    server_->PublishGeneration(
+        std::make_shared<const SealedPool>(std::move(*sealed)), gen_id,
+        holder, options_.drain_deadline_sim_ns);
+  } else {
+    ++stats_.refresh_aborts;
+    return staged.status();
+  }
+
+  ++stats_.generations_published;
+  if (options_.wait_for_drain) server_->WaitGenerationDrained();
+  return Status::OK();
+}
+
+}  // namespace ntadoc::serve

@@ -65,6 +65,19 @@ ServingEngine::ServingEngine(const SealedPool* pool, ServingOptions options)
   for (uint32_t w = 0; w < options_.workers; ++w) {
     lanes_.push_back(nvm::MakeSimClock());
   }
+  {
+    // Generation 0: the construction pool, non-owning (the caller keeps
+    // it alive). Its identity is the container generation the pool was
+    // sealed from (0 when not container-backed).
+    util::MutexLock lock(&mu_);
+    auto g = std::make_unique<Generation>();
+    g->id = pool_->options.engine.container_generation;
+    g->pool = std::shared_ptr<const SealedPool>(
+        std::shared_ptr<const void>(), pool_);
+    g->cancel = std::make_shared<std::atomic<bool>>(false);
+    generations_.push_back(std::move(g));
+    current_gen_ = 0;
+  }
   util::WorkerPool::Options popts;
   popts.workers = options_.workers;
   popts.work_stealing = options_.work_stealing;
@@ -84,6 +97,10 @@ Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
   const uint64_t ticket = results_.size();
   results_.push_back(std::make_unique<QueryResult>());
   requests_.push_back(std::move(request));
+  // Generation pinning happens at admission: whatever is current *now*
+  // is what this session will serve from, even if a refresh publishes a
+  // newer generation before a worker picks the ticket up.
+  ticket_gen_.push_back(current_gen_);
   const util::WorkerPool::PostOutcome outcome = wpool_->TryPost(
       ticket, options_.queue_capacity, options_.shed_watermark,
       requests_[ticket].sheddable);
@@ -92,12 +109,15 @@ Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
       // Fast-reject: no ticket, no session state, the caller backs off.
       results_.pop_back();
       requests_.pop_back();
+      ticket_gen_.pop_back();
       ++stats_.rejected_queue_full;
       return Status::ResourceExhausted("serving queue full");
     case util::WorkerPool::PostOutcome::kShed: {
-      // Load shedding: admitted-and-dropped, never queued.
+      // Load shedding: admitted-and-dropped, never queued (and never
+      // pinned — a shed session holds no generation alive).
       QueryResult& r = *results_[ticket];
       r.status = Status::DeadlineExceeded("shed under load");
+      r.generation = generations_[current_gen_]->id;
       r.shed = true;
       r.done = true;
       ++stats_.shed;
@@ -106,8 +126,74 @@ Result<uint64_t> ServingEngine::Submit(QueryRequest request) {
     case util::WorkerPool::PostOutcome::kQueued:
       break;
   }
+  ++generations_[current_gen_]->pinned;
   ++stats_.accepted;
   return ticket;
+}
+
+void ServingEngine::PublishGeneration(std::shared_ptr<const SealedPool> pool,
+                                      uint64_t id,
+                                      std::shared_ptr<const void> keepalive,
+                                      uint64_t drain_deadline_sim_ns) {
+  NTADOC_CHECK(pool != nullptr && pool->image != nullptr);
+  {
+    util::MutexLock lock(&mu_);
+    Generation* old = generations_[current_gen_].get();
+    old->draining = true;
+    old->drain_deadline_sim_ns = drain_deadline_sim_ns;
+    old->publish_makespan_ns = makespan_sim_ns();
+    if (old->pinned == 0) {
+      // Nothing was in flight: retire the old image immediately.
+      old->pool.reset();
+      old->keepalive.reset();
+    }
+    auto g = std::make_unique<Generation>();
+    g->id = id;
+    g->pool = std::move(pool);
+    g->keepalive = std::move(keepalive);
+    g->cancel = std::make_shared<std::atomic<bool>>(false);
+    generations_.push_back(std::move(g));
+    current_gen_ = static_cast<uint32_t>(generations_.size() - 1);
+    ++stats_.generations_published;
+    EnforceDrainDeadlines();
+  }
+  // Cached decoded rules describe the old generation's payload layout;
+  // a new-generation session must never hit them.
+  if (shared_cache_) shared_cache_->Invalidate();
+  gen_cv_.NotifyAll();
+}
+
+void ServingEngine::WaitGenerationDrained() {
+  util::MutexLock lock(&mu_);
+  gen_cv_.Wait(&mu_, [this]() NTADOC_REQUIRES(mu_) {
+    EnforceDrainDeadlines();
+    for (const auto& g : generations_) {
+      if (g->draining && g->pinned > 0) return false;
+    }
+    return true;
+  });
+}
+
+uint64_t ServingEngine::current_generation() const {
+  util::MutexLock lock(&mu_);
+  return generations_[current_gen_]->id;
+}
+
+std::shared_ptr<const SealedPool> ServingEngine::current_pool() const {
+  util::MutexLock lock(&mu_);
+  return generations_[current_gen_]->pool;
+}
+
+void ServingEngine::EnforceDrainDeadlines() {
+  const uint64_t mk = makespan_sim_ns();
+  for (const auto& g : generations_) {
+    if (g->draining && g->pinned > 0 && g->drain_deadline_sim_ns > 0 &&
+        mk > g->publish_makespan_ns &&
+        mk - g->publish_makespan_ns > g->drain_deadline_sim_ns &&
+        !g->cancel->load(std::memory_order_relaxed)) {
+      g->cancel->store(true, std::memory_order_relaxed);
+    }
+  }
 }
 
 void ServingEngine::Start() { wpool_->Start(); }
@@ -146,24 +232,41 @@ uint64_t ServingEngine::makespan_sim_ns() const {
 }
 
 void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
-  // Snapshot the request under the lock; everything below runs without
-  // it — session construction and the query itself touch only private
-  // state plus the explicitly thread-safe shared pieces.
+  // Snapshot the request and the pinned generation under the lock;
+  // everything below runs without it — session construction and the
+  // query itself touch only private state plus the explicitly
+  // thread-safe shared pieces. The shared_ptr copies keep the pinned
+  // pool (and whatever owns its corpus) alive even if the generation is
+  // retired concurrently — which cannot happen while pinned > 0, but
+  // costs nothing to make structurally impossible.
   QueryRequest req;
+  std::shared_ptr<const SealedPool> pool;
+  std::shared_ptr<const void> keepalive;
+  std::shared_ptr<std::atomic<bool>> cancel;
+  uint64_t gen_id = 0;
   {
     util::MutexLock lock(&mu_);
     req = requests_[ticket];
+    // A queued old-generation session starting after the drain deadline
+    // passed should be cancelled up front, not run to completion.
+    EnforceDrainDeadlines();
+    const Generation& g = *generations_[ticket_gen_[ticket]];
+    pool = g.pool;
+    keepalive = g.keepalive;
+    cancel = g.cancel;
+    gen_id = g.id;
   }
 
   QueryResult local;
   local.worker = w;
+  local.generation = gen_id;
 
   nvm::DeviceOptions dopts;
-  dopts.capacity = pool_->options.capacity;
-  dopts.profile = pool_->options.profile;
-  dopts.strict_persistence = pool_->options.strict_persistence;
+  dopts.capacity = pool->options.capacity;
+  dopts.profile = pool->options.profile;
+  dopts.strict_persistence = pool->options.strict_persistence;
   dopts.clock = lanes_[w];  // persistent per-worker lane
-  dopts.base_image = pool_->image;
+  dopts.base_image = pool->image;
   dopts.fault_plan = req.fault_plan;
   dopts.fault_seed = req.fault_seed;
   auto device = nvm::NvmDevice::Create(dopts);
@@ -174,12 +277,12 @@ void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
     for (const QueryRequest::Poison& p : req.poison) {
       (*device)->PoisonForTesting(p.offset, p.len, p.sticky);
     }
-    core::NTadocOptions eng_opts = pool_->options.engine;
+    core::NTadocOptions eng_opts = pool->options.engine;
     eng_opts.deadline_sim_ns = req.deadline_sim_ns != 0
                                    ? req.deadline_sim_ns
                                    : options_.default_deadline_sim_ns;
-    eng_opts.cancel = &cancel_all_;
-    eng_opts.sealed_prefix = pool_->prefix;
+    eng_opts.cancel = cancel.get();
+    eng_opts.sealed_prefix = pool->prefix;
     eng_opts.repair_lock = repair_lock_;
     if (shared_cache_) {
       eng_opts.shared_cache = shared_cache_;
@@ -188,7 +291,7 @@ void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
     }
     if (req.allow_degraded) eng_opts.allow_degraded = true;
 
-    core::NTadocEngine engine(pool_->corpus, device->get(), eng_opts);
+    core::NTadocEngine engine(pool->corpus, device->get(), eng_opts);
     const uint64_t lane0 = lanes_[w]->NowNanos();
     auto out = engine.Run(req.task, req.opts, &local.metrics);
     local.latency_sim_ns = lanes_[w]->NowNanos() - lane0;
@@ -202,18 +305,34 @@ void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
     local.done = true;
   }
 
-  util::MutexLock lock(&mu_);
-  if (local.status.ok()) {
-    ++stats_.completed;
-    if (local.info.degraded_queries > 0) ++stats_.degraded;
-  } else if (local.status.code() == StatusCode::kDeadlineExceeded) {
-    ++stats_.deadline_expired;
-  } else {
-    ++stats_.failed;
+  {
+    util::MutexLock lock(&mu_);
+    if (local.status.ok()) {
+      ++stats_.completed;
+      if (local.info.degraded_queries > 0) ++stats_.degraded;
+    } else if (local.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_expired;
+    } else {
+      ++stats_.failed;
+    }
+    stats_.scoped_repairs += local.info.scoped_repairs;
+    stats_.salvage_restarts += local.info.salvage_restarts;
+    Generation& g = *generations_[ticket_gen_[ticket]];
+    --g.pinned;
+    if (g.draining) {
+      ++stats_.drained_sessions;
+      if (g.pinned == 0) {
+        // Last straggler gone: release the retired image and corpus.
+        g.pool.reset();
+        g.keepalive.reset();
+      }
+    }
+    // Lane time advanced: stragglers on other draining generations may
+    // now be past their deadline.
+    EnforceDrainDeadlines();
+    *results_[ticket] = std::move(local);
   }
-  stats_.scoped_repairs += local.info.scoped_repairs;
-  stats_.salvage_restarts += local.info.salvage_restarts;
-  *results_[ticket] = std::move(local);
+  gen_cv_.NotifyAll();
 }
 
 }  // namespace ntadoc::serve

@@ -22,6 +22,17 @@
 // a query's latency is the lane delta across its run, and the fleet's
 // makespan is the maximum lane time — queries on different workers
 // overlap, queries on one worker serialize.
+//
+// Generations (DESIGN.md "Generations & online refresh"): the engine
+// serves from a table of sealed pools. Every admitted query is pinned at
+// Submit time to the then-current generation; PublishGeneration installs
+// a new pool as current and marks the old one draining. Draining
+// sessions finish on their own generation (their answers stay
+// bit-identical to a solo run over that pool); once the last one
+// finishes, the retired pool's image is released. A drain deadline
+// (simulated time since publish) escalates to cooperative cancel: late
+// stragglers stop at their next cancellation point with
+// DeadlineExceeded instead of holding the old image alive forever.
 
 #ifndef NTADOC_SERVE_SERVING_H_
 #define NTADOC_SERVE_SERVING_H_
@@ -121,6 +132,7 @@ struct QueryResult {
   core::NTadocRunInfo info;
   uint64_t latency_sim_ns = 0;  // lane delta across the session
   uint32_t worker = 0;
+  uint64_t generation = 0;  // generation the session was pinned to
   bool shed = false;  // dropped by admission control, never ran
   bool done = false;  // set when the session finished (or was shed)
 };
@@ -170,6 +182,10 @@ struct ServingStats {
   uint64_t salvage_restarts = 0;
   uint64_t stolen = 0;             // queries run off a sibling's queue
   uint64_t max_queue_depth = 0;
+
+  // Generational refresh (see PublishGeneration).
+  uint64_t generations_published = 0;  // cutovers served by this engine
+  uint64_t drained_sessions = 0;  // sessions finished on a draining gen
 };
 
 /// Concurrent fault-isolated query server over one SealedPool (see file
@@ -204,6 +220,38 @@ class ServingEngine {
 
   ServingStats stats() const NTADOC_EXCLUDES(mu_);
 
+  /// Installs `pool` as the new current generation with identity `id`
+  /// (typically ContainerStore::generation()). Queries submitted from
+  /// now on pin the new generation; sessions already admitted keep
+  /// serving the old one until they finish (graceful drain). Once the
+  /// old generation's last session finishes, its image is released.
+  /// `keepalive` (optional) owns whatever backs pool->corpus; the engine
+  /// holds it until the generation is fully retired and no newer
+  /// generation replaced it. `drain_deadline_sim_ns` bounds the drain:
+  /// when the fleet makespan advances that far past the publish point,
+  /// still-running old-generation sessions are cooperatively cancelled
+  /// (DeadlineExceeded) at their next cancellation point; 0 waits
+  /// forever. The shared rule cache is invalidated — its entries decode
+  /// the old generation's payload layout.
+  void PublishGeneration(std::shared_ptr<const SealedPool> pool, uint64_t id,
+                         std::shared_ptr<const void> keepalive = nullptr,
+                         uint64_t drain_deadline_sim_ns = 0)
+      NTADOC_EXCLUDES(mu_);
+
+  /// Blocks until every session pinned to a non-current generation has
+  /// finished. Workers must be running (do not call under start_paused
+  /// before Start()).
+  void WaitGenerationDrained() NTADOC_EXCLUDES(mu_);
+
+  /// Identity of the generation new submissions pin.
+  uint64_t current_generation() const NTADOC_EXCLUDES(mu_);
+
+  /// The pool backing the current generation (never null while the
+  /// engine lives). The degraded-refresh path merges against its corpus
+  /// when the durable container is unreadable.
+  std::shared_ptr<const SealedPool> current_pool() const
+      NTADOC_EXCLUDES(mu_);
+
   /// Simulated time accumulated on worker `w`'s lane so far.
   uint64_t worker_lane_ns(uint32_t w) const;
 
@@ -213,7 +261,27 @@ class ServingEngine {
   uint32_t workers() const { return static_cast<uint32_t>(lanes_.size()); }
 
  private:
+  /// One entry of the generation table. The shared_ptr members are set
+  /// before the entry becomes visible and mutated again only at retire
+  /// time (when no session can hold the entry); Execute snapshots them
+  /// under mu_ and uses the copies lock-free.
+  struct Generation {
+    uint64_t id = 0;
+    std::shared_ptr<const SealedPool> pool;
+    std::shared_ptr<const void> keepalive;  // owns pool->corpus backing
+    std::shared_ptr<std::atomic<bool>> cancel;
+    uint64_t pinned = 0;      // admitted-but-unfinished sessions
+    bool draining = false;    // a newer generation replaced this one
+    uint64_t drain_deadline_sim_ns = 0;  // 0 = wait forever
+    uint64_t publish_makespan_ns = 0;    // fleet makespan at publish
+  };
+
   void Execute(uint32_t w, uint64_t ticket) NTADOC_EXCLUDES(mu_);
+
+  /// Escalation: flips the cancel flag of every draining generation
+  /// whose drain deadline (makespan since publish) has passed. Called at
+  /// session start/finish — the points where lane time advances.
+  void EnforceDrainDeadlines() NTADOC_REQUIRES(mu_);
 
   // Immutable after construction; shared with sessions only through
   // thread-safe types (SharedRuleCache locks internally, the repair lock
@@ -231,9 +299,18 @@ class ServingEngine {
   // before done is observed true.
   std::vector<std::unique_ptr<QueryResult>> results_ NTADOC_GUARDED_BY(mu_);
   std::vector<QueryRequest> requests_ NTADOC_GUARDED_BY(mu_);
+  // Generation index each ticket pinned at Submit time (parallel to
+  // results_). Entries are stable: generations_ only grows, and each
+  // Generation lives behind a unique_ptr.
+  std::vector<uint32_t> ticket_gen_ NTADOC_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Generation>> generations_
+      NTADOC_GUARDED_BY(mu_);
+  uint32_t current_gen_ NTADOC_GUARDED_BY(mu_) = 0;
   ServingStats stats_ NTADOC_GUARDED_BY(mu_);
+  // Signalled whenever a session finishes (WaitGenerationDrained waits
+  // on it with mu_).
+  util::CondVar gen_cv_;
 
-  std::atomic<bool> cancel_all_{false};
   // Scheduling (queues, stealing, pause/drain) lives in the shared pool.
   // Lock order: mu_ before the pool's internal lock — Submit calls
   // TryPost with mu_ held; Execute runs with no pool lock held and takes

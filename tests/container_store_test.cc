@@ -205,5 +205,114 @@ TEST(ContainerStoreTest, OpenRejectsUnformattedRegion) {
   EXPECT_FALSE(ContainerStore::Open(device.get(), kBase).ok());
 }
 
+// Device whose slot-0 data region returns transient read errors for the
+// first `fail_count` attempts, then heals. Slot 0 is only *read* by the
+// Load() inside an append (Create writes it, never reads), so the fault
+// lands deterministically in the append path.
+std::unique_ptr<nvm::NvmDevice> MakeTransientSlotDevice(uint32_t fail_count) {
+  const uint64_t slot0 = kBase + 2 * 64 + ContainerStoreOptions{}.log_bytes;
+  nvm::DeviceOptions dopts;
+  dopts.capacity = 16ull << 20;
+  dopts.strict_persistence = true;
+  dopts.persist_check = true;
+  nvm::FaultSpec spec;
+  spec.effect = nvm::FaultEffect::kTransientRead;
+  spec.trigger = nvm::FaultTrigger::kAddressRange;
+  spec.range_begin = slot0;
+  spec.range_end = slot0 + 64;
+  spec.transient_fail_count = fail_count;
+  dopts.fault_plan.faults.push_back(spec);
+  auto device = nvm::NvmDevice::Create(dopts);
+  EXPECT_TRUE(device.ok());
+  return std::move(*device);
+}
+
+// Transient read faults within the retry budget (4 retries after the
+// initial attempt) are absorbed: the append succeeds, the retries are
+// counted, and the backoff is charged to the simulated clock — never
+// silently free.
+TEST(ContainerStoreTest, AppendAbsorbsTransientReadsWithChargedBackoff) {
+  const auto batch_a = tests::RandomInputs(81, 100, 5, 120);
+  auto batch_b = tests::RandomInputs(82, 100, 3, 100);
+  for (size_t i = 0; i < batch_b.size(); ++i) {
+    batch_b[i].name = "t" + std::to_string(i);
+  }
+  ParallelCompressOptions popts;
+  popts.min_chunk_bytes = 1;
+
+  auto run_append = [&](nvm::NvmDevice* device) -> Status {
+    auto store = ContainerStore::Create(device, kBase, kRegion,
+                                        MustCompress(batch_a));
+    EXPECT_TRUE(store.ok()) << store.status();
+    return store->AppendFiles(batch_b, popts);
+  };
+
+  auto clean = MakeDevice();
+  ASSERT_TRUE(run_append(clean.get()).ok());
+  EXPECT_EQ(clean->transient_retry_count(), 0u);
+
+  // Two failed attempts, healed by the third: well inside the budget.
+  auto faulted = MakeTransientSlotDevice(2);
+  ASSERT_TRUE(run_append(faulted.get()).ok());
+  EXPECT_EQ(faulted->transient_retry_count(), 2u);
+  EXPECT_EQ(faulted->media_error_count(), 0u);
+  // Identical workload, so the extra simulated time is exactly the
+  // retry cost (backoff + re-issued reads).
+  EXPECT_GT(faulted->clock().NowNanos(), clean->clock().NowNanos());
+
+  // The appended container is intact despite the turbulence.
+  auto reopened = ContainerStore::Open(faulted.get(), kBase);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->sequence(), 2u);
+  std::vector<InputFile> all = batch_a;
+  all.insert(all.end(), batch_b.begin(), batch_b.end());
+  auto loaded = reopened->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectDecodesIdentical(*loaded, MustCompress(all));
+
+  EXPECT_TRUE(faulted->persist_check()->report().empty())
+      << faulted->persist_check()->report().ToString();
+}
+
+// Retry-budget exhaustion: the append fails with a clean DataLoss and
+// the old slot/descriptor stay live; once the fault heals, a later
+// append over the same store succeeds.
+TEST(ContainerStoreTest, AppendRetryExhaustionKeepsOldSlotLive) {
+  const auto batch_a = tests::RandomInputs(91, 100, 5, 120);
+  auto batch_b = tests::RandomInputs(92, 100, 3, 100);
+  for (size_t i = 0; i < batch_b.size(); ++i) {
+    batch_b[i].name = "x" + std::to_string(i);
+  }
+  ParallelCompressOptions popts;
+  popts.min_chunk_bytes = 1;
+
+  // 7 failing attempts: the first append's read (1 initial + 4 retries)
+  // exhausts its budget and fails; the second append burns the last two
+  // and heals on its third attempt.
+  auto device = MakeTransientSlotDevice(7);
+  auto store = ContainerStore::Create(device.get(), kBase, kRegion,
+                                      MustCompress(batch_a));
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  Status s = store->AppendFiles(batch_b, popts);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s;
+  EXPECT_EQ(device->media_error_count(), 1u);
+  // Old container untouched: descriptor still names slot 0, sequence 1.
+  EXPECT_EQ(store->active_slot(), 0u);
+  EXPECT_EQ(store->sequence(), 1u);
+
+  ASSERT_TRUE(store->AppendFiles(batch_b, popts).ok());
+  EXPECT_EQ(store->sequence(), 2u);
+  EXPECT_EQ(device->transient_retry_count(), 6u);  // 4 + 2 across appends
+  std::vector<InputFile> all = batch_a;
+  all.insert(all.end(), batch_b.begin(), batch_b.end());
+  auto loaded = store->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectDecodesIdentical(*loaded, MustCompress(all));
+
+  EXPECT_TRUE(device->persist_check()->report().empty())
+      << device->persist_check()->report().ToString();
+}
+
 }  // namespace
 }  // namespace ntadoc::core

@@ -504,6 +504,137 @@ TEST(ContainerAppendSweepTest, PreOrPostAppendAtEveryDrainPoint) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Generation-cutover sweep: crash the serve-while-ingest refresh
+// protocol (StageAppend — seal elsewhere — CommitAppend) at every
+// persistence fence of its cutover epoch. The refresher seals the new
+// serving generation on a PRIVATE device between stage and commit, so
+// the store device's fences are exactly the fences of the cutover
+// epoch. Recovery must land on exactly the pre-refresh or post-refresh
+// generation — never a hybrid — with a clean PersistCheck report.
+//
+// Unlike ContainerAppendSweepTest (one full re-run per fence), this
+// sweep uses the windowed region-snapshot capture: ONE instrumented run
+// records the persisted store region at every fence, and each fence is
+// then recovered from its captured image. That is also the memory-bound
+// trick that makes fence enumeration affordable for long epochs.
+// ---------------------------------------------------------------------------
+
+TEST(GenerationCutoverSweepTest, PreOrPostGenerationAtEveryDrainPoint) {
+  const uint64_t kStoreBase = 4096;
+  const uint64_t kStoreRegion = 4ull << 20;
+  const auto batch_a = tests::RandomInputs(993, 60, 5, 90);
+  auto batch_b = tests::RandomInputs(994, 60, 3, 80);
+  for (size_t i = 0; i < batch_b.size(); ++i) {
+    batch_b[i].name = "h" + std::to_string(i);
+  }
+  std::vector<compress::InputFile> all = batch_a;
+  all.insert(all.end(), batch_b.begin(), batch_b.end());
+
+  auto corpus_a = compress::Compress(batch_a);
+  ASSERT_TRUE(corpus_a.ok());
+  auto corpus_all = compress::Compress(all);
+  ASSERT_TRUE(corpus_all.ok());
+  const auto pre_tokens = compress::DecodeToTokens(*corpus_a);
+  const auto post_tokens = compress::DecodeToTokens(*corpus_all);
+
+  compress::ParallelCompressOptions popts;
+  popts.threads = 2;
+  popts.min_chunk_bytes = 1;
+  const auto run_workload = [&](nvm::NvmDevice* dev,
+                                uint64_t* format_drains) {
+    auto store =
+        ContainerStore::Create(dev, kStoreBase, kStoreRegion, *corpus_a);
+    ASSERT_TRUE(store.ok()) << store.status();
+    if (format_drains != nullptr) *format_drains = dev->drain_count();
+    auto pending = store->StageAppend(batch_b, popts);
+    ASSERT_TRUE(pending.ok()) << pending.status();
+    // <- the refresher seals the new generation here, on its own device:
+    //    zero fences on the store device, so nothing to sweep.
+    ASSERT_TRUE(store->CommitAppend(*pending).ok());
+  };
+
+  // Pass 1: clean run — fence count and a quiet checker.
+  uint64_t format_drains = 0;
+  uint64_t total_drains = 0;
+  {
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    run_workload(device->get(), &format_drains);
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << (*device)->persist_check()->report().ToString();
+    total_drains = (*device)->drain_count();
+  }
+  ASSERT_GT(total_drains, format_drains);
+
+  // Pass 2: one instrumented run captures the store region at every
+  // fence of the cutover epoch.
+  nvm::DeviceOptions wopts;
+  wopts.capacity = 64ull << 20;
+  wopts.strict_persistence = true;
+  wopts.persist_check = true;
+  wopts.snapshot_drains_begin = format_drains + 1;
+  wopts.snapshot_region_offset = kStoreBase;
+  wopts.snapshot_region_len = kStoreRegion;
+  auto writer = nvm::NvmDevice::Create(wopts);
+  ASSERT_TRUE(writer.ok());
+  run_workload(writer->get(), nullptr);
+  const auto& fences = (*writer)->drain_snapshots();
+  ASSERT_EQ(fences.size(), total_drains - format_drains);
+
+  // Cross-validate the windowed capture against the single-snapshot
+  // machinery the older sweeps trust: the first fence's region image
+  // must equal the store-region slice of a full snapshot_at_drain run.
+  {
+    auto solo = MakeSweepDevice(format_drains + 1);
+    ASSERT_TRUE(solo.ok());
+    run_workload(solo->get(), nullptr);
+    const auto& full = (*solo)->drain_snapshot();
+    ASSERT_GE(full.size(), kStoreBase + kStoreRegion);
+    EXPECT_EQ(std::memcmp(full.data() + kStoreBase, fences[0].data(),
+                          kStoreRegion),
+              0)
+        << "windowed region capture disagrees with full-device capture";
+  }
+
+  bool saw_pre = false;
+  bool saw_post = false;
+  for (uint64_t k = 0; k < fences.size(); ++k) {
+    const uint64_t fence = format_drains + 1 + k;
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    (*device)->LoadSnapshotRegion(fences[k], kStoreBase);
+    auto store = ContainerStore::Open(device->get(), kStoreBase);
+    ASSERT_TRUE(store.ok())
+        << "open failed from cutover fence " << fence << "/" << total_drains
+        << ": " << store.status();
+    auto loaded = store->Load();
+    ASSERT_TRUE(loaded.ok())
+        << "load failed from cutover fence " << fence << ": "
+        << loaded.status();
+    const auto tokens = compress::DecodeToTokens(*loaded);
+    if (store->generation() == 2) {
+      saw_post = true;
+      EXPECT_EQ(tokens, post_tokens)
+          << "post-cutover generation torn at fence " << fence;
+      EXPECT_EQ(loaded->file_names, corpus_all->file_names);
+    } else {
+      ASSERT_EQ(store->generation(), 1u) << "fence " << fence;
+      saw_pre = true;
+      EXPECT_EQ(tokens, pre_tokens)
+          << "pre-cutover generation torn at fence " << fence;
+      EXPECT_EQ(loaded->file_names, corpus_a->file_names);
+    }
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << "diagnostics recovering from cutover fence " << fence << ":\n"
+        << (*device)->persist_check()->report().ToString();
+  }
+  // The epoch has fences on both sides of the commit record: the sweep
+  // must have exercised both recovery outcomes.
+  EXPECT_TRUE(saw_pre) << "no fence recovered to the old generation";
+  EXPECT_TRUE(saw_post) << "no fence recovered to the new generation";
+}
+
 INSTANTIATE_TEST_SUITE_P(CommitProtocols, RemapCommitSweepTest,
                          ::testing::Bool());
 

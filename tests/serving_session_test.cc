@@ -9,10 +9,14 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "compress/compressor.h"
+#include "core/container_store.h"
 #include "core/engine.h"
 #include "reference_impl.h"
+#include "serve/refresh.h"
 #include "serve/serving.h"
 #include "util/logging.h"
 
@@ -458,6 +462,370 @@ TEST(DegradedAccountingTest, DegradedSessionDoesNotBleedIntoSiblings) {
     EXPECT_EQ(r.info.salvage_restarts, 0u);
   }
   EXPECT_EQ(server.stats().degraded, 1u);
+}
+
+// ---- Generations: prefix keying, pinning, drain, refresh -------------
+
+// Satellite: sealed-prefix reuse is keyed by the container generation. A
+// prefix captured before an append mutated the container must never be
+// served against the post-append generation, even when corpus pointer
+// and every other option match.
+TEST(SealedPrefixTest, ContainerGenerationKeysPrefixReuse) {
+  const auto corpus = RandomCorpus(52, 20, 4, 220);
+  auto so = BaseSealOptions();
+  so.engine.container_generation = 1;
+  auto sealed = SealPool(&corpus, so);
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  const auto run_session = [&](uint64_t generation, tadoc::RunMetrics* m) {
+    nvm::DeviceOptions dopts;
+    dopts.capacity = so.capacity;
+    dopts.base_image = sealed->image;
+    auto device = nvm::NvmDevice::Create(dopts);
+    ASSERT_TRUE(device.ok());
+    NTadocOptions opts = so.engine;
+    opts.container_generation = generation;
+    opts.sealed_prefix = sealed->prefix;
+    NTadocEngine session(&corpus, device->get(), opts);
+    auto got = session.Run(tadoc::Task::kWordCount, {}, m);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, ReferenceRun(corpus, tadoc::Task::kWordCount, {}));
+  };
+
+  tadoc::RunMetrics same;
+  run_session(1, &same);
+  EXPECT_TRUE(same.init_shared);
+
+  // The container moved on (an append bumped the sequence): the stale
+  // prefix is ignored and the session pays a full init, still exact.
+  tadoc::RunMetrics stale;
+  run_session(2, &stale);
+  EXPECT_FALSE(stale.init_shared);
+  EXPECT_EQ(stale.shared_init_sim_ns, 0u);
+}
+
+// Sessions are pinned to the generation current at Submit time: queries
+// admitted before a publish finish on the old pool (and count as
+// drained), queries submitted after land on the new one.
+TEST(GenerationTest, PublishPinsSubmittedSessionsToOldGeneration) {
+  const auto corpus_a = RandomCorpus(53, 20, 4, 220);
+  const auto corpus_b = RandomCorpus(54, 22, 5, 200);
+  auto so = BaseSealOptions();
+  so.engine.container_generation = 1;
+  auto sealed_a = SealPool(&corpus_a, so);
+  ASSERT_TRUE(sealed_a.ok()) << sealed_a.status();
+  auto so_b = BaseSealOptions();
+  so_b.engine.container_generation = 2;
+  auto sealed_b = SealPool(&corpus_b, so_b);
+  ASSERT_TRUE(sealed_b.ok()) << sealed_b.status();
+
+  ServingOptions sopts;
+  sopts.workers = 2;
+  sopts.start_paused = true;  // pin deterministically before anything runs
+  ServingEngine server(&*sealed_a, sopts);
+  EXPECT_EQ(server.current_generation(), 1u);
+
+  std::vector<uint64_t> old_gen;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest req;
+    req.task = tadoc::Task::kWordCount;
+    auto t = server.Submit(std::move(req));
+    ASSERT_TRUE(t.ok());
+    old_gen.push_back(*t);
+  }
+
+  server.PublishGeneration(
+      std::make_shared<const SealedPool>(std::move(*sealed_b)), 2);
+  EXPECT_EQ(server.current_generation(), 2u);
+
+  std::vector<uint64_t> new_gen;
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest req;
+    req.task = tadoc::Task::kWordCount;
+    auto t = server.Submit(std::move(req));
+    ASSERT_TRUE(t.ok());
+    new_gen.push_back(*t);
+  }
+
+  server.Start();
+  server.Drain();
+  server.WaitGenerationDrained();
+
+  const auto expected_a = ReferenceRun(corpus_a, tadoc::Task::kWordCount, {});
+  const auto expected_b = ReferenceRun(corpus_b, tadoc::Task::kWordCount, {});
+  for (uint64_t t : old_gen) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.generation, 1u);
+    // Draining sessions answer from the generation they were admitted
+    // under — bit-identical to a solo run over the old pool.
+    EXPECT_EQ(r.output, expected_a);
+  }
+  for (uint64_t t : new_gen) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.generation, 2u);
+    EXPECT_EQ(r.output, expected_b);
+  }
+  const ServingStats st = server.stats();
+  EXPECT_EQ(st.generations_published, 1u);
+  EXPECT_EQ(st.drained_sessions, 4u);
+  EXPECT_EQ(st.completed, old_gen.size() + new_gen.size());
+  EXPECT_EQ(st.failed, 0u);
+}
+
+// Drain-deadline escalation: stragglers on a retired generation are
+// cooperatively cancelled once the fleet makespan passes the deadline.
+TEST(GenerationTest, DrainDeadlineCancelsStragglers) {
+  const auto corpus_a = RandomCorpus(55, 20, 4, 220);
+  const auto corpus_b = RandomCorpus(56, 20, 4, 200);
+  auto so = BaseSealOptions();
+  so.engine.container_generation = 1;
+  auto sealed_a = SealPool(&corpus_a, so);
+  ASSERT_TRUE(sealed_a.ok()) << sealed_a.status();
+  auto so_b = BaseSealOptions();
+  so_b.engine.container_generation = 2;
+  auto sealed_b = SealPool(&corpus_b, so_b);
+  ASSERT_TRUE(sealed_b.ok()) << sealed_b.status();
+
+  ServingOptions sopts;
+  sopts.workers = 1;  // serialize: the first session finishes, then the
+                      // deadline check cancels the queued stragglers
+  sopts.start_paused = true;
+  ServingEngine server(&*sealed_a, sopts);
+
+  std::vector<uint64_t> old_gen;
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest req;
+    req.task = tadoc::Task::kWordCount;
+    auto t = server.Submit(std::move(req));
+    ASSERT_TRUE(t.ok());
+    old_gen.push_back(*t);
+  }
+  // Deadline of 1 simulated ns: the moment any lane time accumulates,
+  // the old generation is past due.
+  server.PublishGeneration(
+      std::make_shared<const SealedPool>(std::move(*sealed_b)), 2,
+      /*keepalive=*/nullptr, /*drain_deadline_sim_ns=*/1);
+
+  QueryRequest fresh;
+  fresh.task = tadoc::Task::kWordCount;
+  auto nt = server.Submit(std::move(fresh));
+  ASSERT_TRUE(nt.ok());
+
+  server.Start();
+  server.Drain();
+  server.WaitGenerationDrained();
+
+  // First old-generation session ran before any lane time existed and
+  // completed; the queued stragglers were cancelled at their first
+  // cancellation point.
+  EXPECT_TRUE(server.result(old_gen[0]).status.ok())
+      << server.result(old_gen[0]).status;
+  for (size_t i = 1; i < old_gen.size(); ++i) {
+    EXPECT_EQ(server.result(old_gen[i]).status.code(),
+              StatusCode::kDeadlineExceeded)
+        << "straggler " << i << ": " << server.result(old_gen[i]).status;
+  }
+  // The new generation is untouched by the old one's cancellation.
+  EXPECT_TRUE(server.result(*nt).status.ok()) << server.result(*nt).status;
+  EXPECT_EQ(server.result(*nt).generation, 2u);
+  const ServingStats st = server.stats();
+  EXPECT_EQ(st.drained_sessions, 3u);
+  EXPECT_EQ(st.deadline_expired, 2u);
+  EXPECT_EQ(st.generations_published, 1u);
+}
+
+// ---- CorpusRefresher: the full serve-while-ingest cycle --------------
+
+struct RefreshHarness {
+  std::vector<compress::InputFile> batch_a;
+  std::vector<compress::InputFile> batch_b;
+  compress::CompressedCorpus corpus_a;
+  compress::CompressedCorpus corpus_all;
+  std::unique_ptr<nvm::NvmDevice> device;
+  std::unique_ptr<core::ContainerStore> store;
+  std::unique_ptr<SealedPool> pool;
+  std::unique_ptr<ServingEngine> server;
+
+  static constexpr uint64_t kStoreBase = 4096;
+  static constexpr uint64_t kStoreRegion = 4ull << 20;
+
+  // Builds a container-backed serving stack: a durable store holding
+  // corpus_a and a fleet serving a pool sealed from it (generation 1).
+  void Init(uint64_t seed, nvm::FaultPlan store_faults = {}) {
+    batch_a = tests::RandomInputs(seed, 60, 5, 90);
+    batch_b = tests::RandomInputs(seed + 1, 60, 3, 80);
+    for (size_t i = 0; i < batch_b.size(); ++i) {
+      batch_b[i].name = "new" + std::to_string(i);
+    }
+    auto ca = compress::Compress(batch_a);
+    ASSERT_TRUE(ca.ok());
+    corpus_a = std::move(*ca);
+    std::vector<compress::InputFile> all = batch_a;
+    all.insert(all.end(), batch_b.begin(), batch_b.end());
+    auto cb = compress::Compress(all);
+    ASSERT_TRUE(cb.ok());
+    corpus_all = std::move(*cb);
+
+    nvm::DeviceOptions dopts;
+    dopts.capacity = 16ull << 20;
+    dopts.strict_persistence = true;
+    dopts.fault_plan = std::move(store_faults);
+    auto dev = nvm::NvmDevice::Create(dopts);
+    ASSERT_TRUE(dev.ok());
+    device = std::move(*dev);
+    auto st = core::ContainerStore::Create(device.get(), kStoreBase,
+                                           kStoreRegion, corpus_a);
+    ASSERT_TRUE(st.ok()) << st.status();
+    store = std::make_unique<core::ContainerStore>(std::move(*st));
+
+    auto so = BaseSealOptions();
+    so.engine.container_generation = store->generation();
+    auto sealed = SealPool(&corpus_a, so);
+    ASSERT_TRUE(sealed.ok()) << sealed.status();
+    pool = std::make_unique<SealedPool>(std::move(*sealed));
+
+    ServingOptions sopts;
+    sopts.workers = 2;
+    server = std::make_unique<ServingEngine>(pool.get(), sopts);
+  }
+
+  Status RunQuery(const tadoc::AnalyticsOutput& expected,
+                  uint64_t expect_generation) {
+    QueryRequest req;
+    req.task = tadoc::Task::kWordCount;
+    auto t = server->Submit(std::move(req));
+    if (!t.ok()) return t.status();
+    server->Drain();
+    const QueryResult& r = server->result(*t);
+    EXPECT_EQ(r.generation, expect_generation);
+    if (r.status.ok()) {
+      EXPECT_EQ(r.output, expected);
+    }
+    return r.status;
+  }
+};
+
+TEST(RefresherTest, RefreshPublishesDurableGeneration) {
+  RefreshHarness h;
+  h.Init(501);
+  const auto expected_a =
+      ReferenceRun(h.corpus_a, tadoc::Task::kWordCount, {});
+  const auto expected_all =
+      ReferenceRun(h.corpus_all, tadoc::Task::kWordCount, {});
+  ASSERT_TRUE(h.RunQuery(expected_a, 1).ok());
+
+  RefreshOptions ropts;
+  ropts.compress.min_chunk_bytes = 1;
+  ropts.wait_for_drain = true;
+  CorpusRefresher refresher(h.store.get(), h.server.get(), ropts);
+  ASSERT_TRUE(refresher.Refresh(h.batch_b).ok());
+
+  // Durable: the container cut over...
+  EXPECT_EQ(h.store->generation(), 2u);
+  auto reloaded = h.store->Load();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(compress::DecodeToTokens(*reloaded),
+            compress::DecodeToTokens(h.corpus_all));
+  // ...and the fleet serves the new generation.
+  EXPECT_EQ(h.server->current_generation(), 2u);
+  ASSERT_TRUE(h.RunQuery(expected_all, 2).ok());
+
+  const RefreshStats rs = refresher.stats();
+  EXPECT_EQ(rs.generations_published, 1u);
+  EXPECT_EQ(rs.refresh_retries, 0u);
+  EXPECT_EQ(rs.refresh_aborts, 0u);
+  EXPECT_EQ(rs.degraded_refreshes, 0u);
+  EXPECT_EQ(h.server->stats().generations_published, 1u);
+}
+
+TEST(RefresherTest, TransientStageFaultsRetryWithBackoff) {
+  // Slot 0 fails its first 7 read attempts, then heals: the first
+  // StageAppend exhausts the device's 1+4 attempts and fails, the
+  // refresher's second try absorbs the remaining two.
+  nvm::FaultSpec spec;
+  spec.effect = nvm::FaultEffect::kTransientRead;
+  spec.trigger = nvm::FaultTrigger::kAddressRange;
+  spec.range_begin = RefreshHarness::kStoreBase + 2 * 64 +
+                     core::ContainerStoreOptions{}.log_bytes;
+  spec.range_end = spec.range_begin + 64;
+  spec.transient_fail_count = 7;
+  nvm::FaultPlan plan;
+  plan.faults.push_back(spec);
+
+  RefreshHarness h;
+  h.Init(502, plan);
+  const uint64_t clock_before = h.device->clock().NowNanos();
+
+  RefreshOptions ropts;
+  ropts.compress.min_chunk_bytes = 1;
+  CorpusRefresher refresher(h.store.get(), h.server.get(), ropts);
+  ASSERT_TRUE(refresher.Refresh(h.batch_b).ok());
+
+  const RefreshStats rs = refresher.stats();
+  EXPECT_EQ(rs.generations_published, 1u);
+  EXPECT_EQ(rs.refresh_retries, 1u);
+  EXPECT_EQ(rs.refresh_aborts, 0u);
+  // The retry backoff was charged to the store device's clock.
+  EXPECT_GT(h.device->clock().NowNanos(), clock_before);
+  EXPECT_EQ(h.store->generation(), 2u);
+  const auto expected_all =
+      ReferenceRun(h.corpus_all, tadoc::Task::kWordCount, {});
+  ASSERT_TRUE(h.RunQuery(expected_all, 2).ok());
+}
+
+TEST(RefresherTest, ExhaustedRetriesAbortAndKeepOldGeneration) {
+  RefreshHarness h;
+  h.Init(503);
+  // Media dead beyond retry: sticky poison on the active slot.
+  h.device->PoisonForTesting(RefreshHarness::kStoreBase + 2 * 64 +
+                                 core::ContainerStoreOptions{}.log_bytes,
+                             64, /*sticky=*/true);
+
+  RefreshOptions ropts;
+  ropts.compress.min_chunk_bytes = 1;
+  ropts.max_attempts = 2;
+  CorpusRefresher refresher(h.store.get(), h.server.get(), ropts);
+  Status s = refresher.Refresh(h.batch_b);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s;
+
+  const RefreshStats rs = refresher.stats();
+  EXPECT_EQ(rs.refresh_aborts, 1u);
+  EXPECT_EQ(rs.refresh_retries, 1u);
+  EXPECT_EQ(rs.generations_published, 0u);
+  // The fleet never noticed: old generation, exact answers.
+  EXPECT_EQ(h.server->current_generation(), 1u);
+  EXPECT_EQ(h.server->stats().generations_published, 0u);
+  const auto expected_a =
+      ReferenceRun(h.corpus_a, tadoc::Task::kWordCount, {});
+  ASSERT_TRUE(h.RunQuery(expected_a, 1).ok());
+}
+
+TEST(RefresherTest, DegradedRefreshServesFromMemory) {
+  RefreshHarness h;
+  h.Init(504);
+  h.device->PoisonForTesting(RefreshHarness::kStoreBase + 2 * 64 +
+                                 core::ContainerStoreOptions{}.log_bytes,
+                             64, /*sticky=*/true);
+
+  RefreshOptions ropts;
+  ropts.compress.min_chunk_bytes = 1;
+  ropts.max_attempts = 2;
+  ropts.allow_degraded = true;
+  CorpusRefresher refresher(h.store.get(), h.server.get(), ropts);
+  ASSERT_TRUE(refresher.Refresh(h.batch_b).ok());
+
+  const RefreshStats rs = refresher.stats();
+  EXPECT_EQ(rs.degraded_refreshes, 1u);
+  EXPECT_EQ(rs.generations_published, 1u);
+  // Fresh data serves from memory; nothing durable changed, so a crash
+  // would fall back to the old generation.
+  EXPECT_EQ(h.store->generation(), 1u);
+  EXPECT_EQ(h.server->current_generation(), 2u);
+  const auto expected_all =
+      ReferenceRun(h.corpus_all, tadoc::Task::kWordCount, {});
+  ASSERT_TRUE(h.RunQuery(expected_all, 2).ok());
 }
 
 }  // namespace

@@ -12,6 +12,12 @@
 //   C  with deterministic scheduling (round-robin placement, stealing
 //      off, no shared cache) two identical serving runs produce
 //      bit-identical outputs and identical per-lane sim times.
+//   D  refresh under fire: a generation cutover runs while k of N
+//      sessions are faulted mid-flight -> old-generation sessions drain
+//      with answers bit-identical to the pre-refresh corpus, new
+//      sessions serve the merged corpus, faulted sessions resolve
+//      inside their own ladders, and no counters bleed across either
+//      sessions or generations.
 //
 // The whole binary is the TSAN target for the serving layer: work
 // stealing and the shared decoded-rule cache are exercised under real
@@ -21,8 +27,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "compress/compressor.h"
+#include "core/container_store.h"
+#include "serve/refresh.h"
 #include "serve/serving.h"
 #include "reference_impl.h"
 
@@ -290,6 +300,174 @@ TEST(ServingSoakTest, DeterministicModeReproducesLatenciesExactly) {
   run_once(&fp2, &lanes2);
   EXPECT_EQ(fp1, fp2);
   EXPECT_EQ(lanes1, lanes2);
+}
+
+// ---- Scenario D: generation refresh under fire -----------------------
+
+TEST(ServingSoakTest, RefreshUnderFireKeepsSiblingsExact) {
+  const uint64_t seed = ChaosSeed() + 3;
+  auto batch_a = tests::RandomInputs(seed, 60, 5, 90);
+  auto batch_b = tests::RandomInputs(seed + 1, 60, 3, 80);
+  for (size_t i = 0; i < batch_b.size(); ++i) {
+    batch_b[i].name = "new" + std::to_string(i);
+  }
+  auto ca = compress::Compress(batch_a);
+  ASSERT_TRUE(ca.ok());
+  const compress::CompressedCorpus corpus_a = std::move(*ca);
+  std::vector<compress::InputFile> all = batch_a;
+  all.insert(all.end(), batch_b.begin(), batch_b.end());
+  auto cm = compress::Compress(all);
+  ASSERT_TRUE(cm.ok());
+  const compress::CompressedCorpus corpus_all = std::move(*cm);
+
+  // Durable container holding generation 1.
+  nvm::DeviceOptions dopts;
+  dopts.capacity = 16ull << 20;
+  dopts.strict_persistence = true;
+  auto dev = nvm::NvmDevice::Create(dopts);
+  ASSERT_TRUE(dev.ok());
+  auto made = core::ContainerStore::Create(dev->get(), 4096, 4ull << 20,
+                                           corpus_a);
+  ASSERT_TRUE(made.ok()) << made.status();
+  core::ContainerStore store = std::move(*made);
+
+  auto so = BaseSealOptions();
+  so.engine.container_generation = store.generation();
+  const auto [pbegin, pend] = LocatePayload(corpus_a, so);
+  ASSERT_LT(pbegin, pend);
+  const uint64_t bad_block = ((pbegin + pend) / 2) & ~uint64_t{255};
+
+  auto sealed = SealPool(&corpus_a, so);
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  ServingOptions sopts;
+  sopts.workers = 4;
+  sopts.queue_capacity = 64;
+  sopts.work_stealing = true;          // real interleavings for TSAN
+  sopts.shared_cache_bytes = 1 << 20;  // cache invalidation under load
+  ServingEngine server(&*sealed, sopts);
+
+  // Wave 1: k = 3 of N = 12 sessions faulted, admitted on generation 1
+  // while the workers are live.
+  constexpr size_t kN = 12;
+  std::vector<uint64_t> clean1;
+  std::vector<uint64_t> faulted1;
+  for (size_t i = 0; i < kN; ++i) {
+    QueryRequest req;
+    req.task = TaskFor(i);
+    const bool faulted = i % 4 == 3;
+    if (faulted) {
+      switch (i / 4) {
+        case 0: {  // transient read faults: absorbed by device retries
+          nvm::FaultSpec s;
+          s.effect = nvm::FaultEffect::kTransientRead;
+          s.trigger = nvm::FaultTrigger::kNthRead;
+          s.n = 5;
+          s.transient_fail_count = 2;
+          req.fault_plan.faults.push_back(s);
+          break;
+        }
+        case 1:  // repairable poison: scoped repair or salvage
+          req.poison.push_back({bad_block, 1, /*sticky=*/false});
+          break;
+        default:  // sticky poison + degraded opt-in
+          req.poison.push_back({bad_block, 1, /*sticky=*/true});
+          req.allow_degraded = true;
+          break;
+      }
+      auto t = server.Submit(std::move(req));
+      ASSERT_TRUE(t.ok()) << t.status();
+      faulted1.push_back(*t);
+    } else {
+      auto t = server.Submit(std::move(req));
+      ASSERT_TRUE(t.ok()) << t.status();
+      clean1.push_back(*t);
+    }
+  }
+
+  // The cutover runs from this thread while the fleet is mid-wave: the
+  // refresher stages + commits on the store device and publishes the
+  // sealed replacement. Wave-1 sessions stay pinned to generation 1.
+  RefreshOptions ropts;
+  ropts.compress.min_chunk_bytes = 1;
+  CorpusRefresher refresher(&store, &server, ropts);
+  ASSERT_TRUE(refresher.Refresh(batch_b).ok());
+  EXPECT_EQ(store.generation(), 2u);
+  EXPECT_EQ(server.current_generation(), 2u);
+
+  // Wave 2: clean sessions admitted on the new generation.
+  std::vector<uint64_t> clean2;
+  for (size_t i = 0; i < 6; ++i) {
+    QueryRequest req;
+    req.task = TaskFor(i);
+    auto t = server.Submit(std::move(req));
+    ASSERT_TRUE(t.ok()) << t.status();
+    clean2.push_back(*t);
+  }
+  server.Drain();
+  server.WaitGenerationDrained();
+
+  // Wave-1 clean sessions: pinned to generation 1, bit-identical to the
+  // pre-refresh corpus, zero fault counters (no bleed from the faulted
+  // minority or from the cutover).
+  for (uint64_t t : clean1) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.done);
+    ASSERT_TRUE(r.status.ok()) << "ticket " << t << ": " << r.status;
+    EXPECT_EQ(r.generation, 1u) << "ticket " << t;
+    EXPECT_EQ(r.output, ReferenceRun(corpus_a, r.output.task, {}))
+        << "ticket " << t;
+    EXPECT_EQ(r.info.corruption_detected, 0u) << "ticket " << t;
+    EXPECT_EQ(r.info.transient_retries, 0u) << "ticket " << t;
+    EXPECT_EQ(r.info.degraded_queries, 0u) << "ticket " << t;
+    EXPECT_EQ(r.info.completeness, 1.0) << "ticket " << t;
+  }
+
+  // Wave-1 faulted sessions resolve inside their own ladders, still on
+  // generation 1.
+  {
+    const QueryResult& r = server.result(faulted1[0]);  // transient
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.generation, 1u);
+    EXPECT_EQ(r.output, ReferenceRun(corpus_a, r.output.task, {}));
+    EXPECT_GT(r.info.transient_retries, 0u);
+  }
+  {
+    const QueryResult& r = server.result(faulted1[1]);  // repairable
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.generation, 1u);
+    EXPECT_EQ(r.output, ReferenceRun(corpus_a, r.output.task, {}));
+    EXPECT_GT(r.info.scoped_repairs + r.info.salvage_restarts, 0u);
+  }
+  {
+    const QueryResult& r = server.result(faulted1[2]);  // degraded
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.generation, 1u);
+    EXPECT_EQ(r.info.degraded_queries, 1u);
+    EXPECT_LT(r.info.completeness, 1.0);
+  }
+
+  // Wave-2 sessions: the merged corpus, exactly.
+  for (uint64_t t : clean2) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.status.ok()) << "ticket " << t << ": " << r.status;
+    EXPECT_EQ(r.generation, 2u) << "ticket " << t;
+    EXPECT_EQ(r.output, ReferenceRun(corpus_all, r.output.task, {}))
+        << "ticket " << t;
+    EXPECT_EQ(r.info.degraded_queries, 0u) << "ticket " << t;
+  }
+
+  const ServingStats st = server.stats();
+  EXPECT_EQ(st.completed, kN + clean2.size());
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.generations_published, 1u);
+  // Wave-1 sessions that finished before the publish never count as
+  // drained; with live workers that split is scheduling-dependent.
+  EXPECT_LE(st.drained_sessions, kN);
+  EXPECT_EQ(st.degraded, 1u);
+  const RefreshStats rs = refresher.stats();
+  EXPECT_EQ(rs.generations_published, 1u);
+  EXPECT_EQ(rs.refresh_aborts, 0u);
 }
 
 }  // namespace

@@ -27,6 +27,11 @@
 #   * the chunked container stays within 5% of the single-threaded size;
 #   * the committed BENCH_pr8.json must satisfy the same two relations.
 #
+# Refresh-under-load gates (bench_serving's REFRESH row): a generation
+# cutover mid-run keeps clean-session p99 within 1.5x of the same run's
+# no-refresh p99 with zero failed queries; the committed BENCH_pr9.json
+# must satisfy the same relations.
+#
 # Refresh the baseline after an *intentional* cost-model change with:
 #   tools/check_bench.sh --update
 set -euo pipefail
@@ -121,6 +126,40 @@ grep '^SERVE ' <<<"$SERVE_OUT" | awk '
   }
 ' || { echo "FAIL: serving gates" >&2; exit 1; }
 echo "serving gates OK: N16 >=3x N1 throughput, fault-mix p99 within 2x"
+
+# Refresh-under-load gates (relational): a generation cutover mid-run
+# must not blow up clean-session tail latency or fail queries. The
+# REFRESH line is
+#   REFRESH <workers> <queries> <p99_ns> <baseline_p99_ns> <failed> <generations>
+# where baseline_p99 is the same run's clean no-refresh fleet:
+#   * clean-session p99 during refresh <= 1.5x the no-refresh p99;
+#   * zero failed queries across the cutover;
+#   * at least one generation actually published.
+check_refresh_row() {
+  awk '
+    $1 == "REFRESH" {
+      bad = 0
+      if (2 * $4 > 3 * $5) {
+        printf "FAIL: refresh p99 %d exceeds 1.5x no-refresh p99 %d\n", $4, $5
+        bad = 1
+      }
+      if ($6 + 0 != 0) { printf "FAIL: %d queries failed across cutover\n", $6; bad = 1 }
+      if ($7 + 0 < 1) { print "FAIL: no generation published during refresh run"; bad = 1 }
+      exit bad ? 1 : 0
+    }
+    END { if (NR == 0) { print "FAIL: missing REFRESH row"; exit 1 } }
+  '
+}
+grep '^REFRESH ' <<<"$SERVE_OUT" | check_refresh_row ||
+  { echo "FAIL: refresh gates (live run)" >&2; exit 1; }
+if [[ ! -f BENCH_pr9.json ]]; then
+  echo "FAIL: missing BENCH_pr9.json (run tools/run_bench.sh)" >&2
+  exit 1
+fi
+sed -n 's/.*"refresh": {"workers": \([0-9]*\), "queries": \([0-9]*\), "p99_sim_ns": \([0-9]*\), "baseline_p99_sim_ns": \([0-9]*\).*"failed": \([0-9]*\), "generations_published": \([0-9]*\).*/REFRESH \1 \2 \3 \4 \5 \6/p' \
+    BENCH_pr9.json | check_refresh_row ||
+  { echo "FAIL: refresh gates (committed BENCH_pr9.json)" >&2; exit 1; }
+echo "refresh gates OK: cutover p99 within 1.5x, zero failed queries"
 
 # Chunk-parallel ingest gates (see header). Live run first, then the
 # committed BENCH_pr8.json is held to the same relations so a stale or

@@ -2,7 +2,8 @@
 # Builds the tree with ThreadSanitizer and runs the full test suite
 # under it (all ctest labels, so the genuinely concurrent tests —
 # serving_session_test, the soak-labelled serving_soak_test (work
-# stealing, shared decoded-rule cache, pool repair lock), and
+# stealing, shared decoded-rule cache, pool repair lock, and the
+# refresh-under-fire generation cutover racing live worker lanes), and
 # parallel_compress_test (chunk-parallel ingest workers racing into
 # pre-sized result slots before the join barrier) — are in scope by
 # default).

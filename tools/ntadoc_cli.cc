@@ -1,7 +1,8 @@
 // ntadoc — command-line front end for the library.
 //
 //   ntadoc compress  <out.ntdc> <file...>     compress text files
-//                    [--threads=N] [--chunks=N] [--append] [--stats]
+//                    [--threads=N] [--chunks=N] [--append] [--notify]
+//                    [--stats]
 //   ntadoc stats     <in.ntdc>                container statistics
 //   ntadoc extract   <in.ntdc> <file#> [off len]   random access
 //   ntadoc run       <in.ntdc> <task> [--medium=nvm|reram|pcm|ssd|hdd]
@@ -11,7 +12,8 @@
 //                    [--commit-interval=K] [--dram-cache-mb=M] [--stats]
 //   ntadoc serve     <in.ntdc> [--workers=N] [--queries=N]
 //                    [--medium=...] [--persistence=...]
-//                    [--deadline-us=D] [--shared-cache-mb=M] [--stats]
+//                    [--deadline-us=D] [--shared-cache-mb=M]
+//                    [--refresh-every=K] [--stats] [refresh-file...]
 //
 // `run` executes one of the six analytics tasks with N-TADOC on an
 // emulated device and prints the first --limit result rows plus the
@@ -21,7 +23,15 @@
 // `serve` seals the container into an immutable pool once, then answers
 // --queries queries (cycling through all six tasks) on --workers
 // concurrent fault-isolated sessions and prints per-query latency plus
-// aggregate throughput (see DESIGN.md "Session model").
+// aggregate throughput (see DESIGN.md "Session model"). With
+// --refresh-every=K and trailing refresh files, the container is hosted
+// in a durable ContainerStore and every K submitted queries one refresh
+// file is appended and published as a new serving generation while the
+// fleet keeps answering (DESIGN.md "Generations & online refresh").
+//
+// `compress --append --notify` prints `refresh_generation=N` on the
+// line a durable append commits — the hook a co-located serving process
+// uses to trigger a refresh.
 
 #include <cstdio>
 #include <cstring>
@@ -34,6 +44,7 @@
 #include "compress/random_access.h"
 #include "core/container_store.h"
 #include "core/engine.h"
+#include "serve/refresh.h"
 #include "serve/serving.h"
 #include "util/string_util.h"
 
@@ -45,7 +56,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  ntadoc compress <out.ntdc> <file...> [--threads=N] "
-               "[--chunks=N] [--append] [--stats]\n"
+               "[--chunks=N] [--append] [--notify] [--stats]\n"
                "  ntadoc stats    <in.ntdc>\n"
                "  ntadoc extract  <in.ntdc> <file#> [offset count]\n"
                "  ntadoc run      <in.ntdc> <wordcount|sort|termvector|"
@@ -60,7 +71,8 @@ int Usage() {
                "                  [--medium=nvm|reram|pcm|ssd|hdd] "
                "[--persistence=none|phase|operation]\n"
                "                  [--deadline-us=D] [--shared-cache-mb=M] "
-               "[--stats]\n");
+               "[--stats]\n"
+               "                  [--refresh-every=K] [refresh-file...]\n");
   return 2;
 }
 
@@ -80,6 +92,7 @@ Result<compress::CompressedCorpus> LoadOrFail(const std::string& path) {
 int CmdCompressAppend(const char* out_path,
                       const std::vector<compress::InputFile>& files,
                       const compress::ParallelCompressOptions& popts,
+                      bool notify,
                       compress::ParallelCompressStats* pstats) {
   auto base = LoadOrFail(out_path);
   if (!base.ok()) return 1;
@@ -107,6 +120,14 @@ int CmdCompressAppend(const char* out_path,
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
   }
+  if (notify) {
+    // Stable key=value line emitted at the instant the descriptor flip
+    // commits — a serving process tails this to schedule its refresh.
+    store->set_refresh_hook([](uint64_t generation) {
+      std::printf("refresh_generation=%llu\n",
+                  (unsigned long long)generation);
+    });
+  }
   if (auto s = store->AppendFiles(files, popts, pstats); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -128,6 +149,7 @@ int CmdCompress(int argc, char** argv) {
   compress::ParallelCompressOptions popts;
   popts.threads = 1;  // sequential unless asked; bytes match Compress()
   bool append = false;
+  bool notify = false;
   bool print_stats = false;
   std::vector<compress::InputFile> files;
   for (int i = 3; i < argc; ++i) {
@@ -140,6 +162,8 @@ int CmdCompress(int argc, char** argv) {
       if (popts.chunks == 0) return Usage();
     } else if (arg == "--append") {
       append = true;
+    } else if (arg == "--notify") {
+      notify = true;
     } else if (arg == "--stats") {
       print_stats = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -156,10 +180,12 @@ int CmdCompress(int argc, char** argv) {
     }
   }
   if (files.empty()) return Usage();
+  if (notify && !append) return Usage();  // hook fires on durable commit
 
   compress::ParallelCompressStats pstats;
   if (append) {
-    if (int rc = CmdCompressAppend(argv[2], files, popts, &pstats); rc != 0) {
+    if (int rc = CmdCompressAppend(argv[2], files, popts, notify, &pstats);
+        rc != 0) {
       return rc;
     }
   } else {
@@ -466,11 +492,16 @@ int CmdServe(int argc, char** argv) {
   serve::SealOptions seal_opts;
   serve::ServingOptions serving_opts;
   uint32_t queries = 12;
+  uint32_t refresh_every = 0;
   bool show_stats = false;
+  std::vector<compress::InputFile> refresh_files;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stats") {
       show_stats = true;
+    } else if (arg.rfind("--refresh-every=", 0) == 0) {
+      refresh_every = static_cast<uint32_t>(std::stoul(arg.substr(16)));
+      if (refresh_every == 0) return Usage();
     } else if (arg.rfind("--workers=", 0) == 0) {
       serving_opts.workers =
           static_cast<uint32_t>(std::stoul(arg.substr(10)));
@@ -502,9 +533,52 @@ int CmdServe(int argc, char** argv) {
           p == "none"        ? core::PersistenceMode::kNone
           : p == "operation" ? core::PersistenceMode::kOperation
                              : core::PersistenceMode::kPhase;
-    } else {
+    } else if (arg.rfind("--", 0) == 0) {
       return Usage();
+    } else {
+      // Positional arguments after the container are refresh files: new
+      // corpus content to append during serving.
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      refresh_files.push_back({argv[i], text.str()});
     }
+  }
+  if (refresh_every != 0 && refresh_files.empty()) return Usage();
+
+  // With refresh enabled, the corpus lives in a durable ContainerStore
+  // on its own emulated device: the refresher stages and commits there
+  // while the fleet serves sealed generations.
+  std::unique_ptr<nvm::NvmDevice> store_device;
+  std::unique_ptr<core::ContainerStore> store;
+  if (refresh_every != 0) {
+    uint64_t new_bytes = 0;
+    for (const auto& f : refresh_files) new_bytes += f.content.size();
+    const uint64_t slot_bytes =
+        (compress::SerializeCorpus(*corpus).size() + new_bytes + 8192) &
+        ~63ull;
+    core::ContainerStoreOptions csopts;
+    const uint64_t region = 2 * 64 + csopts.log_bytes + 2 * slot_bytes;
+    nvm::DeviceOptions dopts;
+    dopts.capacity = region + 4096;
+    auto device = nvm::NvmDevice::Create(dopts);
+    if (!device.ok()) {
+      std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
+      return 1;
+    }
+    store_device = std::move(*device);
+    auto made = core::ContainerStore::Create(store_device.get(), 0, region,
+                                             *corpus, csopts);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    store = std::make_unique<core::ContainerStore>(std::move(*made));
+    seal_opts.engine.container_generation = store->generation();
   }
 
   seal_opts.capacity = std::max<uint64_t>(
@@ -522,7 +596,16 @@ int CmdServe(int argc, char** argv) {
                WithThousandsSeparators(sealed->image->size()).c_str());
 
   serve::ServingEngine server(&*sealed, serving_opts);
+  std::unique_ptr<serve::CorpusRefresher> refresher;
+  if (store != nullptr) {
+    serve::RefreshOptions ropts;
+    ropts.compress.threads = 1;  // deterministic merged bytes
+    refresher = std::make_unique<serve::CorpusRefresher>(store.get(),
+                                                         &server, ropts);
+  }
+
   std::vector<uint64_t> tickets;
+  size_t next_refresh = 0;
   for (uint32_t i = 0; i < queries; ++i) {
     serve::QueryRequest req;
     req.task = tadoc::kAllTasks[i % tadoc::kAllTasks.size()];
@@ -533,8 +616,22 @@ int CmdServe(int argc, char** argv) {
       continue;
     }
     tickets.push_back(*t);
+    // Every K submitted queries, append the next refresh file and cut
+    // the fleet over to the new generation while it keeps answering.
+    if (refresher != nullptr && (i + 1) % refresh_every == 0 &&
+        next_refresh < refresh_files.size()) {
+      std::vector<compress::InputFile> one{refresh_files[next_refresh++]};
+      if (auto s = refresher->Refresh(one); s.ok()) {
+        std::fprintf(stderr, "[refresh -> generation %llu]\n",
+                     (unsigned long long)server.current_generation());
+      } else {
+        std::fprintf(stderr, "[refresh aborted: %s]\n",
+                     s.ToString().c_str());
+      }
+    }
   }
   server.Drain();
+  server.WaitGenerationDrained();
 
   for (uint64_t t : tickets) {
     const serve::QueryResult& r = server.result(t);
@@ -569,6 +666,15 @@ int CmdServe(int argc, char** argv) {
     kv("salvage_restarts", st.salvage_restarts);
     kv("stolen", st.stolen);
     kv("max_queue_depth", st.max_queue_depth);
+    // Refresh counters are always emitted (0 when no refresh ran) so
+    // scripts can rely on the keys being present.
+    kv("generations_published", st.generations_published);
+    kv("drained_sessions", st.drained_sessions);
+    const serve::RefreshStats rs =
+        refresher != nullptr ? refresher->stats() : serve::RefreshStats{};
+    kv("refresh_retries", rs.refresh_retries);
+    kv("refresh_aborts", rs.refresh_aborts);
+    kv("degraded_refreshes", rs.degraded_refreshes);
   }
   return st.failed == 0 ? 0 : 1;
 }

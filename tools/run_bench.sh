@@ -10,10 +10,16 @@
 # always runs at scale 1.0 regardless of --scale: the gated container
 # bytes are only deterministic at the full dataset size.
 #
+# Also produces BENCH_pr9.json from bench_serving: concurrent-serving
+# throughput/latency plus the refresh-under-load record (generation
+# cutover mid-run; carries its own same-run no-refresh baseline so the
+# committed file is self-contained for check_bench.sh's refresh gate).
+#
 # Usage: tools/run_bench.sh [--build-dir=build] [--out=BENCH_pr5.json]
 #                           [--scale=0.25] [--repeat=3]
 #                           [--ingest-out=BENCH_pr8.json]
-#                           [--skip-ingest]
+#                           [--serving-out=BENCH_pr9.json]
+#                           [--skip-ingest] [--skip-serving]
 #                           [--prepr-bin=/path/to/old/bench_hotpath]
 #
 # With --prepr-bin= the same driver binary built from the pre-PR tree is
@@ -25,18 +31,22 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OUT=BENCH_pr5.json
 INGEST_OUT=BENCH_pr8.json
+SERVING_OUT=BENCH_pr9.json
 SCALE=0.25
 REPEAT=3
 SKIP_INGEST=0
+SKIP_SERVING=0
 PREPR_BIN=""
 for arg in "$@"; do
   case "$arg" in
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     --out=*) OUT="${arg#*=}" ;;
     --ingest-out=*) INGEST_OUT="${arg#*=}" ;;
+    --serving-out=*) SERVING_OUT="${arg#*=}" ;;
     --scale=*) SCALE="${arg#*=}" ;;
     --repeat=*) REPEAT="${arg#*=}" ;;
     --skip-ingest) SKIP_INGEST=1 ;;
+    --skip-serving) SKIP_SERVING=1 ;;
     --prepr-bin=*) PREPR_BIN="${arg#*=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -106,4 +116,18 @@ if [[ "$SKIP_INGEST" == 0 ]]; then
                 --repeat="$REPEAT" --cache-dir="$CACHE_DIR" \
                 --json="$INGEST_OUT"
   echo "wrote $INGEST_OUT" >&2
+fi
+
+if [[ "$SKIP_SERVING" == 0 ]]; then
+  SERVING_BIN="$BUILD_DIR/bench/bench_serving"
+  if [[ ! -x "$SERVING_BIN" ]]; then
+    echo "building bench_serving..." >&2
+    cmake --build "$BUILD_DIR" --target bench_serving -j
+  fi
+  echo "== serving bench (refresh under load) ==" >&2
+  # Fixed small scale: the refresh gate is relational (refresh p99 vs
+  # the same run's clean p99), so absolute scale only affects runtime.
+  "$SERVING_BIN" --scale=0.05 --datasets=C --cache-dir="$CACHE_DIR" \
+                 --json="$SERVING_OUT"
+  echo "wrote $SERVING_OUT" >&2
 fi
