@@ -197,6 +197,40 @@ double GeoMean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+namespace {
+
+// Pool-end planning block: capacities are rounded to whole MiB so the
+// placement region and pool tail land on the same boundaries every
+// bench binary (and the CLI's --device-mb=) produces.
+constexpr uint64_t kPoolPlanBlock = 1ull << 20;
+
+uint64_t RoundUpToPlanBlock(uint64_t bytes) {
+  return (bytes + kPoolPlanBlock - 1) / kPoolPlanBlock * kPoolPlanBlock;
+}
+
+}  // namespace
+
+uint64_t TieredDeviceCapacity(uint64_t base_capacity,
+                              const nvm::TierConfig& config) {
+  return RoundUpToPlanBlock(base_capacity +
+                            nvm::TieredPool::PlacementReserve(config));
+}
+
+std::vector<uint64_t> PlanTierCapacities(uint64_t total_bytes,
+                                        const nvm::TierConfig& config) {
+  std::vector<uint64_t> plan(config.tiers.size(), 0);
+  uint64_t remaining = total_bytes;
+  for (size_t i = 0; i < config.tiers.size(); ++i) {
+    uint64_t want = remaining;
+    if (i + 1 < config.tiers.size() && config.tiers[i].budget_bytes > 0) {
+      want = std::min<uint64_t>(remaining, config.tiers[i].budget_bytes);
+    }
+    plan[i] = RoundUpToPlanBlock(want);
+    remaining -= want;
+  }
+  return plan;
+}
+
 void PrintTitle(const std::string& title, const std::string& paper_ref) {
   std::printf("\n==== %s ====\n", title.c_str());
   std::printf("     (reproduces %s; shapes, not absolute times)\n\n",

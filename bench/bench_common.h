@@ -126,6 +126,22 @@ RunResult RunNaiveNvmTadoc(const CompressedCorpus& corpus, Task task,
 /// Geometric mean of ratios.
 double GeoMean(const std::vector<double>& values);
 
+// ---- tiered capacity planning ----
+
+/// Device capacity for a tiered run: the dataset's planned capacity
+/// grown by the durable placement region the engine carves from the
+/// pool, rounded up to the 1 MiB planning block so the pool end stays
+/// block-aligned (the same rounding untiered capacity planning uses).
+uint64_t TieredDeviceCapacity(uint64_t base_capacity,
+                              const nvm::TierConfig& config);
+
+/// Per-tier capacity plan over `total_bytes` of pool-resident data:
+/// capped tiers get their budget, the final (slowest) tier absorbs the
+/// remainder, and every tier's plan is rounded up to the 1 MiB planning
+/// block. Bench reporting only — the engine enforces raw budgets.
+std::vector<uint64_t> PlanTierCapacities(uint64_t total_bytes,
+                                         const nvm::TierConfig& config);
+
 // ---- table printing ----
 
 /// Prints "== <title> ==" with the reproduction context line.

@@ -828,6 +828,11 @@ struct NTadocEngine::SessionContext {
   // without paying it (RunBatch reuse / sealed prefix).
   uint64_t shared_init_sim_ns = 0;
   bool init_shared = false;
+
+  // Tiered placement (options.tiering != nullptr). Owned by the session
+  // so heat and placement survive across Runs on one engine; attached to
+  // the device as its charge router for the engine's lifetime.
+  std::unique_ptr<nvm::TieredPool> tiered;
 };
 
 DecodedPayload NTadocEngine::ReadPayloadCached(State* st, bool segment,
@@ -1157,6 +1162,77 @@ void RegisterPoolOwners(nvm::NvmPool* pool, const StateT& st,
   pool->RegisterOwner(st.integrity_off, 64, "integrity");
 }
 
+/// Tier-placement sibling of RegisterPoolOwners: registers the same
+/// structure extents with the session TieredPool, mapped onto placement
+/// classes. Must stay in lockstep with RegisterPoolOwners — an extent
+/// only one of them knows about either escapes repair or escapes
+/// placement.
+template <typename StateT>
+void RegisterTierExtents(nvm::TieredPool* tiered, const StateT& st,
+                         uint64_t catalog_off) {
+  using nvm::TierClass;
+  tiered->ResetExtents();
+  const uint32_t nr = st.dag.num_rules;
+  const uint32_t nf = st.dag.num_files;
+  tiered->RegisterExtent(catalog_off, sizeof(Catalog), TierClass::kMeta);
+  tiered->RegisterExtent(st.dag.rule_meta.offset(), nr * sizeof(RuleMeta),
+                         TierClass::kMeta);
+  tiered->RegisterExtent(st.dag.seg_meta.offset(), nf * sizeof(SegmentMeta),
+                         TierClass::kMeta);
+  if (st.dag.payload_end > st.dag.payload_begin) {
+    tiered->RegisterExtent(st.dag.payload_begin,
+                           st.dag.payload_end - st.dag.payload_begin,
+                           TierClass::kPayload);
+  }
+  if (st.use_local_grams) {
+    tiered->RegisterExtent(st.local_gram_meta.offset(), nr * sizeof(GramMeta),
+                           TierClass::kMeta);
+    tiered->RegisterExtent(st.seg_gram_meta.offset(), nf * sizeof(GramMeta),
+                           TierClass::kMeta);
+  }
+  if (st.gram_end > st.gram_begin) {
+    tiered->RegisterExtent(st.gram_begin, st.gram_end - st.gram_begin,
+                           TierClass::kGramPayload);
+  }
+  if (st.use_queue) {
+    tiered->RegisterExtent(st.queue.offset(), nr * sizeof(uint32_t),
+                           TierClass::kQueue);
+    tiered->RegisterExtent(st.indeg.offset(), nr * sizeof(uint32_t),
+                           TierClass::kQueue);
+  }
+  auto reg_table = [tiered](const auto& t, uint64_t key_size,
+                            uint64_t val_size) {
+    tiered->RegisterExtent(t.status_offset(), t.capacity(),
+                           TierClass::kTable);
+    tiered->RegisterExtent(t.keys_offset(), t.capacity() * key_size,
+                           TierClass::kTable);
+    tiered->RegisterExtent(t.values_offset(), t.capacity() * val_size,
+                           TierClass::kTable);
+  };
+  if (st.use_word_table) {
+    reg_table(st.word_table, sizeof(uint32_t), sizeof(uint64_t));
+  }
+  if (st.use_gram_table) {
+    reg_table(st.gram_table, sizeof(NgramKey), sizeof(uint64_t));
+  }
+  if (st.use_file_table) {
+    reg_table(st.file_table, sizeof(uint32_t), sizeof(uint64_t));
+  }
+  if (st.use_file_gram_table) {
+    reg_table(st.file_gram_table, sizeof(NgramKey), sizeof(uint64_t));
+  }
+  if (st.use_word_lists) {
+    tiered->RegisterExtent(st.word_list_meta.offset(), nr * sizeof(ListMeta),
+                           TierClass::kMeta);
+  }
+  if (st.use_gram_lists) {
+    tiered->RegisterExtent(st.gram_list_meta.offset(), nr * sizeof(ListMeta),
+                           TierClass::kMeta);
+  }
+  tiered->RegisterExtent(st.cursor_off, 64, TierClass::kCursor);
+  tiered->RegisterExtent(st.integrity_off, 64, TierClass::kCursor);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1173,7 +1249,14 @@ NTadocEngine::NTadocEngine(const CompressedCorpus* corpus,
   NTADOC_CHECK(device != nullptr);
 }
 
-NTadocEngine::~NTadocEngine() = default;
+NTadocEngine::~NTadocEngine() {
+  // The device outlives this engine (tests and serving reuse it across
+  // engines); never leave it routing charges through a dead TieredPool.
+  if (ses_ != nullptr && ses_->tiered != nullptr &&
+      device_->tier_router() == ses_->tiered.get()) {
+    device_->set_tier_router(nullptr);
+  }
+}
 
 const NTadocRunInfo& NTadocEngine::run_info() const { return ses_->run_info; }
 
@@ -1192,6 +1275,33 @@ Status NTadocEngine::CheckSessionLimits() const {
 void NTadocEngine::InvalidateRuleCaches() {
   if (ses_->rule_cache) ses_->rule_cache->Clear();
   if (options_.shared_cache) options_.shared_cache->Invalidate();
+}
+
+Status NTadocEngine::SetupTiering(State* st, uint64_t catalog_off,
+                                  bool fresh) {
+  nvm::TieredPool* tiered = ses_->tiered.get();
+  if (tiered == nullptr) return Status::OK();
+  // Fresh inits (including salvage restarts) reformat the placement
+  // region: its committed entries describe a pool layout that no longer
+  // exists. Attach loads the committed prefix instead, so a recovered
+  // run resumes with every persistent-tier placement intact.
+  NTADOC_RETURN_IF_ERROR(tiered->InitRegion(fresh));
+  RegisterTierExtents(tiered, *st, catalog_off);
+  return tiered->ApplyInitialPlacement();
+}
+
+Status NTadocEngine::MaybeMigrate(State* st) {
+  nvm::TieredPool* tiered = ses_->tiered.get();
+  if (tiered == nullptr) return Status::OK();
+  NTADOC_RETURN_IF_ERROR(tiered->MaybeMigrate(st->tx_log()));
+  if (tiered->TakePayloadDemotion()) {
+    // Demoted payload units invalidate the decoded-rule caches: their
+    // admission decisions were priced against the faster tier. mu_ is
+    // not held here (lock order: repair/cache locks never nest inside
+    // the migration mutex).
+    InvalidateRuleCaches();
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -1960,9 +2070,28 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
                          ? options_.redo_log_bytes
                          : 0);
   // Persistent runs reserve the device tail for the metadata mirror.
-  const uint64_t pool_size =
+  uint64_t pool_size =
       device_->capacity() - pool_base -
       (options_.persistence != PersistenceMode::kNone ? kMirrorRegion : 0);
+  if (options_.tiering != nullptr) {
+    // Tiered runs additionally reserve the durable placement region
+    // between the pool end and the mirror. The reserve is deterministic
+    // from options, so an attach recomputes the identical layout.
+    const uint64_t reserve =
+        nvm::TieredPool::PlacementReserve(*options_.tiering);
+    if (pool_size <= 2 * reserve) {
+      return Status::InvalidArgument(
+          "device too small for a tiered placement region");
+    }
+    pool_size -= reserve;
+    if (ses_->tiered == nullptr) {
+      NTADOC_ASSIGN_OR_RETURN(
+          ses_->tiered,
+          nvm::TieredPool::Make(device_, pool_base + pool_size, reserve,
+                                *options_.tiering));
+      device_->set_tier_router(ses_->tiered.get());
+    }
+  }
 
   // Shared init prefix, if one applies: a RunBatch-local prefix from an
   // earlier task of this batch takes priority; otherwise a SealedPrefix
@@ -1997,7 +2126,11 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
   // image's init half, and per-task structures are reallocated anyway.
   if (!force_fresh && reuse_src == nullptr) {
     NTADOC_ASSIGN_OR_RETURN(const bool attached, TryAttach(st, pool_base));
-    if (attached) return Status::OK();
+    if (attached) {
+      NTADOC_RETURN_IF_ERROR(
+          SetupTiering(st, pool_base + 64, /*fresh=*/false));
+      return Status::OK();
+    }
   }
 
   // ---- Fresh initialization ----
@@ -2556,6 +2689,8 @@ Status NTadocEngine::InitPhase(Task task, const AnalyticsOptions& opts,
     device_->Write(integrity_off, ii);
   }
 
+  NTADOC_RETURN_IF_ERROR(SetupTiering(st, catalog_off, /*fresh=*/true));
+
   // Never commit an init phase built from poisoned reads.
   NTADOC_RETURN_IF_ERROR(CheckMediaErrors());
 
@@ -2689,6 +2824,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
       writer.Begin();
       StageCursor(&writer, st->cursor_off, 1, 0, 0);
       NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+      NTADOC_RETURN_IF_ERROR(MaybeMigrate(st));
     }
   } else if (cur.stage == 1) {
     seg_start = cur.a;
@@ -2816,6 +2952,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
     NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    NTADOC_RETURN_IF_ERROR(MaybeMigrate(st));
   }
 
   // Stage 2: Kahn queue over the pruned DAG.
@@ -2842,6 +2979,7 @@ Result<AnalyticsOutput> NTadocEngine::TopDownGlobal(
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
     NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    NTADOC_RETURN_IF_ERROR(MaybeMigrate(st));
   }
 
   // Results.
@@ -3101,6 +3239,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
       writer.Begin();
       StageCursor(&writer, st->cursor_off, 1, 0, 0);
       NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+      NTADOC_RETURN_IF_ERROR(MaybeMigrate(st));
     }
   }
 
@@ -3174,6 +3313,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
     NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    NTADOC_RETURN_IF_ERROR(MaybeMigrate(st));
   }
 
   // ---- Stage 2: per-file aggregation from the root's segments ----
@@ -3300,6 +3440,7 @@ Result<AnalyticsOutput> NTadocEngine::BottomUp(Task task,
     NTADOC_RETURN_IF_ERROR(MaybeInjectCrash(st));
     NTADOC_RETURN_IF_ERROR(CheckSessionLimits());
     NTADOC_RETURN_IF_ERROR(CommitWithCheckpoint(device_, st, &writer));
+    NTADOC_RETURN_IF_ERROR(MaybeMigrate(st));
   }
 
   // ---- Results ----
@@ -3390,6 +3531,10 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
   ses_->degraded = false;
   ses_->degraded_events = 0;
   const uint64_t transient0 = device_->transient_retry_count();
+  // The tiered pool may not exist yet at Run() entry (it is created inside
+  // InitPhase on the first Run); a null pool contributes zero baselines.
+  nvm::TierCounters tier0;
+  if (ses_->tiered != nullptr) tier0 = ses_->tiered->counters();
   bool force_fresh = false;
   uint32_t salvage_attempts = 0;
   uint32_t scoped_attempts = 0;
@@ -3398,6 +3543,14 @@ Result<AnalyticsOutput> NTadocEngine::Run(Task task,
   auto finish_info = [&] {
     ses_->run_info.transient_retries =
         device_->transient_retry_count() - transient0;
+    if (ses_->tiered != nullptr) {
+      const nvm::TierCounters tc = ses_->tiered->counters();
+      ses_->run_info.promotions = tc.promotions - tier0.promotions;
+      ses_->run_info.demotions = tc.demotions - tier0.demotions;
+      ses_->run_info.migration_epochs =
+          tc.migration_epochs - tier0.migration_epochs;
+      ses_->run_info.tier_resident_bytes = tc.resident_bytes;
+    }
     if (ses_->degraded && ses_->degraded_events > 0) {
       ses_->run_info.degraded_queries = 1;
       const uint64_t steps = ses_->run_info.traversal_steps;

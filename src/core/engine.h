@@ -23,6 +23,7 @@
 #ifndef NTADOC_CORE_ENGINE_H_
 #define NTADOC_CORE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -38,6 +39,7 @@
 #include "nvm/nvm_device.h"
 #include "nvm/nvm_pool.h"
 #include "nvm/obj_log.h"
+#include "nvm/tiered_pool.h"
 #include "nvm/pmem.h"
 #include "tadoc/analytics.h"
 #include "tadoc/engine.h"
@@ -169,6 +171,17 @@ struct NTadocOptions {
   /// (repair paths invalidate the cache while holding it; lookups never
   /// take the repair lock), so the pair cannot deadlock.
   std::shared_ptr<util::Mutex> repair_lock;
+
+  // ---- Tiered placement (src/nvm/tiered_pool.h) ----
+
+  /// Multi-tier placement configuration. When set, the engine reserves
+  /// a placement region at the pool end, registers every structure
+  /// class with a session TieredPool, routes all device charges through
+  /// the resident tier's cost model, and (when config->migrate) runs an
+  /// online migration tick every config->migrate_interval traversal
+  /// steps. Null (the default) leaves the device charging exactly as
+  /// before — the hot path pays one null check.
+  std::shared_ptr<const nvm::TierConfig> tiering;
 };
 
 /// Aggregate accounting of one run, beyond RunMetrics.
@@ -201,6 +214,14 @@ struct NTadocRunInfo {
   uint64_t coalesced_records = 0;   // log records saved by write merging
   uint64_t coalesced_flush_lines = 0;  // duplicate line flushes avoided
   uint64_t batch_init_reuses = 0;   // RunBatch tasks that skipped init work
+
+  // Tiered placement (options.tiering != nullptr).
+  uint64_t promotions = 0;        // units moved to a faster tier
+  uint64_t demotions = 0;         // units moved to a slower tier
+  uint64_t migration_epochs = 0;  // migration ticks that committed moves
+  /// Registered bytes resident per medium (MediumKind order:
+  /// dram, nvm, ssd, hdd) at the end of the run.
+  std::array<uint64_t, 4> tier_resident_bytes{};
 };
 
 /// The N-TADOC engine. One engine instance owns the layout of one device
@@ -326,6 +347,16 @@ class NTadocEngine {
   // Drops decoded-rule cache entries (private and shared) after a
   // repair/salvage rewrote pool payloads under the cached offsets.
   void InvalidateRuleCaches();
+
+  // Tiered placement (options_.tiering != nullptr; no-ops otherwise).
+  // SetupTiering runs at the end of every init (fresh or attach):
+  // formats/loads the placement region, registers the run's structure
+  // extents with the session TieredPool, and applies initial placement.
+  Status SetupTiering(State* st, uint64_t catalog_off, bool fresh);
+  // Per-traversal-step migration hook, called after each step's commit
+  // point; invalidates decoded-rule caches when a payload unit was
+  // demoted (their admission costs were measured against the old tier).
+  Status MaybeMigrate(State* st);
 
   // Decoded-payload reads routed through the DRAM cache when enabled
   // (straight device reads otherwise). `segment` selects segment vs rule.

@@ -3,9 +3,57 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "nvm/tiered_pool.h"
 #include "util/logging.h"
 
 namespace ntadoc::nvm {
+
+void NvmDevice::ChargeRead(uint64_t offset, uint64_t len) {
+  if (tier_router_ == nullptr) {
+    model_.TouchRead(offset, len);
+  } else {
+    tier_router_->TouchRead(offset, len);
+  }
+}
+
+void NvmDevice::ChargeReadExtent(uint64_t offset, uint64_t len,
+                                 uint64_t quantum) {
+  if (tier_router_ == nullptr) {
+    model_.TouchReadExtent(offset, len, quantum);
+  } else {
+    tier_router_->TouchReadExtent(offset, len, quantum);
+  }
+}
+
+void NvmDevice::ChargeWriteExtent(uint64_t offset, uint64_t len,
+                                  uint64_t quantum) {
+  if (tier_router_ == nullptr) {
+    model_.TouchWriteExtent(offset, len, quantum);
+  } else {
+    tier_router_->TouchWriteExtent(offset, len, quantum);
+  }
+}
+
+void NvmDevice::ChargeFlushCost(uint64_t offset, uint64_t len) {
+  if (tier_router_ == nullptr) {
+    model_.ChargeFlush(len);
+  } else {
+    tier_router_->ChargeFlush(offset, len);
+  }
+}
+
+void NvmDevice::ChargeDrainCost() {
+  if (tier_router_ == nullptr) {
+    model_.ChargeDrain();
+  } else {
+    tier_router_->ChargeDrain();
+  }
+}
+
+void NvmDevice::InvalidateAllBuffers() {
+  model_.InvalidateBuffer();
+  if (tier_router_ != nullptr) tier_router_->InvalidateBuffers();
+}
 
 Result<std::unique_ptr<NvmDevice>> NvmDevice::Create(DeviceOptions options) {
   if (options.capacity == 0) {
@@ -59,7 +107,7 @@ NvmDevice::NvmDevice(DeviceOptions options)
 void NvmDevice::ReadBytes(uint64_t offset, void* dst, uint64_t len) {
   if (len == 0) return;  // guards the offset+len-1 line math below layers
   NTADOC_DCHECK_LE(offset + len, capacity_);
-  model_.TouchRead(offset, len);
+  ChargeRead(offset, len);
   if (read_slow_) {
     if (check_ != nullptr) check_->OnRead(offset, len);
     if (injector_ != nullptr) {
@@ -93,9 +141,9 @@ FaultInjector::ReadFault NvmDevice::RetryRead(uint64_t offset, uint64_t len,
     backoff *= 2;
     // The controller re-issues the read; charge it like the original.
     if (extent) {
-      model_.TouchReadExtent(offset, len, quantum);
+      ChargeReadExtent(offset, len, quantum);
     } else {
-      model_.TouchRead(offset, len);
+      ChargeRead(offset, len);
     }
     f = injector_->OnRetryRead(offset, len);
   }
@@ -116,7 +164,7 @@ Result<const uint8_t*> NvmDevice::TryReadSpan(uint64_t offset, uint64_t len,
                                               uint64_t quantum) {
   NTADOC_DCHECK_LE(offset + len, capacity_);
   if (len == 0) return static_cast<const uint8_t*>(data_.data() + offset);
-  model_.TouchReadExtent(offset, len, quantum);
+  ChargeReadExtent(offset, len, quantum);
   if (read_slow_) {
     if (check_ != nullptr) check_->OnRead(offset, len);
     if (injector_ != nullptr) {
@@ -149,7 +197,7 @@ void NvmDevice::WriteBytes(uint64_t offset, const void* src, uint64_t len,
                            uint64_t quantum) {
   if (len == 0) return;  // guards the offset+len-1 line math below layers
   NTADOC_DCHECK_LE(offset + len, capacity_);
-  model_.TouchWriteExtent(offset, len, quantum);
+  ChargeWriteExtent(offset, len, quantum);
   if (write_slow_) {
     if (check_ != nullptr) check_->OnStore(offset, len);
     if (strict_) TrackDirty(offset, len);
@@ -165,7 +213,7 @@ void NvmDevice::FillBytes(uint64_t offset, uint64_t len, uint8_t value,
                           uint64_t quantum) {
   if (len == 0) return;
   NTADOC_DCHECK_LE(offset + len, capacity_);
-  model_.TouchWriteExtent(offset, len, quantum);
+  ChargeWriteExtent(offset, len, quantum);
   if (write_slow_) {
     if (check_ != nullptr) check_->OnStore(offset, len);
     if (strict_) TrackDirty(offset, len);
@@ -198,7 +246,7 @@ void NvmDevice::TrackDirty(uint64_t offset, uint64_t len) {
 void NvmDevice::FlushRange(uint64_t offset, uint64_t len) {
   if (len == 0) return;
   NTADOC_DCHECK_LE(offset + len, capacity_);
-  model_.ChargeFlush(len);
+  ChargeFlushCost(offset, len);
   if (check_ != nullptr) check_->OnFlush(offset, len);
   if (!strict_) return;
   const uint64_t first = offset / kLine;
@@ -248,7 +296,7 @@ uint64_t NvmDevice::MaybeTearFlush(uint64_t first, uint64_t last) {
 }
 
 void NvmDevice::Drain() {
-  model_.ChargeDrain();
+  ChargeDrainCost();
   if (check_ != nullptr) check_->OnDrain();
   ++drain_count_;
   if (snapshot_at_drain_ != 0 && drain_count_ == snapshot_at_drain_) {
@@ -308,7 +356,7 @@ void NvmDevice::SimulateCrash() {
     });
   }
   if (check_ != nullptr) check_->OnCrash();
-  model_.InvalidateBuffer();
+  InvalidateAllBuffers();
 }
 
 void NvmDevice::LoadSnapshot(const std::vector<uint8_t>& image) {
@@ -317,7 +365,7 @@ void NvmDevice::LoadSnapshot(const std::vector<uint8_t>& image) {
   std::memset(data_.data() + image.size(), 0, capacity_ - image.size());
   dirty_lines_.clear();
   if (check_ != nullptr) check_->OnCrash();
-  model_.InvalidateBuffer();
+  InvalidateAllBuffers();
 }
 
 void NvmDevice::LoadSnapshotRegion(const std::vector<uint8_t>& image,
@@ -328,7 +376,7 @@ void NvmDevice::LoadSnapshotRegion(const std::vector<uint8_t>& image,
   std::memcpy(data_.data() + offset, image.data(), image.size());
   dirty_lines_.clear();
   if (check_ != nullptr) check_->OnCrash();
-  model_.InvalidateBuffer();
+  InvalidateAllBuffers();
 }
 
 std::vector<uint8_t> NvmDevice::PersistedRegion(uint64_t offset,
@@ -388,7 +436,7 @@ Status NvmDevice::LoadImage(const std::string& path) {
   }
   dirty_lines_.clear();
   if (check_ != nullptr) check_->OnCrash();
-  model_.InvalidateBuffer();
+  InvalidateAllBuffers();
   return Status::OK();
 }
 

@@ -117,6 +117,8 @@ struct DeviceOptions {
   std::shared_ptr<const std::vector<uint8_t>> base_image;
 };
 
+class TieredPool;
+
 /// Emulated NVM device (see file comment).
 class NvmDevice {
  public:
@@ -133,6 +135,15 @@ class NvmDevice {
   const SimClockPtr& clock_ptr() const { return model_.clock_ptr(); }
   const DeviceProfile& profile() const { return model_.profile(); }
   bool strict_persistence() const { return strict_; }
+
+  /// Attaches (or detaches, with nullptr) a tiered-placement router.
+  /// While attached, every access charge is routed through the router's
+  /// per-tier cost models instead of this device's own MemoryModel; the
+  /// data path (bytes, persistence, faults, crashes) is unchanged. The
+  /// router must outlive the attachment. When no router is attached the
+  /// charging hot path pays exactly one null check.
+  void set_tier_router(TieredPool* router) { tier_router_ = router; }
+  TieredPool* tier_router() const { return tier_router_; }
 
   /// Typed load. T must be trivially copyable.
   template <typename T>
@@ -323,8 +334,20 @@ class NvmDevice {
   FaultInjector::ReadFault RetryRead(uint64_t offset, uint64_t len,
                                      uint64_t quantum, bool extent);
 
+  /// Routes one access charge to the tier router when attached, else to
+  /// the device's own model. Defined in the .cc (TieredPool is only
+  /// forward-declared here).
+  void ChargeRead(uint64_t offset, uint64_t len);
+  void ChargeReadExtent(uint64_t offset, uint64_t len, uint64_t quantum);
+  void ChargeWriteExtent(uint64_t offset, uint64_t len, uint64_t quantum);
+  void ChargeFlushCost(uint64_t offset, uint64_t len);
+  void ChargeDrainCost();
+  /// Crash / snapshot-load buffer invalidation covering the tier models.
+  void InvalidateAllBuffers();
+
   uint64_t capacity_;
   MemoryModel model_;
+  TieredPool* tier_router_ = nullptr;
   bool strict_;
   // Hot-path guards, fixed at construction: when false, reads (writes)
   // need no injector / persist-check / dirty-tracking work at all and

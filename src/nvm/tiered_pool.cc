@@ -1,0 +1,690 @@
+#include "nvm/tiered_pool.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace ntadoc::nvm {
+
+namespace {
+constexpr uint64_t kRegionMagic = 0x4E54414454494552ULL;  // "NTADTIER"
+constexpr uint32_t kRegionVersion = 1;
+
+Result<MediumKind> ParseMedium(const std::string& name) {
+  if (name == "dram") return MediumKind::kDram;
+  if (name == "nvm" || name == "optane") return MediumKind::kOptane;
+  if (name == "ssd") return MediumKind::kSsd;
+  if (name == "hdd") return MediumKind::kHdd;
+  return Status::InvalidArgument("tiered_pool: unknown medium '" + name +
+                                 "' (want dram|nvm|ssd|hdd)");
+}
+}  // namespace
+
+const char* TierClassToString(TierClass cls) {
+  switch (cls) {
+    case TierClass::kMeta:
+      return "meta";
+    case TierClass::kTable:
+      return "table";
+    case TierClass::kPayload:
+      return "payload";
+    case TierClass::kGramPayload:
+      return "gram_payload";
+    case TierClass::kQueue:
+      return "queue";
+    case TierClass::kCursor:
+      return "cursor";
+    case TierClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::array<TierPolicy, kNumTierClasses> TierConfig::DefaultPolicy() {
+  std::array<TierPolicy, kNumTierClasses> p{};
+  p[static_cast<int>(TierClass::kMeta)] = {0, false};
+  p[static_cast<int>(TierClass::kTable)] = {0, true};
+  p[static_cast<int>(TierClass::kPayload)] = {kHomeTier, true};
+  p[static_cast<int>(TierClass::kGramPayload)] = {kHomeTier, true};
+  p[static_cast<int>(TierClass::kQueue)] = {0, false};
+  p[static_cast<int>(TierClass::kCursor)] = {0, false};
+  p[static_cast<int>(TierClass::kOther)] = {kHomeTier, false};
+  return p;
+}
+
+Result<TierConfig> TierConfig::Parse(const std::string& spec) {
+  TierConfig config;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    TierSpec tier;
+    const size_t colon = item.find(':');
+    std::string name = item.substr(0, colon);
+    NTADOC_ASSIGN_OR_RETURN(tier.kind, ParseMedium(name));
+    if (colon != std::string::npos) {
+      const std::string budget = item.substr(colon + 1);
+      char* end = nullptr;
+      const unsigned long long mb = std::strtoull(budget.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || budget.empty()) {
+        return Status::InvalidArgument("tiered_pool: bad budget '" + budget +
+                                       "' in tier spec '" + item + "'");
+      }
+      tier.budget_bytes = uint64_t{mb} << 20;
+    }
+    config.tiers.push_back(tier);
+    if (pos > spec.size()) break;
+  }
+  if (config.tiers.empty()) {
+    return Status::InvalidArgument("tiered_pool: empty tier spec");
+  }
+  return config;
+}
+
+uint64_t TieredPool::PlacementReserve(const TierConfig& config) {
+  (void)config;
+  // Header slot + 8K placement entries, rounded to the 1 MiB pool
+  // block so reserving it never misaligns the pool end. Deterministic
+  // from the config alone: the engine must be able to recompute the
+  // region offset from options at attach time.
+  return 256 * 1024;
+}
+
+TieredPool::TieredPool(NvmDevice* device, uint64_t region_off,
+                       uint64_t region_len, TierConfig config)
+    : device_(device),
+      region_off_(region_off),
+      region_len_(region_len),
+      config_(std::move(config)) {}
+
+TieredPool::~TieredPool() = default;
+
+Result<std::unique_ptr<TieredPool>> TieredPool::Make(NvmDevice* device,
+                                                     uint64_t region_off,
+                                                     uint64_t region_len,
+                                                     const TierConfig& config) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("tiered_pool: null device");
+  }
+  if (config.tiers.empty() || config.tiers.size() > 4) {
+    return Status::InvalidArgument("tiered_pool: want 1..4 tiers");
+  }
+  if (config.unit_bytes < 4096 || (config.unit_bytes & (config.unit_bytes - 1)) != 0) {
+    return Status::InvalidArgument(
+        "tiered_pool: unit_bytes must be a power of two >= 4096");
+  }
+  if (region_len < kHeaderSlot + kEntryBytes ||
+      region_off + region_len > device->capacity()) {
+    return Status::InvalidArgument("tiered_pool: bad placement region");
+  }
+  TierConfig cfg = config;
+  const MediumKind home_kind = device->profile().kind;
+  int home = -1;
+  for (size_t i = 0; i < cfg.tiers.size(); ++i) {
+    for (size_t j = i + 1; j < cfg.tiers.size(); ++j) {
+      if (cfg.tiers[i].kind == cfg.tiers[j].kind) {
+        return Status::InvalidArgument("tiered_pool: duplicate tier medium");
+      }
+    }
+    if (cfg.tiers[i].kind == home_kind) home = static_cast<int>(i);
+  }
+  if (home < 0) {
+    // The device's own medium always participates: it is where every
+    // byte durably lives. Append it uncapped as the bottom tier.
+    cfg.tiers.push_back(TierSpec{home_kind, 0});
+    home = static_cast<int>(cfg.tiers.size()) - 1;
+  }
+  auto pool = std::unique_ptr<TieredPool>(
+      new TieredPool(device, region_off, region_len, std::move(cfg)));
+  pool->home_tier_ = home;
+  for (size_t i = 0; i < pool->config_.tiers.size(); ++i) {
+    Tier tier;
+    tier.profile = ProfileFor(pool->config_.tiers[i].kind);
+    tier.budget = pool->config_.tiers[i].budget_bytes;
+    if (static_cast<int>(i) == home) {
+      // Home charges the device's own model: a single-home-tier config
+      // is bit-identical to running untiered, and pre-attach charges
+      // (markers, log formatting) share the same buffer state.
+      tier.model = &device->model();
+    } else {
+      tier.owned_model =
+          std::make_unique<MemoryModel>(tier.profile, device->clock_ptr());
+      tier.model = tier.owned_model.get();
+    }
+    pool->tiers_.push_back(std::move(tier));
+  }
+  return pool;
+}
+
+uint64_t TieredPool::HeaderChecksum(const RegionHeader& h) {
+  return Fnv1a64(&h, offsetof(RegionHeader, checksum));
+}
+
+uint32_t TieredPool::EntryChecksum(uint64_t generation,
+                                   const PlacementEntry& e) {
+  const uint32_t seed = Crc32(&generation, sizeof(generation));
+  return Crc32(&e, offsetof(PlacementEntry, crc), seed);
+}
+
+Status TieredPool::InitRegion(bool fresh) {
+  RegionHeader existing{};
+  const bool readable =
+      device_->TryReadBytes(region_off_, &existing, sizeof(existing)).ok();
+  const bool valid = readable && existing.magic == kRegionMagic &&
+                     existing.version == kRegionVersion &&
+                     existing.checksum == HeaderChecksum(existing) &&
+                     existing.entry_capacity == entry_capacity() &&
+                     existing.committed <= existing.entry_capacity;
+  std::vector<PlacementEntry> adopted;
+  RegionHeader header{};
+  if (!fresh && valid) {
+    // Collect the committed prefix; an invalid entry ends adoption (the
+    // ordered protocol flushes entries before the header, so a valid
+    // header never covers a torn entry — anything else is corruption
+    // and the safe fallback is home residency).
+    adopted.reserve(existing.committed);
+    for (uint32_t s = 0; s < existing.committed; ++s) {
+      PlacementEntry e{};
+      if (!device_->TryReadBytes(entry_off(s), &e, sizeof(e)).ok()) break;
+      if (e.crc != EntryChecksum(existing.generation, e)) break;
+      adopted.push_back(e);
+    }
+    header = existing;
+  } else {
+    header.magic = kRegionMagic;
+    header.version = kRegionVersion;
+    header.entry_capacity = entry_capacity();
+    header.committed = 0;
+    header.generation = valid ? existing.generation + 1 : 1;
+    header.checksum = HeaderChecksum(header);
+    device_->WriteBytes(region_off_, &header, sizeof(header));
+    device_->FlushRange(region_off_, sizeof(header));
+    device_->Drain();
+  }
+  util::MutexLock lock(&mu_);
+  loaded_entries_ = std::move(adopted);
+  committed_entries_ = header.committed;
+  generation_ = header.generation;
+  region_ready_ = true;
+  return Status::OK();
+}
+
+void TieredPool::ResetExtents() {
+  util::MutexLock lock(&mu_);
+  prev_units_ = std::move(units_);
+  units_.clear();
+}
+
+void TieredPool::RegisterExtent(uint64_t begin, uint64_t len, TierClass cls) {
+  util::MutexLock lock(&mu_);
+  const uint64_t end = begin + len;
+  for (uint64_t pos = begin; pos < end; pos += config_.unit_bytes) {
+    Unit unit;
+    unit.begin = pos;
+    unit.len = static_cast<uint32_t>(std::min<uint64_t>(config_.unit_bytes, end - pos));
+    unit.cls = cls;
+    // Carry heat and residency for a unit re-registered at the same
+    // offset (re-Runs on one engine keep their working set hot).
+    const auto prev = std::lower_bound(
+        prev_units_.begin(), prev_units_.end(), unit.begin,
+        [](const Unit& u, uint64_t v) { return u.begin < v; });
+    if (prev != prev_units_.end() && prev->begin == unit.begin &&
+        prev->len == unit.len && prev->cls == cls) {
+      unit.heat = prev->heat;
+      unit.tier = prev->tier;
+    }
+    const auto at = std::lower_bound(
+        units_.begin(), units_.end(), unit.begin,
+        [](const Unit& u, uint64_t v) { return u.begin < v; });
+    units_.insert(at, unit);
+  }
+}
+
+Status TieredPool::ApplyInitialPlacement() {
+  util::MutexLock lock(&mu_);
+  if (!region_ready_) {
+    return Status::FailedPrecondition("tiered_pool: InitRegion first");
+  }
+  // 1. Re-apply durable placements (recovery after reopen). Volatile
+  // targets fold back to home: a power cut empties DRAM, and the
+  // inclusive home copy is the authoritative one.
+  for (const PlacementEntry& e : loaded_entries_) {
+    const auto it = std::lower_bound(
+        units_.begin(), units_.end(), e.begin,
+        [](const Unit& u, uint64_t v) { return u.begin < v; });
+    if (it == units_.end() || it->begin != e.begin || it->len != e.len) continue;
+    if (e.tier >= tiers_.size()) continue;
+    it->tier = TierIsVolatile(e.tier) ? static_cast<uint8_t>(home_tier_)
+                                      : e.tier;
+  }
+  loaded_entries_.clear();
+  // 2. Policy placement for everything still unplaced, preferred tier
+  // first, spilling down when a budget is exhausted. The slowest tier
+  // absorbs overflow regardless of budget: placement is a cost model,
+  // and every byte durably lives on the device either way.
+  std::vector<uint64_t> resident(tiers_.size(), 0);
+  for (const Unit& u : units_) {
+    if (u.tier != kHomeTier) resident[u.tier] += u.len;
+  }
+  for (Unit& u : units_) {
+    if (u.tier != kHomeTier) continue;
+    const TierPolicy& policy = config_.policy[static_cast<int>(u.cls)];
+    uint8_t t = policy.preferred_tier == kHomeTier
+                    ? static_cast<uint8_t>(home_tier_)
+                    : policy.preferred_tier;
+    if (t >= tiers_.size()) t = static_cast<uint8_t>(home_tier_);
+    while (t + 1u < tiers_.size() && tiers_[t].budget != 0 &&
+           resident[t] + u.len > tiers_[t].budget) {
+      ++t;
+    }
+    u.tier = t;
+    resident[t] += u.len;
+  }
+  return Status::OK();
+}
+
+size_t TieredPool::UnitIndexLocked(uint64_t offset) const {
+  const auto it = std::upper_bound(
+      units_.begin(), units_.end(), offset,
+      [](uint64_t v, const Unit& u) { return v < u.begin; });
+  if (it == units_.begin()) return SIZE_MAX;
+  const size_t i = static_cast<size_t>(it - units_.begin()) - 1;
+  if (units_[i].begin + units_[i].len <= offset) return SIZE_MAX;
+  return i;
+}
+
+int TieredPool::ResolveTierLocked(size_t unit_idx) const {
+  const uint8_t t = units_[unit_idx].tier;
+  return t == kHomeTier ? home_tier_ : t;
+}
+
+MemoryModel& TieredPool::ModelOf(int tier) const {
+  return *tiers_[static_cast<size_t>(tier)].model;
+}
+
+bool TieredPool::TierIsVolatile(int tier) const {
+  return !tiers_[static_cast<size_t>(tier)].profile.persistent;
+}
+
+template <typename Fn>
+void TieredPool::ForEachRangeLocked(uint64_t offset, uint64_t len, bool heat,
+                                    Fn fn) {
+  uint64_t pos = offset;
+  const uint64_t end = offset + len;
+  auto it = std::upper_bound(
+      units_.begin(), units_.end(), pos,
+      [](uint64_t v, const Unit& u) { return v < u.begin; });
+  size_t i = static_cast<size_t>(it - units_.begin());
+  if (i > 0 && units_[i - 1].begin + units_[i - 1].len > pos) --i;
+  while (pos < end) {
+    if (i >= units_.size() || units_[i].begin >= end) {
+      fn(home_tier_, pos, end - pos);
+      return;
+    }
+    Unit& u = units_[i];
+    if (pos < u.begin) {
+      fn(home_tier_, pos, u.begin - pos);
+      pos = u.begin;
+    }
+    const uint64_t sub_end = std::min<uint64_t>(end, u.begin + u.len);
+    if (sub_end > pos) {
+      if (heat) u.heat += sub_end - pos;
+      fn(u.tier == kHomeTier ? home_tier_ : u.tier, pos, sub_end - pos);
+      pos = sub_end;
+    }
+    ++i;
+  }
+}
+
+void TieredPool::TouchRead(uint64_t offset, uint64_t len) {
+  util::MutexLock lock(&mu_);
+  ForEachRangeLocked(offset, len, /*heat=*/true,
+                     [this](int tier, uint64_t off, uint64_t sub_len) {
+                       ModelOf(tier).TouchRead(off, sub_len);
+                     });
+}
+
+void TieredPool::TouchWrite(uint64_t offset, uint64_t len) {
+  util::MutexLock lock(&mu_);
+  ForEachRangeLocked(offset, len, /*heat=*/true,
+                     [this](int tier, uint64_t off, uint64_t sub_len) {
+                       ModelOf(tier).TouchWrite(off, sub_len);
+                     });
+}
+
+void TieredPool::TouchReadExtent(uint64_t offset, uint64_t len,
+                                 uint64_t quantum) {
+  util::MutexLock lock(&mu_);
+  ForEachRangeLocked(offset, len, /*heat=*/true,
+                     [this, quantum](int tier, uint64_t off, uint64_t sub_len) {
+                       ModelOf(tier).TouchReadExtent(off, sub_len, quantum);
+                     });
+}
+
+void TieredPool::TouchWriteExtent(uint64_t offset, uint64_t len,
+                                  uint64_t quantum) {
+  util::MutexLock lock(&mu_);
+  ForEachRangeLocked(offset, len, /*heat=*/true,
+                     [this, quantum](int tier, uint64_t off, uint64_t sub_len) {
+                       ModelOf(tier).TouchWriteExtent(off, sub_len, quantum);
+                     });
+}
+
+void TieredPool::ChargeFlush(uint64_t offset, uint64_t len) {
+  util::MutexLock lock(&mu_);
+  // Persistence lives at home for volatile residents: flushing a line
+  // whose unit sits in DRAM pays the home (durable) flush cost.
+  ForEachRangeLocked(offset, len, /*heat=*/false,
+                     [this](int tier, uint64_t, uint64_t sub_len) {
+                       const int target = TierIsVolatile(tier) ? home_tier_ : tier;
+                       ModelOf(target).ChargeFlush(sub_len);
+                     });
+}
+
+void TieredPool::ChargeDrain() {
+  ModelOf(home_tier_).ChargeDrain();
+}
+
+void TieredPool::InvalidateBuffers() {
+  util::MutexLock lock(&mu_);
+  for (size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i].owned_model != nullptr) tiers_[i].owned_model->InvalidateBuffer();
+  }
+  for (Unit& u : units_) {
+    if (u.tier != kHomeTier && TierIsVolatile(u.tier)) {
+      u.tier = static_cast<uint8_t>(home_tier_);
+    }
+  }
+}
+
+int TieredPool::TierOf(uint64_t offset) const {
+  util::MutexLock lock(&mu_);
+  const size_t i = UnitIndexLocked(offset);
+  if (i == SIZE_MAX) return -1;
+  return ResolveTierLocked(i);
+}
+
+uint64_t TieredPool::heat_of(uint64_t offset) const {
+  util::MutexLock lock(&mu_);
+  const size_t i = UnitIndexLocked(offset);
+  return i == SIZE_MAX ? 0 : units_[i].heat;
+}
+
+TierCounters TieredPool::counters() const {
+  util::MutexLock lock(&mu_);
+  TierCounters c;
+  c.promotions = promotions_;
+  c.demotions = demotions_;
+  c.migration_epochs = migration_epochs_;
+  for (const Unit& u : units_) {
+    const int t = u.tier == kHomeTier ? home_tier_ : u.tier;
+    c.resident_bytes[static_cast<int>(tiers_[static_cast<size_t>(t)].profile.kind)] +=
+        u.len;
+  }
+  return c;
+}
+
+size_t TieredPool::unit_count() const {
+  util::MutexLock lock(&mu_);
+  return units_.size();
+}
+
+bool TieredPool::TakePayloadDemotion() {
+  util::MutexLock lock(&mu_);
+  const bool pending = payload_demotion_pending_;
+  payload_demotion_pending_ = false;
+  return pending;
+}
+
+Status TieredPool::CommitPlacement(const PlacementEntry& e, RedoLog* log) {
+  // The entry slot and the header rewrite go through the device (and so
+  // through the attached router); mu_ must NOT be held here.
+  RegionHeader header{};
+  header.magic = kRegionMagic;
+  header.version = kRegionVersion;
+  header.entry_capacity = entry_capacity();
+  {
+    util::MutexLock lock(&mu_);
+    header.committed = committed_entries_ + 1;
+    header.generation = generation_;
+  }
+  header.checksum = HeaderChecksum(header);
+  const uint64_t slot_off = entry_off(static_cast<uint32_t>(e.seq));
+  if (log != nullptr && !log->in_transaction()) {
+    // Journaled: entry + header commit as one failure-atomic epoch.
+    log->Begin();
+    log->StageValue(slot_off, e);
+    log->StageValue(region_off_, header);
+    Status committed = log->Commit();
+    if (committed.code() == StatusCode::kResourceExhausted) {
+      log->FlushAppliedHome();
+      log->Truncate();
+      committed = log->Commit();
+    }
+    NTADOC_RETURN_IF_ERROR(committed);
+  } else {
+    // Ordered: flush the entry, fence, then the header rewrite is the
+    // commit point (same shape as NvmPool::RemapBlock's fallback).
+    device_->WriteBytes(slot_off, &e, sizeof(e));
+    device_->FlushRange(slot_off, sizeof(e));
+    device_->Drain();
+    device_->WriteBytes(region_off_, &header, sizeof(header));
+    device_->FlushRange(region_off_, sizeof(header));
+    device_->Drain();
+  }
+  return Status::OK();
+}
+
+Status TieredPool::MigrateUnit(size_t unit_idx, uint8_t target, RedoLog* log) {
+  PlacementEntry e{};
+  int source = 0;
+  uint64_t begin = 0;
+  uint64_t len = 0;
+  {
+    util::MutexLock lock(&mu_);
+    if (!region_ready_) {
+      return Status::FailedPrecondition("tiered_pool: InitRegion first");
+    }
+    if (unit_idx >= units_.size() || target >= tiers_.size()) {
+      return Status::InvalidArgument("tiered_pool: bad migration target");
+    }
+    if (committed_entries_ >= entry_capacity()) {
+      return Status::ResourceExhausted("tiered_pool: placement log full");
+    }
+    const Unit& u = units_[unit_idx];
+    source = ResolveTierLocked(unit_idx);
+    if (source == target) return Status::OK();
+    e.begin = u.begin;
+    e.len = u.len;
+    e.cls = static_cast<uint8_t>(u.cls);
+    e.tier = target;
+    e.seq = committed_entries_;
+    e.crc = EntryChecksum(generation_, e);
+    begin = u.begin;
+    len = u.len;
+  }
+  // Copy to target: source read + target write, then make the target
+  // copy durable when the target persists (volatile promotions keep the
+  // home copy authoritative, so there is nothing to flush).
+  ModelOf(source).TouchReadExtent(begin, len, 0);
+  ModelOf(target).TouchWriteExtent(begin, len, 0);
+  if (!TierIsVolatile(target)) {
+    ModelOf(target).ChargeFlush(len);
+    ModelOf(target).ChargeDrain();
+  }
+  NTADOC_RETURN_IF_ERROR(CommitPlacement(e, log));
+  {
+    util::MutexLock lock(&mu_);
+    if (unit_idx < units_.size() && units_[unit_idx].begin == begin) {
+      units_[unit_idx].tier = target;
+      const TierClass cls = units_[unit_idx].cls;
+      if (target > source &&
+          (cls == TierClass::kPayload || cls == TierClass::kGramPayload)) {
+        payload_demotion_pending_ = true;
+      }
+    }
+    ++committed_entries_;
+    if (target < source) {
+      ++promotions_;
+    } else {
+      ++demotions_;
+    }
+  }
+  return Status::OK();
+}
+
+Status TieredPool::MigrateRange(uint64_t begin, uint8_t target_tier,
+                                RedoLog* log) {
+  size_t idx = SIZE_MAX;
+  {
+    util::MutexLock lock(&mu_);
+    idx = UnitIndexLocked(begin);
+  }
+  if (idx == SIZE_MAX) {
+    return Status::NotFound("tiered_pool: no unit at offset");
+  }
+  return MigrateUnit(idx, target_tier, log);
+}
+
+Status TieredPool::PromoteHottest(RedoLog* log) {
+  size_t best = SIZE_MAX;
+  uint64_t best_heat = 0;
+  {
+    util::MutexLock lock(&mu_);
+    for (size_t i = 0; i < units_.size(); ++i) {
+      const Unit& u = units_[i];
+      if (!config_.policy[static_cast<int>(u.cls)].migratable) continue;
+      if (ResolveTierLocked(i) == 0) continue;
+      if (u.heat > best_heat) {
+        best = i;
+        best_heat = u.heat;
+      }
+    }
+  }
+  if (best == SIZE_MAX) {
+    return Status::NotFound("tiered_pool: nothing to promote");
+  }
+  return MigrateUnit(best, 0, log);
+}
+
+std::vector<uint8_t> TieredPool::IdealPlacementLocked() const {
+  std::vector<uint8_t> ideal(units_.size());
+  std::vector<uint64_t> resident(tiers_.size(), 0);
+  // Pinned units keep their tier and consume its budget first.
+  for (size_t i = 0; i < units_.size(); ++i) {
+    const Unit& u = units_[i];
+    const int cur = ResolveTierLocked(i);
+    ideal[i] = static_cast<uint8_t>(cur);
+    if (!config_.policy[static_cast<int>(u.cls)].migratable || u.heat == 0) {
+      resident[static_cast<size_t>(cur)] += u.len;
+    }
+  }
+  // Hottest migratable units pack into the fastest tiers under budget;
+  // ties break on offset so the packing is deterministic. Units that
+  // were never touched since the last decay keep their tier (no
+  // speculative promotion of cold bytes).
+  std::vector<size_t> order;
+  order.reserve(units_.size());
+  for (size_t i = 0; i < units_.size(); ++i) {
+    const Unit& u = units_[i];
+    if (config_.policy[static_cast<int>(u.cls)].migratable && u.heat > 0) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (units_[a].heat != units_[b].heat) return units_[a].heat > units_[b].heat;
+    return units_[a].begin < units_[b].begin;
+  });
+  for (const size_t i : order) {
+    uint8_t t = 0;
+    while (t + 1u < tiers_.size() && tiers_[t].budget != 0 &&
+           resident[t] + units_[i].len > tiers_[t].budget) {
+      ++t;
+    }
+    ideal[i] = t;
+    resident[t] += units_[i].len;
+  }
+  return ideal;
+}
+
+Status TieredPool::MaybeMigrate(RedoLog* log) {
+  {
+    util::MutexLock lock(&mu_);
+    ++step_counter_;
+    if (!config_.migrate || config_.migrate_interval == 0 ||
+        step_counter_ % config_.migrate_interval != 0) {
+      return Status::OK();
+    }
+  }
+  return MigrationTick(log);
+}
+
+Status TieredPool::MigrationTick(RedoLog* log) {
+  struct Move {
+    size_t idx;
+    uint8_t target;
+    bool promotion;
+  };
+  std::vector<Move> moves;
+  {
+    util::MutexLock lock(&mu_);
+    if (!region_ready_ || units_.empty()) return Status::OK();
+    if (committed_entries_ >= entry_capacity()) {
+      // Placement log full: stop migrating rather than risk a torn
+      // compaction. Placement stays frozen at the last committed state.
+      return Status::OK();
+    }
+    const std::vector<uint8_t> ideal = IdealPlacementLocked();
+    std::vector<Move> promotions;
+    std::vector<Move> demotions;
+    for (size_t i = 0; i < units_.size(); ++i) {
+      const int cur = ResolveTierLocked(i);
+      if (ideal[i] == cur) continue;
+      if (ideal[i] < cur) {
+        promotions.push_back({i, ideal[i], true});
+      } else {
+        demotions.push_back({i, ideal[i], false});
+      }
+    }
+    // Demotions first: they free top-tier budget the promotions need.
+    const auto hotter = [this](const Move& a, const Move& b) {
+      if (units_[a.idx].heat != units_[b.idx].heat) {
+        return units_[a.idx].heat > units_[b.idx].heat;
+      }
+      return units_[a.idx].begin < units_[b.idx].begin;
+    };
+    std::sort(promotions.begin(), promotions.end(), hotter);
+    std::sort(demotions.begin(), demotions.end(),
+              [&](const Move& a, const Move& b) { return hotter(b, a); });
+    const size_t cap = config_.max_moves_per_tick;
+    for (const Move& m : demotions) {
+      if (moves.size() >= cap) break;
+      moves.push_back(m);
+    }
+    for (const Move& m : promotions) {
+      if (moves.size() >= cap) break;
+      moves.push_back(m);
+    }
+    // Exponential decay: next interval's heat starts from half of this
+    // one, so sustained access dominates stale history.
+    for (Unit& u : units_) u.heat >>= 1;
+  }
+  bool moved = false;
+  for (const Move& m : moves) {
+    NTADOC_RETURN_IF_ERROR(MigrateUnit(m.idx, m.target, log));
+    moved = true;
+  }
+  if (moved) {
+    util::MutexLock lock(&mu_);
+    ++migration_epochs_;
+  }
+  return Status::OK();
+}
+
+}  // namespace ntadoc::nvm

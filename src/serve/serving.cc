@@ -317,6 +317,9 @@ void ServingEngine::Execute(uint32_t w, uint64_t ticket) {
     }
     stats_.scoped_repairs += local.info.scoped_repairs;
     stats_.salvage_restarts += local.info.salvage_restarts;
+    stats_.promotions += local.info.promotions;
+    stats_.demotions += local.info.demotions;
+    stats_.migration_epochs += local.info.migration_epochs;
     Generation& g = *generations_[ticket_gen_[ticket]];
     --g.pinned;
     if (g.draining) {

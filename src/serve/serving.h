@@ -186,6 +186,12 @@ struct ServingStats {
   // Generational refresh (see PublishGeneration).
   uint64_t generations_published = 0;  // cutovers served by this engine
   uint64_t drained_sessions = 0;  // sessions finished on a draining gen
+
+  // Tiered placement (zero unless NTadocOptions::tiering is set; summed
+  // across all sessions -- each session owns its own TieredPool).
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t migration_epochs = 0;
 };
 
 /// Concurrent fault-isolated query server over one SealedPool (see file

@@ -14,6 +14,7 @@
 #include "compress/compressor.h"
 #include "core/container_store.h"
 #include "core/engine.h"
+#include "nvm/tiered_pool.h"
 #include "reference_impl.h"
 
 namespace ntadoc::core {
@@ -635,7 +636,120 @@ TEST(GenerationCutoverSweepTest, PreOrPostGenerationAtEveryDrainPoint) {
   EXPECT_TRUE(saw_post) << "no fence recovered to the new generation";
 }
 
+// ---------------------------------------------------------------------------
+// Tiered-placement migration sweep: crash a durable placement commit
+// (TieredPool::MigrateRange — a 32-byte placement entry plus a header
+// bump, journaled through a RedoLog or via the ordered entry-then-header
+// protocol) at every persistence fence. Recovery must reopen the
+// placement region and see the unit EITHER source-resident (commit did
+// not land) or target-resident (it did) — never a hybrid or a parse
+// failure — with a clean PersistCheck report on the clean pass.
+// ---------------------------------------------------------------------------
+
+class MigrationCommitSweepTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MigrationCommitSweepTest, SourceOrTargetAtEveryDrainPoint) {
+  const bool journaled = GetParam();
+  constexpr uint64_t kLogBase = 0;
+  constexpr uint64_t kLogSize = 8192;
+  constexpr uint64_t kRegionOff = 1ull << 20;
+  constexpr uint64_t kRegionLen = 256 * 1024;
+  constexpr uint64_t kUnit = 4096;
+
+  // Optane home (tier 0) over SSD capacity (tier 1): both persistent,
+  // so the committed placement is exactly what recovery must see.
+  nvm::TierConfig cfg;
+  cfg.tiers = {{nvm::MediumKind::kOptane, 0}, {nvm::MediumKind::kSsd, 0}};
+  cfg.unit_bytes = kUnit;
+
+  const auto reopen = [&](nvm::NvmDevice* device, bool fresh)
+      -> std::unique_ptr<nvm::TieredPool> {
+    auto made =
+        nvm::TieredPool::Make(device, kRegionOff, kRegionLen, cfg);
+    if (!made.ok() || !(*made)->InitRegion(fresh).ok()) return nullptr;
+    (*made)->RegisterExtent(16384, 2 * kUnit, nvm::TierClass::kPayload);
+    if (!(*made)->ApplyInitialPlacement().ok()) return nullptr;
+    return std::move(*made);
+  };
+
+  // Workload under the sweep: format the region, place two payload
+  // units at home, then durably demote the first one to the SSD tier.
+  auto run_workload = [&](nvm::NvmDevice* device) {
+    auto pool = reopen(device, /*fresh=*/true);
+    ASSERT_NE(pool, nullptr);
+    ASSERT_EQ(pool->TierOf(16384), 0);
+    std::optional<nvm::RedoLog> log;
+    if (journaled) {
+      auto made = nvm::RedoLog::Create(device, kLogBase, kLogSize);
+      ASSERT_TRUE(made.ok());
+      log.emplace(std::move(*made));
+    }
+    const Status moved = pool->MigrateRange(16384, 1, log ? &*log : nullptr);
+    ASSERT_TRUE(moved.ok()) << moved;
+    ASSERT_EQ(pool->TierOf(16384), 1);
+    if (log) {
+      log->FlushAppliedHome();
+      log->Truncate();
+    }
+  };
+
+  // Pass 1: clean run — count fences, require a clean persistency
+  // report (the commit protocol never drains unflushed lines).
+  uint64_t total_drains = 0;
+  {
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    run_workload(device->get());
+    if (HasFatalFailure()) return;
+    EXPECT_TRUE((*device)->persist_check()->report().empty())
+        << (*device)->persist_check()->report().ToString();
+    total_drains = (*device)->drain_count();
+  }
+  ASSERT_GT(total_drains, 0u);
+
+  bool saw_source = false;
+  bool saw_target = false;
+  for (uint64_t k = 1; k <= total_drains; ++k) {
+    auto writer = MakeSweepDevice(k);
+    ASSERT_TRUE(writer.ok());
+    run_workload(writer->get());
+    if (HasFatalFailure()) return;
+    ASSERT_FALSE((*writer)->drain_snapshot().empty());
+
+    auto device = MakeSweepDevice(0);
+    ASSERT_TRUE(device.ok());
+    (*device)->LoadSnapshot((*writer)->drain_snapshot());
+
+    if (journaled) {
+      // Engine recovery order: replay the committed log prefix before
+      // trusting the placement region it may cover.
+      auto log = nvm::RedoLog::Open(device->get(), kLogBase);
+      if (log.ok()) {
+        ASSERT_TRUE(log->Recover().ok());
+      }
+    }
+
+    auto pool = reopen(device->get(), /*fresh=*/false);
+    ASSERT_NE(pool, nullptr)
+        << "placement region unreadable at drain point " << k << "/"
+        << total_drains;
+    const int tier = pool->TierOf(16384);
+    ASSERT_TRUE(tier == 0 || tier == 1)
+        << "hybrid placement at drain point " << k << ": tier " << tier;
+    (tier == 0 ? saw_source : saw_target) = true;
+    // The commit is per-unit: its sibling must be untouched either way.
+    EXPECT_EQ(pool->TierOf(16384 + kUnit), 0)
+        << "sibling unit moved at drain point " << k;
+  }
+  // The sweep brackets the commit point: both outcomes must occur.
+  EXPECT_TRUE(saw_source) << "no fence recovered source-resident";
+  EXPECT_TRUE(saw_target) << "no fence recovered target-resident";
+}
+
 INSTANTIATE_TEST_SUITE_P(CommitProtocols, RemapCommitSweepTest,
+                         ::testing::Bool());
+
+INSTANTIATE_TEST_SUITE_P(CommitProtocols, MigrationCommitSweepTest,
                          ::testing::Bool());
 
 INSTANTIATE_TEST_SUITE_P(CommitIntervals, GroupCheckpointSweepTest,

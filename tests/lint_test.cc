@@ -94,6 +94,34 @@ TEST(LintRuleL3, ConsumedStatusStaysClean) {
   }
 }
 
+// The L3 index is auto-collected from Status-returning declarations
+// tree-wide: the tiered-placement migration surface (Migrate*/Promote*
+// in src/nvm/tiered_pool.h) must register without hand-listing names,
+// so a caller discarding a migration Status is flagged.
+TEST(LintRuleL3, IndexesTieredPoolMigrationSurface) {
+  const std::string header_path =
+      std::string(NTADOC_REPO_ROOT) + "/src/nvm/tiered_pool.h";
+  std::ifstream in(header_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "cannot open " << header_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Linter linter;
+  linter.IndexStatusFunctions("src/nvm/tiered_pool.h", buf.str());
+  const std::string code =
+      "void Tick(nvm::TieredPool* pool, nvm::RedoLog* log) {\n"
+      "  pool->MaybeMigrate(log);\n"
+      "  pool->MigrateRange(0, 1, log);\n"
+      "  pool->PromoteHottest(log);\n"
+      "}\n";
+  std::vector<Finding> findings;
+  linter.LintFile("src/core/tick.cc", code, &findings);
+  EXPECT_EQ(RulesIn(findings), std::set<std::string>{"L3"});
+  EXPECT_EQ(findings.size(), 3u)
+      << "MaybeMigrate, MigrateRange and PromoteHottest must all be in "
+         "the L3 index";
+}
+
 TEST(LintRuleL4, FiresOnBareStdLocking) {
   const auto findings = LintFixture("l4_bad.cc", "src/l4_bad.cc");
   EXPECT_EQ(RulesIn(findings), std::set<std::string>{"L4"});

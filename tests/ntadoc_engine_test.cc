@@ -301,6 +301,47 @@ TEST(NTadocEngineTest, RunInfoPopulated) {
   EXPECT_GT(m.TotalSimNs(), 0u);
 }
 
+// Tiered placement: with a DRAM tier over the Optane home device the
+// run must stay bit-identical to the untiered reference while the tier
+// counters the CLI exports (`ntadoc run --stats`) populate — residency
+// from initial placement, promotions/epochs once the hot payload warms
+// up across repeated runs on one engine (heat persists per session).
+TEST(NTadocEngineTest, TierCountersPopulated) {
+  const auto corpus = RandomCorpus(57, 30, 3, 500);
+  const AnalyticsOutput expected =
+      ReferenceRun(corpus, Task::kWordCount, {});
+
+  auto device = MakeDevice();
+  NTadocOptions opts;
+  auto tiering = std::make_shared<nvm::TierConfig>();
+  tiering->tiers = {{nvm::MediumKind::kDram, 1ull << 20}};
+  tiering->unit_bytes = 4096;
+  tiering->migrate_interval = 8;
+  opts.tiering = tiering;
+  NTadocEngine engine(&corpus, device.get(), opts);
+
+  auto got = engine.Run(Task::kWordCount);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, expected);
+  const auto& info = engine.run_info();
+  const int dram = static_cast<int>(nvm::MediumKind::kDram);
+  EXPECT_GT(info.tier_resident_bytes[dram], 0u)
+      << "policy placement must put metadata/tables in the DRAM tier";
+  // The traversal heats payload units past the tick interval, so the
+  // online migrator promotes them into the (roomy) DRAM budget during
+  // the run itself.
+  EXPECT_GT(info.migration_epochs, 0u);
+  EXPECT_GT(info.promotions, 0u);
+
+  // Second run on the warmed session: placement is already ideal (no
+  // forced moves) and the result stays bit-identical.
+  auto again = engine.Run(Task::kWordCount);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(*again, expected);
+  EXPECT_GT(
+      engine.run_info().tier_resident_bytes[dram], 0u);
+}
+
 TEST(NTadocEngineTest, WriteAmplificationVisibleAtOperationLevel) {
   const auto corpus = RandomCorpus(53, 30, 3, 500);
   auto phase_dev = MakeDevice();

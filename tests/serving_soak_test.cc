@@ -18,6 +18,12 @@
 //      sessions serve the merged corpus, faulted sessions resolve
 //      inside their own ladders, and no counters bleed across either
 //      sessions or generations.
+//   E  tiering under fire: every session runs with a DRAM tier over the
+//      home medium and online migration ticking aggressively while k of
+//      N sessions are faulted -> migrations demonstrably run (promotion
+//      counters land in the serving stats), clean siblings stay
+//      bit-identical to a solo tiered run, and the faulted minority
+//      resolves inside its own ladder.
 //
 // The whole binary is the TSAN target for the serving layer: work
 // stealing and the shared decoded-rule cache are exercised under real
@@ -27,11 +33,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "compress/compressor.h"
 #include "core/container_store.h"
+#include "nvm/tiered_pool.h"
 #include "serve/refresh.h"
 #include "serve/serving.h"
 #include "reference_impl.h"
@@ -468,6 +476,109 @@ TEST(ServingSoakTest, RefreshUnderFireKeepsSiblingsExact) {
   const RefreshStats rs = refresher.stats();
   EXPECT_EQ(rs.generations_published, 1u);
   EXPECT_EQ(rs.refresh_aborts, 0u);
+}
+
+// ---- Scenario E: tiered placement under fire -------------------------
+
+TEST(ServingSoakTest, MigrationsUnderFireKeepSiblingsBitIdentical) {
+  const auto corpus = RandomCorpus(ChaosSeed() + 4, 20, 4, 220);
+  auto so = BaseSealOptions();
+  // DRAM tier over the home medium, ticking every 16 traversal steps so
+  // every session migrates while its siblings run: the strongest data
+  // race bait the tiering layer offers (each session owns its TieredPool
+  // and the serving thread reads its counters concurrently).
+  auto tiering = std::make_shared<nvm::TierConfig>();
+  tiering->tiers = {{nvm::MediumKind::kDram, 1ull << 20}};
+  tiering->unit_bytes = 4096;
+  tiering->migrate_interval = 16;
+  so.engine.tiering = tiering;
+  const auto [pbegin, pend] = LocatePayload(corpus, so);
+  ASSERT_LT(pbegin, pend);
+  const uint64_t bad_block = ((pbegin + pend) / 2) & ~uint64_t{255};
+
+  auto sealed = SealPool(&corpus, so);
+  ASSERT_TRUE(sealed.ok()) << sealed.status();
+
+  // Solo baselines share the tiering options via pool.options.engine,
+  // so "bit-identical" covers the migrating configuration itself.
+  std::vector<tadoc::AnalyticsOutput> solo;
+  for (tadoc::Task task : tadoc::kAllTasks) {
+    solo.push_back(SoloRun(*sealed, task));
+  }
+
+  ServingOptions sopts;
+  sopts.workers = 4;
+  sopts.queue_capacity = 64;
+  sopts.work_stealing = true;          // real interleavings for TSAN
+  sopts.shared_cache_bytes = 1 << 20;  // shared cache under contention
+  ServingEngine server(&*sealed, sopts);
+
+  constexpr size_t kN = 16;
+  std::vector<uint64_t> clean_tickets;
+  std::vector<uint64_t> faulted_tickets;
+  for (size_t i = 0; i < kN; ++i) {
+    QueryRequest req;
+    req.task = TaskFor(i);
+    if (i % 4 == 3) {  // k = 4 of N = 16
+      if (i / 4 % 2 == 0) {  // transient read faults
+        nvm::FaultSpec s;
+        s.effect = nvm::FaultEffect::kTransientRead;
+        s.trigger = nvm::FaultTrigger::kNthRead;
+        s.n = 5;
+        s.transient_fail_count = 2;
+        req.fault_plan.faults.push_back(s);
+      } else {  // repairable poison mid-payload
+        req.poison.push_back({bad_block, 1, /*sticky=*/false});
+      }
+      auto t = server.Submit(std::move(req));
+      ASSERT_TRUE(t.ok()) << t.status();
+      faulted_tickets.push_back(*t);
+    } else {
+      auto t = server.Submit(std::move(req));
+      ASSERT_TRUE(t.ok()) << t.status();
+      clean_tickets.push_back(*t);
+    }
+  }
+  server.Drain();
+
+  // Clean sessions: bit-identical to the solo tiered run, zero fault
+  // counters — concurrent migrations in faulted siblings never bleed.
+  for (uint64_t t : clean_tickets) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.done);
+    ASSERT_TRUE(r.status.ok()) << "ticket " << t << ": " << r.status;
+    const tadoc::AnalyticsOutput& want =
+        solo[static_cast<size_t>(r.output.task) % tadoc::kAllTasks.size()];
+    EXPECT_EQ(r.output, want) << "ticket " << t;
+    EXPECT_EQ(r.info.corruption_detected, 0u) << "ticket " << t;
+    EXPECT_EQ(r.info.scoped_repairs, 0u) << "ticket " << t;
+    EXPECT_EQ(r.info.salvage_restarts, 0u) << "ticket " << t;
+    EXPECT_EQ(r.info.transient_retries, 0u) << "ticket " << t;
+    EXPECT_GT(r.info.tier_resident_bytes[static_cast<int>(
+                  nvm::MediumKind::kDram)],
+              0u)
+        << "ticket " << t << ": session ran without its DRAM tier";
+  }
+
+  // Faulted sessions resolve inside their own ladders, still tiered.
+  for (uint64_t t : faulted_tickets) {
+    const QueryResult& r = server.result(t);
+    ASSERT_TRUE(r.status.ok()) << "ticket " << t << ": " << r.status;
+    EXPECT_EQ(r.output, solo[static_cast<size_t>(r.output.task) %
+                             tadoc::kAllTasks.size()])
+        << "ticket " << t;
+    EXPECT_GT(r.info.transient_retries + r.info.scoped_repairs +
+                  r.info.salvage_restarts,
+              0u)
+        << "ticket " << t;
+  }
+
+  const ServingStats st = server.stats();
+  EXPECT_EQ(st.completed, kN);
+  EXPECT_EQ(st.failed, 0u);
+  // The point of the scenario: migrations actually raced the faults.
+  EXPECT_GT(st.promotions, 0u);
+  EXPECT_GT(st.migration_epochs, 0u);
 }
 
 }  // namespace

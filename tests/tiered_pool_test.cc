@@ -1,0 +1,385 @@
+// TieredPool unit tests: config parsing, policy-driven initial
+// placement with budget spill, heat accounting and decay, forwarding
+// (TierOf) lookups across migrations, budget enforcement during ticks,
+// and the durable placement region's commit/reopen roundtrip.
+
+#include "nvm/tiered_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nvm/nvm_device.h"
+#include "util/logging.h"
+
+namespace ntadoc::nvm {
+namespace {
+
+constexpr uint64_t kUnit = 4096;
+constexpr uint64_t kRegionOff = 1ull << 20;
+constexpr uint64_t kRegionLen = 256 * 1024;
+
+std::unique_ptr<NvmDevice> MakeDevice(
+    DeviceProfile profile = OptaneProfile()) {
+  DeviceOptions opts;
+  opts.capacity = 4ull << 20;
+  opts.profile = profile;
+  auto dev = NvmDevice::Create(opts);
+  NTADOC_CHECK(dev.ok());
+  return std::move(dev).value();
+}
+
+TierConfig SmallUnitConfig(std::vector<TierSpec> tiers) {
+  TierConfig cfg;
+  cfg.tiers = std::move(tiers);
+  cfg.unit_bytes = kUnit;
+  cfg.migrate_interval = 2;
+  return cfg;
+}
+
+Result<std::unique_ptr<TieredPool>> MakePool(NvmDevice* device,
+                                             const TierConfig& cfg) {
+  return TieredPool::Make(device, kRegionOff, kRegionLen, cfg);
+}
+
+TEST(TierConfigTest, ParsesMediaAndBudgets) {
+  auto cfg = TierConfig::Parse("dram:64,nvm");
+  ASSERT_TRUE(cfg.ok()) << cfg.status();
+  ASSERT_EQ(cfg->tiers.size(), 2u);
+  EXPECT_EQ(cfg->tiers[0].kind, MediumKind::kDram);
+  EXPECT_EQ(cfg->tiers[0].budget_bytes, 64ull << 20);
+  EXPECT_EQ(cfg->tiers[1].kind, MediumKind::kOptane);
+  EXPECT_EQ(cfg->tiers[1].budget_bytes, 0u);  // uncapped
+
+  auto four = TierConfig::Parse("dram:1,nvm:8,ssd:64,hdd");
+  ASSERT_TRUE(four.ok()) << four.status();
+  EXPECT_EQ(four->tiers.size(), 4u);
+  EXPECT_EQ(four->tiers[3].kind, MediumKind::kHdd);
+}
+
+TEST(TierConfigTest, RejectsBadSpecs) {
+  EXPECT_FALSE(TierConfig::Parse("").ok());
+  EXPECT_FALSE(TierConfig::Parse("floppy:4").ok());
+  EXPECT_FALSE(TierConfig::Parse("dram:abc,nvm").ok());
+  EXPECT_FALSE(TierConfig::Parse("dram:,nvm").ok());
+}
+
+TEST(TieredPoolTest, MakeValidatesConfig) {
+  auto device = MakeDevice();
+  // Duplicate media are rejected.
+  auto dup = MakePool(device.get(),
+                      SmallUnitConfig({{MediumKind::kDram, 0},
+                                       {MediumKind::kDram, 0}}));
+  EXPECT_FALSE(dup.ok());
+  // Unit size must be a power of two >= 4096.
+  TierConfig tiny = SmallUnitConfig({{MediumKind::kDram, 0}});
+  tiny.unit_bytes = 1024;
+  EXPECT_FALSE(MakePool(device.get(), tiny).ok());
+  // A tier for the device's own medium is appended when absent.
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, 1ull << 20}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  EXPECT_EQ((*made)->config().tiers.size(), 2u);
+  EXPECT_EQ((*made)->config().tiers[1].kind, MediumKind::kOptane);
+  EXPECT_EQ((*made)->home_tier(), 1);
+}
+
+TEST(TieredPoolTest, PolicyPlacesClassesAndSpillsOverBudget) {
+  auto device = MakeDevice();
+  // DRAM budget of exactly two units over the Optane home tier.
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, 2 * kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+
+  // Three meta units prefer tier 0 but only two fit; payload starts home.
+  pool.RegisterExtent(0, 3 * kUnit, TierClass::kMeta);
+  pool.RegisterExtent(16 * kUnit, 2 * kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+
+  EXPECT_EQ(pool.unit_count(), 5u);
+  EXPECT_EQ(pool.TierOf(0), 0);
+  EXPECT_EQ(pool.TierOf(kUnit), 0);
+  EXPECT_EQ(pool.TierOf(2 * kUnit), pool.home_tier())
+      << "third meta unit must spill down past the full DRAM budget";
+  EXPECT_EQ(pool.TierOf(16 * kUnit), pool.home_tier());
+  // Offsets outside every registered extent are unowned (charge home).
+  EXPECT_EQ(pool.TierOf(8 * kUnit), -1);
+
+  const TierCounters tc = pool.counters();
+  EXPECT_EQ(tc.resident_bytes[static_cast<int>(MediumKind::kDram)],
+            2 * kUnit);
+  EXPECT_EQ(tc.resident_bytes[static_cast<int>(MediumKind::kOptane)],
+            3 * kUnit);
+}
+
+TEST(TieredPoolTest, RoutedAccessesAccumulateAndDecayHeat) {
+  auto device = MakeDevice();
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, 2 * kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  device->set_tier_router(&pool);
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  pool.RegisterExtent(0, 2 * kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+
+  // Device reads route through the tier router and charge unit heat.
+  uint8_t buf[256];
+  device->ReadBytes(64, buf, sizeof buf);
+  device->ReadBytes(64, buf, sizeof buf);
+  EXPECT_EQ(pool.heat_of(0), 2 * sizeof buf);
+  EXPECT_EQ(pool.heat_of(kUnit), 0u);
+
+  // A tick halves the heat of every unit.
+  ASSERT_TRUE(pool.MigrationTick(nullptr).ok());
+  EXPECT_EQ(pool.heat_of(0), sizeof buf);
+  device->set_tier_router(nullptr);
+}
+
+TEST(TieredPoolTest, TickPromotesHotUnitsWithinBudget) {
+  auto device = MakeDevice();
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, 2 * kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  // Four payload units, all starting at home.
+  pool.RegisterExtent(0, 4 * kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+  ASSERT_EQ(pool.TierOf(0), pool.home_tier());
+
+  // Heat two of the four; the tick should pack exactly those into the
+  // two-unit DRAM budget.
+  pool.TouchRead(1 * kUnit, kUnit);
+  pool.TouchRead(3 * kUnit, kUnit);
+  ASSERT_TRUE(pool.MigrationTick(nullptr).ok());
+
+  EXPECT_EQ(pool.TierOf(1 * kUnit), 0);
+  EXPECT_EQ(pool.TierOf(3 * kUnit), 0);
+  EXPECT_EQ(pool.TierOf(0 * kUnit), pool.home_tier());
+  EXPECT_EQ(pool.TierOf(2 * kUnit), pool.home_tier());
+
+  const TierCounters tc = pool.counters();
+  EXPECT_EQ(tc.promotions, 2u);
+  EXPECT_EQ(tc.demotions, 0u);
+  EXPECT_EQ(tc.migration_epochs, 1u);
+  EXPECT_LE(tc.resident_bytes[static_cast<int>(MediumKind::kDram)],
+            2 * kUnit)
+      << "tick must never exceed the configured tier budget";
+}
+
+TEST(TieredPoolTest, HotterUnitEvictsColderOneUnderPressure) {
+  auto device = MakeDevice();
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  pool.RegisterExtent(0, 2 * kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+
+  pool.TouchRead(0, kUnit);
+  ASSERT_TRUE(pool.MigrationTick(nullptr).ok());
+  ASSERT_EQ(pool.TierOf(0), 0);
+
+  // The second unit becomes much hotter than the first's decayed heat:
+  // the next tick demotes unit 0 and promotes unit 1.
+  pool.TouchRead(kUnit, kUnit);
+  pool.TouchRead(kUnit, kUnit);
+  pool.TouchRead(kUnit, kUnit);
+  ASSERT_TRUE(pool.MigrationTick(nullptr).ok());
+  EXPECT_EQ(pool.TierOf(0), pool.home_tier());
+  EXPECT_EQ(pool.TierOf(kUnit), 0);
+
+  const TierCounters tc = pool.counters();
+  EXPECT_EQ(tc.promotions, 2u);
+  EXPECT_EQ(tc.demotions, 1u);
+  EXPECT_EQ(
+      tc.resident_bytes[static_cast<int>(MediumKind::kDram)], kUnit);
+}
+
+TEST(TieredPoolTest, MaybeMigrateTicksOnTheConfiguredInterval) {
+  auto device = MakeDevice();
+  TierConfig cfg = SmallUnitConfig({{MediumKind::kDram, kUnit}});
+  cfg.migrate_interval = 4;
+  auto made = MakePool(device.get(), cfg);
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+  pool.TouchRead(0, kUnit);
+
+  for (int step = 1; step <= 3; ++step) {
+    ASSERT_TRUE(pool.MaybeMigrate(nullptr).ok());
+    EXPECT_EQ(pool.counters().migration_epochs, 0u) << "step " << step;
+  }
+  ASSERT_TRUE(pool.MaybeMigrate(nullptr).ok());
+  EXPECT_EQ(pool.counters().migration_epochs, 1u);
+  EXPECT_EQ(pool.TierOf(0), 0);
+}
+
+TEST(TieredPoolTest, MigrateDisabledFreezesPlacementButKeepsHeat) {
+  auto device = MakeDevice();
+  TierConfig cfg = SmallUnitConfig({{MediumKind::kDram, kUnit}});
+  cfg.migrate = false;
+  cfg.migrate_interval = 1;
+  auto made = MakePool(device.get(), cfg);
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+
+  pool.TouchRead(0, kUnit);
+  ASSERT_TRUE(pool.MaybeMigrate(nullptr).ok());
+  EXPECT_EQ(pool.TierOf(0), pool.home_tier());
+  EXPECT_EQ(pool.counters().migration_epochs, 0u);
+  EXPECT_GT(pool.heat_of(0), 0u);
+}
+
+TEST(TieredPoolTest, PinnedClassesNeverMigrate) {
+  auto device = MakeDevice();
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, 4 * kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  // kOther is pinned at home by default policy.
+  pool.RegisterExtent(0, kUnit, TierClass::kOther);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+  ASSERT_EQ(pool.TierOf(0), pool.home_tier());
+
+  pool.TouchRead(0, kUnit);
+  ASSERT_TRUE(pool.MigrationTick(nullptr).ok());
+  EXPECT_EQ(pool.TierOf(0), pool.home_tier());
+  EXPECT_EQ(pool.counters().promotions, 0u);
+}
+
+TEST(TieredPoolTest, PayloadDemotionRaisesCacheInvalidationFlag) {
+  auto device = MakeDevice();
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+  EXPECT_FALSE(pool.TakePayloadDemotion());
+
+  ASSERT_TRUE(pool.MigrateRange(0, 0, nullptr).ok());
+  EXPECT_FALSE(pool.TakePayloadDemotion()) << "promotion must not flag";
+  ASSERT_TRUE(
+      pool.MigrateRange(0, static_cast<uint8_t>(pool.home_tier()), nullptr)
+          .ok());
+  EXPECT_TRUE(pool.TakePayloadDemotion());
+  EXPECT_FALSE(pool.TakePayloadDemotion()) << "flag is take-once";
+}
+
+TEST(TieredPoolTest, CommittedPlacementSurvivesReopen) {
+  auto device = MakeDevice();
+  // Optane home (tier 0) over an SSD capacity tier (tier 1): both
+  // persistent, so a committed demotion must survive reopen.
+  const TierConfig cfg = SmallUnitConfig(
+      {{MediumKind::kOptane, 0}, {MediumKind::kSsd, 0}});
+  {
+    auto made = MakePool(device.get(), cfg);
+    ASSERT_TRUE(made.ok()) << made.status();
+    TieredPool& pool = **made;
+    ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+    pool.RegisterExtent(0, 2 * kUnit, TierClass::kPayload);
+    ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+    ASSERT_EQ(pool.TierOf(0), 0);
+    ASSERT_TRUE(pool.MigrateRange(0, 1, nullptr).ok());
+    ASSERT_EQ(pool.TierOf(0), 1);
+    EXPECT_EQ(pool.counters().demotions, 1u);
+  }
+  {
+    auto made = MakePool(device.get(), cfg);
+    ASSERT_TRUE(made.ok()) << made.status();
+    TieredPool& pool = **made;
+    ASSERT_TRUE(pool.InitRegion(/*fresh=*/false).ok());
+    pool.RegisterExtent(0, 2 * kUnit, TierClass::kPayload);
+    ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+    EXPECT_EQ(pool.TierOf(0), 1)
+        << "committed placement entry must be adopted on reopen";
+    EXPECT_EQ(pool.TierOf(kUnit), 0);
+  }
+}
+
+TEST(TieredPoolTest, VolatileResidentsFoldHomeOnReopen) {
+  auto device = MakeDevice();
+  const TierConfig cfg = SmallUnitConfig({{MediumKind::kDram, 0}});
+  {
+    auto made = MakePool(device.get(), cfg);
+    ASSERT_TRUE(made.ok()) << made.status();
+    TieredPool& pool = **made;
+    ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+    pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+    ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+    ASSERT_TRUE(pool.MigrateRange(0, 0, nullptr).ok());
+    ASSERT_EQ(pool.TierOf(0), 0);
+  }
+  {
+    auto made = MakePool(device.get(), cfg);
+    ASSERT_TRUE(made.ok()) << made.status();
+    TieredPool& pool = **made;
+    ASSERT_TRUE(pool.InitRegion(/*fresh=*/false).ok());
+    pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+    ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+    // DRAM is volatile: the inclusive home copy is authoritative after
+    // a shutdown, so the unit folds back to home.
+    EXPECT_EQ(pool.TierOf(0), pool.home_tier());
+  }
+}
+
+TEST(TieredPoolTest, FreshInitInvalidatesOldGenerationEntries) {
+  auto device = MakeDevice();
+  const TierConfig cfg = SmallUnitConfig(
+      {{MediumKind::kOptane, 0}, {MediumKind::kSsd, 0}});
+  {
+    auto made = MakePool(device.get(), cfg);
+    ASSERT_TRUE(made.ok()) << made.status();
+    TieredPool& pool = **made;
+    ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+    pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+    ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+    ASSERT_TRUE(pool.MigrateRange(0, 1, nullptr).ok());
+  }
+  {
+    // A fresh re-init (salvage restart) bumps the generation; the old
+    // entries' checksums no longer validate and must not be adopted.
+    auto made = MakePool(device.get(), cfg);
+    ASSERT_TRUE(made.ok()) << made.status();
+    TieredPool& pool = **made;
+    ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+    pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+    ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+    EXPECT_EQ(pool.TierOf(0), 0);
+  }
+}
+
+TEST(TieredPoolTest, HeatCarriesAcrossReRegistration) {
+  auto device = MakeDevice();
+  auto made = MakePool(device.get(),
+                       SmallUnitConfig({{MediumKind::kDram, kUnit}}));
+  ASSERT_TRUE(made.ok()) << made.status();
+  TieredPool& pool = **made;
+  ASSERT_TRUE(pool.InitRegion(/*fresh=*/true).ok());
+  pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+  pool.TouchRead(0, kUnit);
+  ASSERT_EQ(pool.heat_of(0), kUnit);
+
+  // A new Run re-registers the same extents; heat must survive so the
+  // migrator's history spans runs.
+  pool.ResetExtents();
+  pool.RegisterExtent(0, kUnit, TierClass::kPayload);
+  ASSERT_TRUE(pool.ApplyInitialPlacement().ok());
+  EXPECT_EQ(pool.heat_of(0), kUnit);
+}
+
+}  // namespace
+}  // namespace ntadoc::nvm

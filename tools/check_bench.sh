@@ -32,6 +32,13 @@
 # no-refresh p99 with zero failed queries; the committed BENCH_pr9.json
 # must satisfy the same relations.
 #
+# Tiered-placement gates (bench_tiering's TIER/TIERMIG rows): at a 40%
+# top-tier budget the tiered run stays within 1.2x of the same run's
+# all-NVM sim time while actually honouring the budget (top-tier
+# resident <= 40% of registered bytes), and online migration beats
+# frozen placement by >=1.3x on the repeated skewed mix; the committed
+# BENCH_pr10.json must satisfy the same relations.
+#
 # Refresh the baseline after an *intentional* cost-model change with:
 #   tools/check_bench.sh --update
 set -euo pipefail
@@ -205,6 +212,55 @@ sed -n 's/.*"dataset": "D", "threads": \([0-9]*\).*"bytes": \([0-9]*\).*"lane_ma
     BENCH_pr8.json | check_ingest_rows ||
   { echo "FAIL: ingest gates (committed BENCH_pr8.json)" >&2; exit 1; }
 echo "ingest gates OK: t8 lane makespan >=2x t1, container within 5%"
+
+# Tiered-placement gates (relational, see header). The TIER line is
+#   TIER <ds> <task> <pct> <tiered_sim> <allnvm_sim> <top_res> <total_res> ...
+# and TIERMIG is
+#   TIERMIG <ds> <runs> <on_sim> <off_sim> <promotions>
+check_tiering_rows() {
+  awk '
+    $1 == "TIER" && $4 == 40 {
+      seen_tier = 1
+      if (10 * $5 > 12 * $6) {
+        printf "FAIL: tiered@40%% >1.2x all-NVM on %s/%s: tiered %d, nvm %d\n",
+               $2, $3, $5, $6; bad = 1
+      }
+      if (10 * $7 > 4 * $8) {
+        printf "FAIL: top-tier residency over budget on %s/%s: %d of %d\n",
+               $2, $3, $7, $8; bad = 1
+      }
+    }
+    $1 == "TIERMIG" {
+      seen_mig = 1
+      if (10 * $5 < 13 * $4) {
+        printf "FAIL: online migration <1.3x frozen placement on %s: on %d, off %d\n",
+               $2, $4, $5; bad = 1
+      }
+    }
+    END {
+      if (!seen_tier) { print "FAIL: missing TIER rows at budget 40%"; bad = 1 }
+      if (!seen_mig) { print "FAIL: missing TIERMIG row"; bad = 1 }
+      exit bad ? 1 : 0
+    }
+  '
+}
+cmake --build "$BUILD_DIR" --target bench_tiering -j >/dev/null
+TIER_OUT=$("$BUILD_DIR/bench/bench_tiering" --scale=0.05 --datasets=C \
+        --cache-dir="$BUILD_DIR/bench_smoke_cache")
+grep -E '^TIER(MIG)? ' <<<"$TIER_OUT" | check_tiering_rows ||
+  { echo "FAIL: tiering gates (live run)" >&2; exit 1; }
+if [[ ! -f BENCH_pr10.json ]]; then
+  echo "FAIL: missing BENCH_pr10.json (run tools/run_bench.sh)" >&2
+  exit 1
+fi
+{
+  sed -n 's/.*"dataset": "\([A-Z]*\)", "task": "\([a-z_]*\)", "budget_pct": \([0-9]*\), "tiered_sim_ns": \([0-9]*\), "allnvm_sim_ns": \([0-9]*\), "top_resident_bytes": \([0-9]*\), "total_resident_bytes": \([0-9]*\).*/TIER \1 \2 \3 \4 \5 \6 \7/p' \
+      BENCH_pr10.json
+  sed -n 's/.*"dataset": "\([A-Z]*\)", "runs": \([0-9]*\), "on_sim_ns": \([0-9]*\), "off_sim_ns": \([0-9]*\), "promotions": \([0-9]*\).*/TIERMIG \1 \2 \3 \4 \5/p' \
+      BENCH_pr10.json
+} | check_tiering_rows ||
+  { echo "FAIL: tiering gates (committed BENCH_pr10.json)" >&2; exit 1; }
+echo "tiering gates OK: 40% budget within 1.2x all-NVM, migration >=1.3x frozen"
 
 if [[ "$UPDATE" == 1 ]]; then
   printf '%s\n' "$CURRENT" > "$BASELINE"

@@ -9,9 +9,11 @@
 # The serving soak suite (serving_soak_test) rides the same sweep: k of
 # N concurrent sessions hit faults while siblings must stay bit-identical
 # to solo runs, deadlines must not stall the queue, deterministic
-# scheduling must reproduce lane timings exactly, and a refresh-under-
+# scheduling must reproduce lane timings exactly, a refresh-under-
 # fire generation cutover mid-fleet must leave old-generation answers
-# bit-identical to the pre-refresh corpus with no counter bleed.
+# bit-identical to the pre-refresh corpus with no counter bleed, and
+# tiering-under-fire online migrations racing faulted sessions must
+# keep clean siblings bit-identical to solo tiered runs.
 #
 # Override the sweep with NTADOC_CHAOS_SEEDS="..." (space-separated).
 set -euo pipefail

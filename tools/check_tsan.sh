@@ -2,8 +2,10 @@
 # Builds the tree with ThreadSanitizer and runs the full test suite
 # under it (all ctest labels, so the genuinely concurrent tests —
 # serving_session_test, the soak-labelled serving_soak_test (work
-# stealing, shared decoded-rule cache, pool repair lock, and the
-# refresh-under-fire generation cutover racing live worker lanes), and
+# stealing, shared decoded-rule cache, pool repair lock, the
+# refresh-under-fire generation cutover racing live worker lanes, and
+# tiering-under-fire: per-session online migrations plus cross-thread
+# TierCounters reads racing k-of-N faulted sessions), and
 # parallel_compress_test (chunk-parallel ingest workers racing into
 # pre-sized result slots before the join barrier) — are in scope by
 # default).

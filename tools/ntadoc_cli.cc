@@ -9,10 +9,13 @@
 //                    [--persistence=none|phase|operation]
 //                    [--traversal=auto|topdown|bottomup]
 //                    [--ngram=N] [--topk=K] [--limit=N]
-//                    [--commit-interval=K] [--dram-cache-mb=M] [--stats]
+//                    [--commit-interval=K] [--dram-cache-mb=M]
+//                    [--tiers=SPEC] [--tier-budget-mb=M] [--migrate=0|1]
+//                    [--stats]
 //   ntadoc serve     <in.ntdc> [--workers=N] [--queries=N]
 //                    [--medium=...] [--persistence=...]
 //                    [--deadline-us=D] [--shared-cache-mb=M]
+//                    [--tiers=SPEC] [--tier-budget-mb=M] [--migrate=0|1]
 //                    [--refresh-every=K] [--stats] [refresh-file...]
 //
 // `run` executes one of the six analytics tasks with N-TADOC on an
@@ -28,6 +31,12 @@
 // in a durable ContainerStore and every K submitted queries one refresh
 // file is appended and published as a new serving generation while the
 // fleet keeps answering (DESIGN.md "Generations & online refresh").
+//
+// `--tiers=SPEC` places pool structures across a fastest-first list of
+// device cost models, e.g. `--tiers=dram:64,nvm` = 64 MB of DRAM over
+// an uncapped NVM home tier (DESIGN.md "Tiered placement & migration").
+// `--tier-budget-mb=M` overrides the top tier's byte budget and
+// `--migrate=0` freezes placement (no online hot/cold movement).
 //
 // `compress --append --notify` prints `refresh_generation=N` on the
 // line a durable append commits — the hook a co-located serving process
@@ -66,13 +75,19 @@ int Usage() {
                "                  [--traversal=auto|topdown|bottomup] "
                "[--ngram=N] [--topk=K] [--limit=N]\n"
                "                  [--persist-check] [--commit-interval=K] "
-               "[--dram-cache-mb=M] [--stats]\n"
+               "[--dram-cache-mb=M]\n"
+               "                  [--tiers=SPEC] [--tier-budget-mb=M] "
+               "[--migrate=0|1] [--stats]\n"
                "  ntadoc serve    <in.ntdc> [--workers=N] [--queries=N]\n"
                "                  [--medium=nvm|reram|pcm|ssd|hdd] "
                "[--persistence=none|phase|operation]\n"
                "                  [--deadline-us=D] [--shared-cache-mb=M] "
                "[--stats]\n"
-               "                  [--refresh-every=K] [refresh-file...]\n");
+               "                  [--tiers=SPEC] [--tier-budget-mb=M] "
+               "[--migrate=0|1]\n"
+               "                  [--refresh-every=K] [refresh-file...]\n"
+               "tier SPEC: fastest-first comma list of medium[:budget_mb],"
+               " e.g. dram:64,nvm\n");
   return 2;
 }
 
@@ -83,6 +98,30 @@ Result<compress::CompressedCorpus> LoadOrFail(const std::string& path) {
                  corpus.status().ToString().c_str());
   }
   return corpus;
+}
+
+// Builds the engine tiering config from the --tiers/--tier-budget-mb/
+// --migrate flag values shared by `run` and `serve`. Returns a null
+// shared_ptr (tiering off) when --tiers was not given; --tier-budget-mb
+// overrides the top (fastest) tier's budget.
+Result<std::shared_ptr<const nvm::TierConfig>> BuildTierConfig(
+    const std::string& tiers_spec, int64_t tier_budget_mb, int migrate) {
+  if (tiers_spec.empty()) {
+    if (tier_budget_mb >= 0 || migrate >= 0) {
+      return Status::InvalidArgument(
+          "--tier-budget-mb/--migrate require --tiers=");
+    }
+    return std::shared_ptr<const nvm::TierConfig>();
+  }
+  NTADOC_ASSIGN_OR_RETURN(nvm::TierConfig cfg,
+                          nvm::TierConfig::Parse(tiers_spec));
+  if (tier_budget_mb >= 0) {
+    cfg.tiers.front().budget_bytes =
+        static_cast<uint64_t>(tier_budget_mb) << 20;
+  }
+  if (migrate >= 0) cfg.migrate = migrate != 0;
+  return std::shared_ptr<const nvm::TierConfig>(
+      std::make_shared<nvm::TierConfig>(std::move(cfg)));
 }
 
 // `--append` exercises the full durable path: the existing container is
@@ -300,6 +339,9 @@ int CmdRun(int argc, char** argv) {
   uint64_t limit = 10;
   bool persist_check = false;
   bool show_stats = false;
+  std::string tiers_spec;
+  int64_t tier_budget_mb = -1;
+  int migrate = -1;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--persist-check") {
@@ -345,9 +387,24 @@ int CmdRun(int argc, char** argv) {
       if (engine_opts.commit_interval == 0) return Usage();
     } else if (arg.rfind("--dram-cache-mb=", 0) == 0) {
       engine_opts.dram_cache_bytes = std::stoull(arg.substr(16)) << 20;
+    } else if (arg.rfind("--tiers=", 0) == 0) {
+      tiers_spec = arg.substr(8);
+    } else if (arg.rfind("--tier-budget-mb=", 0) == 0) {
+      tier_budget_mb = std::stoll(arg.substr(17));
+      if (tier_budget_mb < 0) return Usage();
+    } else if (arg.rfind("--migrate=", 0) == 0) {
+      migrate = arg.substr(10) == "0" ? 0 : 1;
     } else {
       return Usage();
     }
+  }
+  {
+    auto tiering = BuildTierConfig(tiers_spec, tier_budget_mb, migrate);
+    if (!tiering.ok()) {
+      std::fprintf(stderr, "%s\n", tiering.status().ToString().c_str());
+      return Usage();
+    }
+    engine_opts.tiering = std::move(*tiering);
   }
 
   nvm::DeviceOptions dev_opts;
@@ -476,6 +533,15 @@ int CmdRun(int argc, char** argv) {
     kv("coalesced_records", info.coalesced_records);
     kv("coalesced_flush_lines", info.coalesced_flush_lines);
     kv("batch_init_reuses", info.batch_init_reuses);
+    // Tiered placement counters (zero without --tiers=); resident bytes
+    // are keyed by medium in MediumKind order.
+    kv("promotions", info.promotions);
+    kv("demotions", info.demotions);
+    kv("migration_epochs", info.migration_epochs);
+    kv("tier_resident_dram", info.tier_resident_bytes[0]);
+    kv("tier_resident_nvm", info.tier_resident_bytes[1]);
+    kv("tier_resident_ssd", info.tier_resident_bytes[2]);
+    kv("tier_resident_hdd", info.tier_resident_bytes[3]);
   }
   if (const nvm::PersistCheck* check = (*device)->persist_check()) {
     std::fprintf(stderr, "%s", check->report().ToString().c_str());
@@ -494,6 +560,9 @@ int CmdServe(int argc, char** argv) {
   uint32_t queries = 12;
   uint32_t refresh_every = 0;
   bool show_stats = false;
+  std::string tiers_spec;
+  int64_t tier_budget_mb = -1;
+  int migrate = -1;
   std::vector<compress::InputFile> refresh_files;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -533,6 +602,13 @@ int CmdServe(int argc, char** argv) {
           p == "none"        ? core::PersistenceMode::kNone
           : p == "operation" ? core::PersistenceMode::kOperation
                              : core::PersistenceMode::kPhase;
+    } else if (arg.rfind("--tiers=", 0) == 0) {
+      tiers_spec = arg.substr(8);
+    } else if (arg.rfind("--tier-budget-mb=", 0) == 0) {
+      tier_budget_mb = std::stoll(arg.substr(17));
+      if (tier_budget_mb < 0) return Usage();
+    } else if (arg.rfind("--migrate=", 0) == 0) {
+      migrate = arg.substr(10) == "0" ? 0 : 1;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -549,6 +625,14 @@ int CmdServe(int argc, char** argv) {
     }
   }
   if (refresh_every != 0 && refresh_files.empty()) return Usage();
+  {
+    auto tiering = BuildTierConfig(tiers_spec, tier_budget_mb, migrate);
+    if (!tiering.ok()) {
+      std::fprintf(stderr, "%s\n", tiering.status().ToString().c_str());
+      return Usage();
+    }
+    seal_opts.engine.tiering = std::move(*tiering);
+  }
 
   // With refresh enabled, the corpus lives in a durable ContainerStore
   // on its own emulated device: the refresher stages and commits there
@@ -675,6 +759,11 @@ int CmdServe(int argc, char** argv) {
     kv("refresh_retries", rs.refresh_retries);
     kv("refresh_aborts", rs.refresh_aborts);
     kv("degraded_refreshes", rs.degraded_refreshes);
+    // Tiered placement counters (zero without --tiers=), summed across
+    // sessions.
+    kv("promotions", st.promotions);
+    kv("demotions", st.demotions);
+    kv("migration_epochs", st.migration_epochs);
   }
   return st.failed == 0 ? 0 : 1;
 }

@@ -15,11 +15,19 @@
 # cutover mid-run; carries its own same-run no-refresh baseline so the
 # committed file is self-contained for check_bench.sh's refresh gate).
 #
+# Also produces BENCH_pr10.json from bench_tiering: the tiered-placement
+# capacity/latency curve (top-tier budget sweep vs all-NVM), DRAM+SSD vs
+# all-SSD under a tight page cache, and migration-on vs frozen-placement
+# repeated runs. All records carry their own same-run baselines so the
+# committed file is self-contained for check_bench.sh's tiering gates.
+#
 # Usage: tools/run_bench.sh [--build-dir=build] [--out=BENCH_pr5.json]
 #                           [--scale=0.25] [--repeat=3]
 #                           [--ingest-out=BENCH_pr8.json]
 #                           [--serving-out=BENCH_pr9.json]
+#                           [--tiering-out=BENCH_pr10.json]
 #                           [--skip-ingest] [--skip-serving]
+#                           [--skip-tiering]
 #                           [--prepr-bin=/path/to/old/bench_hotpath]
 #
 # With --prepr-bin= the same driver binary built from the pre-PR tree is
@@ -32,10 +40,12 @@ BUILD_DIR=build
 OUT=BENCH_pr5.json
 INGEST_OUT=BENCH_pr8.json
 SERVING_OUT=BENCH_pr9.json
+TIERING_OUT=BENCH_pr10.json
 SCALE=0.25
 REPEAT=3
 SKIP_INGEST=0
 SKIP_SERVING=0
+SKIP_TIERING=0
 PREPR_BIN=""
 for arg in "$@"; do
   case "$arg" in
@@ -43,10 +53,12 @@ for arg in "$@"; do
     --out=*) OUT="${arg#*=}" ;;
     --ingest-out=*) INGEST_OUT="${arg#*=}" ;;
     --serving-out=*) SERVING_OUT="${arg#*=}" ;;
+    --tiering-out=*) TIERING_OUT="${arg#*=}" ;;
     --scale=*) SCALE="${arg#*=}" ;;
     --repeat=*) REPEAT="${arg#*=}" ;;
     --skip-ingest) SKIP_INGEST=1 ;;
     --skip-serving) SKIP_SERVING=1 ;;
+    --skip-tiering) SKIP_TIERING=1 ;;
     --prepr-bin=*) PREPR_BIN="${arg#*=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -130,4 +142,19 @@ if [[ "$SKIP_SERVING" == 0 ]]; then
   "$SERVING_BIN" --scale=0.05 --datasets=C --cache-dir="$CACHE_DIR" \
                  --json="$SERVING_OUT"
   echo "wrote $SERVING_OUT" >&2
+fi
+
+if [[ "$SKIP_TIERING" == 0 ]]; then
+  TIERING_BIN="$BUILD_DIR/bench/bench_tiering"
+  if [[ ! -x "$TIERING_BIN" ]]; then
+    echo "building bench_tiering..." >&2
+    cmake --build "$BUILD_DIR" --target bench_tiering -j
+  fi
+  echo "== tiering bench (capacity/latency curve) ==" >&2
+  # The tiering gates are relational (tiered vs same-run all-NVM,
+  # migration-on vs same-run frozen placement), so the committed file is
+  # produced at the default bench scale.
+  "$TIERING_BIN" --scale="$SCALE" --datasets=C --cache-dir="$CACHE_DIR" \
+                 --json="$TIERING_OUT"
+  echo "wrote $TIERING_OUT" >&2
 fi
